@@ -1,0 +1,263 @@
+//! A hand-optimized BDD encoding of ACL verification.
+//!
+//! Domain knowledge baked in (this is what "hand-optimized" buys, and
+//! what the IVL generates automatically from the model instead):
+//!
+//! * a fixed, known-good variable order: header fields laid out
+//!   dst-ip, src-ip, dst-port, src-port, protocol, each MSB-first —
+//!   prefix constraints touch only a short top segment of the order;
+//! * prefix matches built directly as linear-size bit-cube BDDs (no
+//!   generic equality circuit);
+//! * port/protocol range constraints built with the classic linear-size
+//!   threshold-BDD construction (no generic comparator circuit);
+//! * first-match semantics computed with one running "not yet matched"
+//!   set instead of per-line formulas.
+
+use rzen_bdd::{Bdd, BddManager, BDD_TRUE};
+use rzen_net::acl::Acl;
+use rzen_net::headers::Header;
+use rzen_net::ip::Prefix;
+
+const DST_IP: u32 = 0;
+const SRC_IP: u32 = 32;
+const DST_PORT: u32 = 64;
+const SRC_PORT: u32 = 80;
+const PROTO: u32 = 96;
+const NVARS: u32 = 104;
+
+/// A hand-coded BDD verifier for one ACL.
+pub struct AclVerifier {
+    m: BddManager,
+    /// Per-line match conditions.
+    line_match: Vec<Bdd>,
+}
+
+impl AclVerifier {
+    /// Encode the ACL.
+    pub fn new(acl: &Acl) -> AclVerifier {
+        let mut m = BddManager::new();
+        let line_match = acl
+            .rules
+            .iter()
+            .map(|r| {
+                let parts = [
+                    prefix_bdd(&mut m, DST_IP, r.dst),
+                    prefix_bdd(&mut m, SRC_IP, r.src),
+                    range_bdd(
+                        &mut m,
+                        DST_PORT,
+                        16,
+                        r.dst_ports.0 as u64,
+                        r.dst_ports.1 as u64,
+                    ),
+                    range_bdd(
+                        &mut m,
+                        SRC_PORT,
+                        16,
+                        r.src_ports.0 as u64,
+                        r.src_ports.1 as u64,
+                    ),
+                    range_bdd(&mut m, PROTO, 8, r.protocols.0 as u64, r.protocols.1 as u64),
+                ];
+                let mut cond = BDD_TRUE;
+                for p in parts {
+                    cond = m.and(cond, p);
+                }
+                cond
+            })
+            .collect();
+        AclVerifier { m, line_match }
+    }
+
+    /// The set of headers whose *first* match is line `i` (0-based), as a
+    /// BDD. Computed with a running not-yet-matched set.
+    fn first_match(&mut self, i: usize) -> Bdd {
+        let mut unmatched = BDD_TRUE;
+        for j in 0..i {
+            let mj = self.line_match[j];
+            let not_mj = self.m.not(mj);
+            unmatched = self.m.and(unmatched, not_mj);
+        }
+        self.m.and(unmatched, self.line_match[i])
+    }
+
+    /// Find a header whose first match is line `i` (0-based) — the
+    /// Fig. 10 query with `i = last line`.
+    pub fn find_first_match(&mut self, i: usize) -> Option<Header> {
+        let set = self.first_match(i);
+        let model = self.m.any_sat_total(set, NVARS)?;
+        Some(decode(&model))
+    }
+
+    /// Is line `i` (0-based) shadowed (no packet's first match is `i`)?
+    pub fn line_shadowed(&mut self, i: usize) -> bool {
+        self.first_match(i) == rzen_bdd::BDD_FALSE
+    }
+
+    /// Number of headers whose first match is line `i`.
+    pub fn line_match_count(&mut self, i: usize) -> f64 {
+        let set = self.first_match(i);
+        self.m.sat_count(set, NVARS)
+    }
+}
+
+/// Prefix constraint: the top `len` bits of the 32-bit field at `base`
+/// equal the prefix bits. Linear-size cube.
+fn prefix_bdd(m: &mut BddManager, base: u32, p: Prefix) -> Bdd {
+    let mut cond = BDD_TRUE;
+    // Build bottom-up (deepest variable first) so each `and` is O(1).
+    for k in (0..p.len as u32).rev() {
+        // Bit k of the prefix, MSB-first: variable base + k.
+        let bit = p.address >> (31 - k) & 1 == 1;
+        let var = if bit {
+            m.var(base + k)
+        } else {
+            m.nvar(base + k)
+        };
+        cond = m.and(var, cond);
+    }
+    cond
+}
+
+/// Range constraint `lo <= x <= hi` over a `width`-bit field at `base`
+/// (MSB-first), via two linear-size threshold BDDs.
+fn range_bdd(m: &mut BddManager, base: u32, width: u32, lo: u64, hi: u64) -> Bdd {
+    let full = if width == 64 {
+        u64::MAX
+    } else {
+        (1 << width) - 1
+    };
+    if lo == 0 && hi == full {
+        return BDD_TRUE;
+    }
+    let ge = threshold_bdd(m, base, width, lo, true);
+    let le = threshold_bdd(m, base, width, hi, false);
+    m.and(ge, le)
+}
+
+/// `x >= bound` (ge = true) or `x <= bound` (ge = false): linear-size,
+/// built bottom-up along the bit order.
+fn threshold_bdd(m: &mut BddManager, base: u32, width: u32, bound: u64, ge: bool) -> Bdd {
+    // Walk bits LSB→MSB building "comparison of the suffix".
+    let mut acc = BDD_TRUE;
+    for k in (0..width).rev() {
+        // Bit k MSB-first has significance width-1-k.
+        let bit = bound >> (width - 1 - k) & 1 == 1;
+        let v = m.var(base + k);
+        acc = if ge {
+            if bit {
+                // Suffix >= 1b..: need this bit set and rest >=.
+                m.and(v, acc)
+            } else {
+                // Suffix >= 0b..: this bit set suffices, else rest >=.
+                m.or(v, acc)
+            }
+        } else if bit {
+            // Suffix <= 1b..: bit clear suffices, else rest <=.
+            let nv = m.not(v);
+            m.or(nv, acc)
+        } else {
+            // Suffix <= 0b..: need bit clear and rest <=.
+            let nv = m.not(v);
+            m.and(nv, acc)
+        };
+    }
+    acc
+}
+
+/// Decode a total model back into a header.
+fn decode(model: &[bool]) -> Header {
+    let field = |base: u32, width: u32| -> u64 {
+        let mut out = 0u64;
+        for k in 0..width {
+            out = out << 1 | model[(base + k) as usize] as u64;
+        }
+        out
+    };
+    Header::new(
+        field(DST_IP, 32) as u32,
+        field(SRC_IP, 32) as u32,
+        field(DST_PORT, 16) as u16,
+        field(SRC_PORT, 16) as u16,
+        field(PROTO, 8) as u8,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rzen_net::acl::AclRule;
+    use rzen_net::ip::ip;
+
+    fn acl() -> Acl {
+        Acl {
+            rules: vec![
+                AclRule {
+                    permit: false,
+                    dst: Prefix::new(ip(10, 0, 0, 0), 8),
+                    dst_ports: (22, 22),
+                    ..AclRule::any(false)
+                },
+                AclRule {
+                    permit: true,
+                    dst: Prefix::new(ip(10, 0, 0, 0), 8),
+                    ..AclRule::any(true)
+                },
+                AclRule::any(false),
+            ],
+        }
+    }
+
+    #[test]
+    fn finds_first_match_per_line() {
+        let mut v = AclVerifier::new(&acl());
+        for i in 0..3 {
+            let h = v.find_first_match(i).expect("line reachable");
+            assert_eq!(acl().matched_line_concrete(&h), i as u16 + 1, "line {i}");
+        }
+    }
+
+    #[test]
+    fn detects_shadowed_line() {
+        let shadowed = Acl {
+            rules: vec![AclRule::any(true), AclRule::any(false)],
+        };
+        let mut v = AclVerifier::new(&shadowed);
+        assert!(!v.line_shadowed(0));
+        assert!(v.line_shadowed(1));
+        assert!(v.find_first_match(1).is_none());
+    }
+
+    #[test]
+    fn match_counts() {
+        let one_rule = Acl {
+            rules: vec![AclRule {
+                permit: true,
+                dst: Prefix::new(ip(10, 0, 0, 0), 8),
+                ..AclRule::any(true)
+            }],
+        };
+        let mut v = AclVerifier::new(&one_rule);
+        // 2^24 dst choices * 2^32 src * 2^16 * 2^16 * 2^8 = 2^96.
+        assert_eq!(v.line_match_count(0), 2f64.powi(96));
+    }
+
+    #[test]
+    fn threshold_semantics() {
+        let mut m = BddManager::new();
+        // 4-bit field at base 0: x >= 5.
+        let ge5 = threshold_bdd(&mut m, 0, 4, 5, true);
+        let le9 = threshold_bdd(&mut m, 0, 4, 9, false);
+        for x in 0u64..16 {
+            let assignment = |v: u32| x >> (3 - v) & 1 == 1;
+            assert_eq!(m.eval(ge5, assignment), x >= 5, "ge x={x}");
+            assert_eq!(m.eval(le9, assignment), x <= 9, "le x={x}");
+        }
+    }
+
+    #[test]
+    fn range_full_is_true() {
+        let mut m = BddManager::new();
+        assert_eq!(range_bdd(&mut m, 0, 16, 0, 0xFFFF), BDD_TRUE);
+    }
+}

@@ -1,0 +1,15 @@
+//! # rzen-baselines — hand-optimized custom verifiers
+//!
+//! The paper's Fig. 10 (left) compares Zen's automatically generated BDD
+//! encoding against Batfish, "which performs the same analysis using a
+//! hand-optimized, BDD-based encoding". Batfish itself is a JVM system
+//! that cannot run here, so this crate plays its role: a direct,
+//! hand-tuned BDD encoding of ACL semantics written straight against
+//! `rzen-bdd`, with none of the IVL's generality. It is the "custom
+//! tool" yardstick that the general framework must keep up with.
+
+#![warn(missing_docs)]
+
+pub mod acl_bdd;
+
+pub use acl_bdd::AclVerifier;

@@ -1,0 +1,120 @@
+//! Cofactoring and Graphviz export.
+
+use crate::hash::{FastHashMap, FastHashSet};
+use crate::manager::{Bdd, BddManager};
+
+impl BddManager {
+    /// The cofactor of `f` with variable `var` fixed to `val`.
+    pub fn restrict(&mut self, f: Bdd, var: u32, val: bool) -> Bdd {
+        let mut cache: FastHashMap<u32, u32> = FastHashMap::default();
+        Bdd(self.restrict_rec(f.0, var, val, &mut cache))
+    }
+
+    fn restrict_rec(
+        &mut self,
+        f: u32,
+        var: u32,
+        val: bool,
+        cache: &mut FastHashMap<u32, u32>,
+    ) -> u32 {
+        if f <= 1 {
+            return f;
+        }
+        let n = self.node(f);
+        if n.var > var {
+            // Ordered: `var` cannot occur below this level.
+            return f;
+        }
+        if n.var == var {
+            return if val { n.hi } else { n.lo };
+        }
+        if let Some(&r) = cache.get(&f) {
+            return r;
+        }
+        let lo = self.restrict_rec(n.lo, var, val, cache);
+        let hi = self.restrict_rec(n.hi, var, val, cache);
+        let r = self.mk(n.var, lo, hi);
+        cache.insert(f, r);
+        r
+    }
+
+    /// Render the BDD rooted at `f` in Graphviz dot format (solid = high
+    /// edge, dashed = low edge). `var_name` labels the levels.
+    pub fn to_dot(&self, f: Bdd, var_name: impl Fn(u32) -> String) -> String {
+        let mut out = String::from("digraph bdd {\n  rankdir=TB;\n");
+        out.push_str("  nF [label=\"0\", shape=box];\n  nT [label=\"1\", shape=box];\n");
+        let mut seen: FastHashSet<u32> = FastHashSet::default();
+        let mut stack = vec![f.0];
+        while let Some(id) = stack.pop() {
+            if id <= 1 || !seen.insert(id) {
+                continue;
+            }
+            let n = self.node(id);
+            out.push_str(&format!("  n{} [label=\"{}\"];\n", id, var_name(n.var)));
+            let tgt = |x: u32| {
+                if x == 0 {
+                    "nF".to_string()
+                } else if x == 1 {
+                    "nT".to_string()
+                } else {
+                    format!("n{x}")
+                }
+            };
+            out.push_str(&format!("  n{} -> {} [style=dashed];\n", id, tgt(n.lo)));
+            out.push_str(&format!("  n{} -> {};\n", id, tgt(n.hi)));
+            stack.push(n.lo);
+            stack.push(n.hi);
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{BDD_FALSE, BDD_TRUE};
+
+    #[test]
+    fn restrict_is_cofactor() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.and(x, y);
+        assert_eq!(m.restrict(f, 0, true), y);
+        assert_eq!(m.restrict(f, 0, false), BDD_FALSE);
+        let g = m.or(x, y);
+        assert_eq!(m.restrict(g, 1, true), BDD_TRUE);
+        // Restricting an absent variable is the identity.
+        assert_eq!(m.restrict(f, 7, true), f);
+    }
+
+    #[test]
+    fn shannon_expansion_roundtrip() {
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..4).map(|i| m.var(i)).collect();
+        let t1 = m.xor(vars[0], vars[1]);
+        let t2 = m.and(vars[2], vars[3]);
+        let f = m.or(t1, t2);
+        // f = (x0 ∧ f|x0=1) ∨ (¬x0 ∧ f|x0=0)
+        let hi = m.restrict(f, 0, true);
+        let lo = m.restrict(f, 0, false);
+        let rebuilt = m.ite(vars[0], hi, lo);
+        assert_eq!(rebuilt, f);
+    }
+
+    #[test]
+    fn dot_output_mentions_all_nodes() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.xor(x, y);
+        let dot = m.to_dot(f, |v| format!("x{v}"));
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("x0"));
+        assert!(dot.contains("x1"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("nT"));
+        assert_eq!(dot.matches("label=\"x1\"").count(), 2); // two x1 nodes in xor
+    }
+}

@@ -1,0 +1,537 @@
+//! The BDD manager: node arena, unique table, and core Boolean operations.
+
+use crate::hash::FastHashMap;
+
+/// A handle to a BDD node. Handles are plain 32-bit indices into the owning
+/// [`BddManager`]'s arena, so they are `Copy` and comparing two handles for
+/// equality decides semantic equivalence of the functions they denote
+/// (canonicity of ROBDDs).
+///
+/// A `Bdd` is only meaningful together with the manager that created it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Bdd(pub(crate) u32);
+
+/// The constant `false` function.
+pub const BDD_FALSE: Bdd = Bdd(0);
+/// The constant `true` function.
+pub const BDD_TRUE: Bdd = Bdd(1);
+
+/// Level assigned to the two terminal nodes; greater than every real
+/// variable, so "top variable" comparisons need no special cases.
+pub(crate) const TERMINAL_LEVEL: u32 = u32::MAX;
+
+#[derive(Clone, Copy)]
+pub(crate) struct Node {
+    pub(crate) var: u32,
+    pub(crate) lo: u32,
+    pub(crate) hi: u32,
+}
+
+/// A manager owning a forest of shared, reduced, ordered BDDs.
+///
+/// The integer index of a variable is its level in the global order:
+/// variable 0 is the topmost. Callers pick the order by choosing indices.
+/// Nodes are never garbage collected (network verification workloads build
+/// monotonically and managers are short-lived); [`BddManager::clear_caches`]
+/// drops the memoization tables if memory pressure matters.
+pub struct BddManager {
+    pub(crate) nodes: Vec<Node>,
+    unique: FastHashMap<(u32, u32, u32), u32>,
+    cache_and: FastHashMap<(u32, u32), u32>,
+    cache_or: FastHashMap<(u32, u32), u32>,
+    cache_xor: FastHashMap<(u32, u32), u32>,
+    cache_not: FastHashMap<u32, u32>,
+    cache_ite: FastHashMap<(u32, u32, u32), u32>,
+    pub(crate) cache_exists: FastHashMap<(u32, u32), u32>,
+    pub(crate) cache_and_exists: FastHashMap<(u32, u32, u32), u32>,
+    pub(crate) cache_replace: FastHashMap<(u32, u32), u32>,
+    pub(crate) varmaps: Vec<Vec<u32>>,
+    pub(crate) varmap_index: FastHashMap<Vec<u32>, u32>,
+    pub(crate) cubes: Vec<Vec<u32>>,
+    pub(crate) cube_index: FastHashMap<Vec<u32>, u32>,
+    num_vars: u32,
+}
+
+impl Default for BddManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BddManager {
+    /// Create a manager with no variables.
+    pub fn new() -> Self {
+        let nodes = vec![
+            Node {
+                var: TERMINAL_LEVEL,
+                lo: 0,
+                hi: 0,
+            },
+            Node {
+                var: TERMINAL_LEVEL,
+                lo: 1,
+                hi: 1,
+            },
+        ];
+        BddManager {
+            nodes,
+            unique: FastHashMap::default(),
+            cache_and: FastHashMap::default(),
+            cache_or: FastHashMap::default(),
+            cache_xor: FastHashMap::default(),
+            cache_not: FastHashMap::default(),
+            cache_ite: FastHashMap::default(),
+            cache_exists: FastHashMap::default(),
+            cache_and_exists: FastHashMap::default(),
+            cache_replace: FastHashMap::default(),
+            varmaps: Vec::new(),
+            varmap_index: FastHashMap::default(),
+            cubes: Vec::new(),
+            cube_index: FastHashMap::default(),
+            num_vars: 0,
+        }
+    }
+
+    /// Number of variables allocated so far (one past the highest index used).
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Total number of nodes in the arena (including both terminals).
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drop all memoization caches (unique table is kept — it is required
+    /// for canonicity).
+    pub fn clear_caches(&mut self) {
+        self.cache_and.clear();
+        self.cache_or.clear();
+        self.cache_xor.clear();
+        self.cache_not.clear();
+        self.cache_ite.clear();
+        self.cache_exists.clear();
+        self.cache_and_exists.clear();
+        self.cache_replace.clear();
+    }
+
+    #[inline]
+    pub(crate) fn node(&self, b: u32) -> Node {
+        self.nodes[b as usize]
+    }
+
+    /// The level (variable index) labelling the root of `b`;
+    /// `u32::MAX` for terminals.
+    #[inline]
+    pub fn level(&self, b: Bdd) -> u32 {
+        self.nodes[b.0 as usize].var
+    }
+
+    /// The low (else) child. Panics on terminals.
+    pub fn low(&self, b: Bdd) -> Bdd {
+        assert!(!self.is_terminal(b), "terminals have no children");
+        Bdd(self.nodes[b.0 as usize].lo)
+    }
+
+    /// The high (then) child. Panics on terminals.
+    pub fn high(&self, b: Bdd) -> Bdd {
+        assert!(!self.is_terminal(b), "terminals have no children");
+        Bdd(self.nodes[b.0 as usize].hi)
+    }
+
+    /// Is `b` one of the two constant functions?
+    #[inline]
+    pub fn is_terminal(&self, b: Bdd) -> bool {
+        b.0 <= 1
+    }
+
+    /// Hash-consing constructor: find-or-create the node `(var, lo, hi)`,
+    /// applying the ROBDD reduction rule `lo == hi ⇒ child`.
+    #[inline]
+    pub(crate) fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        if lo == hi {
+            return lo;
+        }
+        debug_assert!(var < self.nodes[lo as usize].var && var < self.nodes[hi as usize].var);
+        let key = (var, lo, hi);
+        if let Some(&id) = self.unique.get(&key) {
+            return id;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(Node { var, lo, hi });
+        self.unique.insert(key, id);
+        id
+    }
+
+    /// The positive literal of variable `v`.
+    pub fn var(&mut self, v: u32) -> Bdd {
+        self.num_vars = self.num_vars.max(v + 1);
+        Bdd(self.mk(v, 0, 1))
+    }
+
+    /// The negative literal of variable `v`.
+    pub fn nvar(&mut self, v: u32) -> Bdd {
+        self.num_vars = self.num_vars.max(v + 1);
+        Bdd(self.mk(v, 1, 0))
+    }
+
+    /// A constant function.
+    pub fn constant(&self, b: bool) -> Bdd {
+        if b {
+            BDD_TRUE
+        } else {
+            BDD_FALSE
+        }
+    }
+
+    /// Logical negation.
+    pub fn not(&mut self, f: Bdd) -> Bdd {
+        Bdd(self.not_rec(f.0))
+    }
+
+    fn not_rec(&mut self, f: u32) -> u32 {
+        match f {
+            0 => 1,
+            1 => 0,
+            _ => {
+                if let Some(&r) = self.cache_not.get(&f) {
+                    return r;
+                }
+                let n = self.node(f);
+                let lo = self.not_rec(n.lo);
+                let hi = self.not_rec(n.hi);
+                let r = self.mk(n.var, lo, hi);
+                self.cache_not.insert(f, r);
+                r
+            }
+        }
+    }
+
+    /// Logical conjunction.
+    pub fn and(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Bdd(self.and_rec(f.0, g.0))
+    }
+
+    fn and_rec(&mut self, f: u32, g: u32) -> u32 {
+        // Terminal and trivial cases.
+        if f == g {
+            return f;
+        }
+        match (f, g) {
+            (0, _) | (_, 0) => return 0,
+            (1, x) | (x, 1) => return x,
+            _ => {}
+        }
+        let key = if f < g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.cache_and.get(&key) {
+            return r;
+        }
+        let nf = self.node(f);
+        let ng = self.node(g);
+        let var = nf.var.min(ng.var);
+        let (flo, fhi) = if nf.var == var {
+            (nf.lo, nf.hi)
+        } else {
+            (f, f)
+        };
+        let (glo, ghi) = if ng.var == var {
+            (ng.lo, ng.hi)
+        } else {
+            (g, g)
+        };
+        let lo = self.and_rec(flo, glo);
+        let hi = self.and_rec(fhi, ghi);
+        let r = self.mk(var, lo, hi);
+        self.cache_and.insert(key, r);
+        r
+    }
+
+    /// Logical disjunction.
+    pub fn or(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Bdd(self.or_rec(f.0, g.0))
+    }
+
+    fn or_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == g {
+            return f;
+        }
+        match (f, g) {
+            (1, _) | (_, 1) => return 1,
+            (0, x) | (x, 0) => return x,
+            _ => {}
+        }
+        let key = if f < g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.cache_or.get(&key) {
+            return r;
+        }
+        let nf = self.node(f);
+        let ng = self.node(g);
+        let var = nf.var.min(ng.var);
+        let (flo, fhi) = if nf.var == var {
+            (nf.lo, nf.hi)
+        } else {
+            (f, f)
+        };
+        let (glo, ghi) = if ng.var == var {
+            (ng.lo, ng.hi)
+        } else {
+            (g, g)
+        };
+        let lo = self.or_rec(flo, glo);
+        let hi = self.or_rec(fhi, ghi);
+        let r = self.mk(var, lo, hi);
+        self.cache_or.insert(key, r);
+        r
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        Bdd(self.xor_rec(f.0, g.0))
+    }
+
+    fn xor_rec(&mut self, f: u32, g: u32) -> u32 {
+        if f == g {
+            return 0;
+        }
+        match (f, g) {
+            (0, x) | (x, 0) => return x,
+            (1, x) | (x, 1) => return self.not_rec(x),
+            _ => {}
+        }
+        let key = if f < g { (f, g) } else { (g, f) };
+        if let Some(&r) = self.cache_xor.get(&key) {
+            return r;
+        }
+        let nf = self.node(f);
+        let ng = self.node(g);
+        let var = nf.var.min(ng.var);
+        let (flo, fhi) = if nf.var == var {
+            (nf.lo, nf.hi)
+        } else {
+            (f, f)
+        };
+        let (glo, ghi) = if ng.var == var {
+            (ng.lo, ng.hi)
+        } else {
+            (g, g)
+        };
+        let lo = self.xor_rec(flo, glo);
+        let hi = self.xor_rec(fhi, ghi);
+        let r = self.mk(var, lo, hi);
+        self.cache_xor.insert(key, r);
+        r
+    }
+
+    /// If-then-else: `f ? g : h`, the universal ternary connective.
+    pub fn ite(&mut self, f: Bdd, g: Bdd, h: Bdd) -> Bdd {
+        Bdd(self.ite_rec(f.0, g.0, h.0))
+    }
+
+    fn ite_rec(&mut self, f: u32, g: u32, h: u32) -> u32 {
+        // Terminal cases.
+        match f {
+            1 => return g,
+            0 => return h,
+            _ => {}
+        }
+        if g == h {
+            return g;
+        }
+        if g == 1 && h == 0 {
+            return f;
+        }
+        if g == 0 && h == 1 {
+            return self.not_rec(f);
+        }
+        // Delegate the two-operand shapes to the cheaper specialized ops so
+        // their caches are shared.
+        if h == 0 {
+            return self.and_rec(f, g);
+        }
+        if g == 1 {
+            return self.or_rec(f, h);
+        }
+        let key = (f, g, h);
+        if let Some(&r) = self.cache_ite.get(&key) {
+            return r;
+        }
+        let nf = self.node(f);
+        let ng = self.node(g);
+        let nh = self.node(h);
+        let var = nf.var.min(ng.var).min(nh.var);
+        let (flo, fhi) = if nf.var == var {
+            (nf.lo, nf.hi)
+        } else {
+            (f, f)
+        };
+        let (glo, ghi) = if ng.var == var {
+            (ng.lo, ng.hi)
+        } else {
+            (g, g)
+        };
+        let (hlo, hhi) = if nh.var == var {
+            (nh.lo, nh.hi)
+        } else {
+            (h, h)
+        };
+        let lo = self.ite_rec(flo, glo, hlo);
+        let hi = self.ite_rec(fhi, ghi, hhi);
+        let r = self.mk(var, lo, hi);
+        self.cache_ite.insert(key, r);
+        r
+    }
+
+    /// Implication `f → g`.
+    pub fn implies(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let nf = self.not(f);
+        self.or(nf, g)
+    }
+
+    /// Biconditional `f ↔ g`.
+    pub fn iff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let x = self.xor(f, g);
+        self.not(x)
+    }
+
+    /// Difference `f ∧ ¬g`.
+    pub fn diff(&mut self, f: Bdd, g: Bdd) -> Bdd {
+        let ng = self.not(g);
+        self.and(f, ng)
+    }
+
+    /// Decide whether `f → g` is a tautology (i.e. `f ∧ ¬g` is unsat).
+    pub fn implies_check(&mut self, f: Bdd, g: Bdd) -> bool {
+        self.diff(f, g) == BDD_FALSE
+    }
+
+    /// Number of distinct nodes reachable from `f` (a size measure).
+    pub fn node_count(&self, f: Bdd) -> usize {
+        let mut seen = crate::hash::FastHashSet::default();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if n <= 1 || !seen.insert(n) {
+                continue;
+            }
+            let node = self.node(n);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        seen.len() + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        let m = BddManager::new();
+        assert_eq!(m.constant(true), BDD_TRUE);
+        assert_eq!(m.constant(false), BDD_FALSE);
+        assert!(m.is_terminal(BDD_TRUE));
+    }
+
+    #[test]
+    fn var_canonical() {
+        let mut m = BddManager::new();
+        assert_eq!(m.var(3), m.var(3));
+        assert_ne!(m.var(3), m.var(4));
+        assert_eq!(m.num_vars(), 5);
+    }
+
+    #[test]
+    fn and_or_identities() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        assert_eq!(m.and(x, BDD_TRUE), x);
+        assert_eq!(m.and(x, BDD_FALSE), BDD_FALSE);
+        assert_eq!(m.or(x, BDD_FALSE), x);
+        assert_eq!(m.or(x, BDD_TRUE), BDD_TRUE);
+        let nx = m.not(x);
+        assert_eq!(m.and(x, nx), BDD_FALSE);
+        assert_eq!(m.or(x, nx), BDD_TRUE);
+    }
+
+    #[test]
+    fn de_morgan() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let a = m.and(x, y);
+        let na = m.not(a);
+        let nx = m.not(x);
+        let ny = m.not(y);
+        let o = m.or(nx, ny);
+        assert_eq!(na, o);
+    }
+
+    #[test]
+    fn xor_via_ite() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let ny = m.not(y);
+        let xor1 = m.xor(x, y);
+        let xor2 = m.ite(x, ny, y);
+        assert_eq!(xor1, xor2);
+    }
+
+    #[test]
+    fn ite_special_cases() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        assert_eq!(m.ite(BDD_TRUE, x, y), x);
+        assert_eq!(m.ite(BDD_FALSE, x, y), y);
+        assert_eq!(m.ite(x, BDD_TRUE, BDD_FALSE), x);
+        let nx = m.not(x);
+        assert_eq!(m.ite(x, BDD_FALSE, BDD_TRUE), nx);
+        assert_eq!(m.ite(x, y, y), y);
+    }
+
+    #[test]
+    fn reduction_rule() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        // x ? y-or-not-y : true  ==  true
+        let y = m.var(1);
+        let ny = m.not(y);
+        let t = m.or(y, ny);
+        assert_eq!(m.ite(x, t, BDD_TRUE), BDD_TRUE);
+    }
+
+    #[test]
+    fn implies_and_iff() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let a = m.and(x, y);
+        assert!(m.implies_check(a, x));
+        assert!(!m.implies_check(x, a));
+        let i1 = m.iff(x, y);
+        let i2 = m.iff(y, x);
+        assert_eq!(i1, i2);
+    }
+
+    #[test]
+    fn node_count_counts_shared_dag() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.xor(x, y);
+        // xor over 2 vars: 1 root + 2 children + 2 terminals.
+        assert_eq!(m.node_count(f), 5);
+    }
+
+    #[test]
+    fn clear_caches_preserves_semantics() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let a = m.and(x, y);
+        m.clear_caches();
+        let a2 = m.and(x, y);
+        assert_eq!(a, a2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Model extraction, counting, evaluation, and support computation.
+
+use crate::hash::{FastHashMap, FastHashSet};
+use crate::manager::{Bdd, BddManager, TERMINAL_LEVEL};
+
+impl BddManager {
+    /// The set of variables `f` depends on, sorted ascending.
+    pub fn support(&self, f: Bdd) -> Vec<u32> {
+        let mut vars = FastHashSet::default();
+        let mut seen = FastHashSet::default();
+        let mut stack = vec![f.0];
+        while let Some(n) = stack.pop() {
+            if n <= 1 || !seen.insert(n) {
+                continue;
+            }
+            let node = self.node(n);
+            vars.insert(node.var);
+            stack.push(node.lo);
+            stack.push(node.hi);
+        }
+        let mut out: Vec<u32> = vars.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Evaluate `f` under a total assignment.
+    pub fn eval(&self, f: Bdd, assignment: impl Fn(u32) -> bool) -> bool {
+        let mut cur = f.0;
+        while cur > 1 {
+            let n = self.node(cur);
+            cur = if assignment(n.var) { n.hi } else { n.lo };
+        }
+        cur == 1
+    }
+
+    /// Number of satisfying assignments over variables `0..nvars`.
+    ///
+    /// Returned as `f64` because counts are astronomically large for wide
+    /// packet spaces (2^104 for a 5-tuple header); exact counting is not
+    /// needed by any analysis, only ratios and zero-checks.
+    pub fn sat_count(&self, f: Bdd, nvars: u32) -> f64 {
+        let vars: Vec<u32> = (0..nvars).collect();
+        self.sat_count_over(f, &vars)
+    }
+
+    /// Number of satisfying assignments over an explicit variable set, which
+    /// must include the support of `f`.
+    pub fn sat_count_over(&self, f: Bdd, vars: &[u32]) -> f64 {
+        let mut sorted = vars.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let pos: FastHashMap<u32, u32> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let n = sorted.len() as u32;
+        let mut cache: FastHashMap<u32, f64> = FastHashMap::default();
+        let top_pos = self.count_pos(f.0, &pos, n);
+        let c = self.sat_count_rec(f.0, &pos, n, &mut cache);
+        c * 2f64.powi(top_pos as i32)
+    }
+
+    fn count_pos(&self, f: u32, pos: &FastHashMap<u32, u32>, n: u32) -> u32 {
+        let var = self.node(f).var;
+        if var == TERMINAL_LEVEL {
+            n
+        } else {
+            *pos.get(&var)
+                .expect("sat_count: support not covered by vars")
+        }
+    }
+
+    fn sat_count_rec(
+        &self,
+        f: u32,
+        pos: &FastHashMap<u32, u32>,
+        n: u32,
+        cache: &mut FastHashMap<u32, f64>,
+    ) -> f64 {
+        if f == 0 {
+            return 0.0;
+        }
+        if f == 1 {
+            return 1.0;
+        }
+        if let Some(&c) = cache.get(&f) {
+            return c;
+        }
+        let node = self.node(f);
+        let my_pos = self.count_pos(f, pos, n);
+        let lo_pos = self.count_pos(node.lo, pos, n);
+        let hi_pos = self.count_pos(node.hi, pos, n);
+        let lo =
+            self.sat_count_rec(node.lo, pos, n, cache) * 2f64.powi((lo_pos - my_pos - 1) as i32);
+        let hi =
+            self.sat_count_rec(node.hi, pos, n, cache) * 2f64.powi((hi_pos - my_pos - 1) as i32);
+        let c = lo + hi;
+        cache.insert(f, c);
+        c
+    }
+
+    /// Find one satisfying (partial) assignment, as `(var, value)` pairs for
+    /// the variables along a path from the root to the `true` terminal.
+    /// Variables absent from the result are don't-cares. Returns `None` iff
+    /// `f` is unsatisfiable.
+    pub fn any_sat(&self, f: Bdd) -> Option<Vec<(u32, bool)>> {
+        if f.0 == 0 {
+            return None;
+        }
+        let mut path = Vec::new();
+        let mut cur = f.0;
+        while cur > 1 {
+            let n = self.node(cur);
+            // Prefer the low branch arbitrarily; either works since the BDD
+            // is reduced (no child is the false terminal on *both* sides
+            // unless the node itself is false).
+            if n.lo != 0 {
+                path.push((n.var, false));
+                cur = n.lo;
+            } else {
+                path.push((n.var, true));
+                cur = n.hi;
+            }
+        }
+        debug_assert_eq!(cur, 1);
+        Some(path)
+    }
+
+    /// Find one satisfying assignment, completed to a total assignment over
+    /// `0..nvars` (don't-care variables default to `false`).
+    pub fn any_sat_total(&self, f: Bdd, nvars: u32) -> Option<Vec<bool>> {
+        let partial = self.any_sat(f)?;
+        let mut total = vec![false; nvars as usize];
+        for (v, b) in partial {
+            total[v as usize] = b;
+        }
+        Some(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::{BDD_FALSE, BDD_TRUE};
+
+    #[test]
+    fn support_of_expression() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let z = m.var(5);
+        let f = m.and(x, z);
+        assert_eq!(m.support(f), vec![0, 5]);
+        assert_eq!(m.support(BDD_TRUE), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn eval_follows_paths() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let f = m.xor(x, y);
+        assert!(!m.eval(f, |_| false));
+        assert!(m.eval(f, |v| v == 0));
+        assert!(m.eval(f, |v| v == 1));
+        assert!(!m.eval(f, |_| true));
+    }
+
+    #[test]
+    fn sat_count_basics() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        assert_eq!(m.sat_count(BDD_TRUE, 3), 8.0);
+        assert_eq!(m.sat_count(BDD_FALSE, 3), 0.0);
+        assert_eq!(m.sat_count(x, 2), 2.0);
+        let a = m.and(x, y);
+        assert_eq!(m.sat_count(a, 2), 1.0);
+        let o = m.or(x, y);
+        assert_eq!(m.sat_count(o, 2), 3.0);
+        let xo = m.xor(x, y);
+        assert_eq!(m.sat_count(xo, 2), 2.0);
+    }
+
+    #[test]
+    fn sat_count_over_sparse_vars() {
+        let mut m = BddManager::new();
+        let a = m.var(10);
+        let b = m.var(20);
+        let f = m.or(a, b);
+        assert_eq!(m.sat_count_over(f, &[10, 20]), 3.0);
+        assert_eq!(m.sat_count_over(f, &[10, 20, 30]), 6.0);
+    }
+
+    #[test]
+    fn any_sat_finds_model() {
+        let mut m = BddManager::new();
+        let x = m.var(0);
+        let y = m.var(1);
+        let ny = m.not(y);
+        let f = m.and(x, ny);
+        let model = m.any_sat(f).unwrap();
+        let get = |v: u32| model.iter().find(|&&(mv, _)| mv == v).map(|&(_, b)| b);
+        assert_eq!(get(0), Some(true));
+        assert_eq!(get(1), Some(false));
+        assert!(m.any_sat(BDD_FALSE).is_none());
+        assert_eq!(m.any_sat(BDD_TRUE), Some(vec![]));
+    }
+
+    #[test]
+    fn any_sat_total_defaults_dont_cares() {
+        let mut m = BddManager::new();
+        let y = m.var(1);
+        let total = m.any_sat_total(y, 3).unwrap();
+        assert_eq!(total, vec![false, true, false]);
+    }
+
+    #[test]
+    fn any_sat_model_evaluates_true() {
+        let mut m = BddManager::new();
+        let vs: Vec<Bdd> = (0..6).map(|i| m.var(i)).collect();
+        let mut f = BDD_TRUE;
+        for (i, &v) in vs.iter().enumerate() {
+            let lit = if i % 2 == 0 { v } else { m.not(v) };
+            f = m.and(f, lit);
+        }
+        let total = m.any_sat_total(f, 6).unwrap();
+        assert!(m.eval(f, |v| total[v as usize]));
+    }
+}

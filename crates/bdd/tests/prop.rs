@@ -1,0 +1,207 @@
+//! Property-based tests for the BDD package: random Boolean formulas over a
+//! small variable set are built both as BDDs and as naive truth tables; the
+//! two representations must agree on every assignment, on satisfiability
+//! counts, and under quantification.
+
+use proptest::prelude::*;
+use rzen_bdd::{Bdd, BddManager, BDD_FALSE, BDD_TRUE};
+
+const NVARS: u32 = 5;
+
+/// A formula AST we can evaluate both ways.
+#[derive(Clone, Debug)]
+enum Formula {
+    Var(u32),
+    Const(bool),
+    Not(Box<Formula>),
+    And(Box<Formula>, Box<Formula>),
+    Or(Box<Formula>, Box<Formula>),
+    Xor(Box<Formula>, Box<Formula>),
+    Ite(Box<Formula>, Box<Formula>, Box<Formula>),
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (0..NVARS).prop_map(Formula::Var),
+        any::<bool>().prop_map(Formula::Const),
+    ];
+    leaf.prop_recursive(4, 64, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(|f| Formula::Not(Box::new(f))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Xor(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), inner).prop_map(|(a, b, c)| Formula::Ite(
+                Box::new(a),
+                Box::new(b),
+                Box::new(c)
+            )),
+        ]
+    })
+}
+
+fn eval_formula(f: &Formula, assignment: u32) -> bool {
+    match f {
+        Formula::Var(v) => assignment & (1 << v) != 0,
+        Formula::Const(b) => *b,
+        Formula::Not(a) => !eval_formula(a, assignment),
+        Formula::And(a, b) => eval_formula(a, assignment) && eval_formula(b, assignment),
+        Formula::Or(a, b) => eval_formula(a, assignment) || eval_formula(b, assignment),
+        Formula::Xor(a, b) => eval_formula(a, assignment) ^ eval_formula(b, assignment),
+        Formula::Ite(c, a, b) => {
+            if eval_formula(c, assignment) {
+                eval_formula(a, assignment)
+            } else {
+                eval_formula(b, assignment)
+            }
+        }
+    }
+}
+
+fn build_bdd(m: &mut BddManager, f: &Formula) -> Bdd {
+    match f {
+        Formula::Var(v) => m.var(*v),
+        Formula::Const(b) => m.constant(*b),
+        Formula::Not(a) => {
+            let x = build_bdd(m, a);
+            m.not(x)
+        }
+        Formula::And(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.and(x, y)
+        }
+        Formula::Or(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.or(x, y)
+        }
+        Formula::Xor(a, b) => {
+            let x = build_bdd(m, a);
+            let y = build_bdd(m, b);
+            m.xor(x, y)
+        }
+        Formula::Ite(c, a, b) => {
+            let x = build_bdd(m, c);
+            let y = build_bdd(m, a);
+            let z = build_bdd(m, b);
+            m.ite(x, y, z)
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn bdd_matches_truth_table(f in formula_strategy()) {
+        let mut m = BddManager::new();
+        for v in 0..NVARS { m.var(v); }
+        let b = build_bdd(&mut m, &f);
+        for a in 0..(1u32 << NVARS) {
+            let expect = eval_formula(&f, a);
+            let got = m.eval(b, |v| a & (1 << v) != 0);
+            prop_assert_eq!(got, expect, "assignment {:05b}", a);
+        }
+    }
+
+    #[test]
+    fn sat_count_matches_enumeration(f in formula_strategy()) {
+        let mut m = BddManager::new();
+        for v in 0..NVARS { m.var(v); }
+        let b = build_bdd(&mut m, &f);
+        let expect = (0..(1u32 << NVARS)).filter(|&a| eval_formula(&f, a)).count();
+        prop_assert_eq!(m.sat_count(b, NVARS), expect as f64);
+    }
+
+    #[test]
+    fn any_sat_is_sound_and_complete(f in formula_strategy()) {
+        let mut m = BddManager::new();
+        for v in 0..NVARS { m.var(v); }
+        let b = build_bdd(&mut m, &f);
+        let exists = (0..(1u32 << NVARS)).any(|a| eval_formula(&f, a));
+        match m.any_sat_total(b, NVARS) {
+            None => prop_assert!(!exists),
+            Some(total) => {
+                prop_assert!(exists);
+                let mut a = 0u32;
+                for (v, &bit) in total.iter().enumerate() {
+                    if bit { a |= 1 << v; }
+                }
+                prop_assert!(eval_formula(&f, a));
+            }
+        }
+    }
+
+    #[test]
+    fn exists_matches_enumeration(f in formula_strategy(), qvar in 0..NVARS) {
+        let mut m = BddManager::new();
+        for v in 0..NVARS { m.var(v); }
+        let b = build_bdd(&mut m, &f);
+        let c = m.cube(&[qvar]);
+        let e = m.exists(b, c);
+        for a in 0..(1u32 << NVARS) {
+            let a0 = a & !(1 << qvar);
+            let a1 = a | (1 << qvar);
+            let expect = eval_formula(&f, a0) || eval_formula(&f, a1);
+            let got = m.eval(e, |v| a & (1 << v) != 0);
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn forall_matches_enumeration(f in formula_strategy(), qvar in 0..NVARS) {
+        let mut m = BddManager::new();
+        for v in 0..NVARS { m.var(v); }
+        let b = build_bdd(&mut m, &f);
+        let c = m.cube(&[qvar]);
+        let e = m.forall(b, c);
+        for a in 0..(1u32 << NVARS) {
+            let a0 = a & !(1 << qvar);
+            let a1 = a | (1 << qvar);
+            let expect = eval_formula(&f, a0) && eval_formula(&f, a1);
+            let got = m.eval(e, |v| a & (1 << v) != 0);
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn and_exists_matches_two_step(f in formula_strategy(), g in formula_strategy()) {
+        let mut m = BddManager::new();
+        for v in 0..NVARS { m.var(v); }
+        let bf = build_bdd(&mut m, &f);
+        let bg = build_bdd(&mut m, &g);
+        let c = m.cube(&[0, 2, 4]);
+        let one_step = m.and_exists(bf, bg, c);
+        let conj = m.and(bf, bg);
+        let two_step = m.exists(conj, c);
+        prop_assert_eq!(one_step, two_step);
+    }
+
+    #[test]
+    fn replace_shift_preserves_semantics(f in formula_strategy()) {
+        let mut m = BddManager::new();
+        // Allocate the shifted block too.
+        for v in 0..(2 * NVARS) { m.var(v); }
+        let b = build_bdd(&mut m, &f);
+        let pairs: Vec<(u32, u32)> = (0..NVARS).map(|v| (v, v + NVARS)).collect();
+        let map = m.varmap(&pairs);
+        let shifted = m.replace(b, map);
+        for a in 0..(1u32 << NVARS) {
+            let expect = eval_formula(&f, a);
+            let got = m.eval(shifted, |v| v >= NVARS && (a & (1 << (v - NVARS))) != 0);
+            prop_assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn tautology_check_consistent(f in formula_strategy()) {
+        let mut m = BddManager::new();
+        for v in 0..NVARS { m.var(v); }
+        let b = build_bdd(&mut m, &f);
+        let taut = (0..(1u32 << NVARS)).all(|a| eval_formula(&f, a));
+        let unsat = (0..(1u32 << NVARS)).all(|a| !eval_formula(&f, a));
+        prop_assert_eq!(b == BDD_TRUE, taut);
+        prop_assert_eq!(b == BDD_FALSE, unsat);
+    }
+}

@@ -1,0 +1,52 @@
+//! Criterion bench for Fig. 10 (left): ACL verification time across the
+//! three engines. Sizes are scaled down from the CSV harness so the
+//! statistical runs stay short; use the `fig10` binary for the full
+//! paper-scale sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rzen::{FindOptions, Zen, ZenFunction};
+use rzen_baselines::AclVerifier;
+use rzen_net::gen::random_acl;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_acl");
+    g.sample_size(10);
+    for &n in &[250usize, 1000, 4000] {
+        let acl = random_acl(n, 7);
+        let last = acl.rules.len() as u16;
+
+        let a = acl.clone();
+        g.bench_with_input(BenchmarkId::new("zen_bdd", n), &n, |b, _| {
+            b.iter(|| {
+                rzen::reset_ctx();
+                let model = a.clone();
+                let f = ZenFunction::new(move |h| model.matched_line(h));
+                f.find(|_, line| line.eq(Zen::val(last)), &FindOptions::bdd())
+                    .unwrap()
+            })
+        });
+
+        let a = acl.clone();
+        g.bench_with_input(BenchmarkId::new("zen_smt", n), &n, |b, _| {
+            b.iter(|| {
+                rzen::reset_ctx();
+                let model = a.clone();
+                let f = ZenFunction::new(move |h| model.matched_line(h));
+                f.find(|_, line| line.eq(Zen::val(last)), &FindOptions::smt())
+                    .unwrap()
+            })
+        });
+
+        let a = acl.clone();
+        g.bench_with_input(BenchmarkId::new("baseline_bdd", n), &n, |b, _| {
+            b.iter(|| {
+                let mut v = AclVerifier::new(&a);
+                v.find_first_match(last as usize - 1).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! §8 "Synthesizing implementations": compiled models must run much
+//! faster than tree-walk simulation. Compares `evaluate` (hash-memoized
+//! interpretation, rebuilding constant expressions per call) against
+//! `compile().call()` (the register VM) on an ACL model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rzen::ZenFunction;
+use rzen_net::gen::{random_acl, random_header};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_speedup");
+    for &n in &[100usize, 1000] {
+        let acl = random_acl(n, 7);
+        let model = acl.clone();
+        let f = ZenFunction::new(move |h| model.matched_line(h));
+        let compiled = f.compile(0);
+        let headers: Vec<_> = (0..64).map(random_header).collect();
+
+        g.bench_with_input(BenchmarkId::new("interpret", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for h in &headers {
+                    acc += f.evaluate(h) as u32;
+                }
+                acc
+            })
+        });
+
+        g.bench_with_input(BenchmarkId::new("compiled_vm", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for h in &headers {
+                    acc += compiled.call(h) as u32;
+                }
+                acc
+            })
+        });
+
+        // Reference point: the hand-written concrete implementation.
+        g.bench_with_input(BenchmarkId::new("native_reference", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for h in &headers {
+                    acc += acl.matched_line_concrete(h) as u32;
+                }
+                acc
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

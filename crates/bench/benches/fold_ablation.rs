@@ -1,0 +1,36 @@
+//! Ablation of eager constant folding and algebraic simplification at
+//! node-construction time (the hash-consing pipeline behind "build
+//! efficient symbolic representations", §6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rzen::{FindOptions, Zen, ZenFunction};
+use rzen_net::gen::random_acl;
+
+fn run(fold: bool, acl: &rzen_net::acl::Acl) {
+    rzen::reset_ctx();
+    rzen::set_folding(fold);
+    let last = acl.rules.len() as u16;
+    let model = acl.clone();
+    let f = ZenFunction::new(move |h| model.matched_line(h));
+    f.find(|_, line| line.eq(Zen::val(last)), &FindOptions::smt())
+        .unwrap();
+    rzen::set_folding(true);
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fold_ablation");
+    g.sample_size(10);
+    for &n in &[200usize, 800] {
+        let acl = random_acl(n, 7);
+        g.bench_with_input(BenchmarkId::new("folding_on", n), &acl, |b, acl| {
+            b.iter(|| run(true, acl))
+        });
+        g.bench_with_input(BenchmarkId::new("folding_off", n), &acl, |b, acl| {
+            b.iter(|| run(false, acl))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for Fig. 10 (right): route-map verification on both
+//! backends. The paper's observation to reproduce: the SMT pipeline beats
+//! BDDs on list-heavy control-plane structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rzen::{FindOptions, Zen, ZenFunction};
+use rzen_net::gen::random_route_map;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10_routemap");
+    g.sample_size(10);
+    for &n in &[20usize, 60, 100] {
+        let rm = random_route_map(n, 3);
+        let last = rm.clauses.len() as u16;
+
+        let r = rm.clone();
+        g.bench_with_input(BenchmarkId::new("zen_bdd", n), &n, |b, _| {
+            b.iter(|| {
+                rzen::reset_ctx();
+                let model = r.clone();
+                let f = ZenFunction::new(move |a| model.matched_clause(a));
+                f.find(
+                    |_, line| line.eq(Zen::val(last)),
+                    &FindOptions::bdd().with_list_bound(4),
+                )
+                .unwrap()
+            })
+        });
+
+        let r = rm.clone();
+        g.bench_with_input(BenchmarkId::new("zen_smt", n), &n, |b, _| {
+            b.iter(|| {
+                rzen::reset_ctx();
+                let model = r.clone();
+                let f = ZenFunction::new(move |a| model.matched_clause(a));
+                f.find(
+                    |_, line| line.eq(Zen::val(last)),
+                    &FindOptions::smt().with_list_bound(4),
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Microbenchmarks of the solver substrates (the systems the framework
+//! had to build from scratch): BDD operations and CDCL SAT solving.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rzen_bdd::BddManager;
+use rzen_sat::{Lit, Solver};
+
+/// The n-queens placement constraints as a BDD (a standard BDD stress
+/// test exercising and/or/not over many variables).
+fn queens_bdd(n: usize) -> (BddManager, rzen_bdd::Bdd) {
+    let mut m = BddManager::new();
+    let var = |m: &mut BddManager, r: usize, c: usize| m.var((r * n + c) as u32);
+    let mut formula = rzen_bdd::BDD_TRUE;
+    for r in 0..n {
+        // Each row has exactly one queen (at-least-one here; conflicts
+        // below handle the rest).
+        let mut any = rzen_bdd::BDD_FALSE;
+        for c in 0..n {
+            let v = var(&mut m, r, c);
+            any = m.or(any, v);
+        }
+        formula = m.and(formula, any);
+    }
+    for r in 0..n {
+        for c in 0..n {
+            for r2 in (r + 1)..n {
+                let v1 = var(&mut m, r, c);
+                // Same column.
+                let v2 = var(&mut m, r2, c);
+                let nv2 = m.not(v2);
+                let nv1 = m.not(v1);
+                let conflict = m.or(nv1, nv2);
+                formula = m.and(formula, conflict);
+                // Diagonals.
+                let d = r2 - r;
+                for c2 in [c.checked_sub(d), c.checked_add(d).filter(|&x| x < n)]
+                    .into_iter()
+                    .flatten()
+                {
+                    let v2 = var(&mut m, r2, c2);
+                    let nv2 = m.not(v2);
+                    let conflict = m.or(nv1, nv2);
+                    formula = m.and(formula, conflict);
+                }
+            }
+        }
+    }
+    (m, formula)
+}
+
+/// Random 3-SAT at the given clause/variable ratio.
+fn random_3sat(nvars: usize, ratio: f64, seed: u64) -> Solver {
+    // Tiny deterministic PRNG (splitmix64) to avoid depending on rand in
+    // benches.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    let mut s = Solver::new();
+    let vars: Vec<_> = (0..nvars).map(|_| s.new_var()).collect();
+    let nclauses = (nvars as f64 * ratio) as usize;
+    for _ in 0..nclauses {
+        let lits: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = vars[(next() as usize) % nvars];
+                Lit::new(v, next() & 1 == 0)
+            })
+            .collect();
+        s.add_clause(&lits);
+    }
+    s
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+    g.sample_size(10);
+
+    for &n in &[6usize, 8] {
+        g.bench_with_input(BenchmarkId::new("bdd_queens", n), &n, |b, &n| {
+            b.iter(|| {
+                let (m, f) = queens_bdd(n);
+                (m.node_count(f), m.sat_count(f, (n * n) as u32))
+            })
+        });
+    }
+
+    for &n in &[100usize, 200] {
+        g.bench_with_input(BenchmarkId::new("sat_3sat_r4.0", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = random_3sat(n, 4.0, 42);
+                s.solve()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

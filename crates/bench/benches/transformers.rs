@@ -1,0 +1,104 @@
+//! State-set transformer benchmarks: cost of lifting models to relations
+//! and of forward/reverse image computation — the machinery behind the
+//! HSA-style analyses (§4, §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rzen::{TransformerSpace, Zen, ZenFunction};
+use rzen_net::acl::{Acl, AclRule};
+use rzen_net::device::{fwd_out, Interface};
+use rzen_net::fwd::{FwdRule, FwdTable};
+use rzen_net::gen::random_acl;
+use rzen_net::gre::GreTunnel;
+use rzen_net::headers::{Header, Packet};
+use rzen_net::ip::{ip, Prefix};
+
+fn tunnel_interface() -> Interface {
+    let table = FwdTable::new(vec![FwdRule {
+        prefix: Prefix::ANY,
+        port: 1,
+    }]);
+    Interface {
+        gre_start: Some(GreTunnel {
+            src_ip: ip(192, 168, 0, 1),
+            dst_ip: ip(192, 168, 0, 3),
+        }),
+        acl_out: Some(Acl {
+            rules: vec![
+                AclRule {
+                    permit: false,
+                    dst_ports: (22, 22),
+                    ..AclRule::any(false)
+                },
+                AclRule::any(true),
+            ],
+        }),
+        ..Interface::new(1, table)
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transformers");
+    g.sample_size(10);
+
+    // Building the encapsulating-interface transformer: the §6 showcase
+    // (copies fields between headers; feasible only with interleaved
+    // layouts).
+    g.bench_function("build_gre_transformer", |b| {
+        b.iter(|| {
+            rzen::reset_ctx();
+            let space = TransformerSpace::new();
+            let i = tunnel_interface();
+            let f = ZenFunction::new(move |p: Zen<Packet>| fwd_out(&i, p).value());
+            let t = f.transformer(&space);
+            t.relation_size()
+        })
+    });
+
+    // Forward image through the tunnel interface.
+    g.bench_function("forward_image_gre", |b| {
+        rzen::reset_ctx();
+        let space = TransformerSpace::new();
+        let i = tunnel_interface();
+        let f = ZenFunction::new(move |p: Zen<Packet>| fwd_out(&i, p).value());
+        let t = f.transformer(&space);
+        let i2 = tunnel_interface();
+        let filt = space.set_of::<Packet>(move |p| fwd_out(&i2, p).is_some());
+        b.iter(|| {
+            let img = t.transform_forward(&filt);
+            img.bdd_size()
+        })
+    });
+
+    // ACL permit-set construction as a state set, per size.
+    for &n in &[50usize, 200] {
+        let acl = random_acl(n, 7);
+        g.bench_function(format!("acl_permit_set_{n}"), |b| {
+            b.iter(|| {
+                rzen::reset_ctx();
+                let space = TransformerSpace::new();
+                let a = acl.clone();
+                let s = space.set_of::<Header>(move |h| a.allows(h));
+                s.bdd_size()
+            })
+        });
+    }
+
+    // Reverse image: which packets end up accepted (preimage of true).
+    g.bench_function("reverse_image_acl", |b| {
+        rzen::reset_ctx();
+        let space = TransformerSpace::new();
+        let acl = random_acl(100, 7);
+        let f = ZenFunction::new(move |h: Zen<Header>| acl.allows(h));
+        let t = f.transformer(&space);
+        let accepted = space.singleton(&true);
+        b.iter(|| {
+            let pre = t.transform_reverse(&accepted);
+            pre.bdd_size()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

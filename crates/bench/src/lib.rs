@@ -1,0 +1,41 @@
+//! Shared measurement helpers for the benchmark harness.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Time a closure, returning (result, milliseconds).
+pub fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Mean of repeated timed runs (the paper reports "the mean value across
+/// 100 runs"; the repetition count is a CLI knob here). Each run gets a
+/// fresh expression context so arena growth does not skew later runs.
+pub fn mean_ms(reps: usize, mut f: impl FnMut() -> ()) -> f64 {
+    let mut total = 0.0;
+    for _ in 0..reps {
+        rzen::reset_ctx();
+        let (_, ms) = time_ms(&mut f);
+        total += ms;
+    }
+    rzen::reset_ctx();
+    total / reps as f64
+}
+
+/// Write a CSV file under `results/`, creating the directory.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut out = String::from(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    std::fs::write(&path, out)?;
+    Ok(path)
+}

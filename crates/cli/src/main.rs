@@ -1,0 +1,163 @@
+//! `rzen` — the command-line network verifier.
+//!
+//! Load a network spec (see [`spec`] for the format) and run queries:
+//!
+//! ```text
+//! rzen-cli reach  SPEC SRC DST            # find a delivered packet (SAT per path)
+//! rzen-cli drops  SPEC SRC DST [PREFIX]   # find a dropped packet (composition bugs);
+//!                                     # PREFIX restricts the destination
+//! rzen-cli hsa    SPEC SRC DST            # exact reachable-set size (transformers)
+//! rzen-cli paths  SPEC SRC DST            # enumerate simple paths
+//! rzen-cli show   SPEC                    # print the parsed network
+//! ```
+//!
+//! `SRC`/`DST` are `device:port` endpoints. Example:
+//!
+//! ```text
+//! cargo run --release -p rzen-cli --bin rzen-cli -- reach fig3.net u1:1 u3:2
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod spec;
+
+use rzen::{TransformerSpace, ZenFunction};
+use rzen_net::analyses::{anteater, hsa};
+use rzen_net::device::forward_along;
+use rzen_net::headers::{HeaderFields, PacketFields};
+use rzen_net::ip::fmt_ip;
+
+fn usage() -> ! {
+    eprintln!("usage: rzen-cli <reach|drops|hsa|paths|show> SPEC [SRC DST]");
+    eprintln!("  SRC/DST are device:port endpoints, e.g. u1:1");
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+fn describe(p: &rzen_net::headers::Header) -> String {
+    format!(
+        "dst={} src={} dport={} sport={} proto={}",
+        fmt_ip(p.dst_ip),
+        fmt_ip(p.src_ip),
+        p.dst_port,
+        p.src_port,
+        p.protocol
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p),
+        _ => usage(),
+    };
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let spec = spec::parse(&text).unwrap_or_else(|e| fail(&e));
+
+    if cmd == "show" {
+        println!(
+            "{} devices, {} links",
+            spec.net.devices.len(),
+            spec.net.links.len()
+        );
+        for (i, d) in spec.net.devices.iter().enumerate() {
+            let ports: Vec<String> = d.interfaces.iter().map(|x| x.id.to_string()).collect();
+            println!("  [{i}] {} ports {{{}}}", d.name, ports.join(", "));
+        }
+        for l in &spec.net.links {
+            println!(
+                "  {}:{} -> {}:{}",
+                spec.net.devices[l.from_device].name,
+                l.from_intf,
+                spec.net.devices[l.to_device].name,
+                l.to_intf
+            );
+        }
+        return;
+    }
+
+    let (src, dst) = match (args.get(2), args.get(3)) {
+        (Some(s), Some(d)) => (
+            spec.endpoint(s).unwrap_or_else(|e| fail(&e)),
+            spec.endpoint(d).unwrap_or_else(|e| fail(&e)),
+        ),
+        _ => usage(),
+    };
+
+    match cmd {
+        "paths" => {
+            let paths = spec.net.paths(src.0, src.1, dst.0, dst.1);
+            println!("{} simple path(s)", paths.len());
+            for p in &paths {
+                let names: Vec<String> = p
+                    .iter()
+                    .map(|h| format!("[in {} out {}]", h.intf_in.id, h.intf_out.id))
+                    .collect();
+                println!("  {}", names.join(" -> "));
+            }
+        }
+        "reach" => match anteater::reachable(&spec.net, src.0, src.1, dst.0, dst.1) {
+            Some(w) => {
+                println!("REACHABLE via a {}-hop path", w.path.len());
+                println!("  witness: {}", describe(&w.packet.overlay_header));
+            }
+            None => println!("UNREACHABLE: no packet is delivered on any simple path"),
+        },
+        "drops" => {
+            // A packet that enters but reaches the destination on NO
+            // path (a true blackhole) — the composition-bug query of the
+            // paper's §2. An optional destination prefix narrows the
+            // search to traffic that *should* be delivered.
+            let dst_prefix: Option<rzen_net::ip::Prefix> = args
+                .get(4)
+                .map(|p| p.parse().unwrap_or_else(|e: String| fail(&e)));
+            let paths = spec.net.paths(src.0, src.1, dst.0, dst.1);
+            if paths.is_empty() {
+                println!("NO PATHS: the endpoints are not connected");
+                return;
+            }
+            let n_paths = paths.len();
+            let f = ZenFunction::new(move |p| {
+                let mut delivered = rzen::Zen::bool(false);
+                for path in &paths {
+                    delivered = delivered.or(forward_along(path, p).is_some());
+                }
+                delivered
+            });
+            match f.find(
+                |p, delivered| {
+                    let base = p.underlay_header().is_none().and(!delivered);
+                    match dst_prefix {
+                        Some(pre) => base.and(pre.matches(p.overlay_header().dst_ip())),
+                        None => base,
+                    }
+                },
+                &rzen::FindOptions::bdd(),
+            ) {
+                Some(w) => {
+                    println!("DROPPED on all {n_paths} path(s):");
+                    println!("  witness: {}", describe(&w.overlay_header));
+                }
+                None => println!("NO DROPS: every matching packet is delivered on some path"),
+            }
+        }
+        "hsa" => {
+            let space = TransformerSpace::new();
+            let set = hsa::reachable_set(&spec.net, &space, src.0, src.1, dst.0);
+            if set.is_empty() {
+                println!("UNREACHABLE (exact set is empty)");
+            } else {
+                println!("reachable packet set: 2^{:.1} packets", set.count().log2());
+                if let Some(sample) = set.element() {
+                    println!("  sample: {}", describe(&sample.overlay_header));
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,384 @@
+//! The network-spec text format.
+//!
+//! A small line-oriented format for describing networks, so the verifier
+//! can be driven without writing Rust. Example:
+//!
+//! ```text
+//! # Fig. 3: tunneled overlay across a 3-node underlay
+//! device u1
+//!   intf 1
+//!   intf 2 gre-start 192.168.0.1 192.168.0.3
+//! device u2
+//!   intf 1 acl-in deny-dport 5000 6000
+//!   intf 2
+//! device u3
+//!   intf 1 gre-end 192.168.0.1 192.168.0.3
+//!   intf 2
+//! route u1 0.0.0.0/0 2
+//! route u2 0.0.0.0/0 2
+//! route u3 10.0.0.0/8 2
+//! link u1:2 u2:1
+//! link u2:2 u3:1
+//! ```
+//!
+//! Interface policies:
+//! * `acl-in` / `acl-out` followed by one rule: `permit`/`deny`, or
+//!   `deny-dport LO HI` (deny that destination-port range, permit the
+//!   rest), or `permit-dst PREFIX` (permit that destination prefix, deny
+//!   the rest).
+//! * `gre-start SRC DST` / `gre-end SRC DST`: tunnel endpoints.
+//! * `snat PREFIX TO` / `dnat PREFIX TO`: address translation.
+//!
+//! `route DEVICE PREFIX PORT` adds a forwarding entry to every interface
+//! of the device (interfaces of one device share its table).
+
+use std::collections::HashMap;
+
+use rzen_net::acl::{Acl, AclRule};
+use rzen_net::device::Interface;
+use rzen_net::fwd::{FwdRule, FwdTable};
+use rzen_net::gre::GreTunnel;
+use rzen_net::ip::Prefix;
+use rzen_net::nat::{Nat, NatKind, NatRule};
+use rzen_net::topology::{Device, Network};
+
+/// A parsed spec: the network plus the device-name index.
+pub struct Spec {
+    /// The network.
+    pub net: Network,
+    /// Device name → index.
+    pub device_index: HashMap<String, usize>,
+}
+
+impl Spec {
+    /// Resolve `name:port` into (device index, port).
+    pub fn endpoint(&self, s: &str) -> Result<(usize, u8), String> {
+        let (name, port) = s
+            .split_once(':')
+            .ok_or_else(|| format!("bad endpoint {s:?}"))?;
+        let dev = *self
+            .device_index
+            .get(name)
+            .ok_or_else(|| format!("unknown device {name:?}"))?;
+        let port: u8 = port
+            .parse()
+            .map_err(|e| format!("bad port in {s:?}: {e}"))?;
+        Ok((dev, port))
+    }
+}
+
+fn parse_ip(s: &str) -> Result<u32, String> {
+    let octets: Vec<u8> = s
+        .split('.')
+        .map(|o| o.parse().map_err(|e| format!("bad octet in {s:?}: {e}")))
+        .collect::<Result<_, String>>()?;
+    if octets.len() != 4 {
+        return Err(format!("bad address {s:?}"));
+    }
+    Ok(rzen_net::ip::ip(octets[0], octets[1], octets[2], octets[3]))
+}
+
+struct PendingDevice {
+    name: String,
+    intfs: Vec<Interface>,
+    routes: Vec<FwdRule>,
+}
+
+/// Parse a network spec.
+pub fn parse(text: &str) -> Result<Spec, String> {
+    let mut devices: Vec<PendingDevice> = Vec::new();
+    let mut links: Vec<(String, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |m: String| format!("line {}: {m}", lineno + 1);
+        let mut toks = line.split_whitespace();
+        match toks.next().unwrap() {
+            "device" => {
+                let name = toks
+                    .next()
+                    .ok_or_else(|| err("device needs a name".into()))?;
+                devices.push(PendingDevice {
+                    name: name.to_string(),
+                    intfs: Vec::new(),
+                    routes: Vec::new(),
+                });
+            }
+            "intf" => {
+                let dev = devices
+                    .last_mut()
+                    .ok_or_else(|| err("intf before any device".into()))?;
+                let id: u8 = toks
+                    .next()
+                    .ok_or_else(|| err("intf needs a port id".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("bad port id: {e}")))?;
+                let mut intf = Interface::new(id, FwdTable::default());
+                let rest: Vec<&str> = toks.collect();
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "acl-in" | "acl-out" => {
+                            let (acl, used) = parse_acl(&rest[i + 1..])
+                                .map_err(|m| err(format!("in {}: {m}", rest[i])))?;
+                            if rest[i] == "acl-in" {
+                                intf.acl_in = Some(acl);
+                            } else {
+                                intf.acl_out = Some(acl);
+                            }
+                            i += 1 + used;
+                        }
+                        "gre-start" | "gre-end" => {
+                            let src = parse_ip(
+                                rest.get(i + 1)
+                                    .ok_or_else(|| err("gre needs SRC DST".into()))?,
+                            )
+                            .map_err(err)?;
+                            let dst = parse_ip(
+                                rest.get(i + 2)
+                                    .ok_or_else(|| err("gre needs SRC DST".into()))?,
+                            )
+                            .map_err(err)?;
+                            let t = GreTunnel {
+                                src_ip: src,
+                                dst_ip: dst,
+                            };
+                            if rest[i] == "gre-start" {
+                                intf.gre_start = Some(t);
+                            } else {
+                                intf.gre_end = Some(t);
+                            }
+                            i += 3;
+                        }
+                        "snat" | "dnat" => {
+                            let prefix: Prefix = rest
+                                .get(i + 1)
+                                .ok_or_else(|| err("nat needs PREFIX TO".into()))?
+                                .parse()
+                                .map_err(err)?;
+                            let to = parse_ip(
+                                rest.get(i + 2)
+                                    .ok_or_else(|| err("nat needs PREFIX TO".into()))?,
+                            )
+                            .map_err(err)?;
+                            let kind = if rest[i] == "snat" {
+                                NatKind::Snat
+                            } else {
+                                NatKind::Dnat
+                            };
+                            let rule = NatRule {
+                                kind,
+                                matches: prefix,
+                                rewrite_to: to,
+                            };
+                            let nat = Nat { rules: vec![rule] };
+                            if kind == NatKind::Snat {
+                                intf.nat_out = Some(nat);
+                            } else {
+                                intf.nat_in = Some(nat);
+                            }
+                            i += 3;
+                        }
+                        other => return Err(err(format!("unknown interface option {other:?}"))),
+                    }
+                }
+                dev.intfs.push(intf);
+            }
+            "route" => {
+                let name = toks
+                    .next()
+                    .ok_or_else(|| err("route needs DEVICE".into()))?;
+                let prefix: Prefix = toks
+                    .next()
+                    .ok_or_else(|| err("route needs PREFIX".into()))?
+                    .parse()
+                    .map_err(err)?;
+                let port: u8 = toks
+                    .next()
+                    .ok_or_else(|| err("route needs PORT".into()))?
+                    .parse()
+                    .map_err(|e| err(format!("bad port: {e}")))?;
+                let dev = devices
+                    .iter_mut()
+                    .find(|d| d.name == name)
+                    .ok_or_else(|| err(format!("unknown device {name:?}")))?;
+                dev.routes.push(FwdRule { prefix, port });
+            }
+            "link" => {
+                let a = toks
+                    .next()
+                    .ok_or_else(|| err("link needs two endpoints".into()))?;
+                let b = toks
+                    .next()
+                    .ok_or_else(|| err("link needs two endpoints".into()))?;
+                links.push((a.to_string(), b.to_string()));
+            }
+            other => return Err(err(format!("unknown directive {other:?}"))),
+        }
+    }
+
+    // Materialize: every interface of a device shares the device table.
+    let mut net = Network::default();
+    let mut device_index = HashMap::new();
+    for d in devices {
+        let table = FwdTable::new(d.routes.clone());
+        let interfaces = d
+            .intfs
+            .into_iter()
+            .map(|mut i| {
+                i.table = table.clone();
+                i
+            })
+            .collect();
+        let idx = net.add_device(Device {
+            name: d.name.clone(),
+            interfaces,
+        });
+        device_index.insert(d.name, idx);
+    }
+    let resolve = |s: &str| -> Result<(usize, u8), String> {
+        let (name, port) = s
+            .split_once(':')
+            .ok_or_else(|| format!("bad endpoint {s:?}"))?;
+        let dev = *device_index
+            .get(name)
+            .ok_or_else(|| format!("unknown device {name:?}"))?;
+        let port: u8 = port
+            .parse()
+            .map_err(|e| format!("bad port in {s:?}: {e}"))?;
+        Ok((dev, port))
+    };
+    for (a, b) in links {
+        let (ad, ap) = resolve(&a)?;
+        let (bd, bp) = resolve(&b)?;
+        net.add_duplex(ad, ap, bd, bp);
+    }
+    Ok(Spec { net, device_index })
+}
+
+/// Parse one ACL shorthand; returns (acl, tokens consumed).
+fn parse_acl(rest: &[&str]) -> Result<(Acl, usize), String> {
+    match rest.first() {
+        Some(&"permit") => Ok((
+            Acl {
+                rules: vec![AclRule::any(true)],
+            },
+            1,
+        )),
+        Some(&"deny") => Ok((Acl::default(), 1)),
+        Some(&"deny-dport") => {
+            let lo: u16 = rest
+                .get(1)
+                .ok_or("deny-dport needs LO HI")?
+                .parse()
+                .map_err(|e| format!("bad LO: {e}"))?;
+            let hi: u16 = rest
+                .get(2)
+                .ok_or("deny-dport needs LO HI")?
+                .parse()
+                .map_err(|e| format!("bad HI: {e}"))?;
+            Ok((
+                Acl {
+                    rules: vec![
+                        AclRule {
+                            permit: false,
+                            dst_ports: (lo, hi),
+                            ..AclRule::any(false)
+                        },
+                        AclRule::any(true),
+                    ],
+                },
+                3,
+            ))
+        }
+        Some(&"permit-dst") => {
+            let p: Prefix = rest.get(1).ok_or("permit-dst needs PREFIX")?.parse()?;
+            Ok((
+                Acl {
+                    rules: vec![
+                        AclRule {
+                            permit: true,
+                            dst: p,
+                            ..AclRule::any(true)
+                        },
+                        AclRule::any(false),
+                    ],
+                },
+                2,
+            ))
+        }
+        other => Err(format!("unknown acl form {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3: &str = r#"
+# Fig. 3 in the spec format
+device u1
+  intf 1
+  intf 2 gre-start 192.168.0.1 192.168.0.3
+device u2
+  intf 1 acl-in deny-dport 5000 6000
+  intf 2
+device u3
+  intf 1 gre-end 192.168.0.1 192.168.0.3
+  intf 2
+route u1 0.0.0.0/0 2
+route u2 0.0.0.0/0 2
+route u3 10.0.0.0/8 2
+link u1:2 u2:1
+link u2:2 u3:1
+"#;
+
+    #[test]
+    fn parses_fig3() {
+        let spec = parse(FIG3).unwrap();
+        assert_eq!(spec.net.devices.len(), 3);
+        assert_eq!(spec.net.links.len(), 4); // two duplex links
+        let u1 = spec.device_index["u1"];
+        assert!(spec.net.devices[u1]
+            .interface(2)
+            .unwrap()
+            .gre_start
+            .is_some());
+        let u2 = spec.device_index["u2"];
+        assert!(spec.net.devices[u2].interface(1).unwrap().acl_in.is_some());
+        // Tables are shared across a device's interfaces.
+        let d = &spec.net.devices[u1];
+        assert_eq!(d.interface(1).unwrap().table, d.interface(2).unwrap().table);
+    }
+
+    #[test]
+    fn endpoint_resolution() {
+        let spec = parse(FIG3).unwrap();
+        assert_eq!(spec.endpoint("u2:1").unwrap(), (spec.device_index["u2"], 1));
+        assert!(spec.endpoint("nope:1").is_err());
+        assert!(spec.endpoint("u2").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(parse("intf 1\n").is_err()); // intf before device
+        assert!(parse("device a\nintf x\n").is_err()); // bad port
+        assert!(parse("frobnicate\n").is_err()); // unknown directive
+        assert!(parse("device a\nroute b 0.0.0.0/0 1\n").is_err()); // unknown device
+        assert!(parse("device a\nintf 1 acl-in frob\n").is_err()); // bad acl
+    }
+
+    #[test]
+    fn nat_options_parse() {
+        let spec = parse(
+            "device gw\n  intf 1 snat 10.0.0.0/8 203.0.113.1\n  intf 2 dnat 0.0.0.0/0 10.0.0.5\n",
+        )
+        .unwrap();
+        let gw = &spec.net.devices[0];
+        assert!(gw.interface(1).unwrap().nat_out.is_some());
+        assert!(gw.interface(2).unwrap().nat_in.is_some());
+    }
+}

@@ -1,0 +1,408 @@
+//! The bit-level compiler: IR expressions → Boolean circuits over an
+//! abstract [`BoolAlg`].
+//!
+//! This is the single translation shared by the BDD, SAT, and ternary
+//! backends. Bitvectors become little-endian bit vectors; structs become
+//! trees of bit vectors; arithmetic becomes ripple-carry/shift-add
+//! circuits; comparisons become MSB-first comparator chains.
+//!
+//! The compiler is iterative (explicit work stack) because network models
+//! routinely produce conditionals nested tens of thousands deep (a 15,000
+//! line ACL is a 15,000-deep `if` chain) — recursing would overflow the
+//! stack.
+
+use std::rc::Rc;
+
+use rzen_bdd::FastHashMap;
+
+use crate::backend::boolalg::BoolAlg;
+use crate::ctx::Context;
+use crate::ir::{Bv2, CmpOp, Expr, ExprId};
+use crate::sorts::Sort;
+
+/// A compiled symbolic value: the circuit-level image of an expression.
+#[derive(Clone, Debug)]
+pub enum SymVal<B> {
+    /// A single Boolean.
+    Bool(B),
+    /// A bitvector, least-significant bit first.
+    Bv(Vec<B>),
+    /// A struct, one entry per field.
+    Struct(Vec<Rc<SymVal<B>>>),
+}
+
+impl<B: Clone> SymVal<B> {
+    /// The Boolean, for `Bool` values.
+    pub fn as_bool(&self) -> &B {
+        match self {
+            SymVal::Bool(b) => b,
+            _ => panic!("expected Bool SymVal"),
+        }
+    }
+
+    /// The bits, for `Bv` values.
+    pub fn as_bits(&self) -> &[B] {
+        match self {
+            SymVal::Bv(bits) => bits,
+            _ => panic!("expected Bv SymVal"),
+        }
+    }
+
+    /// The fields, for `Struct` values.
+    pub fn as_struct(&self) -> &[Rc<SymVal<B>>] {
+        match self {
+            SymVal::Struct(fs) => fs,
+            _ => panic!("expected Struct SymVal"),
+        }
+    }
+
+    /// Flatten to a single bit list (field order; bitvectors MSB-first so
+    /// the flattened layout matches the variable-ordering convention).
+    pub fn flatten(&self, out: &mut Vec<B>) {
+        match self {
+            SymVal::Bool(b) => out.push(b.clone()),
+            SymVal::Bv(bits) => out.extend(bits.iter().rev().cloned()),
+            SymVal::Struct(fs) => {
+                for f in fs {
+                    f.flatten(out);
+                }
+            }
+        }
+    }
+}
+
+/// Compile an expression to a circuit over `alg`. Results are memoized per
+/// node, so shared subexpressions are compiled once.
+pub struct BitCompiler<'a, A: BoolAlg> {
+    alg: &'a mut A,
+    cache: FastHashMap<u32, Rc<SymVal<A::B>>>,
+}
+
+impl<'a, A: BoolAlg> BitCompiler<'a, A> {
+    /// Create a compiler over the given algebra.
+    pub fn new(alg: &'a mut A) -> Self {
+        BitCompiler {
+            alg,
+            cache: FastHashMap::default(),
+        }
+    }
+
+    /// Access the underlying algebra.
+    pub fn alg(&mut self) -> &mut A {
+        self.alg
+    }
+
+    /// Compile `root` (and everything it references).
+    pub fn compile(&mut self, ctx: &Context, root: ExprId) -> Rc<SymVal<A::B>> {
+        enum Task {
+            Visit(ExprId),
+            Build(ExprId),
+        }
+        let mut stack = vec![Task::Visit(root)];
+        while let Some(task) = stack.pop() {
+            match task {
+                Task::Visit(e) => {
+                    if self.cache.contains_key(&e.0) {
+                        continue;
+                    }
+                    stack.push(Task::Build(e));
+                    for c in children(ctx, e) {
+                        if !self.cache.contains_key(&c.0) {
+                            stack.push(Task::Visit(c));
+                        }
+                    }
+                }
+                Task::Build(e) => {
+                    if self.cache.contains_key(&e.0) {
+                        continue;
+                    }
+                    let v = self.build(ctx, e);
+                    self.cache.insert(e.0, v);
+                }
+            }
+        }
+        self.cache[&root.0].clone()
+    }
+
+    fn get(&self, e: ExprId) -> Rc<SymVal<A::B>> {
+        self.cache[&e.0].clone()
+    }
+
+    fn build(&mut self, ctx: &Context, e: ExprId) -> Rc<SymVal<A::B>> {
+        let alg = &mut *self.alg;
+        match ctx.expr(e) {
+            Expr::Var(v) => {
+                let v = *v;
+                match ctx.var_sort(v) {
+                    Sort::Bool => Rc::new(SymVal::Bool(alg.var_bit(v, 0))),
+                    Sort::BitVec { width, .. } => {
+                        let bits = (0..width as u32).map(|i| alg.var_bit(v, i)).collect();
+                        Rc::new(SymVal::Bv(bits))
+                    }
+                    Sort::Struct(_) => unreachable!("variables are primitive"),
+                }
+            }
+            Expr::ConstBool(b) => Rc::new(SymVal::Bool(alg.lit(*b))),
+            Expr::ConstInt { sort, bits } => {
+                let Sort::BitVec { width, .. } = sort else {
+                    unreachable!()
+                };
+                let bs = (0..*width as u32)
+                    .map(|i| alg.lit(bits >> i & 1 == 1))
+                    .collect();
+                Rc::new(SymVal::Bv(bs))
+            }
+            Expr::Not(a) => {
+                let a = self.get(*a);
+                Rc::new(SymVal::Bool(self.alg.not(a.as_bool())))
+            }
+            Expr::And(a, b) => {
+                let (a, b) = (self.get(*a), self.get(*b));
+                Rc::new(SymVal::Bool(self.alg.and(a.as_bool(), b.as_bool())))
+            }
+            Expr::Or(a, b) => {
+                let (a, b) = (self.get(*a), self.get(*b));
+                Rc::new(SymVal::Bool(self.alg.or(a.as_bool(), b.as_bool())))
+            }
+            Expr::BvNot(a) => {
+                let a = self.get(*a);
+                let bits = a.as_bits().iter().map(|x| self.alg.not(x)).collect();
+                Rc::new(SymVal::Bv(bits))
+            }
+            Expr::Bv(op, a, b) => {
+                let sort = ctx.sort_of(*a);
+                let (a, b) = (self.get(*a), self.get(*b));
+                let bits = self.bv_op(*op, sort, a.as_bits(), b.as_bits());
+                Rc::new(SymVal::Bv(bits))
+            }
+            Expr::Eq(a, b) => {
+                let (a, b) = (self.get(*a), self.get(*b));
+                let mut fa = Vec::new();
+                let mut fb = Vec::new();
+                a.flatten(&mut fa);
+                b.flatten(&mut fb);
+                debug_assert_eq!(fa.len(), fb.len());
+                let mut acc = self.alg.lit(true);
+                for (x, y) in fa.iter().zip(&fb) {
+                    let eq = self.alg.iff(x, y);
+                    acc = self.alg.and(&acc, &eq);
+                }
+                Rc::new(SymVal::Bool(acc))
+            }
+            Expr::Cmp(op, a, b) => {
+                let sort = ctx.sort_of(*a);
+                let Sort::BitVec { signed, .. } = sort else {
+                    unreachable!()
+                };
+                let (a, b) = (self.get(*a), self.get(*b));
+                let r = self.compare(*op, signed, a.as_bits(), b.as_bits());
+                Rc::new(SymVal::Bool(r))
+            }
+            Expr::If(c, t, f) => {
+                let c = self.get(*c);
+                let (t, f) = (self.get(*t), self.get(*f));
+                self.mux(c.as_bool().clone(), &t, &f)
+            }
+            Expr::MakeStruct(_, fs) => {
+                let fields = fs.iter().map(|&f| self.get(f)).collect();
+                Rc::new(SymVal::Struct(fields))
+            }
+            Expr::GetField(a, idx) => {
+                let a = self.get(*a);
+                a.as_struct()[*idx as usize].clone()
+            }
+            Expr::Cast(a, to) => {
+                let from = ctx.sort_of(*a);
+                let Sort::BitVec { signed, .. } = from else {
+                    unreachable!()
+                };
+                let Sort::BitVec { width: wt, .. } = *to else {
+                    unreachable!()
+                };
+                let a = self.get(*a);
+                let src = a.as_bits();
+                let fill = if signed {
+                    src[src.len() - 1].clone()
+                } else {
+                    self.alg.lit(false)
+                };
+                let bits = (0..wt as usize)
+                    .map(|i| src.get(i).cloned().unwrap_or_else(|| fill.clone()))
+                    .collect();
+                Rc::new(SymVal::Bv(bits))
+            }
+        }
+    }
+
+    fn mux(&mut self, c: A::B, t: &Rc<SymVal<A::B>>, f: &Rc<SymVal<A::B>>) -> Rc<SymVal<A::B>> {
+        // Short-circuit constant conditions: the whole branch is shared,
+        // not rebuilt.
+        match self.alg.const_of(&c) {
+            Some(true) => return t.clone(),
+            Some(false) => return f.clone(),
+            None => {}
+        }
+        match (&**t, &**f) {
+            (SymVal::Bool(a), SymVal::Bool(b)) => Rc::new(SymVal::Bool(self.alg.ite(&c, a, b))),
+            (SymVal::Bv(ta), SymVal::Bv(fb)) => {
+                debug_assert_eq!(ta.len(), fb.len());
+                let bits = ta
+                    .iter()
+                    .zip(fb)
+                    .map(|(x, y)| self.alg.ite(&c, x, y))
+                    .collect();
+                Rc::new(SymVal::Bv(bits))
+            }
+            (SymVal::Struct(ta), SymVal::Struct(fb)) => {
+                debug_assert_eq!(ta.len(), fb.len());
+                let fields = ta
+                    .iter()
+                    .zip(fb)
+                    .map(|(x, y)| self.mux(c.clone(), x, y))
+                    .collect();
+                Rc::new(SymVal::Struct(fields))
+            }
+            _ => panic!("mux over mismatched shapes"),
+        }
+    }
+
+    fn bv_op(&mut self, op: Bv2, sort: Sort, a: &[A::B], b: &[A::B]) -> Vec<A::B> {
+        let Sort::BitVec { signed, .. } = sort else {
+            unreachable!()
+        };
+        match op {
+            Bv2::And => a.iter().zip(b).map(|(x, y)| self.alg.and(x, y)).collect(),
+            Bv2::Or => a.iter().zip(b).map(|(x, y)| self.alg.or(x, y)).collect(),
+            Bv2::Xor => a.iter().zip(b).map(|(x, y)| self.alg.xor(x, y)).collect(),
+            Bv2::Add => {
+                let zero = self.alg.lit(false);
+                self.adder(a, b, zero).0
+            }
+            Bv2::Sub => {
+                // a - b = a + ¬b + 1
+                let nb: Vec<A::B> = b.iter().map(|x| self.alg.not(x)).collect();
+                let one = self.alg.lit(true);
+                self.adder(a, &nb, one).0
+            }
+            Bv2::Mul => {
+                let w = a.len();
+                let mut acc: Vec<A::B> = (0..w).map(|_| self.alg.lit(false)).collect();
+                for (i, bi) in b.iter().enumerate() {
+                    // Partial product: (a << i) gated by b[i].
+                    let mut pp: Vec<A::B> = (0..w).map(|_| self.alg.lit(false)).collect();
+                    for j in 0..w - i {
+                        pp[i + j] = self.alg.and(&a[j], bi);
+                    }
+                    let zero = self.alg.lit(false);
+                    acc = self.adder(&acc, &pp, zero).0;
+                }
+                acc
+            }
+            Bv2::Shl => self.shifter(a, b, false, false),
+            Bv2::Shr => self.shifter(a, b, true, signed),
+        }
+    }
+
+    /// Ripple-carry adder; returns (sum bits, carry-out).
+    fn adder(&mut self, a: &[A::B], b: &[A::B], carry_in: A::B) -> (Vec<A::B>, A::B) {
+        debug_assert_eq!(a.len(), b.len());
+        let mut carry = carry_in;
+        let mut out = Vec::with_capacity(a.len());
+        for (x, y) in a.iter().zip(b) {
+            let xy = self.alg.xor(x, y);
+            let sum = self.alg.xor(&xy, &carry);
+            // carry' = (x ∧ y) ∨ (carry ∧ (x ⊕ y))
+            let c1 = self.alg.and(x, y);
+            let c2 = self.alg.and(&carry, &xy);
+            carry = self.alg.or(&c1, &c2);
+            out.push(sum);
+        }
+        (out, carry)
+    }
+
+    /// Barrel shifter by a symbolic amount. `right` selects direction;
+    /// `arith` fills with the sign bit instead of zero (arithmetic right
+    /// shift). Shifting by ≥ width yields the fill bit everywhere.
+    fn shifter(&mut self, a: &[A::B], amount: &[A::B], right: bool, arith: bool) -> Vec<A::B> {
+        let w = a.len();
+        let fill = if arith {
+            a[w - 1].clone()
+        } else {
+            self.alg.lit(false)
+        };
+        let mut cur: Vec<A::B> = a.to_vec();
+        // Stages for amount bits that shift within the width.
+        let stages = usize::BITS - (w - 1).leading_zeros(); // ceil(log2(w)), w >= 1
+        for k in 0..amount.len() {
+            let bit = &amount[k].clone();
+            if (k as u32) < stages {
+                let sh = 1usize << k;
+                let shifted: Vec<A::B> = (0..w)
+                    .map(|i| {
+                        let src = if right {
+                            i.checked_add(sh).filter(|&s| s < w)
+                        } else {
+                            i.checked_sub(sh)
+                        };
+                        match src {
+                            Some(s) => cur[s].clone(),
+                            None => fill.clone(),
+                        }
+                    })
+                    .collect();
+                cur = (0..w)
+                    .map(|i| self.alg.ite(bit, &shifted[i], &cur[i]))
+                    .collect();
+            } else {
+                // This amount bit alone shifts everything out.
+                cur = (0..w).map(|i| self.alg.ite(bit, &fill, &cur[i])).collect();
+            }
+        }
+        cur
+    }
+
+    /// MSB-first magnitude comparator.
+    fn compare(&mut self, op: CmpOp, signed: bool, a: &[A::B], b: &[A::B]) -> A::B {
+        // Signed comparison = unsigned comparison with the sign bit
+        // flipped on both operands.
+        let w = a.len();
+        let (a, b): (Vec<A::B>, Vec<A::B>) = if signed {
+            let mut a2 = a.to_vec();
+            let mut b2 = b.to_vec();
+            a2[w - 1] = self.alg.not(&a[w - 1]);
+            b2[w - 1] = self.alg.not(&b[w - 1]);
+            (a2, b2)
+        } else {
+            (a.to_vec(), b.to_vec())
+        };
+        let mut lt = self.alg.lit(false);
+        let mut eq = self.alg.lit(true);
+        for i in (0..w).rev() {
+            let na = self.alg.not(&a[i]);
+            let here = self.alg.and(&na, &b[i]);
+            let here = self.alg.and(&eq, &here);
+            lt = self.alg.or(&lt, &here);
+            let same = self.alg.iff(&a[i], &b[i]);
+            eq = self.alg.and(&eq, &same);
+        }
+        match op {
+            CmpOp::Lt => lt,
+            CmpOp::Le => self.alg.or(&lt, &eq),
+        }
+    }
+}
+
+/// The direct children of a node.
+pub(crate) fn children(ctx: &Context, e: ExprId) -> Vec<ExprId> {
+    match ctx.expr(e) {
+        Expr::Var(_) | Expr::ConstBool(_) | Expr::ConstInt { .. } => vec![],
+        Expr::Not(a) | Expr::BvNot(a) | Expr::GetField(a, _) | Expr::Cast(a, _) => vec![*a],
+        Expr::And(a, b)
+        | Expr::Or(a, b)
+        | Expr::Bv(_, a, b)
+        | Expr::Eq(a, b)
+        | Expr::Cmp(_, a, b) => vec![*a, *b],
+        Expr::If(c, t, f) => vec![*c, *t, *f],
+        Expr::MakeStruct(_, fs) => fs.to_vec(),
+    }
+}

@@ -1,0 +1,62 @@
+//! The abstract Boolean algebra that solver backends implement.
+
+use crate::ir::VarId;
+
+/// A Boolean algebra: the interface between the bit-level compiler and a
+/// concrete solver representation (BDD nodes, CNF literals, ternary bits).
+pub trait BoolAlg {
+    /// The representation of a Boolean function.
+    type B: Clone;
+
+    /// A constant.
+    fn lit(&mut self, b: bool) -> Self::B;
+
+    /// Bit `bit` of symbolic variable `var` (bit 0 = least significant;
+    /// booleans use bit 0). How this maps onto solver variables is the
+    /// backend's choice — the BDD backend consults its variable order, the
+    /// SAT backend allocates literals on demand.
+    fn var_bit(&mut self, var: VarId, bit: u32) -> Self::B;
+
+    /// Negation.
+    fn not(&mut self, a: &Self::B) -> Self::B;
+
+    /// Conjunction.
+    fn and(&mut self, a: &Self::B, b: &Self::B) -> Self::B;
+
+    /// Disjunction.
+    fn or(&mut self, a: &Self::B, b: &Self::B) -> Self::B;
+
+    /// Exclusive or.
+    fn xor(&mut self, a: &Self::B, b: &Self::B) -> Self::B {
+        let na = self.not(a);
+        let nb = self.not(b);
+        let x = self.and(a, &nb);
+        let y = self.and(&na, b);
+        self.or(&x, &y)
+    }
+
+    /// If-then-else. The default builds it from the other connectives and
+    /// short-circuits constant conditions; backends with a native `ite`
+    /// (BDDs) override it.
+    fn ite(&mut self, c: &Self::B, t: &Self::B, e: &Self::B) -> Self::B {
+        match self.const_of(c) {
+            Some(true) => t.clone(),
+            Some(false) => e.clone(),
+            None => {
+                let nc = self.not(c);
+                let x = self.and(c, t);
+                let y = self.and(&nc, e);
+                self.or(&x, &y)
+            }
+        }
+    }
+
+    /// If `b` is a known constant, which one (used for short-circuiting).
+    fn const_of(&self, b: &Self::B) -> Option<bool>;
+
+    /// Biconditional.
+    fn iff(&mut self, a: &Self::B, b: &Self::B) -> Self::B {
+        let x = self.xor(a, b);
+        self.not(&x)
+    }
+}

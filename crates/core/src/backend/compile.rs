@@ -1,0 +1,223 @@
+//! Compilation of models to a register bytecode VM.
+//!
+//! The paper's §8: "We can compile any Zen function to a real
+//! implementation by simply writing `f.Compile()`", which in C# emits IL
+//! that the CLR JIT-compiles. Rust has no runtime code generation, so the
+//! equivalent here is a flat register program: one instruction per DAG
+//! node in topological order, executed without hashing or recursion. The
+//! key property is preserved — the executable implementation is derived
+//! from (and therefore in sync with) the verified model.
+
+use rzen_bdd::FastHashMap;
+
+use crate::backend::interp::Env;
+use crate::ctx::Context;
+use crate::ir::{Bv2, CmpOp, Expr, ExprId, VarId};
+use crate::sorts::{Sort, StructId};
+use crate::value::Value;
+
+/// A register index (one register per instruction, SSA-style).
+type Reg = u32;
+
+/// One VM instruction; the destination register is the instruction's own
+/// index.
+#[derive(Clone, Debug)]
+enum Instr {
+    Const(u32),
+    Var(VarId, Sort),
+    Not(Reg),
+    And(Reg, Reg),
+    Or(Reg, Reg),
+    BvNot(Sort, Reg),
+    Bv(Bv2, Sort, Reg, Reg),
+    Eq(Reg, Reg),
+    Cmp(CmpOp, Sort, Reg, Reg),
+    If(Reg, Reg, Reg),
+    Make(StructId, Vec<Reg>),
+    Get(Reg, u32),
+    Cast(Sort, Sort, Reg),
+}
+
+/// A compiled expression: a linear register program.
+pub struct Program {
+    instrs: Vec<Instr>,
+    consts: Vec<Value>,
+    root: Reg,
+}
+
+impl Program {
+    /// Number of instructions (diagnostics; one per reachable DAG node).
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Is the program empty? (Never true for a compiled expression.)
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Execute under a variable assignment.
+    pub fn run(&self, env: &Env) -> Value {
+        let mut regs: Vec<Value> = Vec::with_capacity(self.instrs.len());
+        for instr in &self.instrs {
+            let v = match instr {
+                Instr::Const(i) => self.consts[*i as usize].clone(),
+                Instr::Var(v, sort) => match env.get(*v) {
+                    Some(val) => val.clone(),
+                    None => Value::int_or_bool_default(*sort),
+                },
+                Instr::Not(a) => Value::Bool(!regs[*a as usize].as_bool()),
+                Instr::And(a, b) => {
+                    Value::Bool(regs[*a as usize].as_bool() && regs[*b as usize].as_bool())
+                }
+                Instr::Or(a, b) => {
+                    Value::Bool(regs[*a as usize].as_bool() || regs[*b as usize].as_bool())
+                }
+                Instr::BvNot(sort, a) => Value::int(*sort, !regs[*a as usize].as_bits()),
+                Instr::Bv(op, sort, a, b) => Value::int(
+                    *sort,
+                    crate::semantics::bv_bin(
+                        *op,
+                        *sort,
+                        regs[*a as usize].as_bits(),
+                        regs[*b as usize].as_bits(),
+                    ),
+                ),
+                Instr::Eq(a, b) => Value::Bool(regs[*a as usize] == regs[*b as usize]),
+                Instr::Cmp(op, sort, a, b) => Value::Bool(crate::semantics::bv_cmp(
+                    *op,
+                    *sort,
+                    regs[*a as usize].as_bits(),
+                    regs[*b as usize].as_bits(),
+                )),
+                Instr::If(c, t, e) => {
+                    if regs[*c as usize].as_bool() {
+                        regs[*t as usize].clone()
+                    } else {
+                        regs[*e as usize].clone()
+                    }
+                }
+                Instr::Make(id, fs) => {
+                    Value::Struct(*id, fs.iter().map(|&f| regs[f as usize].clone()).collect())
+                }
+                Instr::Get(a, idx) => regs[*a as usize].fields()[*idx as usize].clone(),
+                Instr::Cast(from, to, a) => Value::int(
+                    *to,
+                    crate::semantics::bv_cast(*from, *to, regs[*a as usize].as_bits()),
+                ),
+            };
+            regs.push(v);
+        }
+        regs[self.root as usize].clone()
+    }
+}
+
+impl Value {
+    fn int_or_bool_default(sort: Sort) -> Value {
+        match sort {
+            Sort::Bool => Value::Bool(false),
+            Sort::BitVec { .. } => Value::Int { sort, bits: 0 },
+            Sort::Struct(_) => unreachable!("variables are primitive"),
+        }
+    }
+}
+
+/// Compile an expression DAG to a [`Program`].
+pub fn compile(ctx: &Context, root: ExprId) -> Program {
+    let mut reg_of: FastHashMap<u32, Reg> = FastHashMap::default();
+    let mut instrs: Vec<Instr> = Vec::new();
+    let mut consts: Vec<Value> = Vec::new();
+
+    enum Task {
+        Visit(ExprId),
+        Build(ExprId),
+    }
+    let mut stack = vec![Task::Visit(root)];
+    while let Some(task) = stack.pop() {
+        match task {
+            Task::Visit(e) => {
+                if reg_of.contains_key(&e.0) {
+                    continue;
+                }
+                stack.push(Task::Build(e));
+                for c in crate::backend::bitblast::children(ctx, e) {
+                    if !reg_of.contains_key(&c.0) {
+                        stack.push(Task::Visit(c));
+                    }
+                }
+            }
+            Task::Build(e) => {
+                if reg_of.contains_key(&e.0) {
+                    continue;
+                }
+                let r = |id: &ExprId| reg_of[&id.0];
+                let instr = match ctx.expr(e) {
+                    Expr::Var(v) => Instr::Var(*v, ctx.var_sort(*v)),
+                    Expr::ConstBool(b) => {
+                        consts.push(Value::Bool(*b));
+                        Instr::Const(consts.len() as u32 - 1)
+                    }
+                    Expr::ConstInt { sort, bits } => {
+                        consts.push(Value::Int {
+                            sort: *sort,
+                            bits: *bits,
+                        });
+                        Instr::Const(consts.len() as u32 - 1)
+                    }
+                    Expr::Not(a) => Instr::Not(r(a)),
+                    Expr::And(a, b) => Instr::And(r(a), r(b)),
+                    Expr::Or(a, b) => Instr::Or(r(a), r(b)),
+                    Expr::BvNot(a) => Instr::BvNot(ctx.sort_of(*a), r(a)),
+                    Expr::Bv(op, a, b) => Instr::Bv(*op, ctx.sort_of(*a), r(a), r(b)),
+                    Expr::Eq(a, b) => Instr::Eq(r(a), r(b)),
+                    Expr::Cmp(op, a, b) => Instr::Cmp(*op, ctx.sort_of(*a), r(a), r(b)),
+                    Expr::If(c, t, f) => Instr::If(r(c), r(t), r(f)),
+                    Expr::MakeStruct(id, fs) => Instr::Make(*id, fs.iter().map(r).collect()),
+                    Expr::GetField(a, idx) => Instr::Get(r(a), *idx),
+                    Expr::Cast(a, to) => Instr::Cast(ctx.sort_of(*a), *to, r(a)),
+                };
+                reg_of.insert(e.0, instrs.len() as Reg);
+                instrs.push(instr);
+            }
+        }
+    }
+    Program {
+        instrs,
+        consts,
+        root: reg_of[&root.0],
+    }
+}
+
+/// Bind a concrete input [`Value`] against the shape of a `make_symbolic`
+/// expression, producing the variable assignment under which the symbolic
+/// input evaluates to that value.
+///
+/// The match walks `MakeStruct` nodes structurally; at an `If` node (the
+/// canonicalization guards that `make_symbolic` inserts around list slots
+/// and option payloads) it descends into the *then* branch, which by
+/// construction contains the variables. Constants and other nodes are
+/// ignored. Lists longer than the compiled slot count are truncated.
+pub fn bind_value(ctx: &Context, shape: ExprId, value: &Value, env: &mut Env) {
+    let mut stack: Vec<(ExprId, Value)> = vec![(shape, value.clone())];
+    while let Some((e, v)) = stack.pop() {
+        match ctx.expr(e) {
+            Expr::Var(var) => {
+                // Clamp to the variable's sort (e.g. a list length var).
+                let sort = ctx.var_sort(*var);
+                let bound = match (&v, sort) {
+                    (Value::Int { bits, .. }, Sort::BitVec { .. }) => Value::int(sort, *bits),
+                    _ => v,
+                };
+                env.bind(*var, bound);
+            }
+            Expr::MakeStruct(_, fs) => {
+                let vals = v.fields();
+                for (f, val) in fs.iter().zip(vals) {
+                    stack.push((*f, val.clone()));
+                }
+            }
+            Expr::If(_, t, _) => stack.push((*t, v)),
+            _ => {}
+        }
+    }
+}

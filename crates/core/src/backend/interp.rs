@@ -1,0 +1,145 @@
+//! The concrete evaluator — the simulation backend.
+//!
+//! "Since Zen models are executable — they are simply C# code — simulations
+//! performed by tools like Batfish are straightforward" (§4). Here, models
+//! are ordinary Rust code that builds IR; this module runs that IR on
+//! concrete values. Evaluation is iterative and memoized per node, so the
+//! deeply nested conditionals of large ACL models evaluate in linear time
+//! without recursion.
+
+use rzen_bdd::FastHashMap;
+
+use crate::ctx::Context;
+use crate::ir::{Expr, ExprId, VarId};
+use crate::value::Value;
+
+/// A variable assignment: values for (a subset of) the symbolic variables.
+/// Missing variables read as the default (zero) value of their sort.
+#[derive(Clone, Debug, Default)]
+pub struct Env {
+    vals: FastHashMap<u32, Value>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Env {
+        Env::default()
+    }
+
+    /// Bind a variable.
+    pub fn bind(&mut self, v: VarId, val: Value) {
+        self.vals.insert(v.0, val);
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, v: VarId) -> Option<&Value> {
+        self.vals.get(&v.0)
+    }
+}
+
+/// Evaluate an expression under an environment.
+pub fn eval(ctx: &Context, root: ExprId, env: &Env) -> Value {
+    let mut cache: FastHashMap<u32, Value> = FastHashMap::default();
+    enum Task {
+        Visit(ExprId),
+        Build(ExprId),
+    }
+    let mut stack = vec![Task::Visit(root)];
+    while let Some(task) = stack.pop() {
+        match task {
+            Task::Visit(e) => {
+                if cache.contains_key(&e.0) {
+                    continue;
+                }
+                stack.push(Task::Build(e));
+                for c in crate::backend::bitblast::children(ctx, e) {
+                    if !cache.contains_key(&c.0) {
+                        stack.push(Task::Visit(c));
+                    }
+                }
+            }
+            Task::Build(e) => {
+                if cache.contains_key(&e.0) {
+                    continue;
+                }
+                let v = build(ctx, env, &cache, e);
+                cache.insert(e.0, v);
+            }
+        }
+    }
+    cache.remove(&root.0).unwrap()
+}
+
+fn build(ctx: &Context, env: &Env, cache: &FastHashMap<u32, Value>, e: ExprId) -> Value {
+    let get = |id: &ExprId| cache[&id.0].clone();
+    match ctx.expr(e) {
+        Expr::Var(v) => match env.get(*v) {
+            Some(val) => {
+                debug_assert_eq!(val.sort(), ctx.var_sort(*v), "env value sort mismatch");
+                val.clone()
+            }
+            None => default_value(ctx, ctx.var_sort(*v)),
+        },
+        Expr::ConstBool(b) => Value::Bool(*b),
+        Expr::ConstInt { sort, bits } => Value::Int {
+            sort: *sort,
+            bits: *bits,
+        },
+        Expr::Not(a) => Value::Bool(!get(a).as_bool()),
+        Expr::And(a, b) => Value::Bool(get(a).as_bool() && get(b).as_bool()),
+        Expr::Or(a, b) => Value::Bool(get(a).as_bool() || get(b).as_bool()),
+        Expr::BvNot(a) => {
+            let sort = ctx.sort_of(*a);
+            Value::int(sort, !get(a).as_bits())
+        }
+        Expr::Bv(op, a, b) => {
+            let sort = ctx.sort_of(*a);
+            Value::int(
+                sort,
+                crate::semantics::bv_bin(*op, sort, get(a).as_bits(), get(b).as_bits()),
+            )
+        }
+        Expr::Eq(a, b) => Value::Bool(get(a) == get(b)),
+        Expr::Cmp(op, a, b) => {
+            let sort = ctx.sort_of(*a);
+            Value::Bool(crate::semantics::bv_cmp(
+                *op,
+                sort,
+                get(a).as_bits(),
+                get(b).as_bits(),
+            ))
+        }
+        Expr::If(c, t, f) => {
+            if get(c).as_bool() {
+                get(t)
+            } else {
+                get(f)
+            }
+        }
+        Expr::MakeStruct(id, fs) => {
+            Value::Struct(*id, fs.iter().map(|f| cache[&f.0].clone()).collect())
+        }
+        Expr::GetField(a, idx) => get(a).fields()[*idx as usize].clone(),
+        Expr::Cast(a, to) => {
+            let from = ctx.sort_of(*a);
+            Value::int(*to, crate::semantics::bv_cast(from, *to, get(a).as_bits()))
+        }
+    }
+}
+
+/// The default (zero) value of a sort, computed without touching the
+/// expression arena.
+pub fn default_value(ctx: &Context, sort: crate::sorts::Sort) -> Value {
+    use crate::sorts::Sort;
+    match sort {
+        Sort::Bool => Value::Bool(false),
+        Sort::BitVec { .. } => Value::Int { sort, bits: 0 },
+        Sort::Struct(id) => {
+            let sorts: Vec<Sort> = ctx.struct_info(id).fields.iter().map(|f| f.1).collect();
+            Value::Struct(
+                id,
+                sorts.into_iter().map(|s| default_value(ctx, s)).collect(),
+            )
+        }
+    }
+}

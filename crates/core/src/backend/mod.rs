@@ -1,0 +1,29 @@
+//! Analysis backends.
+//!
+//! The paper's central architectural claim is that one modeling language
+//! can serve many solvers. Here that is made literal: a single bit-level
+//! compiler ([`bitblast`]) translates the IR into Boolean circuits over an
+//! abstract Boolean algebra ([`boolalg::BoolAlg`]), and each solver backend
+//! is just an implementation of that algebra:
+//!
+//! * [`bdd`] — circuits over BDD nodes (with the §6 variable-ordering
+//!   interaction analysis),
+//! * [`smt`] — circuits over CNF literals, Tseitin-encoded and solved with
+//!   the CDCL solver (the paper's "bitvectors, then bitblast to SAT"
+//!   pipeline),
+//! * [`ternary`] — circuits over three-valued bits (fast abstract
+//!   interpretation, HSA-style ternary simulation).
+//!
+//! Orthogonally, [`interp`] evaluates the IR directly on concrete values
+//! (simulation), and [`compile`] lowers it to a register bytecode VM for
+//! repeated concrete execution (the paper's §8 "synthesizing
+//! implementations").
+
+pub mod bdd;
+pub mod bitblast;
+pub mod boolalg;
+pub mod compile;
+pub mod interp;
+pub mod ordering;
+pub mod smt;
+pub mod ternary;

@@ -1,0 +1,245 @@
+//! The SMT-style solver backend: eager bitvector bitblasting to CNF,
+//! solved by the CDCL engine in `rzen-sat`.
+//!
+//! The paper's SMT backend "encodes all primitive operations using the
+//! theory of bitvectors before bitblasting the formulas to SAT" via Z3
+//! (§6). No Z3 exists in this environment, so the same eager pipeline is
+//! implemented directly: the shared bit-level compiler produces circuits
+//! over [`CLit`]s, Tseitin-encoding each gate as it goes.
+
+use rzen_bdd::FastHashMap;
+use rzen_sat::{Lit, Solver};
+
+use crate::backend::bitblast::BitCompiler;
+use crate::backend::boolalg::BoolAlg;
+use crate::backend::interp::Env;
+use crate::ctx::Context;
+use crate::ir::{ExprId, VarId};
+use crate::sorts::Sort;
+use crate::value::Value;
+
+/// A CNF-level Boolean: a constant or a literal over the solver.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CLit {
+    /// Constant true.
+    T,
+    /// Constant false.
+    F,
+    /// A solver literal.
+    L(Lit),
+}
+
+/// The [`BoolAlg`] over CNF literals. Every gate allocates a fresh output
+/// variable and asserts its Tseitin definition.
+pub struct CnfAlg {
+    /// The underlying CDCL solver.
+    pub solver: Solver,
+    varmap: FastHashMap<(u32, u32), Lit>,
+}
+
+impl CnfAlg {
+    /// Fresh algebra over a fresh solver.
+    pub fn new() -> Self {
+        CnfAlg {
+            solver: Solver::new(),
+            varmap: FastHashMap::default(),
+        }
+    }
+
+    fn fresh(&mut self) -> Lit {
+        Lit::pos(self.solver.new_var())
+    }
+
+    /// The solver literal carrying bit `bit` of `var`, if it was ever
+    /// mentioned.
+    pub fn lookup(&self, var: VarId, bit: u32) -> Option<Lit> {
+        self.varmap.get(&(var.0, bit)).copied()
+    }
+
+    /// Iterate over all allocated (var, bit) → literal assignments.
+    pub fn var_bits(&self) -> impl Iterator<Item = (VarId, u32, Lit)> + '_ {
+        self.varmap.iter().map(|(&(v, b), &l)| (VarId(v), b, l))
+    }
+
+    /// Assert a [`CLit`] as a unit constraint. Returns `false` if the
+    /// formula became unsatisfiable.
+    pub fn assert_true(&mut self, b: CLit) -> bool {
+        match b {
+            CLit::T => true,
+            CLit::F => false,
+            CLit::L(l) => self.solver.add_clause(&[l]),
+        }
+    }
+}
+
+impl Default for CnfAlg {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BoolAlg for CnfAlg {
+    type B = CLit;
+
+    fn lit(&mut self, b: bool) -> CLit {
+        if b {
+            CLit::T
+        } else {
+            CLit::F
+        }
+    }
+
+    fn var_bit(&mut self, var: VarId, bit: u32) -> CLit {
+        if let Some(&l) = self.varmap.get(&(var.0, bit)) {
+            return CLit::L(l);
+        }
+        let l = self.fresh();
+        self.varmap.insert((var.0, bit), l);
+        CLit::L(l)
+    }
+
+    fn not(&mut self, a: &CLit) -> CLit {
+        match *a {
+            CLit::T => CLit::F,
+            CLit::F => CLit::T,
+            CLit::L(l) => CLit::L(!l),
+        }
+    }
+
+    fn and(&mut self, a: &CLit, b: &CLit) -> CLit {
+        match (*a, *b) {
+            (CLit::F, _) | (_, CLit::F) => CLit::F,
+            (CLit::T, x) | (x, CLit::T) => x,
+            (CLit::L(x), CLit::L(y)) if x == y => CLit::L(x),
+            (CLit::L(x), CLit::L(y)) if x == !y => CLit::F,
+            (CLit::L(x), CLit::L(y)) => {
+                let g = self.fresh();
+                self.solver.add_clause(&[!g, x]);
+                self.solver.add_clause(&[!g, y]);
+                self.solver.add_clause(&[g, !x, !y]);
+                CLit::L(g)
+            }
+        }
+    }
+
+    fn or(&mut self, a: &CLit, b: &CLit) -> CLit {
+        match (*a, *b) {
+            (CLit::T, _) | (_, CLit::T) => CLit::T,
+            (CLit::F, x) | (x, CLit::F) => x,
+            (CLit::L(x), CLit::L(y)) if x == y => CLit::L(x),
+            (CLit::L(x), CLit::L(y)) if x == !y => CLit::T,
+            (CLit::L(x), CLit::L(y)) => {
+                let g = self.fresh();
+                self.solver.add_clause(&[g, !x]);
+                self.solver.add_clause(&[g, !y]);
+                self.solver.add_clause(&[!g, x, y]);
+                CLit::L(g)
+            }
+        }
+    }
+
+    fn xor(&mut self, a: &CLit, b: &CLit) -> CLit {
+        match (*a, *b) {
+            (CLit::F, x) | (x, CLit::F) => x,
+            (CLit::T, x) | (x, CLit::T) => self.not(&x),
+            (CLit::L(x), CLit::L(y)) if x == y => CLit::F,
+            (CLit::L(x), CLit::L(y)) if x == !y => CLit::T,
+            (CLit::L(x), CLit::L(y)) => {
+                let g = self.fresh();
+                self.solver.add_clause(&[!g, x, y]);
+                self.solver.add_clause(&[!g, !x, !y]);
+                self.solver.add_clause(&[g, x, !y]);
+                self.solver.add_clause(&[g, !x, y]);
+                CLit::L(g)
+            }
+        }
+    }
+
+    fn ite(&mut self, c: &CLit, t: &CLit, e: &CLit) -> CLit {
+        match *c {
+            CLit::T => return *t,
+            CLit::F => return *e,
+            CLit::L(cl) => {
+                if t == e {
+                    return *t;
+                }
+                match (*t, *e) {
+                    (CLit::T, CLit::F) => return *c,
+                    (CLit::F, CLit::T) => return self.not(c),
+                    // ite(c, true, x)  = c ∨ x
+                    (CLit::T, x) => return self.or(c, &x),
+                    // ite(c, false, x) = ¬c ∧ x
+                    (CLit::F, x) => {
+                        let nc = self.not(c);
+                        return self.and(&nc, &x);
+                    }
+                    // ite(c, x, true)  = ¬c ∨ x
+                    (x, CLit::T) => {
+                        let nc = self.not(c);
+                        return self.or(&nc, &x);
+                    }
+                    // ite(c, x, false) = c ∧ x
+                    (x, CLit::F) => return self.and(c, &x),
+                    (CLit::L(tl), CLit::L(el)) => {
+                        let g = self.fresh();
+                        self.solver.add_clause(&[!g, !cl, tl]);
+                        self.solver.add_clause(&[!g, cl, el]);
+                        self.solver.add_clause(&[g, !cl, !tl]);
+                        self.solver.add_clause(&[g, cl, !el]);
+                        CLit::L(g)
+                    }
+                }
+            }
+        }
+    }
+
+    fn const_of(&self, b: &CLit) -> Option<bool> {
+        match b {
+            CLit::T => Some(true),
+            CLit::F => Some(false),
+            CLit::L(_) => None,
+        }
+    }
+}
+
+/// Solve a boolean expression with the SAT pipeline; `Some(env)` maps each
+/// variable to a concrete value on success.
+pub fn solve(ctx: &Context, root: ExprId) -> Option<Env> {
+    assert_eq!(ctx.sort_of(root), Sort::Bool, "solve: root must be Bool");
+    let mut alg = CnfAlg::new();
+    let mut compiler = BitCompiler::new(&mut alg);
+    let sym = compiler.compile(ctx, root);
+    let b = *sym.as_bool();
+    if !alg.assert_true(b) {
+        return None;
+    }
+    if !alg.solver.solve() {
+        return None;
+    }
+    Some(extract_env(ctx, &alg))
+}
+
+/// Read a model out of a satisfied solver.
+pub fn extract_env(ctx: &Context, alg: &CnfAlg) -> Env {
+    let mut acc: FastHashMap<u32, u64> = FastHashMap::default();
+    for (var, bit, lit) in alg.var_bits() {
+        let value = alg.solver.value(lit.var()) == lit.is_pos();
+        if value {
+            *acc.entry(var.0).or_insert(0) |= 1u64 << bit;
+        } else {
+            acc.entry(var.0).or_insert(0);
+        }
+    }
+    let mut env = Env::new();
+    for (var_idx, bits) in acc {
+        let var = VarId(var_idx);
+        let sort = ctx.var_sort(var);
+        let val = match sort {
+            Sort::Bool => Value::Bool(bits & 1 == 1),
+            Sort::BitVec { .. } => Value::int(sort, bits),
+            Sort::Struct(_) => unreachable!(),
+        };
+        env.bind(var, val);
+    }
+    env
+}

@@ -1,0 +1,162 @@
+//! The ternary abstract-interpretation backend.
+//!
+//! Evaluates circuits over three-valued bits `{0, 1, *}` (Kleene logic):
+//! any variable bit left unbound is `*` (unknown), and the result reports
+//! what is *definitely* true or false regardless of the unknowns. This is
+//! the abstraction behind HSA's ternary simulation and Shapeshifter-style
+//! abstract interpretation of control planes (Table 1) — fast, sound, and
+//! incomplete.
+//!
+//! Because "known" inputs are simply modeled as constants in the
+//! expression (everything a `Zen` model already supports), the public API
+//! needs no separate notion of a partial input: build the expression with
+//! constants where values are known and symbolic values where they are
+//! not, then evaluate.
+
+use crate::backend::bitblast::{BitCompiler, SymVal};
+use crate::backend::boolalg::BoolAlg;
+use crate::backend::interp::Env;
+use crate::ctx::Context;
+use crate::ir::{ExprId, VarId};
+use crate::sorts::Sort;
+use crate::value::Value;
+
+/// A three-valued bit: `Some(b)` is known, `None` is unknown.
+pub type Bit3 = Option<bool>;
+
+/// The [`BoolAlg`] over three-valued bits, with an optional environment of
+/// known variable values.
+pub struct TernaryAlg<'e> {
+    env: Option<&'e Env>,
+}
+
+impl<'e> TernaryAlg<'e> {
+    /// All variables unknown.
+    pub fn new() -> Self {
+        TernaryAlg { env: None }
+    }
+
+    /// Variables bound in `env` are known; the rest are unknown.
+    pub fn with_env(env: &'e Env) -> Self {
+        TernaryAlg { env: Some(env) }
+    }
+}
+
+impl Default for TernaryAlg<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BoolAlg for TernaryAlg<'_> {
+    type B = Bit3;
+
+    fn lit(&mut self, b: bool) -> Bit3 {
+        Some(b)
+    }
+
+    fn var_bit(&mut self, var: VarId, bit: u32) -> Bit3 {
+        let env = self.env?;
+        let val = env.get(var)?;
+        match val {
+            Value::Bool(b) => Some(*b),
+            Value::Int { bits, .. } => Some(bits >> bit & 1 == 1),
+            Value::Struct(..) => unreachable!("variables are primitive"),
+        }
+    }
+
+    fn not(&mut self, a: &Bit3) -> Bit3 {
+        a.map(|b| !b)
+    }
+
+    fn and(&mut self, a: &Bit3, b: &Bit3) -> Bit3 {
+        match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), x) | (x, Some(true)) => *x,
+            _ => None,
+        }
+    }
+
+    fn or(&mut self, a: &Bit3, b: &Bit3) -> Bit3 {
+        match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), x) | (x, Some(false)) => *x,
+            _ => None,
+        }
+    }
+
+    fn const_of(&self, b: &Bit3) -> Option<bool> {
+        *b
+    }
+}
+
+/// A ternary evaluation result.
+#[derive(Clone, Debug)]
+pub struct Ternary {
+    sym: std::rc::Rc<SymVal<Bit3>>,
+    sort: Sort,
+}
+
+impl Ternary {
+    /// If all bits are known, the concrete value.
+    pub fn concrete(&self, ctx: &Context) -> Option<Value> {
+        concretize(ctx, &self.sym, self.sort)
+    }
+
+    /// For boolean results: definitely true / definitely false / unknown.
+    pub fn bool3(&self) -> Bit3 {
+        *self.sym.as_bool()
+    }
+
+    /// The raw three-valued bits.
+    pub fn sym(&self) -> &SymVal<Bit3> {
+        &self.sym
+    }
+}
+
+fn concretize(ctx: &Context, s: &SymVal<Bit3>, sort: Sort) -> Option<Value> {
+    match (s, sort) {
+        (SymVal::Bool(b), Sort::Bool) => b.map(Value::Bool),
+        (SymVal::Bv(bits), Sort::BitVec { .. }) => {
+            let mut out = 0u64;
+            for (i, b) in bits.iter().enumerate() {
+                if (*b)? {
+                    out |= 1 << i;
+                }
+            }
+            Some(Value::int(sort, out))
+        }
+        (SymVal::Struct(fs), Sort::Struct(id)) => {
+            let sorts: Vec<Sort> = ctx.struct_info(id).fields.iter().map(|f| f.1).collect();
+            let vals: Option<Vec<Value>> = fs
+                .iter()
+                .zip(sorts)
+                .map(|(f, fs_sort)| concretize(ctx, f, fs_sort))
+                .collect();
+            Some(Value::Struct(id, vals?))
+        }
+        _ => unreachable!("sort/shape mismatch"),
+    }
+}
+
+/// Ternary-evaluate an expression; variables bound in `env` are known,
+/// the rest are `*`.
+pub fn eval(ctx: &Context, root: ExprId, env: Option<&Env>) -> Ternary {
+    let mut alg = match env {
+        Some(e) => TernaryAlg::with_env(e),
+        None => TernaryAlg::new(),
+    };
+    let mut compiler = BitCompiler::new(&mut alg);
+    let sym = compiler.compile(ctx, root);
+    Ternary {
+        sym,
+        sort: ctx.sort_of(root),
+    }
+}
+
+/// Shortcut: ternary truth value of a boolean expression with all
+/// variables unknown.
+pub fn eval_bool3(ctx: &Context, root: ExprId) -> Bit3 {
+    assert_eq!(ctx.sort_of(root), Sort::Bool);
+    eval(ctx, root, None).bool3()
+}

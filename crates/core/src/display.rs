@@ -1,0 +1,201 @@
+//! Human-readable rendering of expressions (debugging aid).
+//!
+//! Expression DAGs can be enormous (a 15,000-line ACL model), so the
+//! renderer is budgeted: beyond a node budget it falls back to `…` and
+//! shared subexpressions render as `#id` references after their first
+//! occurrence.
+
+use rzen_bdd::FastHashSet;
+
+use crate::ctx::{with_ctx, Context};
+use crate::ir::{Bv2, CmpOp, Expr, ExprId};
+use crate::lang::Zen;
+
+/// Render an expression with the default budget (200 nodes).
+pub fn render<T>(e: Zen<T>) -> String {
+    render_budgeted(e.expr_id(), 200)
+}
+
+/// Render an expression id with an explicit node budget.
+pub fn render_budgeted(e: ExprId, budget: usize) -> String {
+    with_ctx(|ctx| {
+        let mut r = Renderer {
+            ctx,
+            seen: FastHashSet::default(),
+            budget,
+        };
+        let mut out = String::new();
+        r.go(e, &mut out);
+        out
+    })
+}
+
+struct Renderer<'c> {
+    ctx: &'c Context,
+    seen: FastHashSet<u32>,
+    budget: usize,
+}
+
+impl Renderer<'_> {
+    fn go(&mut self, e: ExprId, out: &mut String) {
+        if self.budget == 0 {
+            out.push('…');
+            return;
+        }
+        self.budget -= 1;
+        // Share-aware: repeated non-leaf nodes print as references.
+        let leaf = matches!(
+            self.ctx.expr(e),
+            Expr::Var(_) | Expr::ConstBool(_) | Expr::ConstInt { .. }
+        );
+        if !leaf && !self.seen.insert(e.0) {
+            out.push_str(&format!("#{}", e.0));
+            return;
+        }
+        match self.ctx.expr(e) {
+            Expr::Var(v) => out.push_str(&format!("v{}", v.index())),
+            Expr::ConstBool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Expr::ConstInt { bits, .. } => out.push_str(&format!("{bits}")),
+            Expr::Not(a) => {
+                out.push('!');
+                self.go(*a, out);
+            }
+            Expr::And(a, b) => self.binary(*a, "&&", *b, out),
+            Expr::Or(a, b) => self.binary(*a, "||", *b, out),
+            Expr::BvNot(a) => {
+                out.push('~');
+                self.go(*a, out);
+            }
+            Expr::Bv(op, a, b) => {
+                let sym = match op {
+                    Bv2::Add => "+",
+                    Bv2::Sub => "-",
+                    Bv2::Mul => "*",
+                    Bv2::And => "&",
+                    Bv2::Or => "|",
+                    Bv2::Xor => "^",
+                    Bv2::Shl => "<<",
+                    Bv2::Shr => ">>",
+                };
+                self.binary(*a, sym, *b, out);
+            }
+            Expr::Eq(a, b) => self.binary(*a, "==", *b, out),
+            Expr::Cmp(op, a, b) => {
+                let sym = match op {
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                };
+                self.binary(*a, sym, *b, out);
+            }
+            Expr::If(c, t, f) => {
+                out.push_str("if ");
+                self.go(*c, out);
+                out.push_str(" then ");
+                self.go(*t, out);
+                out.push_str(" else ");
+                self.go(*f, out);
+            }
+            Expr::MakeStruct(id, fs) => {
+                let (name, fields): (String, Vec<String>) = {
+                    let info = self.ctx.struct_info(*id);
+                    (
+                        info.name.clone(),
+                        info.fields.iter().map(|f| f.0.clone()).collect(),
+                    )
+                };
+                out.push_str(&name);
+                out.push('{');
+                for (i, (&f, fname)) in fs.iter().zip(&fields).enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(fname);
+                    out.push_str(": ");
+                    self.go(f, out);
+                }
+                out.push('}');
+            }
+            Expr::Cast(a, to) => {
+                out.push_str("cast<");
+                out.push_str(&format!("{to:?}"));
+                out.push_str(">(");
+                self.go(*a, out);
+                out.push(')');
+            }
+            Expr::GetField(a, idx) => {
+                self.go(*a, out);
+                let fname = {
+                    let crate::sorts::Sort::Struct(id) = self.ctx.sort_of(*a) else {
+                        unreachable!()
+                    };
+                    self.ctx.struct_info(id).fields[*idx as usize].0.clone()
+                };
+                out.push('.');
+                out.push_str(&fname);
+            }
+        }
+    }
+
+    fn binary(&mut self, a: ExprId, sym: &str, b: ExprId, out: &mut String) {
+        out.push('(');
+        self.go(a, out);
+        out.push(' ');
+        out.push_str(sym);
+        out.push(' ');
+        self.go(b, out);
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::zif;
+
+    #[test]
+    fn renders_basic_shapes() {
+        crate::reset_ctx();
+        let x = Zen::<u8>::symbolic(0);
+        let e = zif(x.lt(Zen::val(10)), x + 1u8, x - 1u8);
+        let s = render(e);
+        assert!(s.contains("if"), "{s}");
+        assert!(s.contains('<'), "{s}");
+        assert!(s.contains("v0"), "{s}");
+    }
+
+    #[test]
+    fn respects_budget() {
+        crate::reset_ctx();
+        let mut e = Zen::<u16>::symbolic(0);
+        for i in 0..100u16 {
+            e = zif(e.lt(Zen::val(i)), e + 1u16, e);
+        }
+        let s = render_budgeted(e.expr_id(), 20);
+        assert!(s.contains('…'));
+        assert!(s.len() < 4000);
+    }
+
+    #[test]
+    fn shares_repeated_subterms() {
+        crate::reset_ctx();
+        let x = Zen::<u8>::symbolic(0);
+        let heavy = (x + 1u8) * 3u8;
+        let both = heavy.eq(heavy + 0u8); // same node twice (+0 folds away)
+        let s = render(both);
+        // The second occurrence is a reference.
+        assert!(s.contains('#') || s == "true", "{s}");
+    }
+
+    #[test]
+    fn renders_struct_fields_by_name() {
+        crate::reset_ctx();
+        let o = Zen::<Option<u8>>::symbolic(0);
+        // The whole option renders as a named struct literal. (A field
+        // projection like `is_some()` folds straight to the underlying
+        // variable, so there is no `.has` node to print.)
+        let s = render(o);
+        assert!(s.contains("Option{"), "{s}");
+        assert!(s.contains("has:"), "{s}");
+        assert!(s.contains("val:"), "{s}");
+    }
+}

@@ -1,0 +1,337 @@
+//! `Zen<T>`: a typed handle to a symbolic or concrete expression.
+//!
+//! This is the Rust counterpart of the paper's `Zen<T>` wrapper type: "a
+//! value of type T that is handled by the Zen library and can be either
+//! symbolic or concrete" (§3). Handles are `Copy` indices into the
+//! thread-local expression arena and are deliberately `!Send`.
+
+use std::marker::PhantomData;
+
+use crate::ctx::with_ctx;
+use crate::ir::{Bv2, CmpOp, ExprId};
+use crate::lang::unify::unify_exprs;
+use crate::lang::ztype::{ZenInt, ZenType};
+
+/// A typed handle to an expression of model type `T`.
+pub struct Zen<T: ?Sized> {
+    pub(crate) id: ExprId,
+    _t: PhantomData<fn() -> T>,
+    _local: PhantomData<*const ()>,
+}
+
+impl<T: ?Sized> Clone for Zen<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T: ?Sized> Copy for Zen<T> {}
+
+impl<T: ?Sized> std::fmt::Debug for Zen<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Zen(#{})", self.id.0)
+    }
+}
+
+impl<T: ?Sized> Zen<T> {
+    /// Wrap a raw expression id. Type-correctness is the caller's burden;
+    /// all sort errors are caught by the context's checks at operation
+    /// time.
+    #[doc(hidden)]
+    pub fn from_id(id: ExprId) -> Self {
+        Zen {
+            id,
+            _t: PhantomData,
+            _local: PhantomData,
+        }
+    }
+
+    /// The underlying expression id.
+    pub fn expr_id(self) -> ExprId {
+        self.id
+    }
+
+    /// Project struct field `idx`, retyping to `U`.
+    #[doc(hidden)]
+    pub fn project<U>(self, idx: u32) -> Zen<U> {
+        Zen::from_id(with_ctx(|ctx| ctx.mk_get(self.id, idx)))
+    }
+
+    /// Functionally update struct field `idx` with `v`. Tolerates a
+    /// sort-changing value (e.g. a list that grew), re-registering the
+    /// struct sort as needed.
+    #[doc(hidden)]
+    pub fn with_field<U>(self, idx: u32, v: Zen<U>) -> Zen<T> {
+        Zen::from_id(crate::lang::unify::with_field_dyn(self.id, idx, v.id))
+    }
+}
+
+impl<T: ZenType> Zen<T> {
+    /// Lift a concrete value into the language.
+    pub fn constant(v: &T) -> Zen<T> {
+        let val = v.to_value();
+        Zen::from_id(with_ctx(|ctx| ctx.mk_const_value(&val)))
+    }
+
+    /// A fresh symbolic value. Composite types become structs of fresh
+    /// primitive variables; lists get `bound` element slots.
+    pub fn symbolic(bound: u16) -> Zen<T> {
+        Zen::from_id(T::make_symbolic(bound))
+    }
+
+    /// Equality (`==` cannot be overloaded to return `Zen<bool>` in Rust).
+    /// Structs compare field-wise; lists compare length and the valid
+    /// prefix.
+    pub fn eq(self, other: Zen<T>) -> Zen<bool> {
+        let (a, b) = unify_exprs(self.id, other.id);
+        Zen::from_id(with_ctx(|ctx| ctx.mk_eq(a, b)))
+    }
+
+    /// Disequality.
+    pub fn ne(self, other: Zen<T>) -> Zen<bool> {
+        !self.eq(other)
+    }
+}
+
+impl<T: ZenInt> Zen<T> {
+    /// Lift a plain integer.
+    pub fn val(v: T) -> Zen<T> {
+        Zen::from_id(with_ctx(|ctx| ctx.mk_int(T::SORT, v.to_bits())))
+    }
+
+    /// Strictly-less-than (signedness from the type).
+    pub fn lt(self, other: Zen<T>) -> Zen<bool> {
+        Zen::from_id(with_ctx(|ctx| ctx.mk_cmp(CmpOp::Lt, self.id, other.id)))
+    }
+
+    /// Less-than-or-equal.
+    pub fn le(self, other: Zen<T>) -> Zen<bool> {
+        Zen::from_id(with_ctx(|ctx| ctx.mk_cmp(CmpOp::Le, self.id, other.id)))
+    }
+
+    /// Strictly-greater-than.
+    pub fn gt(self, other: Zen<T>) -> Zen<bool> {
+        other.lt(self)
+    }
+
+    /// Greater-than-or-equal.
+    pub fn ge(self, other: Zen<T>) -> Zen<bool> {
+        other.le(self)
+    }
+}
+
+impl<T: ZenInt> Zen<T> {
+    /// Convert to another integer type: widening zero-extends unsigned
+    /// values and sign-extends signed ones; narrowing truncates (the
+    /// semantics of `as` between Rust integers).
+    pub fn cast<U: ZenInt>(self) -> Zen<U> {
+        Zen::from_id(with_ctx(|ctx| ctx.mk_cast(self.id, U::SORT)))
+    }
+}
+
+impl Zen<bool> {
+    /// A boolean constant.
+    pub fn bool(b: bool) -> Zen<bool> {
+        Zen::from_id(with_ctx(|ctx| ctx.mk_bool(b)))
+    }
+
+    /// Conjunction (also available as `&`).
+    pub fn and(self, other: Zen<bool>) -> Zen<bool> {
+        Zen::from_id(with_ctx(|ctx| ctx.mk_and(self.id, other.id)))
+    }
+
+    /// Disjunction (also available as `|`).
+    pub fn or(self, other: Zen<bool>) -> Zen<bool> {
+        Zen::from_id(with_ctx(|ctx| ctx.mk_or(self.id, other.id)))
+    }
+
+    /// Implication `self → other`.
+    pub fn implies(self, other: Zen<bool>) -> Zen<bool> {
+        (!self).or(other)
+    }
+
+    /// Biconditional.
+    pub fn iff(self, other: Zen<bool>) -> Zen<bool> {
+        self.eq(other)
+    }
+}
+
+/// Conditional: `if c then t else e` over any model type. Branch sorts are
+/// unified (lists are padded to a common slot count), implementing the
+/// type-driven merging of the paper's §6.
+pub fn zif<T>(c: Zen<bool>, t: Zen<T>, e: Zen<T>) -> Zen<T> {
+    let (t, e) = unify_exprs(t.id, e.id);
+    Zen::from_id(with_ctx(|ctx| ctx.mk_if(c.id, t, e)))
+}
+
+/// Build a symbolic pair.
+pub fn pair<A: ZenType, B: ZenType>(a: Zen<A>, b: Zen<B>) -> Zen<(A, B)> {
+    let sort = crate::lang::ztype::tuple_sort(&[
+        with_ctx(|ctx| ctx.sort_of(a.id)),
+        with_ctx(|ctx| ctx.sort_of(b.id)),
+    ]);
+    let crate::sorts::Sort::Struct(id) = sort else {
+        unreachable!()
+    };
+    Zen::from_id(with_ctx(|ctx| ctx.mk_struct(id, vec![a.id, b.id])))
+}
+
+/// Build a symbolic triple.
+pub fn triple<A: ZenType, B: ZenType, C: ZenType>(
+    a: Zen<A>,
+    b: Zen<B>,
+    c: Zen<C>,
+) -> Zen<(A, B, C)> {
+    let sort = crate::lang::ztype::tuple_sort(&[
+        with_ctx(|ctx| ctx.sort_of(a.id)),
+        with_ctx(|ctx| ctx.sort_of(b.id)),
+        with_ctx(|ctx| ctx.sort_of(c.id)),
+    ]);
+    let crate::sorts::Sort::Struct(id) = sort else {
+        unreachable!()
+    };
+    Zen::from_id(with_ctx(|ctx| ctx.mk_struct(id, vec![a.id, b.id, c.id])))
+}
+
+impl<A: ZenType, B: ZenType> Zen<(A, B)> {
+    /// First component.
+    pub fn item1(self) -> Zen<A> {
+        self.project(0)
+    }
+
+    /// Second component.
+    pub fn item2(self) -> Zen<B> {
+        self.project(1)
+    }
+}
+
+impl<A: ZenType, B: ZenType, C: ZenType> Zen<(A, B, C)> {
+    /// First component.
+    pub fn item1(self) -> Zen<A> {
+        self.project(0)
+    }
+
+    /// Second component.
+    pub fn item2(self) -> Zen<B> {
+        self.project(1)
+    }
+
+    /// Third component.
+    pub fn item3(self) -> Zen<C> {
+        self.project(2)
+    }
+}
+
+// ---- Option API ----
+
+impl<T: ZenType> Zen<Option<T>> {
+    /// `Some(v)`.
+    pub fn some(v: Zen<T>) -> Zen<Option<T>> {
+        let tru = Zen::<bool>::bool(true);
+        let sort = with_ctx(|ctx| ctx.sort_of(v.id));
+        let id = crate::lang::ztype::option_struct_id(sort);
+        Zen::from_id(with_ctx(|ctx| ctx.mk_struct(id, vec![tru.id, v.id])))
+    }
+
+    /// `None`. The payload slot holds the default value of the payload
+    /// sort (list bound `bound` if the payload contains lists), keeping the
+    /// canonical-representation invariant that makes structural equality
+    /// correct.
+    pub fn none(bound: u16) -> Zen<Option<T>> {
+        let fls = Zen::<bool>::bool(false);
+        let payload_sort = T::sort(bound);
+        let id = crate::lang::ztype::option_struct_id(payload_sort);
+        let dft = with_ctx(|ctx| ctx.mk_default(payload_sort));
+        Zen::from_id(with_ctx(|ctx| ctx.mk_struct(id, vec![fls.id, dft])))
+    }
+
+    /// Does the option hold a value?
+    pub fn is_some(self) -> Zen<bool> {
+        self.project(0)
+    }
+
+    /// Is the option empty?
+    pub fn is_none(self) -> Zen<bool> {
+        !self.is_some()
+    }
+
+    /// The payload (the payload-sort default if the option is `None`).
+    pub fn value(self) -> Zen<T> {
+        self.project(1)
+    }
+
+    /// The payload, or `d` if the option is `None`.
+    pub fn value_or(self, d: Zen<T>) -> Zen<T> {
+        zif(self.is_some(), self.value(), d)
+    }
+
+    /// Map over the payload, preserving emptiness. The result's payload
+    /// slot is the default when `None` (canonicity).
+    pub fn map<U: ZenType>(self, f: impl FnOnce(Zen<T>) -> Zen<U>) -> Zen<Option<U>> {
+        let mapped = f(self.value());
+        let bound = 0;
+        let none = Zen::<Option<U>>::none(bound);
+        zif(self.is_some(), Zen::some(mapped), none)
+    }
+
+    /// Keep the value only if `keep` holds.
+    pub fn filter(self, keep: impl FnOnce(Zen<T>) -> Zen<bool>) -> Zen<Option<T>> {
+        let cond = self.is_some().and(keep(self.value()));
+        zif(cond, self, Zen::none(0))
+    }
+}
+
+// ---- Operator overloading ----
+
+macro_rules! bin_op {
+    ($trait:ident, $method:ident, $op:expr) => {
+        impl<T: ZenInt> std::ops::$trait for Zen<T> {
+            type Output = Zen<T>;
+            fn $method(self, rhs: Zen<T>) -> Zen<T> {
+                Zen::from_id(with_ctx(|ctx| ctx.mk_bv($op, self.id, rhs.id)))
+            }
+        }
+        impl<T: ZenInt> std::ops::$trait<T> for Zen<T> {
+            type Output = Zen<T>;
+            fn $method(self, rhs: T) -> Zen<T> {
+                let rhs = Zen::val(rhs);
+                Zen::from_id(with_ctx(|ctx| ctx.mk_bv($op, self.id, rhs.id)))
+            }
+        }
+    };
+}
+
+bin_op!(Add, add, Bv2::Add);
+bin_op!(Sub, sub, Bv2::Sub);
+bin_op!(Mul, mul, Bv2::Mul);
+bin_op!(BitAnd, bitand, Bv2::And);
+bin_op!(BitOr, bitor, Bv2::Or);
+bin_op!(BitXor, bitxor, Bv2::Xor);
+bin_op!(Shl, shl, Bv2::Shl);
+bin_op!(Shr, shr, Bv2::Shr);
+
+impl std::ops::Not for Zen<bool> {
+    type Output = Zen<bool>;
+    fn not(self) -> Zen<bool> {
+        Zen::from_id(with_ctx(|ctx| ctx.mk_not(self.id)))
+    }
+}
+
+impl std::ops::BitAnd for Zen<bool> {
+    type Output = Zen<bool>;
+    fn bitand(self, rhs: Zen<bool>) -> Zen<bool> {
+        self.and(rhs)
+    }
+}
+
+impl std::ops::BitOr for Zen<bool> {
+    type Output = Zen<bool>;
+    fn bitor(self, rhs: Zen<bool>) -> Zen<bool> {
+        self.or(rhs)
+    }
+}
+
+impl<T: ZenInt> From<T> for Zen<T> {
+    fn from(v: T) -> Self {
+        Zen::val(v)
+    }
+}

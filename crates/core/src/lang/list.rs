@@ -1,0 +1,235 @@
+//! Bounded symbolic lists: `Zen<Vec<T>>`.
+//!
+//! As in the paper's §6, a symbolic list is represented by "a variable to
+//! represent the list length and another collection of variables to
+//! represent the list elements". Here the representation is a struct sort
+//! `{ len: u16, e0..e{n-1}: T }`, where `n` (the slot count) is fixed per
+//! sort and grows structurally as `cons` is applied. The maximum symbolic
+//! length comes from the bound passed to `Zen::symbolic` / `find`.
+//!
+//! **Canonicity invariant**: every list expression built through this API
+//! keeps all slots at positions `>= len` equal to the element sort's
+//! default value. This makes structural equality over the underlying
+//! struct coincide with list equality, so lists nest freely inside other
+//! modeled types.
+
+use crate::ctx::with_ctx;
+use crate::lang::expr::{zif, Zen};
+use crate::lang::ztype::{list_sort_parts, list_struct_id, ZenType};
+use crate::sorts::Sort;
+
+impl<T: ZenType> Zen<Vec<T>> {
+    /// The empty list (zero slots).
+    pub fn nil() -> Zen<Vec<T>> {
+        let elem = T::sort(0);
+        let id = list_struct_id(elem, 0);
+        Zen::from_id(with_ctx(|ctx| {
+            let len = ctx.mk_int(Sort::bv(16), 0);
+            ctx.mk_struct(id, vec![len])
+        }))
+    }
+
+    /// Number of element slots in this list's sort (its capacity, not its
+    /// length).
+    pub fn slots(self) -> u16 {
+        let sort = with_ctx(|ctx| ctx.sort_of(self.id));
+        list_sort_parts(sort).expect("not a list sort").1
+    }
+
+    fn elem_sort(self) -> Sort {
+        let sort = with_ctx(|ctx| ctx.sort_of(self.id));
+        list_sort_parts(sort).expect("not a list sort").0
+    }
+
+    /// The list's length.
+    pub fn length(self) -> Zen<u16> {
+        self.project(0)
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(self) -> Zen<bool> {
+        self.length().eq(Zen::val(0))
+    }
+
+    /// Raw access to slot `i` (the element-sort default beyond the
+    /// length). Prefer [`Zen::at`] for semantic indexing.
+    pub fn slot(self, i: u16) -> Zen<T> {
+        assert!(i < self.slots(), "slot {i} out of range");
+        self.project(1 + i as u32)
+    }
+
+    /// Prepend an element (the paper's `e1 :: e2`). The result has one
+    /// more slot than the input.
+    pub fn cons(self, head: Zen<T>) -> Zen<Vec<T>> {
+        let n = self.slots();
+        let elem = self.elem_sort();
+        let head_sort = with_ctx(|ctx| ctx.sort_of(head.id));
+        // Unify element sorts (heads containing lists may differ).
+        let target_elem = crate::lang::unify::unify_sorts(elem, head_sort);
+        let head = crate::lang::unify::coerce_expr(head.id, target_elem);
+        let id = list_struct_id(target_elem, n + 1);
+        let mut fields = Vec::with_capacity(n as usize + 2);
+        let one = Zen::<u16>::val(1);
+        fields.push((self.length() + one).id);
+        fields.push(head);
+        for i in 0..n {
+            fields.push(crate::lang::unify::coerce_expr(
+                self.slot(i).id,
+                target_elem,
+            ));
+        }
+        Zen::from_id(with_ctx(|ctx| ctx.mk_struct(id, fields)))
+    }
+
+    /// The head element, if any.
+    pub fn head(self) -> Zen<Option<T>> {
+        if self.slots() == 0 {
+            return Zen::none(0);
+        }
+        let some = Zen::some(self.slot(0));
+        zif(self.is_empty(), Zen::none(0), some)
+    }
+
+    /// The tail of the list (empty stays empty). The result has one fewer
+    /// slot.
+    pub fn tail(self) -> Zen<Vec<T>> {
+        let n = self.slots();
+        if n == 0 {
+            return self;
+        }
+        let elem = self.elem_sort();
+        let id = list_struct_id(elem, n - 1);
+        let zero = Zen::<u16>::val(0);
+        let one = Zen::<u16>::val(1);
+        let new_len = zif(self.is_empty(), zero, self.length() - one);
+        let mut fields = vec![new_len.id];
+        for i in 1..n {
+            fields.push(self.slot(i).id);
+        }
+        Zen::from_id(with_ctx(|ctx| ctx.mk_struct(id, fields)))
+    }
+
+    /// Pattern match (the paper's `case e1 of e2 ⇒ e3`): `nil_case` when
+    /// empty, otherwise `cons_case(head, tail)`.
+    pub fn case<U: ZenType>(
+        self,
+        nil_case: impl FnOnce() -> Zen<U>,
+        cons_case: impl FnOnce(Zen<T>, Zen<Vec<T>>) -> Zen<U>,
+    ) -> Zen<U> {
+        if self.slots() == 0 {
+            return nil_case();
+        }
+        let cons = cons_case(self.slot(0), self.tail());
+        zif(self.is_empty(), nil_case(), cons)
+    }
+
+    /// Element at a symbolic index, if within the length.
+    pub fn at(self, idx: Zen<u16>) -> Zen<Option<T>> {
+        let mut acc: Zen<Option<T>> = Zen::none(0);
+        for i in (0..self.slots()).rev() {
+            let here = idx.eq(Zen::val(i)).and(self.in_range(i));
+            acc = zif(here, Zen::some(self.slot(i)), acc);
+        }
+        acc
+    }
+
+    fn in_range(self, i: u16) -> Zen<bool> {
+        Zen::<u16>::val(i).lt(self.length())
+    }
+
+    /// Does any (valid) element satisfy the predicate?
+    pub fn any(self, f: impl Fn(Zen<T>) -> Zen<bool>) -> Zen<bool> {
+        let mut acc = Zen::bool(false);
+        for i in 0..self.slots() {
+            acc = acc.or(self.in_range(i).and(f(self.slot(i))));
+        }
+        acc
+    }
+
+    /// Do all (valid) elements satisfy the predicate?
+    pub fn all(self, f: impl Fn(Zen<T>) -> Zen<bool>) -> Zen<bool> {
+        let mut acc = Zen::bool(true);
+        for i in 0..self.slots() {
+            acc = acc.and(self.in_range(i).implies(f(self.slot(i))));
+        }
+        acc
+    }
+
+    /// Does the list contain the element?
+    pub fn contains(self, x: Zen<T>) -> Zen<bool> {
+        self.any(|e| e.eq(x))
+    }
+
+    /// Left fold over the valid prefix.
+    pub fn fold<U: ZenType>(self, init: Zen<U>, f: impl Fn(Zen<U>, Zen<T>) -> Zen<U>) -> Zen<U> {
+        let mut acc = init;
+        for i in 0..self.slots() {
+            acc = zif(self.in_range(i), f(acc, self.slot(i)), acc);
+        }
+        acc
+    }
+
+    /// Map over the elements (length unchanged; canonicity restored on
+    /// every slot).
+    pub fn map<U: ZenType>(self, f: impl Fn(Zen<T>) -> Zen<U>) -> Zen<Vec<U>> {
+        let n = self.slots();
+        let mapped: Vec<Zen<U>> = (0..n).map(|i| f(self.slot(i))).collect();
+        // Unify mapped element sorts.
+        let sorts: Vec<Sort> = mapped
+            .iter()
+            .map(|m| with_ctx(|ctx| ctx.sort_of(m.id)))
+            .collect();
+        let elem = sorts
+            .iter()
+            .copied()
+            .reduce(crate::lang::unify::unify_sorts)
+            .unwrap_or_else(|| U::sort(0));
+        let id = list_struct_id(elem, n);
+        let mut fields = vec![self.length().id];
+        for (i, m) in mapped.into_iter().enumerate() {
+            let m = crate::lang::unify::coerce_expr(m.id, elem);
+            let valid = self.in_range(i as u16);
+            let guarded = with_ctx(|ctx| {
+                let dflt = ctx.mk_default(elem);
+                ctx.mk_if(valid.id, m, dflt)
+            });
+            fields.push(guarded);
+        }
+        Zen::from_id(with_ctx(|ctx| ctx.mk_struct(id, fields)))
+    }
+
+    /// Grow the slot count to `n` (no-op if already at least `n`).
+    pub fn resize(self, n: u16) -> Zen<Vec<T>> {
+        let cur = self.slots();
+        if cur >= n {
+            return self;
+        }
+        let elem = self.elem_sort();
+        let target = Sort::Struct(list_struct_id(elem, n));
+        Zen::from_id(crate::lang::unify::coerce_expr(self.id, target))
+    }
+
+    /// Keep only the elements satisfying the predicate (order preserved).
+    /// Built by re-consing the survivors, so the canonicity invariant is
+    /// maintained by construction.
+    pub fn retain(self, pred: impl Fn(Zen<T>) -> Zen<bool>) -> Zen<Vec<T>> {
+        let mut acc = Zen::<Vec<T>>::nil();
+        // Iterate back-to-front: cons prepends, so the original order
+        // survives.
+        for i in (0..self.slots()).rev() {
+            let keep = self.in_range(i).and(pred(self.slot(i)));
+            acc = zif(keep, acc.cons(self.slot(i)), acc);
+        }
+        acc
+    }
+
+    /// Append another list after this one.
+    pub fn append(self, other: Zen<Vec<T>>) -> Zen<Vec<T>> {
+        let mut acc = other;
+        for i in (0..self.slots()).rev() {
+            let take = self.in_range(i);
+            acc = zif(take, acc.cons(self.slot(i)), acc);
+        }
+        acc
+    }
+}

@@ -1,0 +1,112 @@
+//! Symbolic maps, implemented exactly as the paper describes (§5): "Zen
+//! currently implements dictionaries by representing them as lists of
+//! tuples with the most recent elements at the head of the list". This is
+//! an instance of the `adapt` mechanism — a new type implemented by
+//! conversion to types the language already handles.
+
+use crate::lang::expr::{pair, zif, Zen};
+use crate::lang::ztype::ZenType;
+use crate::value::Value;
+
+/// A concrete map value: an association list, most recent binding first.
+/// Earlier bindings for the same key are shadowed, not removed.
+///
+/// ```
+/// use rzen::{ZMap, Zen, ZenFunction};
+///
+/// let lookup = ZenFunction::new(|m: Zen<ZMap<u8, u16>>| {
+///     m.set(Zen::val(1), Zen::val(100)).get(Zen::val(1)).value_or(Zen::val(0))
+/// });
+/// let mut m = ZMap::new();
+/// m.set(1u8, 7u16);
+/// assert_eq!(lookup.evaluate(&m), 100); // the newer binding shadows
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ZMap<K, V> {
+    /// The underlying association list (head = most recent).
+    pub entries: Vec<(K, V)>,
+}
+
+impl<K: PartialEq, V> ZMap<K, V> {
+    /// The empty map.
+    pub fn new() -> Self {
+        ZMap {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Insert a binding (shadows earlier ones).
+    pub fn set(&mut self, k: K, v: V) {
+        self.entries.insert(0, (k, v));
+    }
+
+    /// Look up the most recent binding.
+    pub fn get(&self, k: &K) -> Option<&V> {
+        self.entries.iter().find(|(ek, _)| ek == k).map(|(_, v)| v)
+    }
+}
+
+impl<K: ZenType, V: ZenType> ZenType for ZMap<K, V> {
+    fn sort(bound: u16) -> crate::sorts::Sort {
+        <Vec<(K, V)>>::sort(bound)
+    }
+    fn to_value(&self) -> Value {
+        self.entries.to_value()
+    }
+    fn from_value(v: &Value) -> Self {
+        ZMap {
+            entries: <Vec<(K, V)>>::from_value(v),
+        }
+    }
+    fn make_symbolic(bound: u16) -> crate::ir::ExprId {
+        <Vec<(K, V)>>::make_symbolic(bound)
+    }
+    fn make_raw_symbolic(bound: u16) -> crate::ir::ExprId {
+        <Vec<(K, V)>>::make_raw_symbolic(bound)
+    }
+}
+
+impl<K: ZenType, V: ZenType> Zen<ZMap<K, V>> {
+    /// The empty symbolic map.
+    pub fn empty() -> Zen<ZMap<K, V>> {
+        Zen::from_id(Zen::<Vec<(K, V)>>::nil().expr_id())
+    }
+
+    fn as_list(self) -> Zen<Vec<(K, V)>> {
+        Zen::from_id(self.expr_id())
+    }
+
+    /// Insert a binding (cons at the head, shadowing earlier bindings).
+    pub fn set(self, k: Zen<K>, v: Zen<V>) -> Zen<ZMap<K, V>> {
+        Zen::from_id(self.as_list().cons(pair(k, v)).expr_id())
+    }
+
+    /// Look up the most recent binding for `k`.
+    pub fn get(self, k: Zen<K>) -> Zen<Option<V>> {
+        let list = self.as_list();
+        // Scan from the head; keep the first hit.
+        let mut acc: Zen<Option<V>> = Zen::none(0);
+        for i in (0..list.slots()).rev() {
+            let entry = list.slot(i);
+            let valid = Zen::<u16>::val(i).lt(list.length());
+            let hit = valid.and(entry.item1().eq(k));
+            acc = zif(hit, Zen::some(entry.item2()), acc);
+        }
+        // Scanning in reverse means later (smaller-index, more recent)
+        // entries overwrite earlier hits — head wins, as required.
+        acc
+    }
+
+    /// Does the map bind `k`?
+    pub fn contains_key(self, k: Zen<K>) -> Zen<bool> {
+        self.get(k).is_some()
+    }
+}
+
+impl<K, V> ZMap<K, V> {
+    /// Iterate over all bindings, most recent first (shadowed bindings
+    /// included).
+    pub fn iter(&self) -> impl Iterator<Item = &(K, V)> {
+        self.entries.iter()
+    }
+}

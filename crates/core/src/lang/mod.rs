@@ -1,0 +1,13 @@
+//! The typed host-language embedding: `Zen<T>` handles, the [`ZenType`]
+//! reflection trait, struct modeling, and the list/option/map frontends.
+
+mod expr;
+mod list;
+mod map;
+pub(crate) mod unify;
+pub(crate) mod zstruct;
+pub(crate) mod ztype;
+
+pub use expr::{pair, triple, zif, Zen};
+pub use map::ZMap;
+pub use ztype::{ZenInt, ZenType};

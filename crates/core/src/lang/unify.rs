@@ -1,0 +1,246 @@
+//! Sort unification and coercion — the "type-driven merging operation
+//! similar to that employed by Rosette" of the paper's §6.
+//!
+//! Two expressions of the same *model* type can have different *sorts* when
+//! they contain lists of different slot counts (e.g. the result of a `cons`
+//! versus the original list). Before an `if` merges branches or an `eq`
+//! compares operands, both sides are coerced to a common sort by padding
+//! the shorter list with default-valued slots. The list canonicity
+//! invariant (slots beyond the length always hold defaults) makes this
+//! padding semantically invisible.
+
+use crate::ctx::with_ctx;
+use crate::ir::ExprId;
+use crate::sorts::{Sort, StructKey};
+use crate::value::Value;
+
+/// Coerce both expressions to their unified sort.
+pub(crate) fn unify_exprs(a: ExprId, b: ExprId) -> (ExprId, ExprId) {
+    let (sa, sb) = with_ctx(|ctx| (ctx.sort_of(a), ctx.sort_of(b)));
+    if sa == sb {
+        return (a, b);
+    }
+    let target = unify_sorts(sa, sb);
+    (coerce_expr(a, target), coerce_expr(b, target))
+}
+
+/// Compute the least common sort of two sorts of the same model type.
+/// Panics when the sorts are structurally incompatible (a genuine type
+/// error in the model).
+pub(crate) fn unify_sorts(a: Sort, b: Sort) -> Sort {
+    if a == b {
+        return a;
+    }
+    let (Sort::Struct(ia), Sort::Struct(ib)) = (a, b) else {
+        panic!("cannot unify primitive sorts {a:?} and {b:?}");
+    };
+    let (ka, kb) = with_ctx(|ctx| (ctx.struct_key(ia).clone(), ctx.struct_key(ib).clone()));
+    match (ka, kb) {
+        (StructKey::List(ea, na), StructKey::List(eb, nb)) => {
+            let elem = unify_sorts(ea, eb);
+            let slots = na.max(nb);
+            Sort::Struct(crate::lang::ztype::list_struct_id(elem, slots))
+        }
+        (StructKey::Option(pa), StructKey::Option(pb)) => {
+            let p = unify_sorts(pa, pb);
+            Sort::Struct(crate::lang::ztype::option_struct_id(p))
+        }
+        (StructKey::Tuple(va), StructKey::Tuple(vb)) if va.len() == vb.len() => {
+            let sorts: Vec<Sort> = va
+                .into_iter()
+                .zip(vb)
+                .map(|(x, y)| unify_sorts(x, y))
+                .collect();
+            crate::lang::ztype::tuple_sort(&sorts)
+        }
+        (StructKey::Type(ta, va), StructKey::Type(tb, vb)) if ta == tb => {
+            let sorts: Vec<Sort> = va
+                .into_iter()
+                .zip(vb)
+                .map(|(x, y)| unify_sorts(x, y))
+                .collect();
+            // Re-register under the unified field sorts, reusing the
+            // original name and field names.
+            with_ctx(|ctx| {
+                let info = ctx.struct_info(ia);
+                let name = info.name.clone();
+                let fnames: Vec<String> = info.fields.iter().map(|f| f.0.clone()).collect();
+                let id = ctx.register_struct(
+                    StructKey::Type(ta, sorts.clone()),
+                    crate::sorts::StructInfo {
+                        name,
+                        fields: fnames.into_iter().zip(sorts).collect(),
+                    },
+                );
+                Sort::Struct(id)
+            })
+        }
+        (ka, kb) => panic!("cannot unify incompatible struct sorts {ka:?} and {kb:?}"),
+    }
+}
+
+/// Coerce an expression to a (compatible, already-unified) target sort by
+/// rebuilding its struct skeleton and padding list slots with defaults.
+pub(crate) fn coerce_expr(e: ExprId, to: Sort) -> ExprId {
+    let from = with_ctx(|ctx| ctx.sort_of(e));
+    if from == to {
+        return e;
+    }
+    let (Sort::Struct(fi), Sort::Struct(ti)) = (from, to) else {
+        panic!("cannot coerce primitive sort {from:?} to {to:?}");
+    };
+    let (fk, tk) = with_ctx(|ctx| (ctx.struct_key(fi).clone(), ctx.struct_key(ti).clone()));
+    match (fk, tk) {
+        (StructKey::List(_, nf), StructKey::List(et, nt)) => {
+            assert!(nf <= nt, "coercion cannot shrink a list");
+            let len = with_ctx(|ctx| ctx.mk_get(e, 0));
+            let mut fields = vec![len];
+            for i in 0..nf {
+                let slot = with_ctx(|ctx| ctx.mk_get(e, 1 + i as u32));
+                fields.push(coerce_expr(slot, et));
+            }
+            for _ in nf..nt {
+                fields.push(with_ctx(|ctx| ctx.mk_default(et)));
+            }
+            with_ctx(|ctx| ctx.mk_struct(ti, fields))
+        }
+        (StructKey::Option(_), StructKey::Option(pt)) => {
+            let has = with_ctx(|ctx| ctx.mk_get(e, 0));
+            let val = with_ctx(|ctx| ctx.mk_get(e, 1));
+            let val = coerce_expr(val, pt);
+            with_ctx(|ctx| ctx.mk_struct(ti, vec![has, val]))
+        }
+        (StructKey::Tuple(vf), StructKey::Tuple(vt)) if vf.len() == vt.len() => {
+            coerce_fields(e, ti, &vt)
+        }
+        (StructKey::Type(tf, vf), StructKey::Type(tt, vt)) if tf == tt && vf.len() == vt.len() => {
+            coerce_fields(e, ti, &vt)
+        }
+        (fk, tk) => panic!("cannot coerce {fk:?} to {tk:?}"),
+    }
+}
+
+fn coerce_fields(e: ExprId, target_id: crate::sorts::StructId, target_sorts: &[Sort]) -> ExprId {
+    let mut fields = Vec::with_capacity(target_sorts.len());
+    for (i, &ts) in target_sorts.iter().enumerate() {
+        let f = with_ctx(|ctx| ctx.mk_get(e, i as u32));
+        fields.push(coerce_expr(f, ts));
+    }
+    with_ctx(|ctx| ctx.mk_struct(target_id, fields))
+}
+
+/// Unify the sorts of a slice of values (used when lifting a concrete list
+/// whose elements contain lists of different lengths).
+pub(crate) fn unify_value_sorts(vals: &[Value], fallback: impl FnOnce() -> Sort) -> Sort {
+    match vals {
+        [] => fallback(),
+        [first, rest @ ..] => rest
+            .iter()
+            .fold(first.sort(), |acc, v| unify_sorts(acc, v.sort())),
+    }
+}
+
+/// Coerce a concrete value to a compatible target sort (the value-level
+/// mirror of [`coerce_expr`]).
+pub(crate) fn coerce_value(v: &Value, to: Sort) -> Value {
+    if v.sort() == to {
+        return v.clone();
+    }
+    let (Sort::Struct(fi), Sort::Struct(ti)) = (v.sort(), to) else {
+        panic!("cannot coerce value of sort {:?} to {to:?}", v.sort());
+    };
+    let (fk, tk) = with_ctx(|ctx| (ctx.struct_key(fi).clone(), ctx.struct_key(ti).clone()));
+    let fs = v.fields();
+    match (fk, tk) {
+        (StructKey::List(_, nf), StructKey::List(et, nt)) => {
+            assert!(nf <= nt, "coercion cannot shrink a list");
+            let mut fields = vec![fs[0].clone()];
+            for f in &fs[1..] {
+                fields.push(coerce_value(f, et));
+            }
+            let dflt = default_value(et);
+            for _ in nf..nt {
+                fields.push(dflt.clone());
+            }
+            Value::Struct(ti, fields)
+        }
+        (StructKey::Option(_), StructKey::Option(pt)) => {
+            Value::Struct(ti, vec![fs[0].clone(), coerce_value(&fs[1], pt)])
+        }
+        (StructKey::Tuple(_), StructKey::Tuple(vt)) => Value::Struct(
+            ti,
+            fs.iter()
+                .zip(&vt)
+                .map(|(f, &t)| coerce_value(f, t))
+                .collect(),
+        ),
+        (StructKey::Type(tf, _), StructKey::Type(tt, vt)) if tf == tt => Value::Struct(
+            ti,
+            fs.iter()
+                .zip(&vt)
+                .map(|(f, &t)| coerce_value(f, t))
+                .collect(),
+        ),
+        (fk, tk) => panic!("cannot coerce value {fk:?} to {tk:?}"),
+    }
+}
+
+/// The concrete default (zero) value of a sort.
+pub(crate) fn default_value(sort: Sort) -> Value {
+    with_ctx(|ctx| {
+        let e = ctx.mk_default(sort);
+        ctx.eval_const(e)
+    })
+}
+
+/// Functional field update that tolerates a *sort-changing* new value
+/// (e.g. storing a grown list back into a struct field): the struct sort
+/// is re-registered under the updated field sorts.
+pub(crate) fn with_field_dyn(e: ExprId, idx: u32, v: ExprId) -> ExprId {
+    let (esort, vsort) = with_ctx(|ctx| (ctx.sort_of(e), ctx.sort_of(v)));
+    let Sort::Struct(id) = esort else {
+        panic!("with_field: operand is not a struct");
+    };
+    let current = with_ctx(|ctx| ctx.struct_info(id).fields[idx as usize].1);
+    if current == vsort {
+        return with_ctx(|ctx| ctx.mk_with(e, idx, v));
+    }
+    // Rebuild the struct under the updated field sorts.
+    let (key, name, fnames, mut sorts) = with_ctx(|ctx| {
+        let info = ctx.struct_info(id);
+        (
+            ctx.struct_key(id).clone(),
+            info.name.clone(),
+            info.fields.iter().map(|f| f.0.clone()).collect::<Vec<_>>(),
+            info.fields.iter().map(|f| f.1).collect::<Vec<_>>(),
+        )
+    });
+    sorts[idx as usize] = vsort;
+    let new_key = match key {
+        StructKey::Type(tid, _) => StructKey::Type(tid, sorts.clone()),
+        StructKey::Tuple(_) => StructKey::Tuple(sorts.clone()),
+        StructKey::Option(_) => StructKey::Option(sorts[1]),
+        StructKey::List(..) => {
+            panic!("sort-changing update of a single list slot; coerce the whole list instead")
+        }
+        StructKey::Named(n) => StructKey::Named(n),
+    };
+    let new_id = with_ctx(|ctx| {
+        ctx.register_struct(
+            new_key,
+            crate::sorts::StructInfo {
+                name,
+                fields: fnames.into_iter().zip(sorts.clone()).collect(),
+            },
+        )
+    });
+    let mut fields = Vec::with_capacity(sorts.len());
+    for i in 0..sorts.len() as u32 {
+        if i == idx {
+            fields.push(v);
+        } else {
+            fields.push(with_ctx(|ctx| ctx.mk_get(e, i)));
+        }
+    }
+    with_ctx(|ctx| ctx.mk_struct(new_id, fields))
+}

@@ -1,0 +1,74 @@
+//! # rzen — an intermediate verification language for network modeling
+//!
+//! A Rust implementation of the compositional network-modeling framework
+//! of Beckett & Mahajan, *A General Framework for Compositional Network
+//! Modeling* (HotNets '20). Network functionality is modeled once, as
+//! ordinary Rust functions over typed symbolic values (`Zen<T>`), and the
+//! same model is then analyzed by multiple interchangeable backends:
+//!
+//! * **Simulation** — models are executable; pass concrete values and get
+//!   concrete results ([`ZenFunction::evaluate`]), or compile them to a
+//!   bytecode VM for repeated execution ([`ZenFunction::compile`]).
+//! * **Find / bounded model checking** — search for an input satisfying a
+//!   predicate on the input/output pair ([`ZenFunction::find`]), with a
+//!   BDD solver or a bitblasting SAT ("SMT-style") solver.
+//! * **State set transformers** — lift a model to a relation on sets of
+//!   values, supporting forward and reverse image computation
+//!   ([`ZenFunction::transformer`]) — the primitive behind HSA-style
+//!   reachability and other set-based analyses.
+//! * **Test generation** — derive high-coverage concrete inputs from the
+//!   model's decision structure ([`ZenFunction::generate_inputs`]).
+//! * **Ternary abstract interpretation** — a fast approximate evaluator
+//!   over three-valued bits ([`backend::ternary`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rzen::{Zen, ZenFunction, FindOptions, zen_struct};
+//!
+//! zen_struct! {
+//!     pub struct Packet : PacketFields {
+//!         dst_port, with_dst_port: u16;
+//!         src_port, with_src_port: u16;
+//!     }
+//! }
+//!
+//! // A model: does the firewall accept the packet?
+//! let accept = ZenFunction::new(|p: Zen<Packet>| {
+//!     p.dst_port().eq(Zen::val(443)).or(p.dst_port().eq(Zen::val(80)))
+//! });
+//!
+//! // Simulate it.
+//! assert!(accept.evaluate(&Packet { dst_port: 443, src_port: 1000 }));
+//!
+//! // Verify: find an accepted packet with a low source port.
+//! let example = accept
+//!     .find(|p, out| out.and(p.src_port().lt(Zen::val(10))), &FindOptions::default())
+//!     .expect("should exist");
+//! assert!(example.dst_port == 443 || example.dst_port == 80);
+//! assert!(example.src_port < 10);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod ctx;
+pub mod display;
+mod function;
+mod geninputs;
+pub mod ir;
+mod lang;
+mod semantics;
+pub mod sorts;
+pub mod stateset;
+mod value;
+
+pub use ctx::{reset_ctx, set_folding, with_ctx};
+pub use display::render;
+pub use function::{Backend, FindOptions, ZenFunction, ZenFunction2, ZenFunction3};
+pub use ir::ExprId;
+pub use lang::zstruct::{__make_user_struct, __register_user_struct, __user_struct_value};
+pub use lang::{pair, triple, zif, ZMap, Zen, ZenInt, ZenType};
+pub use sorts::Sort;
+pub use stateset::{StateSet, StateSetTransformer, TransformerSpace};
+pub use value::Value;

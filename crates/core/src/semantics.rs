@@ -1,0 +1,151 @@
+//! Concrete semantics of the bitvector operators, shared by constant
+//! folding, the interpreter, and the bytecode VM so all three agree by
+//! construction.
+
+use crate::ir::{Bv2, CmpOp};
+use crate::sorts::Sort;
+use crate::value::sign_extend;
+
+/// Apply a binary bitvector operator; the result is masked to the width.
+///
+/// Semantics: `Add`/`Sub`/`Mul` wrap; `Shl` fills with zeros; `Shr` is
+/// logical for unsigned sorts and arithmetic for signed sorts; shifting by
+/// the width or more yields zero (or all sign bits for arithmetic `Shr`).
+pub fn bv_bin(op: Bv2, sort: Sort, a: u64, b: u64) -> u64 {
+    let Sort::BitVec { width, signed } = sort else {
+        panic!("bv_bin on non-bitvector sort");
+    };
+    let mask = sort.mask();
+    let r = match op {
+        Bv2::Add => a.wrapping_add(b),
+        Bv2::Sub => a.wrapping_sub(b),
+        Bv2::Mul => a.wrapping_mul(b),
+        Bv2::And => a & b,
+        Bv2::Or => a | b,
+        Bv2::Xor => a ^ b,
+        Bv2::Shl => {
+            if b >= width as u64 {
+                0
+            } else {
+                a << b
+            }
+        }
+        Bv2::Shr => {
+            if signed {
+                let sa = sign_extend(a, width);
+                let amt = b.min(63);
+                (sa >> amt) as u64
+            } else if b >= width as u64 {
+                0
+            } else {
+                a >> b
+            }
+        }
+    };
+    r & mask
+}
+
+/// Apply an order comparison; signedness comes from the sort.
+pub fn bv_cmp(op: CmpOp, sort: Sort, a: u64, b: u64) -> bool {
+    let Sort::BitVec { width, signed } = sort else {
+        panic!("bv_cmp on non-bitvector sort");
+    };
+    if signed {
+        let (sa, sb) = (sign_extend(a, width), sign_extend(b, width));
+        match op {
+            CmpOp::Lt => sa < sb,
+            CmpOp::Le => sa <= sb,
+        }
+    } else {
+        match op {
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+        }
+    }
+}
+
+/// Convert bits between bitvector sorts: widening zero-extends unsigned
+/// sources and sign-extends signed sources; narrowing truncates.
+pub fn bv_cast(from: Sort, to: Sort, bits: u64) -> u64 {
+    let (
+        Sort::BitVec {
+            width: wf,
+            signed: sf,
+        },
+        Sort::BitVec { .. },
+    ) = (from, to)
+    else {
+        panic!("bv_cast on non-bitvector sorts");
+    };
+    let extended = if sf {
+        sign_extend(bits, wf) as u64
+    } else {
+        bits
+    };
+    extended & to.mask()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrapping_arithmetic() {
+        let s = Sort::bv(8);
+        assert_eq!(bv_bin(Bv2::Add, s, 0xFF, 1), 0);
+        assert_eq!(bv_bin(Bv2::Sub, s, 0, 1), 0xFF);
+        assert_eq!(bv_bin(Bv2::Mul, s, 16, 16), 0);
+        assert_eq!(bv_bin(Bv2::Mul, s, 15, 15), 225);
+    }
+
+    #[test]
+    fn shifts() {
+        let u8s = Sort::bv(8);
+        assert_eq!(bv_bin(Bv2::Shl, u8s, 1, 7), 0x80);
+        assert_eq!(bv_bin(Bv2::Shl, u8s, 1, 8), 0);
+        assert_eq!(bv_bin(Bv2::Shr, u8s, 0x80, 7), 1);
+        assert_eq!(bv_bin(Bv2::Shr, u8s, 0x80, 8), 0);
+        let i8s = Sort::bv_signed(8);
+        // Arithmetic shift keeps the sign bit.
+        assert_eq!(bv_bin(Bv2::Shr, i8s, 0x80, 1), 0xC0);
+        assert_eq!(bv_bin(Bv2::Shr, i8s, 0x80, 100), 0xFF);
+        assert_eq!(bv_bin(Bv2::Shr, i8s, 0x40, 100), 0);
+    }
+
+    #[test]
+    fn comparisons_respect_signedness() {
+        let u8s = Sort::bv(8);
+        let i8s = Sort::bv_signed(8);
+        // 0xFF is 255 unsigned but -1 signed.
+        assert!(!bv_cmp(CmpOp::Lt, u8s, 0xFF, 1));
+        assert!(bv_cmp(CmpOp::Lt, i8s, 0xFF, 1));
+        assert!(bv_cmp(CmpOp::Le, u8s, 5, 5));
+        assert!(!bv_cmp(CmpOp::Lt, u8s, 5, 5));
+    }
+
+    #[test]
+    fn casts() {
+        // Zero-extension of unsigned sources.
+        assert_eq!(bv_cast(Sort::bv(8), Sort::bv(16), 0xFF), 0x00FF);
+        // Sign-extension of signed sources.
+        assert_eq!(
+            bv_cast(Sort::bv_signed(8), Sort::bv_signed(16), 0xFF),
+            0xFFFF
+        );
+        assert_eq!(bv_cast(Sort::bv_signed(8), Sort::bv(16), 0x7F), 0x7F);
+        // Truncation.
+        assert_eq!(bv_cast(Sort::bv(16), Sort::bv(8), 0x1234), 0x34);
+        assert_eq!(
+            bv_cast(Sort::bv_signed(16), Sort::bv_signed(8), 0xFF80),
+            0x80
+        );
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        let s = Sort::bv(4);
+        assert_eq!(bv_bin(Bv2::And, s, 0b1100, 0b1010), 0b1000);
+        assert_eq!(bv_bin(Bv2::Or, s, 0b1100, 0b1010), 0b1110);
+        assert_eq!(bv_bin(Bv2::Xor, s, 0b1100, 0b1010), 0b0110);
+    }
+}

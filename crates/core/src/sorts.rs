@@ -1,0 +1,137 @@
+//! Sorts: the types of the Zen intermediate language.
+//!
+//! Mirrors the `τ` grammar of the paper's Fig. 9: booleans, signed and
+//! unsigned fixed-width integers, and composite struct sorts. Tuples,
+//! options, lists, and maps are all represented as struct sorts registered
+//! with a [`StructKey`] describing their provenance — this is the Rust
+//! counterpart of the paper's `adapt[τ1, τ2]` mechanism, which implements
+//! operations over new types "by converting them to types that Zen knows
+//! how to handle" (§5).
+
+use std::any::TypeId;
+
+/// The sort (IVL-level type) of an expression.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Sort {
+    /// Booleans.
+    Bool,
+    /// Fixed-width two's-complement bitvectors, 1–64 bits.
+    BitVec {
+        /// Width in bits.
+        width: u8,
+        /// Whether comparisons and right shifts are signed.
+        signed: bool,
+    },
+    /// A registered composite sort (struct, tuple, option, list, map).
+    Struct(StructId),
+}
+
+impl Sort {
+    /// The unsigned bitvector sort of the given width.
+    pub fn bv(width: u8) -> Sort {
+        assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
+        Sort::BitVec {
+            width,
+            signed: false,
+        }
+    }
+
+    /// The signed bitvector sort of the given width.
+    pub fn bv_signed(width: u8) -> Sort {
+        assert!((1..=64).contains(&width), "bitvector width must be 1..=64");
+        Sort::BitVec {
+            width,
+            signed: true,
+        }
+    }
+
+    /// Is this a bitvector sort?
+    pub fn is_bitvec(self) -> bool {
+        matches!(self, Sort::BitVec { .. })
+    }
+
+    /// Mask selecting the valid bits of this bitvector sort.
+    pub fn mask(self) -> u64 {
+        match self {
+            Sort::BitVec { width: 64, .. } => u64::MAX,
+            Sort::BitVec { width, .. } => (1u64 << width) - 1,
+            _ => panic!("mask of non-bitvector sort {self:?}"),
+        }
+    }
+}
+
+/// Identifier of a registered struct sort. See [`crate::ctx`] for the
+/// registry.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct StructId(pub(crate) u32);
+
+/// Field layout of a registered struct sort.
+#[derive(Clone, Debug)]
+pub struct StructInfo {
+    /// Human-readable name (used in debug printing and error messages).
+    pub name: String,
+    /// Ordered fields: `(name, sort)`.
+    pub fields: Vec<(String, Sort)>,
+}
+
+/// Identity key under which a struct sort is registered. Registering the
+/// same key twice yields the same [`StructId`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum StructKey {
+    /// A user-defined Rust type (via `zen_struct!`), identified by its
+    /// `TypeId` plus its field sorts. The field sorts are part of the key
+    /// because a struct whose fields contain lists has a different layout
+    /// for each list bound.
+    Type(TypeId, Vec<Sort>),
+    /// A bounded list of the given element sort with the given number of
+    /// slots.
+    List(Sort, u16),
+    /// A tuple of the given component sorts.
+    Tuple(Vec<Sort>),
+    /// An option of the given payload sort.
+    Option(Sort),
+    /// An ad-hoc sort identified by name (for hand-registered sorts).
+    Named(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bv_constructors_validate_width() {
+        assert_eq!(
+            Sort::bv(8),
+            Sort::BitVec {
+                width: 8,
+                signed: false
+            }
+        );
+        assert_eq!(
+            Sort::bv_signed(32),
+            Sort::BitVec {
+                width: 32,
+                signed: true
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        Sort::bv(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn overwide_rejected() {
+        Sort::bv(65);
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(Sort::bv(8).mask(), 0xFF);
+        assert_eq!(Sort::bv(64).mask(), u64::MAX);
+        assert_eq!(Sort::bv(1).mask(), 1);
+    }
+}

@@ -1,0 +1,702 @@
+//! State sets and state-set transformers — the paper's novel abstraction
+//! for "computing with sets" (§4).
+//!
+//! A [`StateSet<T>`] is a set of values of model type `T`, represented as a
+//! BDD over a canonical block of variables: flattened value bit `i` of the
+//! sort lives at BDD level `2i`. A [`StateSetTransformer<A, R>`] is the
+//! relation `R(x, y) ⇔ f(x) = y`, with output bits at the odd levels
+//! `2j + 1` — input and output blocks are *interleaved*, which keeps
+//! near-identity packet transformations (the common case in networks)
+//! small, exactly the ordering rationale of §6.
+//!
+//! `transform_forward` is one relational product (`∃x. S(x) ∧ R(x,y)`)
+//! followed by one variable substitution back to the even block;
+//! `transform_reverse` is the mirror image. The substitution step is the
+//! paper's "converts between the sets of variables dynamically at runtime
+//! using a BDD substitution operation".
+//!
+//! Sets operate on *raw* bit spaces (like HSA's header spaces): every bit
+//! pattern is a state. For types containing `Option`s, patterns that
+//! differ only in an absent payload are distinct states; decoding an
+//! element normalizes them.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::rc::Rc;
+
+use rzen_bdd::{Bdd, BddManager, Cube, VarMap, BDD_FALSE, BDD_TRUE};
+
+use crate::backend::bdd::BddAlg;
+use crate::backend::bitblast::BitCompiler;
+use crate::backend::ordering::VarOrder;
+use crate::ctx::with_ctx;
+use crate::function::ZenFunction;
+use crate::ir::{Expr, ExprId};
+use crate::lang::{Zen, ZenType};
+use crate::sorts::Sort;
+use crate::value::Value;
+
+/// A shared BDD manager plus the canonical variable-block convention.
+/// All sets and transformers that interact must come from one space.
+///
+/// ```
+/// use rzen::{TransformerSpace, Zen, ZenFunction};
+///
+/// let space = TransformerSpace::new();
+/// let incr = ZenFunction::new(|x: Zen<u8>| x + 1u8).transformer(&space);
+/// let small = space.set_of::<u8>(|x| x.lt(Zen::val(10)));
+/// let image = incr.transform_forward(&small);
+/// assert_eq!(image.count(), 10.0);               // {1..=10}
+/// assert!(image.intersect(&space.singleton(&10)).is_empty() == false);
+/// let pre = incr.transform_reverse(&space.singleton(&0));
+/// assert_eq!(pre.element(), Some(255));          // wrap-around
+/// ```
+pub struct TransformerSpace {
+    m: Rc<RefCell<BddManager>>,
+    /// List bound used when building symbolic inputs.
+    bound: u16,
+}
+
+impl TransformerSpace {
+    /// Create a space with the default list bound (4).
+    pub fn new() -> Self {
+        TransformerSpace {
+            m: Rc::new(RefCell::new(BddManager::new())),
+            bound: 4,
+        }
+    }
+
+    /// Create a space with an explicit list bound.
+    pub fn with_bound(bound: u16) -> Self {
+        TransformerSpace {
+            m: Rc::new(RefCell::new(BddManager::new())),
+            bound,
+        }
+    }
+
+    /// The list bound of this space.
+    pub fn bound(&self) -> u16 {
+        self.bound
+    }
+
+    /// Build the raw symbolic input for sort `T` along with the variable
+    /// order placing its bits at the even levels (permuted by the sort's
+    /// canonical layout).
+    fn raw_input<T: ZenType>(&self) -> (ExprId, VarOrder, u32) {
+        let input = T::make_raw_symbolic(self.bound);
+        let mut order = VarOrder::with_base(u32::MAX / 2);
+        let width = with_ctx(|ctx| {
+            let sort = ctx.sort_of(input);
+            let perm = sort_layout(ctx, sort);
+            let mut pos = 0u32;
+            assign_flat(ctx, input, &mut pos, &mut order, &perm, 0);
+            pos
+        });
+        (input, order, width)
+    }
+
+    /// Lift a model to a transformer.
+    pub fn transformer<A: ZenType, R: ZenType>(
+        &self,
+        f: &ZenFunction<A, R>,
+    ) -> StateSetTransformer<A, R> {
+        let (input, order, wa) = self.raw_input::<A>();
+        let out = f.apply(Zen::from_id(input));
+        let out_perm = with_ctx(|ctx| sort_layout(ctx, ctx.sort_of(out.expr_id())));
+        let mut m = self.m.borrow_mut();
+        let (out_flat, wr) = {
+            let mut alg = BddAlg { m: &mut m, order };
+            let mut compiler = BitCompiler::new(&mut alg);
+            let sym = with_ctx(|ctx| compiler.compile(ctx, out.expr_id()));
+            let mut flat = Vec::new();
+            sym.flatten(&mut flat);
+            let wr = flat.len() as u32;
+            (flat, wr)
+        };
+        let mut relation = BDD_TRUE;
+        // Conjoin bit constraints from the bottom of the order upward for
+        // smaller intermediate BDDs.
+        let mut constraints: Vec<(u32, Bdd)> = out_flat
+            .iter()
+            .enumerate()
+            .map(|(j, ob)| (2 * out_perm[j] + 1, *ob))
+            .collect();
+        constraints.sort_by_key(|&(level, _)| level);
+        for (level, ob) in constraints.into_iter().rev() {
+            let y = m.var(level);
+            let c = m.iff(y, ob);
+            relation = m.and(relation, c);
+        }
+        drop(m);
+        StateSetTransformer {
+            relation,
+            m: self.m.clone(),
+            wa,
+            wr,
+            bound: self.bound,
+            _t: PhantomData,
+        }
+    }
+
+    /// The set of values of `T` satisfying a predicate.
+    pub fn set_of<T: ZenType>(&self, pred: impl FnOnce(Zen<T>) -> Zen<bool>) -> StateSet<T> {
+        let (input, order, w) = self.raw_input::<T>();
+        let cond = pred(Zen::from_id(input));
+        let mut m = self.m.borrow_mut();
+        let bdd = {
+            let mut alg = BddAlg { m: &mut m, order };
+            let mut compiler = BitCompiler::new(&mut alg);
+            let sym = with_ctx(|ctx| compiler.compile(ctx, cond.expr_id()));
+            *sym.as_bool()
+        };
+        drop(m);
+        StateSet {
+            bdd,
+            m: self.m.clone(),
+            width: w,
+            _t: PhantomData,
+        }
+    }
+
+    /// The full space of `T`.
+    pub fn full<T: ZenType>(&self) -> StateSet<T> {
+        self.set_of::<T>(|_| Zen::bool(true))
+    }
+
+    /// The empty set of `T`.
+    pub fn empty<T: ZenType>(&self) -> StateSet<T> {
+        self.set_of::<T>(|_| Zen::bool(false))
+    }
+
+    /// The singleton set containing one concrete value.
+    pub fn singleton<T: ZenType>(&self, v: &T) -> StateSet<T> {
+        let c = Zen::constant(v);
+        self.set_of::<T>(move |x| x.eq(c))
+    }
+}
+
+impl Default for TransformerSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Walk a raw symbolic input (a pure struct-of-variables tree) and assign
+/// its variable bits to levels: flattened bit `pos` goes to level
+/// `2*perm[pos] + phase`.
+fn assign_flat(
+    ctx: &crate::ctx::Context,
+    e: ExprId,
+    pos: &mut u32,
+    order: &mut VarOrder,
+    perm: &[u32],
+    phase: u32,
+) {
+    match ctx.expr(e) {
+        Expr::Var(v) => {
+            let w = match ctx.var_sort(*v) {
+                Sort::Bool => 1u32,
+                Sort::BitVec { width, .. } => width as u32,
+                Sort::Struct(_) => unreachable!(),
+            };
+            // Flattening is MSB-first: flat position *pos holds the MSB.
+            for k in 0..w {
+                let bit = w - 1 - k; // LSB-relative index
+                order.force((*v, bit), 2 * perm[(*pos + k) as usize] + phase);
+            }
+            *pos += w;
+        }
+        Expr::MakeStruct(_, fs) => {
+            let fs = fs.to_vec();
+            for f in fs {
+                assign_flat(ctx, f, pos, order, perm, phase);
+            }
+        }
+        other => panic!("raw symbolic input must be a struct-of-variables tree, found {other:?}"),
+    }
+}
+
+/// Canonical bit layout of a sort: a permutation `perm[flat_pos] = slot`
+/// that interleaves the bits of same-shaped sibling fields.
+///
+/// Rationale (the §6 ordering insight applied to sets): network
+/// transformations copy fields between structurally similar parts of a
+/// value — encapsulation copies the overlay header's ports into the
+/// underlay header. If those fields are laid out far apart, both the
+/// transformer relation and the resulting sets need exponentially many
+/// nodes to track the correlations; interleaved, every correlated pair is
+/// adjacent and the BDDs stay linear. `Option<X>` siblings group with `X`
+/// siblings (their discriminant bits come first).
+pub(crate) fn sort_layout(ctx: &crate::ctx::Context, sort: Sort) -> Vec<u32> {
+    let mut slots = Vec::new();
+    emit_layout(ctx, sort, 0, &mut slots);
+    let mut perm = vec![0u32; slots.len()];
+    for (k, &p) in slots.iter().enumerate() {
+        perm[p as usize] = k as u32;
+    }
+    perm
+}
+
+/// Structural shape of a sort: the list of leaf widths, with options
+/// unwrapped at the top level for grouping purposes.
+fn shape_of(ctx: &crate::ctx::Context, sort: Sort, out: &mut Vec<u32>) {
+    match sort {
+        Sort::Bool => out.push(1),
+        Sort::BitVec { width, .. } => out.push(width as u32),
+        Sort::Struct(id) => {
+            let fields: Vec<Sort> = ctx.struct_info(id).fields.iter().map(|f| f.1).collect();
+            for f in fields {
+                shape_of(ctx, f, out);
+            }
+        }
+    }
+}
+
+/// The grouping key of a field: its shape with a top-level `Option`
+/// stripped (so `Header` and `Option<Header>` group together).
+fn group_key(ctx: &crate::ctx::Context, sort: Sort) -> Vec<u32> {
+    let mut key = Vec::new();
+    shape_of(ctx, unwrap_option(ctx, sort).1, &mut key);
+    key
+}
+
+/// If `sort` is an option, `(true, payload)`; else `(false, sort)`.
+fn unwrap_option(ctx: &crate::ctx::Context, sort: Sort) -> (bool, Sort) {
+    if let Sort::Struct(id) = sort {
+        if let crate::sorts::StructKey::Option(p) = ctx.struct_key(id) {
+            return (true, *p);
+        }
+    }
+    (false, sort)
+}
+
+/// Emit the flat positions of `sort` (absolute, starting at `base`) in
+/// slot order; returns the sort's width.
+fn emit_layout(ctx: &crate::ctx::Context, sort: Sort, base: u32, out: &mut Vec<u32>) -> u32 {
+    match sort {
+        Sort::Bool => {
+            out.push(base);
+            1
+        }
+        Sort::BitVec { width, .. } => {
+            for k in 0..width as u32 {
+                out.push(base + k);
+            }
+            width as u32
+        }
+        Sort::Struct(id) => {
+            let fields: Vec<Sort> = ctx.struct_info(id).fields.iter().map(|f| f.1).collect();
+            let widths: Vec<u32> = fields.iter().map(|&f| ctx.sort_bits(f)).collect();
+            let mut offsets = Vec::with_capacity(fields.len());
+            let mut acc = 0;
+            for &w in &widths {
+                offsets.push(acc);
+                acc += w;
+            }
+            let keys: Vec<Vec<u32>> = fields.iter().map(|&f| group_key(ctx, f)).collect();
+            let mut emitted = vec![false; fields.len()];
+            for i in 0..fields.len() {
+                if emitted[i] {
+                    continue;
+                }
+                let group: Vec<usize> = (i..fields.len())
+                    .filter(|&j| !emitted[j] && keys[j] == keys[i])
+                    .collect();
+                if group.len() == 1 {
+                    emit_layout(ctx, fields[i], base + offsets[i], out);
+                    emitted[i] = true;
+                    continue;
+                }
+                // Discriminant bits of option members come first.
+                for &j in &group {
+                    emitted[j] = true;
+                    if unwrap_option(ctx, fields[j]).0 {
+                        out.push(base + offsets[j]);
+                    }
+                }
+                // Weave the (payload) bit sequences element-wise.
+                let seqs: Vec<Vec<u32>> = group
+                    .iter()
+                    .map(|&j| {
+                        let (is_opt, payload) = unwrap_option(ctx, fields[j]);
+                        let pbase = base + offsets[j] + is_opt as u32;
+                        let mut s = Vec::new();
+                        emit_layout(ctx, payload, pbase, &mut s);
+                        s
+                    })
+                    .collect();
+                let len = seqs[0].len();
+                debug_assert!(seqs.iter().all(|s| s.len() == len));
+                for k in 0..len {
+                    for s in &seqs {
+                        out.push(s[k]);
+                    }
+                }
+            }
+            acc
+        }
+    }
+}
+
+/// A set of values of model type `T`, as a BDD over the canonical even
+/// variable block.
+pub struct StateSet<T> {
+    bdd: Bdd,
+    m: Rc<RefCell<BddManager>>,
+    width: u32,
+    _t: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for StateSet<T> {
+    fn clone(&self) -> Self {
+        StateSet {
+            bdd: self.bdd,
+            m: self.m.clone(),
+            width: self.width,
+            _t: PhantomData,
+        }
+    }
+}
+
+impl<T: ZenType> StateSet<T> {
+    fn check_space(&self, other: &StateSet<T>) {
+        assert!(
+            Rc::ptr_eq(&self.m, &other.m),
+            "state sets from different transformer spaces cannot be combined"
+        );
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &StateSet<T>) -> StateSet<T> {
+        self.check_space(other);
+        let bdd = self.m.borrow_mut().or(self.bdd, other.bdd);
+        StateSet {
+            bdd,
+            ..self.clone()
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &StateSet<T>) -> StateSet<T> {
+        self.check_space(other);
+        let bdd = self.m.borrow_mut().and(self.bdd, other.bdd);
+        StateSet {
+            bdd,
+            ..self.clone()
+        }
+    }
+
+    /// Set difference.
+    pub fn minus(&self, other: &StateSet<T>) -> StateSet<T> {
+        self.check_space(other);
+        let bdd = self.m.borrow_mut().diff(self.bdd, other.bdd);
+        StateSet {
+            bdd,
+            ..self.clone()
+        }
+    }
+
+    /// Complement with respect to the full bit space of `T`.
+    pub fn complement(&self) -> StateSet<T> {
+        let bdd = self.m.borrow_mut().not(self.bdd);
+        StateSet {
+            bdd,
+            ..self.clone()
+        }
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.bdd == BDD_FALSE
+    }
+
+    /// Is the set the full space?
+    pub fn is_full(&self) -> bool {
+        self.bdd == BDD_TRUE
+    }
+
+    /// Do two sets contain exactly the same states?
+    pub fn set_eq(&self, other: &StateSet<T>) -> bool {
+        self.check_space(other);
+        self.bdd == other.bdd
+    }
+
+    /// Is `self` a subset of `other`?
+    pub fn subset_of(&self, other: &StateSet<T>) -> bool {
+        self.check_space(other);
+        self.m.borrow_mut().implies_check(self.bdd, other.bdd)
+    }
+
+    /// Number of states in the set (as `f64`; spaces are astronomically
+    /// large).
+    pub fn count(&self) -> f64 {
+        let vars: Vec<u32> = (0..self.width).map(|i| 2 * i).collect();
+        self.m.borrow().sat_count_over(self.bdd, &vars)
+    }
+
+    /// Extract one element, or `None` if empty.
+    pub fn element(&self) -> Option<T> {
+        self.element_with_bound(space_bound_guess())
+    }
+
+    /// The underlying BDD node (for diagnostics and size measurements).
+    pub fn bdd_size(&self) -> usize {
+        self.m.borrow().node_count(self.bdd)
+    }
+}
+
+// The element decoder needs the sort, which for list-containing types
+// depends on the bound; sets built from a space use that space's bound.
+// We conservatively use bound 4 here (matching `TransformerSpace::new`);
+// element extraction for list-containing sorts with non-default bounds
+// should go through `element_with_bound`.
+fn space_bound_guess() -> u16 {
+    4
+}
+
+impl<T: ZenType> StateSet<T> {
+    /// Extract one element, for sorts whose layout was built with an
+    /// explicit list bound.
+    pub fn element_with_bound(&self, bound: u16) -> Option<T> {
+        let model = self.m.borrow().any_sat(self.bdd)?;
+        let mut slot_bits = vec![false; self.width as usize];
+        for (level, b) in model {
+            if level % 2 == 0 && (level / 2) < self.width {
+                slot_bits[(level / 2) as usize] = b;
+            }
+        }
+        let sort = T::sort(bound);
+        let v = with_ctx(|ctx| {
+            // Undo the layout permutation: flat position p sits at slot
+            // perm[p].
+            let perm = sort_layout(ctx, sort);
+            let bits: Vec<bool> = (0..self.width as usize)
+                .map(|p| slot_bits[perm[p] as usize])
+                .collect();
+            let mut pos = 0usize;
+            unflatten(ctx, sort, &bits, &mut pos)
+        });
+        Some(T::from_value(&v))
+    }
+}
+
+/// Rebuild a [`Value`] from flattened bits (field order, MSB-first).
+fn unflatten(ctx: &crate::ctx::Context, sort: Sort, bits: &[bool], pos: &mut usize) -> Value {
+    match sort {
+        Sort::Bool => {
+            let b = bits[*pos];
+            *pos += 1;
+            Value::Bool(b)
+        }
+        Sort::BitVec { width, .. } => {
+            let mut out = 0u64;
+            for _ in 0..width {
+                out = (out << 1) | bits[*pos] as u64;
+                *pos += 1;
+            }
+            Value::int(sort, out)
+        }
+        Sort::Struct(id) => {
+            let sorts: Vec<Sort> = ctx.struct_info(id).fields.iter().map(|f| f.1).collect();
+            Value::Struct(
+                id,
+                sorts
+                    .into_iter()
+                    .map(|s| unflatten(ctx, s, bits, pos))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// The relation `f(x) = y` over interleaved variable blocks; supports
+/// forward and reverse image computation.
+pub struct StateSetTransformer<A, R> {
+    relation: Bdd,
+    m: Rc<RefCell<BddManager>>,
+    wa: u32,
+    wr: u32,
+    bound: u16,
+    _t: PhantomData<fn(&A) -> R>,
+}
+
+impl<A, R> Clone for StateSetTransformer<A, R> {
+    fn clone(&self) -> Self {
+        StateSetTransformer {
+            relation: self.relation,
+            m: self.m.clone(),
+            wa: self.wa,
+            wr: self.wr,
+            bound: self.bound,
+            _t: PhantomData,
+        }
+    }
+}
+
+impl<A: ZenType, R: ZenType> StateSetTransformer<A, R> {
+    fn even_cube(&self, m: &mut BddManager, w: u32) -> Cube {
+        let vars: Vec<u32> = (0..w).map(|i| 2 * i).collect();
+        m.cube(&vars)
+    }
+
+    fn odd_to_even(&self, m: &mut BddManager, w: u32) -> VarMap {
+        let pairs: Vec<(u32, u32)> = (0..w).map(|i| (2 * i + 1, 2 * i)).collect();
+        m.varmap(&pairs)
+    }
+
+    fn even_to_odd(&self, m: &mut BddManager, w: u32) -> VarMap {
+        let pairs: Vec<(u32, u32)> = (0..w).map(|i| (2 * i, 2 * i + 1)).collect();
+        m.varmap(&pairs)
+    }
+
+    /// The image of `set` under the function: `{ f(x) | x ∈ set }`.
+    pub fn transform_forward(&self, set: &StateSet<A>) -> StateSet<R> {
+        assert!(Rc::ptr_eq(&self.m, &set.m), "set from a different space");
+        let mut m = self.m.borrow_mut();
+        let cube = self.even_cube(&mut m, self.wa);
+        let image_odd = m.and_exists(set.bdd, self.relation, cube);
+        let map = self.odd_to_even(&mut m, self.wr);
+        let image = m.replace(image_odd, map);
+        drop(m);
+        StateSet {
+            bdd: image,
+            m: self.m.clone(),
+            width: self.wr,
+            _t: PhantomData,
+        }
+    }
+
+    /// The preimage of `set` under the function: `{ x | f(x) ∈ set }`.
+    pub fn transform_reverse(&self, set: &StateSet<R>) -> StateSet<A> {
+        assert!(Rc::ptr_eq(&self.m, &set.m), "set from a different space");
+        let mut m = self.m.borrow_mut();
+        let to_odd = self.even_to_odd(&mut m, self.wr);
+        let set_odd = m.replace(set.bdd, to_odd);
+        let odd_vars: Vec<u32> = (0..self.wr).map(|i| 2 * i + 1).collect();
+        let cube = m.cube(&odd_vars);
+        let pre = m.and_exists(self.relation, set_odd, cube);
+        drop(m);
+        StateSet {
+            bdd: pre,
+            m: self.m.clone(),
+            width: self.wa,
+            _t: PhantomData,
+        }
+    }
+
+    /// Do two transformers denote the same function? (Used by the
+    /// Bonsai-style control-plane compression analysis.)
+    pub fn relation_eq(&self, other: &StateSetTransformer<A, R>) -> bool {
+        assert!(
+            Rc::ptr_eq(&self.m, &other.m),
+            "transformer from a different space"
+        );
+        self.relation == other.relation
+    }
+
+    /// Size of the relation BDD in nodes (diagnostics).
+    pub fn relation_size(&self) -> usize {
+        self.m.borrow().node_count(self.relation)
+    }
+}
+
+impl<A: ZenType> StateSetTransformer<A, A> {
+    /// Unbounded model checking (§6 "another backend uses the transformer
+    /// API to perform unbounded model checking"): the least fixpoint of
+    /// repeated forward images from `initial` — all states reachable in
+    /// any number of steps. Termination is guaranteed: the state space is
+    /// finite and the iteration is monotone.
+    pub fn fixpoint(&self, initial: &StateSet<A>) -> StateSet<A> {
+        let mut reach = initial.clone();
+        loop {
+            let next = reach.union(&self.transform_forward(&reach));
+            if next.set_eq(&reach) {
+                return reach;
+            }
+            reach = next;
+        }
+    }
+
+    /// Can `target` be reached from `initial` in any number of steps?
+    /// Stops as soon as the frontier touches the target (no full fixpoint
+    /// needed for positive answers).
+    pub fn reaches(&self, initial: &StateSet<A>, target: &StateSet<A>) -> bool {
+        let mut reach = initial.clone();
+        loop {
+            if !reach.intersect(target).is_empty() {
+                return true;
+            }
+            let next = reach.union(&self.transform_forward(&reach));
+            if next.set_eq(&reach) {
+                return false;
+            }
+            reach = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctx::reset_ctx;
+    use crate::lang::ZenType;
+
+    #[test]
+    fn layout_is_identity_for_plain_structs() {
+        reset_ctx();
+        // (u8, u16) has no same-shaped siblings: identity permutation.
+        let sort = <(u8, u16)>::sort(0);
+        let perm = with_ctx(|ctx| sort_layout(ctx, sort));
+        assert_eq!(perm, (0..24).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn layout_interleaves_same_shaped_siblings() {
+        reset_ctx();
+        // (u8, u8): the two bytes weave bit-by-bit.
+        let sort = <(u8, u8)>::sort(0);
+        let perm = with_ctx(|ctx| sort_layout(ctx, sort));
+        // Flat position 0 (MSB of field 1) -> slot 0; flat position 8
+        // (MSB of field 2) -> slot 1; flat 1 -> slot 2; ...
+        assert_eq!(perm[0], 0);
+        assert_eq!(perm[8], 1);
+        assert_eq!(perm[1], 2);
+        assert_eq!(perm[9], 3);
+        // Permutation is a bijection.
+        let mut seen = perm.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..16).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn layout_groups_option_with_payload_shape() {
+        reset_ctx();
+        // (u8, Option<u8>): discriminant first, then the two bytes weave.
+        let sort = <(u8, Option<u8>)>::sort(0);
+        let perm = with_ctx(|ctx| sort_layout(ctx, sort));
+        assert_eq!(perm.len(), 17);
+        // Flat layout: u8 (0..8), has (8), payload (9..17).
+        // Slot layout: has first, then weave.
+        assert_eq!(perm[8], 0, "option discriminant comes first");
+        assert_eq!(perm[0], 1, "then the first byte's MSB");
+        assert_eq!(perm[9], 2, "woven with the payload's MSB");
+        let mut seen = perm.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..17).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn sets_with_explicit_bound_decode_lists() {
+        reset_ctx();
+        let space = TransformerSpace::with_bound(3);
+        assert_eq!(space.bound(), 3);
+        let s = space.set_of::<Vec<u8>>(|l| {
+            l.length()
+                .eq(crate::lang::Zen::val(2))
+                .and(l.contains(crate::lang::Zen::val(9)))
+        });
+        let v = s.element_with_bound(3).expect("nonempty");
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(&9));
+    }
+}

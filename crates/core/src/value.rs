@@ -1,0 +1,118 @@
+//! Concrete runtime values of the Zen language.
+
+use crate::sorts::{Sort, StructId};
+
+/// A concrete value, the result of simulating (concretely evaluating) a
+/// Zen expression or of decoding a solver model.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// A bitvector, stored as its raw bits (masked to the sort's width;
+    /// for signed sorts the bit pattern is two's complement).
+    Int {
+        /// The bitvector sort (width and signedness).
+        sort: Sort,
+        /// Raw bits, zero-extended to 64.
+        bits: u64,
+    },
+    /// A struct: one value per field, in field order.
+    Struct(StructId, Vec<Value>),
+}
+
+impl Value {
+    /// Build a bitvector value, masking the bits to the width.
+    pub fn int(sort: Sort, bits: u64) -> Value {
+        assert!(sort.is_bitvec());
+        Value::Int {
+            sort,
+            bits: bits & sort.mask(),
+        }
+    }
+
+    /// The sort of this value.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Value::Bool(_) => Sort::Bool,
+            Value::Int { sort, .. } => *sort,
+            Value::Struct(id, _) => Sort::Struct(*id),
+        }
+    }
+
+    /// Extract a boolean; panics on other variants.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            other => panic!("expected Bool, got {other:?}"),
+        }
+    }
+
+    /// Extract raw bitvector bits; panics on other variants.
+    pub fn as_bits(&self) -> u64 {
+        match self {
+            Value::Int { bits, .. } => *bits,
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// Extract bits sign-extended to `i64` according to the sort.
+    pub fn as_signed(&self) -> i64 {
+        match self {
+            Value::Int {
+                sort: Sort::BitVec { width, .. },
+                bits,
+            } => sign_extend(*bits, *width),
+            other => panic!("expected Int, got {other:?}"),
+        }
+    }
+
+    /// Extract struct fields; panics on other variants.
+    pub fn fields(&self) -> &[Value] {
+        match self {
+            Value::Struct(_, fs) => fs,
+            other => panic!("expected Struct, got {other:?}"),
+        }
+    }
+}
+
+/// Sign-extend the low `width` bits of `bits` to a full `i64`.
+pub fn sign_extend(bits: u64, width: u8) -> i64 {
+    debug_assert!((1..=64).contains(&width));
+    let shift = 64 - width as u32;
+    ((bits << shift) as i64) >> shift
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_masks_to_width() {
+        let v = Value::int(Sort::bv(8), 0x1FF);
+        assert_eq!(v.as_bits(), 0xFF);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sign_extend(0xFF, 8), -1);
+        assert_eq!(sign_extend(0x7F, 8), 127);
+        assert_eq!(sign_extend(0x80, 8), -128);
+        assert_eq!(sign_extend(u64::MAX, 64), -1);
+        assert_eq!(sign_extend(1, 1), -1);
+        assert_eq!(sign_extend(0, 1), 0);
+    }
+
+    #[test]
+    fn as_signed_uses_sort_width() {
+        let v = Value::int(Sort::bv_signed(16), 0xFFFF);
+        assert_eq!(v.as_signed(), -1);
+        let v = Value::int(Sort::bv_signed(16), 0x7FFF);
+        assert_eq!(v.as_signed(), 32767);
+    }
+
+    #[test]
+    fn sorts_of_values() {
+        assert_eq!(Value::Bool(true).sort(), Sort::Bool);
+        assert_eq!(Value::int(Sort::bv(32), 7).sort(), Sort::bv(32));
+    }
+}

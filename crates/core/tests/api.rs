@@ -1,0 +1,302 @@
+//! API-surface tests: multi-argument functions, input generation edge
+//! cases, folding-off equivalence, rendering, and compiled functions over
+//! composite types.
+
+use rzen::{pair, zif, Backend, FindOptions, ZMap, Zen, ZenFunction, ZenFunction2, ZenFunction3};
+
+#[test]
+fn two_argument_functions() {
+    let f = ZenFunction2::new(|a: Zen<u8>, b: Zen<u8>| a + b);
+    assert_eq!(f.evaluate(&200, &100), 44); // wraps
+    let (a, b) = f
+        .find(
+            |a, b, out| {
+                out.eq(Zen::val(0))
+                    .and(a.ne(Zen::val(0)))
+                    .and(b.ne(Zen::val(0)))
+            },
+            &FindOptions::bdd(),
+        )
+        .unwrap();
+    assert_eq!(a.wrapping_add(b), 0);
+    assert_ne!(a, 0);
+}
+
+#[test]
+fn three_argument_functions() {
+    let f = ZenFunction3::new(|a: Zen<u8>, b: Zen<u8>, c: Zen<bool>| zif(c, a, b));
+    assert_eq!(f.evaluate(&1, &2, &true), 1);
+    assert_eq!(f.evaluate(&1, &2, &false), 2);
+    let w = f.find(
+        |a, _, c, out| c.and(out.eq(Zen::val(9))).and(a.eq(Zen::val(9))),
+        &FindOptions::smt(),
+    );
+    let (a, _, c) = w.unwrap();
+    assert!(c);
+    assert_eq!(a, 9);
+}
+
+#[test]
+fn find_over_map_inputs() {
+    // Find a map binding key 3 to a value above 100.
+    let f = ZenFunction::new(|m: Zen<ZMap<u8, u16>>| m.get(Zen::val(3)).value_or(Zen::val(0)));
+    for opts in [FindOptions::bdd(), FindOptions::smt()] {
+        let m = f
+            .find(|_, out| out.gt(Zen::val(100)), &opts.with_list_bound(2))
+            .expect("such a map exists");
+        assert!(*m.get(&3).unwrap() > 100);
+    }
+}
+
+#[test]
+fn generate_inputs_respects_limit_and_dedups() {
+    let f = ZenFunction::new(|x: Zen<u8>| zif(x.lt(Zen::val(128)), Zen::val(0u8), Zen::val(1u8)));
+    let inputs = f.generate_inputs(&FindOptions::smt(), 1);
+    assert_eq!(inputs.len(), 1);
+    let inputs = f.generate_inputs(&FindOptions::smt(), 100);
+    // Two branches → two distinct inputs, no duplicates.
+    assert_eq!(inputs.len(), 2);
+    let classes: std::collections::BTreeSet<u8> = inputs.iter().map(|&x| f.evaluate(&x)).collect();
+    assert_eq!(classes.len(), 2);
+}
+
+#[test]
+fn generate_inputs_skips_infeasible_paths() {
+    // The inner branch condition contradicts the outer one: only 3 of
+    // the 4 paths are feasible.
+    let f = ZenFunction::new(|x: Zen<u8>| {
+        zif(
+            x.lt(Zen::val(10)),
+            zif(x.gt(Zen::val(200)), Zen::val(0u8), Zen::val(1u8)), // 0 infeasible
+            zif(x.gt(Zen::val(200)), Zen::val(2u8), Zen::val(3u8)),
+        )
+    });
+    let inputs = f.generate_inputs(&FindOptions::smt(), 16);
+    let classes: std::collections::BTreeSet<u8> = inputs.iter().map(|&x| f.evaluate(&x)).collect();
+    assert_eq!(classes, [1u8, 2, 3].into_iter().collect());
+}
+
+#[test]
+fn generate_inputs_on_branch_free_model() {
+    let f = ZenFunction::new(|x: Zen<u8>| x + 1u8);
+    let inputs = f.generate_inputs(&FindOptions::smt(), 8);
+    assert_eq!(inputs.len(), 1); // single trivial path
+}
+
+#[test]
+fn folding_off_preserves_semantics() {
+    let run = |fold: bool| -> (u8, Option<(u8, u8)>) {
+        rzen::set_folding(fold);
+        let f = ZenFunction2::new(|a: Zen<u8>, b: Zen<u8>| {
+            let s = (a + b) * 2u8;
+            zif(s.lt(Zen::val(10)), s + 0u8, s & 0xFEu8)
+        });
+        let sim = f.evaluate(&3, &1);
+        let found = f.find(
+            |_, _, out| out.eq(Zen::val(8)),
+            &FindOptions {
+                backend: Backend::Smt,
+                ..FindOptions::default()
+            },
+        );
+        rzen::set_folding(true);
+        (sim, found)
+    };
+    let (sim_on, found_on) = run(true);
+    let (sim_off, found_off) = run(false);
+    assert_eq!(sim_on, sim_off);
+    assert_eq!(found_on.is_some(), found_off.is_some());
+    // Both witnesses genuinely produce 8.
+    for (a, b) in [found_on, found_off].into_iter().flatten() {
+        assert_eq!(a.wrapping_add(b).wrapping_mul(2) & 0xFE, 8);
+    }
+}
+
+#[test]
+fn compiled_function_on_tuples_and_options() {
+    let f = ZenFunction::new(|t: Zen<(u8, Option<u16>)>| {
+        t.item2().value_or(Zen::val(7u16)) + (Zen::val(0u16))
+    });
+    let c = f.compile(0);
+    assert_eq!(c.call(&(1, Some(300))), 300);
+    assert_eq!(c.call(&(1, None)), 7);
+}
+
+#[test]
+fn render_produces_readable_models() {
+    rzen::reset_ctx();
+    let x = Zen::<u16>::symbolic(0);
+    let model = zif(x.lt(Zen::val(100)), x * 2u16, x);
+    let s = rzen::render(model);
+    assert!(s.contains("if ("), "{s}");
+    assert!(s.contains("* 2"), "{s}");
+}
+
+#[test]
+fn verify_on_pair_model() {
+    // a ≤ max(a,b) for all a, b.
+    let max =
+        ZenFunction::new(|p: Zen<(u32, u32)>| zif(p.item1().ge(p.item2()), p.item1(), p.item2()));
+    assert!(max
+        .verify(
+            |p, out| out.ge(p.item1()).and(out.ge(p.item2())),
+            &FindOptions::bdd()
+        )
+        .is_ok());
+    // And the claim max == a is refutable.
+    assert!(max
+        .verify(|p, out| out.eq(p.item1()), &FindOptions::bdd())
+        .is_err());
+}
+
+#[test]
+fn pair_and_tuple_builders() {
+    let f = ZenFunction::new(|x: Zen<u8>| pair(x, x + 1u8).item2());
+    assert_eq!(f.evaluate(&4), 5);
+}
+
+#[test]
+fn signed_models_roundtrip_through_solvers() {
+    let f = ZenFunction::new(|x: Zen<i16>| x.lt(Zen::val(0)));
+    for opts in [FindOptions::bdd(), FindOptions::smt()] {
+        let w = f.find(|_, out| out, &opts).unwrap();
+        assert!(w < 0);
+        let w = f
+            .find(|x, out| (!out).and(x.gt(Zen::val(1000))), &opts)
+            .unwrap();
+        assert!(w > 1000);
+    }
+}
+
+#[test]
+fn u64_solver_roundtrip() {
+    let f = ZenFunction::new(|x: Zen<u64>| x + u64::MAX); // == x - 1
+    assert_eq!(f.evaluate(&5), 4);
+    for opts in [FindOptions::bdd(), FindOptions::smt()] {
+        let w = f.find(|_, out| out.eq(Zen::val(u64::MAX)), &opts).unwrap();
+        assert_eq!(w, 0);
+    }
+}
+
+#[test]
+fn casts_widen_and_truncate() {
+    // Widening: u8 -> u16 zero-extends.
+    let f = ZenFunction::new(|x: Zen<u8>| x.cast::<u16>() + 1u16);
+    assert_eq!(f.evaluate(&0xFF), 0x100);
+    // Sign-extension: i8 -> i16.
+    let g = ZenFunction::new(|x: Zen<i8>| x.cast::<i16>());
+    assert_eq!(g.evaluate(&-2), -2);
+    // Narrowing truncates.
+    let h = ZenFunction::new(|x: Zen<u16>| x.cast::<u8>());
+    assert_eq!(h.evaluate(&0x1234), 0x34);
+    // Re-typing at same width changes comparison semantics.
+    let r = ZenFunction::new(|x: Zen<u8>| x.cast::<i8>().lt(Zen::val(0)));
+    assert!(r.evaluate(&0x80));
+    assert!(!r.evaluate(&0x7F));
+}
+
+#[test]
+fn casts_agree_across_backends() {
+    // Sum two ports in a wider type to avoid wrap, then verify overflow
+    // behaviour precisely — the kind of model casts exist for.
+    let f = ZenFunction::new(|p: Zen<(u8, u8)>| p.item1().cast::<u16>() + p.item2().cast::<u16>());
+    let compiled = f.compile(0);
+    for (a, b) in [(200u8, 100u8), (255, 255), (0, 0)] {
+        let expect = a as u16 + b as u16;
+        assert_eq!(f.evaluate(&(a, b)), expect);
+        assert_eq!(compiled.call(&(a, b)), expect);
+    }
+    for opts in [FindOptions::bdd(), FindOptions::smt()] {
+        let (a, b) = f
+            .find(|_, out| out.eq(Zen::val(510u16)), &opts)
+            .expect("255 + 255 reaches 510");
+        assert_eq!((a, b), (255, 255));
+        assert!(f.find(|_, out| out.gt(Zen::val(510u16)), &opts).is_none());
+    }
+}
+
+#[test]
+fn cast_roundtrip_with_ternary() {
+    rzen::reset_ctx();
+    let x = Zen::<u8>::val(0xAB);
+    let e = x.cast::<u32>().cast::<u8>();
+    let t = rzen::with_ctx(|ctx| rzen::backend::ternary::eval(ctx, e.expr_id(), None));
+    let v = rzen::with_ctx(|ctx| t.concrete(ctx));
+    assert_eq!(v, Some(rzen::Value::int(rzen::Sort::bv(8), 0xAB)));
+}
+
+#[test]
+fn list_bound_zero_means_only_empty_lists() {
+    let f = ZenFunction::new(|l: Zen<Vec<u8>>| l.is_empty());
+    // With bound 0 the only symbolic list is empty: no counterexample.
+    assert!(f
+        .find(|_, out| !out, &FindOptions::bdd().with_list_bound(0))
+        .is_none());
+    let w = f
+        .find(|_, out| out, &FindOptions::smt().with_list_bound(0))
+        .unwrap();
+    assert!(w.is_empty());
+}
+
+#[test]
+fn nil_list_operations_are_total() {
+    let f = ZenFunction::new(|_: Zen<bool>| {
+        let nil = Zen::<Vec<u16>>::nil();
+        nil.tail().length() + nil.length() + nil.retain(|_| Zen::bool(true)).length()
+    });
+    assert_eq!(f.evaluate(&true), 0);
+    let g = ZenFunction::new(|_: Zen<bool>| Zen::<Vec<u16>>::nil().head());
+    assert_eq!(g.evaluate(&true), None);
+    let h = ZenFunction::new(|_: Zen<bool>| Zen::<Vec<u16>>::nil().contains(Zen::val(3)));
+    assert!(!h.evaluate(&true));
+}
+
+#[test]
+fn shift_by_full_width_and_beyond() {
+    let f = ZenFunction2::new(|x: Zen<u8>, s: Zen<u8>| x << s);
+    assert_eq!(f.evaluate(&0xFF, &8), 0);
+    assert_eq!(f.evaluate(&0xFF, &200), 0);
+    let g = ZenFunction2::new(|x: Zen<i8>, s: Zen<i8>| x >> s);
+    assert_eq!(g.evaluate(&-1, &100), -1); // arithmetic fill
+                                           // Solver agreement on the saturating semantics.
+    for opts in [FindOptions::bdd(), FindOptions::smt()] {
+        let w = f.find(
+            |x, s, out| {
+                x.eq(Zen::val(1))
+                    .and(s.ge(Zen::val(8)))
+                    .and(out.ne(Zen::val(0)))
+            },
+            &opts,
+        );
+        assert!(w.is_none(), "shifting past the width always yields zero");
+    }
+}
+
+#[test]
+fn deeply_nested_options() {
+    let f = ZenFunction::new(|o: Zen<Option<Option<u8>>>| {
+        o.value_or(Zen::none(0)).value_or(Zen::val(42))
+    });
+    assert_eq!(f.evaluate(&Some(Some(7))), 7);
+    assert_eq!(f.evaluate(&Some(None)), 42);
+    assert_eq!(f.evaluate(&None), 42);
+    // Solvers can distinguish the three shapes.
+    let w = f
+        .find(
+            |o, out| {
+                o.is_some()
+                    .and(o.value().is_none())
+                    .and(out.eq(Zen::val(42)))
+            },
+            &FindOptions::bdd(),
+        )
+        .unwrap();
+    assert_eq!(w, Some(None));
+}
+
+#[test]
+fn empty_map_lookups() {
+    let f =
+        ZenFunction::new(|_: Zen<bool>| Zen::<ZMap<u8, u8>>::empty().get(Zen::val(1)).is_none());
+    assert!(f.evaluate(&true));
+}

@@ -1,0 +1,362 @@
+//! Frontend semantics: structs, options, tuples, lists, maps, operators,
+//! and sort unification.
+
+use rzen::{pair, zen_struct, zif, FindOptions, ZMap, Zen, ZenFunction, ZenType};
+
+zen_struct! {
+    pub struct Point : PointFields {
+        x, with_x: u32;
+        y, with_y: u32;
+        tagged, with_tagged: bool;
+    }
+}
+
+fn eval<A: ZenType, R: ZenType>(f: impl Fn(Zen<A>) -> Zen<R> + 'static, a: &A) -> R {
+    ZenFunction::new(f).evaluate(a)
+}
+
+#[test]
+fn arithmetic_operators() {
+    assert_eq!(eval(|x: Zen<u32>| x + 5u32, &10), 15);
+    assert_eq!(eval(|x: Zen<u32>| x - 5u32, &3), 3u32.wrapping_sub(5));
+    assert_eq!(eval(|x: Zen<u8>| x * 3u8, &100), 100u8.wrapping_mul(3));
+    assert_eq!(eval(|x: Zen<u32>| x & 0xF0u32, &0xAB), 0xA0);
+    assert_eq!(eval(|x: Zen<u32>| x | 0x0Fu32, &0xA0), 0xAF);
+    assert_eq!(eval(|x: Zen<u32>| x ^ 0xFFu32, &0xA5), 0x5A);
+    assert_eq!(eval(|x: Zen<u32>| x << 4u32, &0x0F), 0xF0);
+    assert_eq!(eval(|x: Zen<u32>| x >> 4u32, &0xF0), 0x0F);
+}
+
+#[test]
+fn signed_arithmetic() {
+    assert_eq!(eval(|x: Zen<i32>| x + (-5i32), &3), -2);
+    assert_eq!(eval(|x: Zen<i8>| x >> 1i8, &-2), -1);
+    assert!(eval(|x: Zen<i32>| x.lt(Zen::val(0)), &-1));
+    assert!(!eval(|x: Zen<u32>| x.lt(Zen::val(1)), &u32::MAX));
+}
+
+#[test]
+fn comparisons() {
+    assert!(eval(|x: Zen<u16>| x.le(Zen::val(7)), &7));
+    assert!(!eval(|x: Zen<u16>| x.lt(Zen::val(7)), &7));
+    assert!(eval(|x: Zen<u16>| x.ge(Zen::val(7)), &7));
+    assert!(eval(|x: Zen<u16>| x.gt(Zen::val(6)), &7));
+    assert!(eval(|x: Zen<u16>| x.ne(Zen::val(6)), &7));
+}
+
+#[test]
+fn boolean_connectives() {
+    assert!(eval(|b: Zen<bool>| b.or(!b), &false));
+    assert!(!eval(|b: Zen<bool>| b.and(!b), &true));
+    assert!(eval(|b: Zen<bool>| b.implies(b), &false));
+    assert!(eval(|b: Zen<bool>| b.iff(b), &true));
+}
+
+#[test]
+fn conditionals() {
+    let f = ZenFunction::new(|x: Zen<u32>| zif(x.lt(Zen::val(10)), x + 1u32, x - 1u32));
+    assert_eq!(f.evaluate(&5), 6);
+    assert_eq!(f.evaluate(&15), 14);
+}
+
+#[test]
+fn struct_projection_and_update() {
+    let p = Point {
+        x: 3,
+        y: 4,
+        tagged: true,
+    };
+    assert_eq!(eval(|z: Zen<Point>| z.x(), &p), 3);
+    assert_eq!(eval(|z: Zen<Point>| z.y(), &p), 4);
+    assert!(eval(|z: Zen<Point>| z.tagged(), &p));
+    let moved = eval(|z: Zen<Point>| z.with_x(z.y()).with_y(z.x()), &p);
+    assert_eq!(
+        moved,
+        Point {
+            x: 4,
+            y: 3,
+            tagged: true
+        }
+    );
+}
+
+#[test]
+fn struct_create_and_eq() {
+    let f = ZenFunction::new(|z: Zen<Point>| {
+        let rebuilt = Point::create(z.x(), z.y(), z.tagged());
+        rebuilt.eq(z)
+    });
+    assert!(f.evaluate(&Point {
+        x: 1,
+        y: 2,
+        tagged: false
+    }));
+}
+
+#[test]
+fn tuples_roundtrip() {
+    let f = ZenFunction::new(|t: Zen<(u8, u16)>| t.item1());
+    assert_eq!(f.evaluate(&(9u8, 300u16)), 9);
+    let g = ZenFunction::new(|t: Zen<(u8, u16)>| pair(t.item1(), t.item2()).item2());
+    assert_eq!(g.evaluate(&(9u8, 300u16)), 300);
+}
+
+#[test]
+fn options_basics() {
+    assert!(eval(|o: Zen<Option<u8>>| o.is_some(), &Some(4)));
+    assert!(eval(|o: Zen<Option<u8>>| o.is_none(), &None));
+    assert_eq!(
+        eval(|o: Zen<Option<u8>>| o.value_or(Zen::val(9)), &Some(4)),
+        4
+    );
+    assert_eq!(eval(|o: Zen<Option<u8>>| o.value_or(Zen::val(9)), &None), 9);
+}
+
+#[test]
+fn option_map_and_filter() {
+    let inc = ZenFunction::new(|o: Zen<Option<u8>>| o.map(|v| v + 1u8));
+    assert_eq!(inc.evaluate(&Some(4)), Some(5));
+    assert_eq!(inc.evaluate(&None), None);
+    let keep_even = ZenFunction::new(|o: Zen<Option<u8>>| o.filter(|v| (v & 1u8).eq(Zen::val(0))));
+    assert_eq!(keep_even.evaluate(&Some(4)), Some(4));
+    assert_eq!(keep_even.evaluate(&Some(5)), None);
+    assert_eq!(keep_even.evaluate(&None), None);
+}
+
+#[test]
+fn option_equality_ignores_dead_payload() {
+    // None == None must hold even when one side was built by mapping.
+    let f = ZenFunction::new(|o: Zen<Option<u8>>| {
+        let none1: Zen<Option<u8>> = Zen::none(0);
+        let mapped = o.filter(|_| Zen::bool(false));
+        mapped.eq(none1)
+    });
+    assert!(f.evaluate(&Some(77)));
+    assert!(f.evaluate(&None));
+}
+
+#[test]
+fn list_length_and_membership() {
+    let f = ZenFunction::new(|l: Zen<Vec<u32>>| l.length());
+    assert_eq!(f.evaluate(&vec![1, 2, 3]), 3);
+    assert_eq!(f.evaluate(&vec![]), 0);
+    let c = ZenFunction::new(|l: Zen<Vec<u32>>| l.contains(Zen::val(7)));
+    assert!(c.evaluate(&vec![1, 7, 3]));
+    assert!(!c.evaluate(&vec![1, 2, 3]));
+    assert!(!c.evaluate(&vec![]));
+}
+
+#[test]
+fn list_cons_head_tail() {
+    let f = ZenFunction::new(|l: Zen<Vec<u8>>| l.cons(Zen::val(9)).head().value_or(Zen::val(0)));
+    assert_eq!(f.evaluate(&vec![1, 2]), 9);
+    let t = ZenFunction::new(|l: Zen<Vec<u8>>| l.tail().length());
+    assert_eq!(t.evaluate(&vec![1, 2, 3]), 2);
+    assert_eq!(t.evaluate(&vec![]), 0);
+    let h = ZenFunction::new(|l: Zen<Vec<u8>>| l.head());
+    assert_eq!(h.evaluate(&vec![5, 6]), Some(5));
+    assert_eq!(h.evaluate(&vec![]), None);
+}
+
+#[test]
+fn list_case_matches_paper_semantics() {
+    // case of nil => 0 | cons(h, t) => h + length(t)
+    let f = ZenFunction::new(|l: Zen<Vec<u8>>| {
+        l.case(
+            || Zen::val(0u8),
+            |h, t| {
+                let len8 = zif(t.is_empty(), Zen::val(0u8), Zen::val(1u8));
+                h + len8
+            },
+        )
+    });
+    assert_eq!(f.evaluate(&vec![]), 0);
+    assert_eq!(f.evaluate(&vec![10]), 10);
+    assert_eq!(f.evaluate(&vec![10, 20]), 11);
+}
+
+#[test]
+fn list_fold_any_all() {
+    let sum = ZenFunction::new(|l: Zen<Vec<u8>>| l.fold(Zen::val(0u8), |acc, x| acc + x));
+    assert_eq!(sum.evaluate(&vec![1, 2, 3]), 6);
+    assert_eq!(sum.evaluate(&vec![]), 0);
+    let any_big = ZenFunction::new(|l: Zen<Vec<u8>>| l.any(|x| x.gt(Zen::val(100))));
+    assert!(any_big.evaluate(&vec![1, 200]));
+    assert!(!any_big.evaluate(&vec![1, 2]));
+    let all_small = ZenFunction::new(|l: Zen<Vec<u8>>| l.all(|x| x.lt(Zen::val(100))));
+    assert!(all_small.evaluate(&vec![1, 2]));
+    assert!(!all_small.evaluate(&vec![1, 200]));
+    assert!(all_small.evaluate(&vec![]));
+}
+
+#[test]
+fn list_map_preserves_length() {
+    let f = ZenFunction::new(|l: Zen<Vec<u8>>| {
+        let doubled = l.map(|x| x * 2u8);
+        doubled.fold(Zen::val(0u8), |acc, x| acc + x)
+    });
+    assert_eq!(f.evaluate(&vec![1, 2, 3]), 12);
+}
+
+#[test]
+fn list_at_symbolic_index() {
+    let f = ZenFunction2::new(|l: Zen<Vec<u8>>, i: Zen<u16>| l.at(i).value_or(Zen::val(255)));
+    assert_eq!(f.evaluate(&vec![10, 20, 30], &1), 20);
+    assert_eq!(f.evaluate(&vec![10, 20, 30], &5), 255);
+}
+
+use rzen::ZenFunction2;
+
+#[test]
+fn list_equality_respects_length_only_prefix() {
+    // Lists with different slot counts but the same content are equal.
+    let f = ZenFunction::new(|l: Zen<Vec<u8>>| {
+        let grown = l.cons(Zen::val(9)).tail(); // same content, more slots
+        grown.eq(l)
+    });
+    assert!(f.evaluate(&vec![1, 2, 3]));
+    assert!(f.evaluate(&vec![]));
+}
+
+#[test]
+fn zif_unifies_list_sorts() {
+    // Branches with different slot counts merge.
+    let f = ZenFunction2::new(|l: Zen<Vec<u8>>, b: Zen<bool>| {
+        let extended = l.cons(Zen::val(1));
+        zif(b, extended, l).length()
+    });
+    assert_eq!(f.evaluate(&vec![5, 6], &true), 3);
+    assert_eq!(f.evaluate(&vec![5, 6], &false), 2);
+}
+
+#[test]
+fn map_get_set_semantics() {
+    let f = ZenFunction::new(|m: Zen<ZMap<u8, u16>>| {
+        m.set(Zen::val(1), Zen::val(100))
+            .get(Zen::val(1))
+            .value_or(Zen::val(0))
+    });
+    let mut m = ZMap::new();
+    m.set(1u8, 7u16);
+    // Most recent binding wins.
+    assert_eq!(f.evaluate(&m), 100);
+
+    let g = ZenFunction::new(|m: Zen<ZMap<u8, u16>>| m.get(Zen::val(2)).is_some());
+    assert!(!g.evaluate(&m));
+    m.set(2, 9);
+    assert!(g.evaluate(&m));
+}
+
+#[test]
+fn map_shadowing_head_wins() {
+    let mut m: ZMap<u8, u16> = ZMap::new();
+    m.set(1, 10);
+    m.set(1, 20); // shadows
+    let f = ZenFunction::new(|m: Zen<ZMap<u8, u16>>| m.get(Zen::val(1)).value_or(Zen::val(0)));
+    assert_eq!(f.evaluate(&m), 20);
+    assert_eq!(*m.get(&1).unwrap(), 20);
+}
+
+#[test]
+fn find_with_lists() {
+    // Find a list of length exactly 3 that contains 42.
+    let f = ZenFunction::new(|l: Zen<Vec<u8>>| {
+        l.length().eq(Zen::val(3)).and(l.contains(Zen::val(42)))
+    });
+    for opts in [FindOptions::bdd(), FindOptions::smt()] {
+        let found = f
+            .find(|_, out| out, &opts.with_list_bound(4))
+            .expect("should find a witness");
+        assert_eq!(found.len(), 3);
+        assert!(found.contains(&42));
+    }
+}
+
+#[test]
+fn find_unsat_returns_none() {
+    let f = ZenFunction::new(|x: Zen<u8>| x.lt(Zen::val(0)));
+    assert!(f.find(|_, out| out, &FindOptions::bdd()).is_none());
+    assert!(f.find(|_, out| out, &FindOptions::smt()).is_none());
+}
+
+#[test]
+fn verify_reports_counterexample() {
+    let f = ZenFunction::new(|x: Zen<u8>| x + 1u8);
+    // Claim: x + 1 > x — false at 255 (wrap).
+    let r = f.verify(|x, out| out.gt(x), &FindOptions::bdd());
+    assert_eq!(r, Err(255));
+    // Claim: x + 1 != x — true everywhere.
+    assert!(f.verify(|x, out| out.ne(x), &FindOptions::smt()).is_ok());
+}
+
+#[test]
+fn nested_struct_in_option_in_struct() {
+    zen_struct! {
+        pub struct Wrapper : WrapperFields {
+            inner, with_inner: Option<Point>;
+            count, with_count: u8;
+        }
+    }
+    let w = Wrapper {
+        inner: Some(Point {
+            x: 1,
+            y: 2,
+            tagged: true,
+        }),
+        count: 3,
+    };
+    let f = ZenFunction::new(|z: Zen<Wrapper>| {
+        z.inner()
+            .value_or(Point::create(Zen::val(0), Zen::val(0), Zen::bool(false)))
+            .x()
+    });
+    assert_eq!(f.evaluate(&w), 1);
+    let g = ZenFunction::new(|z: Zen<Wrapper>| z.inner().is_none());
+    assert!(g.evaluate(&Wrapper {
+        inner: None,
+        count: 0
+    }));
+}
+
+#[test]
+fn symbolic_list_respects_bound() {
+    let f = ZenFunction::new(|l: Zen<Vec<u8>>| l.length().le(Zen::val(2)));
+    // With bound 2 every symbolic list has length <= 2: no counterexample.
+    assert!(f
+        .find(|_, out| !out, &FindOptions::bdd().with_list_bound(2))
+        .is_none());
+    // With bound 4 a longer list exists.
+    assert!(f
+        .find(|_, out| !out, &FindOptions::bdd().with_list_bound(4))
+        .is_some());
+}
+
+#[test]
+fn list_retain_filters_in_order() {
+    let f = ZenFunction::new(|l: Zen<Vec<u8>>| l.retain(|x| (x & 1u8).eq(Zen::val(0))));
+    assert_eq!(f.evaluate(&vec![1, 2, 3, 4, 5, 6]), vec![2, 4, 6]);
+    assert_eq!(f.evaluate(&vec![1, 3, 5]), Vec::<u8>::new());
+    assert_eq!(f.evaluate(&vec![]), Vec::<u8>::new());
+    assert_eq!(f.evaluate(&vec![2, 2]), vec![2, 2]);
+}
+
+#[test]
+fn list_append_concatenates() {
+    let f = ZenFunction2::new(|a: Zen<Vec<u8>>, b: Zen<Vec<u8>>| a.append(b));
+    assert_eq!(f.evaluate(&vec![1, 2], &vec![3, 4]), vec![1, 2, 3, 4]);
+    assert_eq!(f.evaluate(&vec![], &vec![3]), vec![3]);
+    assert_eq!(f.evaluate(&vec![1], &vec![]), vec![1]);
+}
+
+#[test]
+fn find_over_retained_list() {
+    // Find a list whose even-only projection has length exactly 2.
+    let f = ZenFunction::new(|l: Zen<Vec<u8>>| l.retain(|x| (x & 1u8).eq(Zen::val(0))).length());
+    let w = f
+        .find(
+            |_, n| n.eq(Zen::val(2)),
+            &FindOptions::smt().with_list_bound(3),
+        )
+        .unwrap();
+    assert_eq!(w.iter().filter(|x| *x % 2 == 0).count(), 2);
+}

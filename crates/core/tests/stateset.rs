@@ -1,0 +1,185 @@
+//! State-set and transformer semantics, checked against brute-force
+//! enumeration on small domains.
+
+use rzen::{zen_struct, zif, TransformerSpace, Zen, ZenFunction};
+
+#[test]
+fn set_algebra() {
+    let space = TransformerSpace::new();
+    let evens = space.set_of::<u8>(|x| (x & 1u8).eq(Zen::val(0)));
+    let small = space.set_of::<u8>(|x| x.lt(Zen::val(10)));
+    assert_eq!(evens.count(), 128.0);
+    assert_eq!(small.count(), 10.0);
+    assert_eq!(evens.intersect(&small).count(), 5.0);
+    assert_eq!(evens.union(&small).count(), 128.0 + 5.0);
+    assert_eq!(evens.minus(&small).count(), 123.0);
+    assert_eq!(evens.complement().count(), 128.0);
+    assert!(space.empty::<u8>().is_empty());
+    assert!(space.full::<u8>().is_full());
+    assert!(evens.intersect(&evens.complement()).is_empty());
+    assert!(small.subset_of(&space.full::<u8>()));
+    assert!(!evens.subset_of(&small));
+}
+
+#[test]
+fn singleton_and_element() {
+    let space = TransformerSpace::new();
+    let s = space.singleton::<u8>(&42);
+    assert_eq!(s.count(), 1.0);
+    assert_eq!(s.element(), Some(42));
+    assert_eq!(space.empty::<u8>().element(), None);
+}
+
+#[test]
+fn forward_image_matches_enumeration() {
+    let f = ZenFunction::new(|x: Zen<u8>| (x >> 1u8) + 3u8);
+    let space = TransformerSpace::new();
+    let t = f.transformer(&space);
+    let input = space.set_of::<u8>(|x| x.lt(Zen::val(16)));
+    let image = t.transform_forward(&input);
+    // Brute force: {f(x) | x < 16}
+    let expect: std::collections::BTreeSet<u8> =
+        (0u8..16).map(|x| (x >> 1).wrapping_add(3)).collect();
+    assert_eq!(image.count(), expect.len() as f64);
+    for y in expect {
+        let single = space.singleton::<u8>(&y);
+        assert!(!image.intersect(&single).is_empty(), "missing {y}");
+    }
+}
+
+#[test]
+fn reverse_image_matches_enumeration() {
+    let f = ZenFunction::new(|x: Zen<u8>| x & 0x0Fu8);
+    let space = TransformerSpace::new();
+    let t = f.transformer(&space);
+    let target = space.singleton::<u8>(&5);
+    let pre = t.transform_reverse(&target);
+    // Brute force: {x | x & 0x0F == 5} — 16 values.
+    assert_eq!(pre.count(), 16.0);
+    let expect: Vec<u8> = (0u8..=255).filter(|x| x & 0x0F == 5).collect();
+    for x in expect {
+        assert!(!pre.intersect(&space.singleton(&x)).is_empty());
+    }
+}
+
+// Pointwise duality: y ∈ fwd({x}) ⟺ x ∈ rev({y}).
+#[test]
+fn forward_reverse_duality() {
+    let f = ZenFunction::new(|x: Zen<u8>| (x * 3u8) ^ 0x5Au8);
+    let space = TransformerSpace::new();
+    let t = f.transformer(&space);
+    for x in [0u8, 1, 17, 200, 255] {
+        let y_set = t.transform_forward(&space.singleton(&x));
+        let y = y_set.element().expect("image of a singleton is nonempty");
+        assert_eq!(y_set.count(), 1.0);
+        let back = t.transform_reverse(&space.singleton(&y));
+        assert!(!back.intersect(&space.singleton(&x)).is_empty());
+    }
+}
+
+#[test]
+fn transformer_on_struct_type() {
+    zen_struct! {
+        pub struct Hdr : HdrFields {
+            dst, with_dst: u16;
+            ttl, with_ttl: u8;
+        }
+    }
+    // A hop: decrement TTL; drop (ttl = 0 stays 0) modeled by saturation.
+    let hop = ZenFunction::new(|h: Zen<Hdr>| {
+        let new_ttl = zif(h.ttl().eq(Zen::val(0)), Zen::val(0u8), h.ttl() - 1u8);
+        h.with_ttl(new_ttl)
+    });
+    let space = TransformerSpace::new();
+    let t = hop.transformer(&space);
+    let alive = space.set_of::<Hdr>(|h| h.ttl().gt(Zen::val(0)));
+    let after = t.transform_forward(&alive);
+    // After one hop from ttl>0, ttl can be anything in 0..=254.
+    let can_be_254 = after.intersect(&space.set_of::<Hdr>(|h| h.ttl().eq(Zen::val(254))));
+    assert!(!can_be_254.is_empty());
+    let can_be_255 = after.intersect(&space.set_of::<Hdr>(|h| h.ttl().eq(Zen::val(255))));
+    assert!(can_be_255.is_empty());
+    // dst is untouched: forward of dst=7 keeps dst=7.
+    let d7 = space.set_of::<Hdr>(|h| h.dst().eq(Zen::val(7)));
+    let img = t.transform_forward(&d7);
+    assert!(img.subset_of(&d7.union(&space.empty())));
+}
+
+#[test]
+fn transformer_type_change() {
+    // Packet -> bool transformer (a filter predicate as a function).
+    let f = ZenFunction::new(|x: Zen<u16>| x.lt(Zen::val(100)));
+    let space = TransformerSpace::new();
+    let t = f.transformer(&space);
+    let all = space.full::<u16>();
+    let img = t.transform_forward(&all);
+    // Image must be {true, false}.
+    assert_eq!(img.count(), 2.0);
+    let pre_true = t.transform_reverse(&space.singleton(&true));
+    assert_eq!(pre_true.count(), 100.0);
+    let pre_false = t.transform_reverse(&space.singleton(&false));
+    assert_eq!(pre_false.count(), 65436.0);
+}
+
+#[test]
+fn relation_eq_detects_equivalence() {
+    let f1 = ZenFunction::new(|x: Zen<u8>| x + 2u8);
+    let f2 = ZenFunction::new(|x: Zen<u8>| (x + 1u8) + 1u8);
+    let f3 = ZenFunction::new(|x: Zen<u8>| x + 3u8);
+    let space = TransformerSpace::new();
+    let t1 = f1.transformer(&space);
+    let t2 = f2.transformer(&space);
+    let t3 = f3.transformer(&space);
+    assert!(t1.relation_eq(&t2));
+    assert!(!t1.relation_eq(&t3));
+}
+
+#[test]
+fn fixpoint_reachability() {
+    // "Unbounded model checking": iterate a transformer to a fixpoint.
+    // f(x) = x+2 mod 16 (masked); from {0}, reachable = evens in 0..16.
+    let f = ZenFunction::new(|x: Zen<u8>| (x + 2u8) & 0x0Fu8);
+    let space = TransformerSpace::new();
+    let t = f.transformer(&space);
+    let reach = t.fixpoint(&space.singleton::<u8>(&0));
+    assert_eq!(reach.count(), 8.0);
+    assert!(!reach.intersect(&space.singleton(&14)).is_empty());
+    assert!(reach.intersect(&space.singleton(&13)).is_empty());
+    // reaches() agrees, for both positive and negative queries.
+    assert!(t.reaches(&space.singleton(&0), &space.singleton(&14)));
+    assert!(!t.reaches(&space.singleton(&0), &space.singleton(&13)));
+}
+
+#[test]
+fn fixpoint_of_identity_is_initial() {
+    let f = ZenFunction::new(|x: Zen<u8>| x + 0u8);
+    let space = TransformerSpace::new();
+    let t = f.transformer(&space);
+    let init = space.set_of::<u8>(|x| x.lt(Zen::val(5)));
+    assert!(t.fixpoint(&init).set_eq(&init));
+}
+
+#[test]
+fn fixpoint_saturates_to_cycle() {
+    // A TTL-decrement that wraps: every state reaches every state.
+    let f = ZenFunction::new(|x: Zen<u8>| x - 1u8);
+    let space = TransformerSpace::new();
+    let t = f.transformer(&space);
+    let reach = t.fixpoint(&space.singleton::<u8>(&7));
+    assert!(reach.is_full());
+}
+
+#[test]
+fn sets_over_options() {
+    let space = TransformerSpace::new();
+    // Sets over Option<u8> operate on the raw bit space (flag + payload).
+    let some_set = space.set_of::<Option<u8>>(|o| o.is_some());
+    let none_set = space.set_of::<Option<u8>>(|o| o.is_none());
+    assert_eq!(some_set.count(), 256.0);
+    assert_eq!(none_set.count(), 256.0); // 256 raw states share has=false
+    assert!(some_set.intersect(&none_set).is_empty());
+    assert_eq!(none_set.element(), Some(None));
+    let s = some_set
+        .intersect(&space.set_of::<Option<u8>>(|o| o.value_or(Zen::val(0)).eq(Zen::val(9))));
+    assert_eq!(s.element(), Some(Some(9)));
+}

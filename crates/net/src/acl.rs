@@ -1,0 +1,201 @@
+//! Access control lists: prioritized permit/deny rules over the 5-tuple.
+//!
+//! The semantic core between the `ZEN-LOC` markers is what the paper's
+//! Table 2 counts (28 lines for ACLs in Zen, against >500 in Batfish).
+
+use crate::headers::{Header, HeaderFields};
+use crate::ip::Prefix;
+use rzen::{zif, Zen};
+
+/// One ACL rule: match conditions plus a permit/deny action.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AclRule {
+    /// `true` = permit, `false` = deny.
+    pub permit: bool,
+    /// Source address must fall in this prefix.
+    pub src: Prefix,
+    /// Destination address must fall in this prefix.
+    pub dst: Prefix,
+    /// Inclusive destination port range.
+    pub dst_ports: (u16, u16),
+    /// Inclusive source port range.
+    pub src_ports: (u16, u16),
+    /// Inclusive IP protocol range.
+    pub protocols: (u8, u8),
+}
+
+impl AclRule {
+    /// A rule matching everything.
+    pub fn any(permit: bool) -> AclRule {
+        AclRule {
+            permit,
+            src: Prefix::ANY,
+            dst: Prefix::ANY,
+            dst_ports: (0, u16::MAX),
+            src_ports: (0, u16::MAX),
+            protocols: (0, u8::MAX),
+        }
+    }
+
+    /// Concrete-reference matcher (for differential tests).
+    pub fn matches_concrete(&self, h: &Header) -> bool {
+        self.src.contains(h.src_ip)
+            && self.dst.contains(h.dst_ip)
+            && (self.dst_ports.0..=self.dst_ports.1).contains(&h.dst_port)
+            && (self.src_ports.0..=self.src_ports.1).contains(&h.src_port)
+            && (self.protocols.0..=self.protocols.1).contains(&h.protocol)
+    }
+}
+
+/// An ACL: rules evaluated first-match; no match means deny.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Acl {
+    /// The prioritized rules.
+    pub rules: Vec<AclRule>,
+}
+
+// ZEN-LOC-BEGIN(acl)
+impl AclRule {
+    /// Does this rule match the (symbolic) header?
+    pub fn matches(&self, h: Zen<Header>) -> Zen<bool> {
+        self.src
+            .matches(h.src_ip())
+            .and(self.dst.matches(h.dst_ip()))
+            .and(h.dst_port().ge(Zen::val(self.dst_ports.0)))
+            .and(h.dst_port().le(Zen::val(self.dst_ports.1)))
+            .and(h.src_port().ge(Zen::val(self.src_ports.0)))
+            .and(h.src_port().le(Zen::val(self.src_ports.1)))
+            .and(h.protocol().ge(Zen::val(self.protocols.0)))
+            .and(h.protocol().le(Zen::val(self.protocols.1)))
+    }
+}
+
+impl Acl {
+    /// Is the header permitted? First matching rule decides; default deny.
+    pub fn allows(&self, h: Zen<Header>) -> Zen<bool> {
+        let mut result = Zen::bool(false);
+        for rule in self.rules.iter().rev() {
+            result = zif(rule.matches(h), Zen::bool(rule.permit), result);
+        }
+        result
+    }
+
+    /// Which rule matches the header (line tracking)? Returns the 1-based
+    /// rule number, or 0 when no rule matches.
+    pub fn matched_line(&self, h: Zen<Header>) -> Zen<u16> {
+        let mut result = Zen::val(0u16);
+        for (i, rule) in self.rules.iter().enumerate().rev() {
+            result = zif(rule.matches(h), Zen::val(i as u16 + 1), result);
+        }
+        result
+    }
+}
+// ZEN-LOC-END(acl)
+
+impl Acl {
+    /// Concrete-reference semantics (for differential tests).
+    pub fn allows_concrete(&self, h: &Header) -> bool {
+        self.rules
+            .iter()
+            .find(|r| r.matches_concrete(h))
+            .map(|r| r.permit)
+            .unwrap_or(false)
+    }
+
+    /// Concrete line tracking (1-based; 0 = no match).
+    pub fn matched_line_concrete(&self, h: &Header) -> u16 {
+        self.rules
+            .iter()
+            .position(|r| r.matches_concrete(h))
+            .map(|i| i as u16 + 1)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::proto;
+    use crate::ip::ip;
+    use rzen::{FindOptions, ZenFunction};
+
+    fn acl3() -> Acl {
+        Acl {
+            rules: vec![
+                AclRule {
+                    permit: false,
+                    dst: Prefix::new(ip(10, 0, 0, 0), 8),
+                    dst_ports: (22, 22),
+                    ..AclRule::any(false)
+                },
+                AclRule {
+                    permit: true,
+                    dst: Prefix::new(ip(10, 0, 0, 0), 8),
+                    ..AclRule::any(true)
+                },
+                AclRule::any(false),
+            ],
+        }
+    }
+
+    fn hdr(dst: u32, port: u16) -> Header {
+        Header::new(dst, ip(1, 1, 1, 1), port, 55555, proto::TCP)
+    }
+
+    #[test]
+    fn first_match_semantics() {
+        let acl = acl3();
+        let f = ZenFunction::new(move |h| acl3().allows(h));
+        assert!(!f.evaluate(&hdr(ip(10, 1, 1, 1), 22))); // ssh denied
+        assert!(f.evaluate(&hdr(ip(10, 1, 1, 1), 80))); // web allowed
+        assert!(!f.evaluate(&hdr(ip(11, 1, 1, 1), 80))); // off-prefix denied
+        assert_eq!(acl.matched_line_concrete(&hdr(ip(10, 1, 1, 1), 22)), 1);
+        assert_eq!(acl.matched_line_concrete(&hdr(ip(10, 1, 1, 1), 80)), 2);
+        assert_eq!(acl.matched_line_concrete(&hdr(ip(11, 1, 1, 1), 80)), 3);
+    }
+
+    #[test]
+    fn default_deny_when_empty() {
+        let f = ZenFunction::new(|h| Acl::default().allows(h));
+        assert!(!f.evaluate(&hdr(ip(10, 0, 0, 1), 80)));
+        let g = ZenFunction::new(|h| Acl::default().matched_line(h));
+        assert_eq!(g.evaluate(&hdr(ip(10, 0, 0, 1), 80)), 0);
+    }
+
+    #[test]
+    fn line_tracking_matches_reference() {
+        let acl = acl3();
+        let f = ZenFunction::new(move |h| acl3().matched_line(h));
+        for h in [
+            hdr(ip(10, 1, 1, 1), 22),
+            hdr(ip(10, 9, 9, 9), 443),
+            hdr(ip(172, 16, 0, 1), 22),
+        ] {
+            assert_eq!(f.evaluate(&h), acl.matched_line_concrete(&h));
+        }
+    }
+
+    #[test]
+    fn find_packet_matching_last_line() {
+        // The Fig-10 verification task: find a packet that falls through
+        // to the final rule (requires reasoning about the whole ACL).
+        let n = acl3().rules.len() as u16;
+        let f = ZenFunction::new(move |h| acl3().matched_line(h));
+        for opts in [FindOptions::bdd(), FindOptions::smt()] {
+            let h = f.find(|_, line| line.eq(Zen::val(n)), &opts).unwrap();
+            assert_eq!(acl3().matched_line_concrete(&h), n);
+        }
+    }
+
+    #[test]
+    fn shadowed_rule_unreachable() {
+        // Rule 2 duplicates rule 1 → no packet can match line 2.
+        let acl = Acl {
+            rules: vec![AclRule::any(true), AclRule::any(false)],
+        };
+        let f = ZenFunction::new(move |h| acl.clone().matched_line(h));
+        assert!(f
+            .find(|_, line| line.eq(Zen::val(2u16)), &FindOptions::bdd())
+            .is_none());
+    }
+}

@@ -1,0 +1,73 @@
+//! Anteater-style reachability (Mai et al., SIGCOMM '11): encode
+//! per-path forwarding as a Boolean formula and ask a SAT solver for a
+//! witness packet — here, `find` with the SMT backend over the shared
+//! Fig. 7 path model.
+
+use rzen::{FindOptions, Zen, ZenFunction};
+
+use crate::device::{forward_along, Hop};
+use crate::headers::Packet;
+use crate::topology::Network;
+
+/// A reachability witness: the path taken and a packet delivered along it.
+pub struct Witness {
+    /// The hops of the delivering path.
+    pub path: Vec<Hop>,
+    /// A concrete packet delivered along that path.
+    pub packet: Packet,
+}
+
+/// Can any packet travel from `(src, entry_intf)` to `(dst, exit_intf)`?
+/// Iterates over simple paths (the paper's §4: "to find if a packet can
+/// reach node A to B, along any path, we can iterate over all possible
+/// paths"), asking the SMT backend for a delivered packet on each.
+pub fn reachable(
+    net: &Network,
+    src: usize,
+    entry_intf: u8,
+    dst: usize,
+    exit_intf: u8,
+) -> Option<Witness> {
+    reachable_such_that(net, src, entry_intf, dst, exit_intf, |_, out| out.is_some())
+}
+
+/// Like [`reachable`], with an extra predicate over the (symbolic) input
+/// packet and delivery result — e.g. restrict to ssh traffic, or ask for
+/// a packet that is delivered *modified*.
+pub fn reachable_such_that(
+    net: &Network,
+    src: usize,
+    entry_intf: u8,
+    dst: usize,
+    exit_intf: u8,
+    pred: impl Fn(Zen<Packet>, Zen<Option<Packet>>) -> Zen<bool> + Clone + 'static,
+) -> Option<Witness> {
+    for path in net.paths(src, entry_intf, dst, exit_intf) {
+        let model_path = path.clone();
+        let f = ZenFunction::new(move |p| forward_along(&model_path, p));
+        let pred = pred.clone();
+        if let Some(packet) = f.find(move |p, out| pred(p, out), &FindOptions::smt()) {
+            return Some(Witness { path, packet });
+        }
+    }
+    None
+}
+
+/// Exhaustive variant: all (path, witness) pairs.
+pub fn all_witnesses(
+    net: &Network,
+    src: usize,
+    entry_intf: u8,
+    dst: usize,
+    exit_intf: u8,
+) -> Vec<Witness> {
+    let mut out = Vec::new();
+    for path in net.paths(src, entry_intf, dst, exit_intf) {
+        let model_path = path.clone();
+        let f = ZenFunction::new(move |p| forward_along(&model_path, p));
+        if let Some(packet) = f.find(|_, out| out.is_some(), &FindOptions::smt()) {
+            out.push(Witness { path, packet });
+        }
+    }
+    out
+}

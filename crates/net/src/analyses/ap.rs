@@ -1,0 +1,73 @@
+//! Atomic Predicates (Yang & Lam, ToN '16), on rzen state sets.
+//!
+//! Given the predicates a network's filters use (ACL permit sets,
+//! forwarding-rule match sets, ...), compute the coarsest partition of
+//! the packet space such that every predicate is a union of partition
+//! blocks ("atoms"). Each predicate is then a small set of atom ids, and
+//! the heavy set algebra of reachability analysis collapses to integer
+//! set operations.
+
+use rzen::{StateSet, TransformerSpace, ZenType};
+
+/// Compute the atomic predicates of a family of sets: the coarsest
+/// partition of the space such that each input set is a union of blocks.
+pub fn atomic_predicates<T: ZenType>(
+    space: &TransformerSpace,
+    preds: &[StateSet<T>],
+) -> Vec<StateSet<T>> {
+    let mut atoms: Vec<StateSet<T>> = vec![space.full::<T>()];
+    for p in preds {
+        let mut next = Vec::with_capacity(atoms.len() * 2);
+        for a in &atoms {
+            let inside = a.intersect(p);
+            let outside = a.minus(p);
+            if !inside.is_empty() {
+                next.push(inside);
+            }
+            if !outside.is_empty() {
+                next.push(outside);
+            }
+        }
+        atoms = next;
+    }
+    atoms
+}
+
+/// Represent a set as the ids of the atoms it comprises. The set must be
+/// expressible as a union of the given atoms (true by construction for
+/// any of the inputs to [`atomic_predicates`] and their Boolean
+/// combinations).
+pub fn label<T: ZenType>(set: &StateSet<T>, atoms: &[StateSet<T>]) -> Vec<usize> {
+    atoms
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !a.intersect(set).is_empty())
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Rebuild a set from atom ids (the inverse of [`label`]).
+pub fn from_label<T: ZenType>(
+    space: &TransformerSpace,
+    ids: &[usize],
+    atoms: &[StateSet<T>],
+) -> StateSet<T> {
+    let mut acc = space.empty::<T>();
+    for &i in ids {
+        acc = acc.union(&atoms[i]);
+    }
+    acc
+}
+
+/// Intersection in label space: set intersection of atom-id lists.
+pub fn intersect_labels(a: &[usize], b: &[usize]) -> Vec<usize> {
+    a.iter().copied().filter(|i| b.contains(i)).collect()
+}
+
+/// Union in label space.
+pub fn union_labels(a: &[usize], b: &[usize]) -> Vec<usize> {
+    let mut out: Vec<usize> = a.iter().chain(b).copied().collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}

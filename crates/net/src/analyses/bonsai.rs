@@ -1,0 +1,109 @@
+//! Bonsai-style control-plane compression (Beckett et al., SIGCOMM '18):
+//! group routers whose routing behavior is provably interchangeable and
+//! analyze the (smaller) quotient network instead.
+//!
+//! Behavioral equality of policies is decided semantically, not
+//! syntactically: each route map is lifted to a state-set transformer
+//! (`Announcement → Option<Announcement>`), and two maps are equivalent
+//! iff their relation BDDs are the same node — canonical and exact up to
+//! the list bound. Router equivalence is then computed by partition
+//! refinement (bisimulation): two routers stay merged while they
+//! originate the same routes and have matching multisets of
+//! (policy-class, neighbor-class) edges.
+
+use rzen::{TransformerSpace, Zen, ZenFunction};
+
+use crate::routing::{Announcement, BgpNetwork, RouteMap};
+
+/// Semantically deduplicate route maps: returns, for each input map, the
+/// index of its equivalence class, plus the number of classes.
+pub fn policy_classes(space: &TransformerSpace, maps: &[RouteMap]) -> (Vec<usize>, usize) {
+    let mut reps: Vec<rzen::StateSetTransformer<Announcement, Option<Announcement>>> = Vec::new();
+    let mut class_of = Vec::with_capacity(maps.len());
+    for m in maps {
+        let m2 = m.clone();
+        let f = ZenFunction::new(move |a: Zen<Announcement>| m2.apply(a));
+        let t = f.transformer(space);
+        let found = reps.iter().position(|r| r.relation_eq(&t));
+        match found {
+            Some(i) => class_of.push(i),
+            None => {
+                reps.push(t);
+                class_of.push(reps.len() - 1);
+            }
+        }
+    }
+    let n = reps.len();
+    (class_of, n)
+}
+
+/// The compression result: a class id per router, and the class count.
+pub struct Compression {
+    /// `class[r]` = abstract node of router `r`.
+    pub class: Vec<usize>,
+    /// Number of abstract nodes.
+    pub num_classes: usize,
+    /// Number of semantically distinct route maps found.
+    pub num_policy_classes: usize,
+}
+
+/// Compute the coarsest bisimulation-style partition of the routers.
+pub fn compress(space: &TransformerSpace, net: &BgpNetwork) -> Compression {
+    // 1. Policy classes for all edge maps (export and import).
+    let mut maps = Vec::new();
+    for e in &net.edges {
+        maps.push(e.export.clone());
+        maps.push(e.import.clone());
+    }
+    let (map_class, num_policy_classes) = policy_classes(space, &maps);
+
+    // 2. Initial router partition: by originated routes.
+    let mut class: Vec<usize> = Vec::with_capacity(net.routers.len());
+    let mut origins: Vec<&Option<Announcement>> = Vec::new();
+    for r in &net.routers {
+        match origins.iter().position(|o| **o == r.originates) {
+            Some(i) => class.push(i),
+            None => {
+                origins.push(&r.originates);
+                class.push(origins.len() - 1);
+            }
+        }
+    }
+
+    // 3. Refine: split classes whose members have different edge
+    // signatures (multiset of (export-class, import-class,
+    // neighbor-class)).
+    loop {
+        let mut signatures: Vec<Vec<(usize, usize, usize)>> = vec![Vec::new(); net.routers.len()];
+        for (ei, e) in net.edges.iter().enumerate() {
+            signatures[e.from].push((map_class[2 * ei], map_class[2 * ei + 1], class[e.to]));
+        }
+        for s in &mut signatures {
+            s.sort_unstable();
+        }
+        // New classes: (old class, signature).
+        let mut keys: Vec<(usize, &Vec<(usize, usize, usize)>)> = Vec::new();
+        let mut next: Vec<usize> = Vec::with_capacity(net.routers.len());
+        for r in 0..net.routers.len() {
+            let key = (class[r], &signatures[r]);
+            match keys.iter().position(|k| *k == key) {
+                Some(i) => next.push(i),
+                None => {
+                    keys.push(key);
+                    next.push(keys.len() - 1);
+                }
+            }
+        }
+        if next == class {
+            break;
+        }
+        class = next;
+    }
+
+    let num_classes = class.iter().copied().max().map_or(0, |m| m + 1);
+    Compression {
+        class,
+        num_classes,
+        num_policy_classes,
+    }
+}

@@ -1,0 +1,237 @@
+//! Datalog-style reachability — the "Datalog" analysis box of the
+//! paper's Fig. 2.
+//!
+//! The packet space is first partitioned into atomic predicates
+//! ([`super::ap`]) of every filter the network applies; each filter then
+//! becomes a small set of atom ids, and network-wide reachability is a
+//! pure Datalog program over finite facts:
+//!
+//! ```text
+//! reach(D2, A) :- reach(D1, A), edge(D1, I, D2), transfer(D1, I, A).
+//! ```
+//!
+//! solved by semi-naive fixpoint iteration over per-device atom bitsets.
+//! This analysis covers header-preserving networks (ACLs + forwarding);
+//! packet-transforming elements (NAT, tunnels) change the atom a packet
+//! belongs to and are the domain of the transformer-based analyses
+//! (that split — atoms for filters, transformers for rewrites — mirrors
+//! the AP literature's own evolution).
+
+use rzen::{StateSet, TransformerSpace, Zen};
+
+use crate::device::Interface;
+use crate::headers::Header;
+use crate::topology::Network;
+
+/// A set of atoms, as a bitset.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct AtomSet {
+    bits: Vec<u64>,
+}
+
+impl AtomSet {
+    /// The empty set over `n` atoms.
+    pub fn empty(n: usize) -> AtomSet {
+        AtomSet {
+            bits: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Insert an atom id.
+    pub fn insert(&mut self, i: usize) {
+        self.bits[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Membership test.
+    pub fn contains(&self, i: usize) -> bool {
+        self.bits[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// In-place union; returns whether anything changed.
+    pub fn union_with(&mut self, other: &AtomSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            let new = *a | b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Intersection.
+    pub fn intersect(&self, other: &AtomSet) -> AtomSet {
+        AtomSet {
+            bits: self
+                .bits
+                .iter()
+                .zip(&other.bits)
+                .map(|(a, b)| a & b)
+                .collect(),
+        }
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&b| b == 0)
+    }
+
+    /// Iterate over member ids.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64)
+                .filter(move |b| bits >> b & 1 == 1)
+                .map(move |b| w * 64 + b)
+        })
+    }
+}
+
+/// The result of the Datalog reachability analysis.
+pub struct DatalogReach {
+    /// The atomic predicates, as state sets (index = atom id).
+    pub atoms: Vec<StateSet<Header>>,
+    /// Per-device reachable atoms.
+    pub reach: Vec<AtomSet>,
+}
+
+impl DatalogReach {
+    /// Can any packet reach the device?
+    pub fn device_reachable(&self, dev: usize) -> bool {
+        !self.reach[dev].is_empty()
+    }
+
+    /// The set of headers that can reach the device, rebuilt from atoms.
+    pub fn reachable_headers(&self, space: &TransformerSpace, dev: usize) -> StateSet<Header> {
+        let mut acc = space.empty::<Header>();
+        for i in self.reach[dev].iter() {
+            acc = acc.union(&self.atoms[i]);
+        }
+        acc
+    }
+}
+
+/// The set of headers an interface's inbound processing admits (its ACL;
+/// header-preserving interfaces only).
+fn in_filter(space: &TransformerSpace, intf: &Interface) -> StateSet<Header> {
+    assert!(
+        intf.gre_start.is_none()
+            && intf.gre_end.is_none()
+            && intf.nat_in.is_none()
+            && intf.nat_out.is_none(),
+        "datalog reachability covers header-preserving networks; use the \
+         transformer-based analyses for tunnels and NAT"
+    );
+    match &intf.acl_in {
+        None => space.full::<Header>(),
+        Some(a) => {
+            let a = a.clone();
+            space.set_of::<Header>(move |h| a.allows(h))
+        }
+    }
+}
+
+/// The set of headers a device forwards out through an interface (table
+/// selects the port, outbound ACL permits).
+fn out_filter(space: &TransformerSpace, intf: &Interface) -> StateSet<Header> {
+    let i = intf.clone();
+    space.set_of::<Header>(move |h| {
+        let sel = i.table.lookup(h).eq(Zen::val(i.id));
+        match &i.acl_out {
+            None => sel,
+            Some(a) => sel.and(a.allows(h)),
+        }
+    })
+}
+
+/// Run the analysis from an ingress interface: compute, for every
+/// device, the atoms of traffic that can arrive there.
+pub fn reachability(
+    net: &Network,
+    space: &TransformerSpace,
+    start_device: usize,
+    start_intf: u8,
+) -> DatalogReach {
+    // 1. Collect every filter set the network uses.
+    let mut sets: Vec<(usize, u8, bool, StateSet<Header>)> = Vec::new(); // (dev, intf, inbound?, set)
+    for (d, dev) in net.devices.iter().enumerate() {
+        for intf in &dev.interfaces {
+            sets.push((d, intf.id, true, in_filter(space, intf)));
+            sets.push((d, intf.id, false, out_filter(space, intf)));
+        }
+    }
+
+    // 2. Atomic predicates of all filters.
+    let all: Vec<StateSet<Header>> = sets.iter().map(|(_, _, _, s)| s.clone()).collect();
+    let atoms = super::ap::atomic_predicates(space, &all);
+    let n = atoms.len();
+
+    // 3. Label every filter as an atom set.
+    let label = |s: &StateSet<Header>| -> AtomSet {
+        let mut out = AtomSet::empty(n);
+        for i in super::ap::label(s, &atoms) {
+            out.insert(i);
+        }
+        out
+    };
+    let labels: Vec<((usize, u8, bool), AtomSet)> = sets
+        .iter()
+        .map(|(d, i, inb, s)| ((*d, *i, *inb), label(s)))
+        .collect();
+    let get = |d: usize, i: u8, inbound: bool| -> &AtomSet {
+        &labels
+            .iter()
+            .find(|((dd, ii, inb), _)| *dd == d && *ii == i && *inb == inbound)
+            .expect("filter labeled")
+            .1
+    };
+
+    // 4. Semi-naive fixpoint. Facts are per (device, ingress interface):
+    // different ingress interfaces have different inbound filters, so
+    // what an atom can do next depends on where it arrived.
+    let mut arrived: rzen_bdd::FastHashMap<(usize, u8), AtomSet> = rzen_bdd::FastHashMap::default();
+    let mut frontier: Vec<(usize, u8, AtomSet)> = Vec::new();
+    let mut full = AtomSet::empty(n);
+    for i in 0..n {
+        full.insert(i);
+    }
+    arrived.insert((start_device, start_intf), full.clone());
+    frontier.push((start_device, start_intf, full));
+
+    while let Some((d, in_intf, delta)) = frontier.pop() {
+        // Inbound filter of the ingress interface.
+        let admitted = delta.intersect(get(d, in_intf, true));
+        if admitted.is_empty() {
+            continue;
+        }
+        for intf in &net.devices[d].interfaces {
+            let Some(link) = net.link_from(d, intf.id) else {
+                continue;
+            };
+            let leaving = admitted.intersect(get(d, intf.id, false));
+            if leaving.is_empty() {
+                continue;
+            }
+            let slot = arrived
+                .entry((link.to_device, link.to_intf))
+                .or_insert_with(|| AtomSet::empty(n));
+            let before = slot.clone();
+            if slot.union_with(&leaving) {
+                // Semi-naive: propagate only the new atoms.
+                let mut new_delta = AtomSet::empty(n);
+                for i in leaving.iter() {
+                    if !before.contains(i) {
+                        new_delta.insert(i);
+                    }
+                }
+                frontier.push((link.to_device, link.to_intf, new_delta));
+            }
+        }
+    }
+
+    // Per-device summary: union over ingress interfaces.
+    let mut reach: Vec<AtomSet> = (0..net.devices.len()).map(|_| AtomSet::empty(n)).collect();
+    for ((d, _), set) in &arrived {
+        reach[*d].union_with(set);
+    }
+
+    DatalogReach { atoms, reach }
+}

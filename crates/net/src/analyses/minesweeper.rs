@@ -1,0 +1,117 @@
+//! Minesweeper-style control-plane verification (Beckett et al.,
+//! SIGCOMM '17): properties of the network's *converged* routing state,
+//! checked symbolically over an environment (here: link failures).
+//!
+//! The converged state comes from the bounded symbolic fixpoint in
+//! [`crate::routing::BgpNetwork::converge`]; properties are ordinary
+//! `verify`/`find` queries over that model, so both the BDD and SMT
+//! backends apply.
+
+use rzen::{zif, FindOptions, Zen};
+
+use crate::routing::{Announcement, AnnouncementFields, BgpNetwork};
+
+/// Count the failed links in a failure vector.
+fn failures(f: Zen<Vec<bool>>) -> Zen<u16> {
+    f.fold(Zen::val(0u16), |acc, b| {
+        acc + zif(b, Zen::val(1u16), Zen::val(0u16))
+    })
+}
+
+/// Verify that `router` still has a route whenever at most `k` links have
+/// failed. On failure, returns the offending failure vector.
+pub fn reachable_under_k_failures(
+    net: &BgpNetwork,
+    router: usize,
+    k: u16,
+    opts: &FindOptions,
+) -> Result<(), Vec<bool>> {
+    let model = net.reachability_model(router);
+    let links = net.num_links as u16;
+    let opts = opts.with_list_bound(links);
+    model.verify(
+        move |f, reach| {
+            let exact_len = f.length().eq(Zen::val(links));
+            exact_len.and(failures(f).le(Zen::val(k))).implies(reach)
+        },
+        &opts,
+    )
+}
+
+/// Verify that `router`'s route (when one exists, under at most `k`
+/// failures) never carries the given community tag — the classic "no
+/// customer route leaks to a peer" style of query.
+pub fn never_carries_community(
+    net: &BgpNetwork,
+    router: usize,
+    community: u32,
+    k: u16,
+    opts: &FindOptions,
+) -> Result<(), Vec<bool>> {
+    let model = net.route_model(router);
+    let links = net.num_links as u16;
+    let opts = opts.with_list_bound(links.max(4));
+    model.verify(
+        move |f, route| {
+            let exact_len = f.length().eq(Zen::val(links));
+            let scoped = exact_len.and(failures(f).le(Zen::val(k)));
+            let tagged = route
+                .is_some()
+                .and(route.value().communities().contains(Zen::val(community)));
+            scoped.implies(!tagged)
+        },
+        &opts,
+    )
+}
+
+/// Verify an upper bound on the AS-path length of `router`'s converged
+/// route under at most `k` failures (a path-efficiency property).
+pub fn path_length_bounded(
+    net: &BgpNetwork,
+    router: usize,
+    max_len: u16,
+    k: u16,
+    opts: &FindOptions,
+) -> Result<(), Vec<bool>> {
+    let model = net.route_model(router);
+    let links = net.num_links as u16;
+    let opts = opts.with_list_bound(links.max(8));
+    model.verify(
+        move |f, route| {
+            let exact_len = f.length().eq(Zen::val(links));
+            let scoped = exact_len.and(failures(f).le(Zen::val(k)));
+            let long = route
+                .is_some()
+                .and(route.value().as_path().length().gt(Zen::val(max_len)));
+            scoped.implies(!long)
+        },
+        &opts,
+    )
+}
+
+/// Find an environment (failure vector) in which two routers converge to
+/// *different* local preferences for the destination — a policy-
+/// equivalence counterexample, `None` if they always agree.
+pub fn find_preference_divergence(
+    net: &BgpNetwork,
+    r1: usize,
+    r2: usize,
+    opts: &FindOptions,
+) -> Option<Vec<bool>> {
+    let net = net.clone();
+    let links = net.num_links as u16;
+    let opts = opts.with_list_bound(links);
+    let model = rzen::ZenFunction::new(move |f: Zen<Vec<bool>>| {
+        let routes = net.converge(f);
+        let (a, b) = (routes[r1], routes[r2]);
+        let both = a.is_some().and(b.is_some());
+        both.and(a.value().local_pref().ne(b.value().local_pref()))
+    });
+    model.find(
+        move |f, diverge| f.length().eq(Zen::val(links)).and(diverge),
+        &opts,
+    )
+}
+
+/// Re-export of the announcement type for property authors.
+pub type Route = Announcement;

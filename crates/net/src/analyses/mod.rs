@@ -1,0 +1,20 @@
+//! The six network analyses of the paper's Table 1, all expressed on top
+//! of the shared rzen models — the expressiveness evidence behind the
+//! "Zen" column being all-checkmarks.
+//!
+//! | Analysis | Style | rzen primitive |
+//! |----------|-------|----------------|
+//! | [`hsa`] | reachable packet sets along all paths | state-set transformers (Fig. 8) |
+//! | [`ap`] | atomic predicates | state-set algebra |
+//! | [`anteater`] | per-path SAT reachability | `find` (SMT backend) |
+//! | [`minesweeper`] | symbolic control plane | `find`/`verify` over the BGP model |
+//! | [`bonsai`] | control-plane compression | transformer equivalence + partition refinement |
+//! | [`shapeshifter`] | abstract interpretation | ternary backend |
+
+pub mod anteater;
+pub mod ap;
+pub mod bonsai;
+pub mod datalog;
+pub mod hsa;
+pub mod minesweeper;
+pub mod shapeshifter;

@@ -1,0 +1,156 @@
+//! Shapeshifter-style abstract interpretation (Beckett et al.,
+//! POPL '20): evaluate the network's behavior over *abstract* values —
+//! here rzen's ternary (three-valued bit) backend — trading precision
+//! for speed. Knowing only part of a header often suffices to decide
+//! where traffic can and cannot go.
+
+use rzen::backend::ternary;
+use rzen::{with_ctx, Zen};
+
+use crate::fwd::FwdTable;
+use crate::headers::Header;
+use crate::topology::Network;
+
+/// A partially-known header: `None` fields are unknown (⊤).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PartialHeader {
+    /// Destination address, if known.
+    pub dst_ip: Option<u32>,
+    /// Source address, if known.
+    pub src_ip: Option<u32>,
+    /// Destination port, if known.
+    pub dst_port: Option<u16>,
+    /// Source port, if known.
+    pub src_port: Option<u16>,
+    /// Protocol, if known.
+    pub protocol: Option<u8>,
+}
+
+impl PartialHeader {
+    /// Only the destination address is known.
+    pub fn dst(dst_ip: u32) -> PartialHeader {
+        PartialHeader {
+            dst_ip: Some(dst_ip),
+            ..PartialHeader::default()
+        }
+    }
+
+    /// Build the mixed concrete/symbolic header expression: known fields
+    /// become constants, unknown fields fresh variables — which is all
+    /// the ternary backend needs (unbound variables evaluate to `*`).
+    pub fn to_zen(&self) -> Zen<Header> {
+        fn field<T: rzen::ZenInt>(v: Option<T>) -> Zen<T> {
+            match v {
+                Some(c) => Zen::val(c),
+                None => Zen::symbolic(0),
+            }
+        }
+        Header::create(
+            field(self.dst_ip),
+            field(self.src_ip),
+            field(self.dst_port),
+            field(self.src_port),
+            field(self.protocol),
+        )
+    }
+}
+
+/// Three-valued verdict about a property of the abstract packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Holds for every concretization.
+    Always,
+    /// Holds for no concretization.
+    Never,
+    /// Depends on the unknown bits.
+    Unknown,
+}
+
+fn verdict(b: Option<bool>) -> Verdict {
+    match b {
+        Some(true) => Verdict::Always,
+        Some(false) => Verdict::Never,
+        None => Verdict::Unknown,
+    }
+}
+
+/// For each port of a forwarding table: does the abstract packet go
+/// there?
+pub fn abstract_ports(table: &FwdTable, h: &PartialHeader) -> Vec<(u8, Verdict)> {
+    let zh = h.to_zen();
+    let out = table.lookup(zh);
+    let mut ports: Vec<u8> = table.rules.iter().map(|r| r.port).collect();
+    ports.push(0);
+    ports.sort_unstable();
+    ports.dedup();
+    ports
+        .into_iter()
+        .map(|p| {
+            let is_p = out.eq(Zen::val(p));
+            let v = with_ctx(|ctx| ternary::eval_bool3(ctx, is_p.expr_id()));
+            (p, verdict(v))
+        })
+        .collect()
+}
+
+/// Abstract reachability: the devices an abstract packet *may* reach
+/// from `(device, intf)`, using per-device ternary forwarding decisions.
+/// Sound over-approximation: `Unknown` ports are explored.
+pub fn may_reach(net: &Network, start_device: usize, h: &PartialHeader) -> Vec<usize> {
+    let mut reached = vec![false; net.devices.len()];
+    let mut stack = vec![start_device];
+    while let Some(d) = stack.pop() {
+        if reached[d] {
+            continue;
+        }
+        reached[d] = true;
+        for intf in &net.devices[d].interfaces {
+            let zh = h.to_zen();
+            let goes = intf.table.lookup(zh).eq(Zen::val(intf.id));
+            let v = with_ctx(|ctx| ternary::eval_bool3(ctx, goes.expr_id()));
+            if verdict(v) == Verdict::Never {
+                continue;
+            }
+            if let Some(link) = net.link_from(d, intf.id) {
+                if !reached[link.to_device] {
+                    stack.push(link.to_device);
+                }
+            }
+        }
+    }
+    reached
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| **r)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Abstract *definite* reachability along a single next-hop chain: the
+/// devices the packet certainly visits (follows only `Always` ports).
+pub fn must_reach(net: &Network, start_device: usize, h: &PartialHeader) -> Vec<usize> {
+    let mut visited = vec![false; net.devices.len()];
+    let mut out = vec![start_device];
+    visited[start_device] = true;
+    let mut d = start_device;
+    'walk: loop {
+        for intf in &net.devices[d].interfaces {
+            let zh = h.to_zen();
+            let goes = intf.table.lookup(zh).eq(Zen::val(intf.id));
+            let v = with_ctx(|ctx| ternary::eval_bool3(ctx, goes.expr_id()));
+            if verdict(v) == Verdict::Always {
+                if let Some(link) = net.link_from(d, intf.id) {
+                    if visited[link.to_device] {
+                        break 'walk;
+                    }
+                    visited[link.to_device] = true;
+                    out.push(link.to_device);
+                    d = link.to_device;
+                    continue 'walk;
+                }
+            }
+        }
+        break;
+    }
+    out
+}

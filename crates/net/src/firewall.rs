@@ -1,0 +1,238 @@
+//! A stateful firewall middlebox.
+//!
+//! The paper's Fig. 2 lists middleboxes among the functionality a common
+//! modeling language should cover, and its related work cites stateful
+//! dataplane verifiers (VMN, NetSMC). This model shows that statefulness
+//! needs nothing special in the IVL: the connection table is just another
+//! modeled value (a bounded list of flow keys), and a middlebox is a
+//! function `(state, packet) → (state', verdict)` — the standard
+//! transition-function shape that bounded model checking unrolls.
+
+use crate::acl::Acl;
+use crate::headers::{Header, HeaderFields};
+use rzen::{pair, zen_struct, zif, Zen, ZenFunction};
+
+zen_struct! {
+    /// A connection key: the flow's endpoints as seen from the inside.
+    pub struct FlowKey : FlowKeyFields {
+        /// Inside host address.
+        inside_ip, with_inside_ip: u32;
+        /// Outside host address.
+        outside_ip, with_outside_ip: u32;
+        /// Inside port.
+        inside_port, with_inside_port: u16;
+        /// Outside port.
+        outside_port, with_outside_port: u16;
+    }
+}
+
+/// Firewall state: the established-connections table (most recent first).
+pub type ConnTable = Vec<FlowKey>;
+
+/// A stateful firewall: outbound traffic matching `egress_policy` opens a
+/// connection; inbound traffic is accepted only for established
+/// connections (the "reflexive ACL" / default-deny-inbound posture).
+#[derive(Clone, Debug, Default)]
+pub struct StatefulFirewall {
+    /// Policy for connection-opening (outbound) traffic.
+    pub egress_policy: Acl,
+}
+
+/// The verdict and successor state for one packet.
+pub struct Step {
+    /// Was the packet forwarded?
+    pub accept: Zen<bool>,
+    /// The connection table afterwards.
+    pub state: Zen<ConnTable>,
+}
+
+impl StatefulFirewall {
+    fn key_outbound(h: Zen<Header>) -> Zen<FlowKey> {
+        FlowKey::create(h.src_ip(), h.dst_ip(), h.src_port(), h.dst_port())
+    }
+
+    fn key_inbound(h: Zen<Header>) -> Zen<FlowKey> {
+        FlowKey::create(h.dst_ip(), h.src_ip(), h.dst_port(), h.src_port())
+    }
+
+    /// Process an outbound (inside → outside) packet.
+    pub fn outbound(&self, state: Zen<ConnTable>, h: Zen<Header>) -> Step {
+        let allowed = self.egress_policy.allows(h);
+        let key = Self::key_outbound(h);
+        let grown = state.cons(key);
+        // Track the connection only when the packet is allowed out.
+        let state = zif(allowed, grown, state.resize(state.slots() + 1));
+        Step {
+            accept: allowed,
+            state,
+        }
+    }
+
+    /// Process an inbound (outside → inside) packet: accepted iff it
+    /// belongs to an established connection.
+    pub fn inbound(&self, state: Zen<ConnTable>, h: Zen<Header>) -> Step {
+        let key = Self::key_inbound(h);
+        let established = state.contains(key);
+        Step {
+            accept: established,
+            state,
+        }
+    }
+
+    /// A closed-form model of a fixed interaction script: a sequence of
+    /// (direction, packet) pairs starting from an empty table, returning
+    /// whether the **last** packet is accepted. `true` = outbound.
+    /// Script length fixes the unrolling depth (bounded model checking of
+    /// the stateful system).
+    pub fn script_model(&self, directions: Vec<bool>) -> ZenFunction<Vec<Header>, bool> {
+        let fw = self.clone();
+        ZenFunction::new(move |packets: Zen<Vec<Header>>| {
+            let mut state: Zen<ConnTable> = Zen::nil();
+            let mut last = Zen::bool(false);
+            for (i, &out) in directions.iter().enumerate() {
+                let h = packets
+                    .at(Zen::val(i as u16))
+                    .value_or(Zen::constant(&Header::new(0, 0, 0, 0, 0)));
+                let step = if out {
+                    fw.outbound(state, h)
+                } else {
+                    fw.inbound(state, h)
+                };
+                state = step.state;
+                last = step.accept;
+            }
+            last
+        })
+    }
+}
+
+/// Convenience: the pair type used when treating the firewall as a
+/// transition function for transformer-based analyses.
+pub type FwInput = (ConnTable, Header);
+
+/// The firewall's inbound step as a single `ZenFunction` over (state,
+/// packet) — the shape set-based analyses consume.
+pub fn inbound_step(fw: &StatefulFirewall) -> ZenFunction<FwInput, bool> {
+    let fw = fw.clone();
+    ZenFunction::new(move |input: Zen<FwInput>| fw.inbound(input.item1(), input.item2()).accept)
+}
+
+/// Build a (state, packet) symbolic pair explicitly (helper for custom
+/// queries).
+pub fn fw_input(state: Zen<ConnTable>, h: Zen<Header>) -> Zen<FwInput> {
+    pair(state, h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acl::AclRule;
+    use crate::headers::proto;
+    use crate::ip::{ip, Prefix};
+    use rzen::FindOptions;
+
+    fn fw() -> StatefulFirewall {
+        StatefulFirewall {
+            egress_policy: Acl {
+                rules: vec![
+                    // Inside hosts (10/8) may open connections to anywhere
+                    // except port 25.
+                    AclRule {
+                        permit: false,
+                        dst_ports: (25, 25),
+                        ..AclRule::any(false)
+                    },
+                    AclRule {
+                        permit: true,
+                        src: Prefix::new(ip(10, 0, 0, 0), 8),
+                        ..AclRule::any(true)
+                    },
+                    AclRule::any(false),
+                ],
+            },
+        }
+    }
+
+    fn out_pkt(sport: u16, dport: u16) -> Header {
+        Header::new(ip(8, 8, 8, 8), ip(10, 0, 0, 5), dport, sport, proto::TCP)
+    }
+
+    fn in_pkt(sport: u16, dport: u16) -> Header {
+        Header::new(ip(10, 0, 0, 5), ip(8, 8, 8, 8), dport, sport, proto::TCP)
+    }
+
+    #[test]
+    fn reply_to_established_connection_accepted() {
+        // out(A->B), then in(B->A reply): accepted.
+        let m = fw().script_model(vec![true, false]);
+        assert!(m.evaluate(&vec![out_pkt(5000, 80), in_pkt(80, 5000)]));
+    }
+
+    #[test]
+    fn unsolicited_inbound_rejected() {
+        let m = fw().script_model(vec![false]);
+        assert!(!m.evaluate(&vec![in_pkt(80, 5000)]));
+    }
+
+    #[test]
+    fn reply_to_denied_connection_rejected() {
+        // Outbound to port 25 is denied, so the "reply" is unsolicited.
+        let m = fw().script_model(vec![true, false]);
+        assert!(!m.evaluate(&vec![out_pkt(5000, 25), in_pkt(25, 5000)]));
+    }
+
+    #[test]
+    fn mismatched_reply_rejected() {
+        let m = fw().script_model(vec![true, false]);
+        // Reply from the wrong port.
+        assert!(!m.evaluate(&vec![out_pkt(5000, 80), in_pkt(443, 5000)]));
+    }
+
+    #[test]
+    fn symbolic_no_inbound_without_outbound() {
+        // Verified for ALL packets: a single inbound packet into a fresh
+        // firewall is never accepted.
+        let m = fw().script_model(vec![false]);
+        assert!(m
+            .verify(
+                |_, accepted| !accepted,
+                &FindOptions::bdd().with_list_bound(1)
+            )
+            .is_ok());
+    }
+
+    #[test]
+    fn find_two_packet_attack_requires_matching_flow() {
+        // Search: an inbound packet accepted after one outbound packet.
+        // Any witness must be the established connection's reverse flow.
+        let m = fw().script_model(vec![true, false]);
+        let w = m
+            .find(
+                |_, accepted| accepted,
+                &FindOptions::smt().with_list_bound(2),
+            )
+            .expect("replies are reachable");
+        assert_eq!(w.len(), 2);
+        let (out, inc) = (&w[0], &w[1]);
+        assert_eq!(out.src_ip, inc.dst_ip);
+        assert_eq!(out.dst_ip, inc.src_ip);
+        assert_eq!(out.src_port, inc.dst_port);
+        assert_eq!(out.dst_port, inc.src_port);
+        // And the opening packet was policy-compliant.
+        assert!(fw().egress_policy.allows_concrete(out));
+    }
+
+    #[test]
+    fn inbound_step_as_function() {
+        let f = inbound_step(&fw());
+        let established = vec![FlowKey {
+            inside_ip: ip(10, 0, 0, 5),
+            outside_ip: ip(8, 8, 8, 8),
+            inside_port: 5000,
+            outside_port: 80,
+        }];
+        assert!(f.evaluate(&(established.clone(), in_pkt(80, 5000))));
+        assert!(!f.evaluate(&(established, in_pkt(80, 5001))));
+        assert!(!f.evaluate(&(vec![], in_pkt(80, 5000))));
+    }
+}

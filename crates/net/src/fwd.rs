@@ -1,0 +1,154 @@
+//! Longest-prefix-match forwarding tables — the paper's Fig. 4 `Forward`.
+
+use crate::headers::{Header, HeaderFields};
+use crate::ip::Prefix;
+use rzen::{zif, Zen};
+
+/// One forwarding entry: a prefix and the output port it selects.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FwdRule {
+    /// Destination prefix.
+    pub prefix: Prefix,
+    /// Output port (0 is the null interface — drop).
+    pub port: u8,
+}
+
+/// A forwarding table. Entries must be kept in descending order of prefix
+/// length so first-match implements longest-prefix match, exactly as the
+/// paper's Fig. 4 assumes ("entries are in descending order of prefix
+/// length").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FwdTable {
+    /// The rules, longest prefixes first.
+    pub rules: Vec<FwdRule>,
+}
+
+// ZEN-LOC-BEGIN(fwd)
+/// Evaluate the header against the forwarding table starting at rule `i`,
+/// returning the output port (0 = null interface). A direct port of the
+/// paper's `Forward` (Fig. 4): the recursion happens in the host language.
+pub fn forward(t: &FwdTable, h: Zen<Header>, i: usize) -> Zen<u8> {
+    if i >= t.rules.len() {
+        return Zen::val(0); // null interface
+    }
+    let r = &t.rules[i];
+    zif(
+        r.prefix.matches(h.dst_ip()),
+        Zen::val(r.port),
+        forward(t, h, i + 1),
+    )
+}
+
+impl FwdTable {
+    /// Symbolic forwarding (iterative construction — same semantics as
+    /// [`forward`], suitable for very large tables).
+    pub fn lookup(&self, h: Zen<Header>) -> Zen<u8> {
+        let mut out = Zen::val(0u8);
+        for r in self.rules.iter().rev() {
+            out = zif(r.prefix.matches(h.dst_ip()), Zen::val(r.port), out);
+        }
+        out
+    }
+}
+// ZEN-LOC-END(fwd)
+
+impl FwdTable {
+    /// Build a table from entries, sorting them into LPM order (longest
+    /// prefix first; ties keep insertion order).
+    pub fn new(mut rules: Vec<FwdRule>) -> FwdTable {
+        rules.sort_by(|a, b| b.prefix.len.cmp(&a.prefix.len));
+        FwdTable { rules }
+    }
+
+    /// Concrete-reference semantics.
+    pub fn lookup_concrete(&self, h: &Header) -> u8 {
+        self.rules
+            .iter()
+            .find(|r| r.prefix.contains(h.dst_ip))
+            .map(|r| r.port)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::headers::proto;
+    use crate::ip::ip;
+    use rzen::{FindOptions, ZenFunction};
+
+    fn table() -> FwdTable {
+        FwdTable::new(vec![
+            FwdRule {
+                prefix: Prefix::new(ip(10, 0, 0, 0), 8),
+                port: 1,
+            },
+            FwdRule {
+                prefix: Prefix::new(ip(10, 1, 0, 0), 16),
+                port: 2,
+            },
+            FwdRule {
+                prefix: Prefix::new(ip(10, 1, 2, 0), 24),
+                port: 3,
+            },
+            FwdRule {
+                prefix: Prefix::ANY,
+                port: 4,
+            },
+        ])
+    }
+
+    fn hdr(dst: u32) -> Header {
+        Header::new(dst, 0, 0, 0, proto::TCP)
+    }
+
+    #[test]
+    fn lpm_order_after_new() {
+        let t = table();
+        let lens: Vec<u8> = t.rules.iter().map(|r| r.prefix.len).collect();
+        assert_eq!(lens, vec![24, 16, 8, 0]);
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let t = table();
+        assert_eq!(t.lookup_concrete(&hdr(ip(10, 1, 2, 9))), 3);
+        assert_eq!(t.lookup_concrete(&hdr(ip(10, 1, 9, 9))), 2);
+        assert_eq!(t.lookup_concrete(&hdr(ip(10, 9, 9, 9))), 1);
+        assert_eq!(t.lookup_concrete(&hdr(ip(11, 0, 0, 1))), 4);
+    }
+
+    #[test]
+    fn recursive_and_iterative_agree() {
+        let f = ZenFunction::new(|h| forward(&table(), h, 0));
+        let g = ZenFunction::new(|h| table().lookup(h));
+        for dst in [
+            ip(10, 1, 2, 9),
+            ip(10, 1, 9, 9),
+            ip(10, 9, 9, 9),
+            ip(11, 0, 0, 1),
+        ] {
+            let h = hdr(dst);
+            assert_eq!(f.evaluate(&h), g.evaluate(&h));
+            assert_eq!(f.evaluate(&h), table().lookup_concrete(&h));
+        }
+    }
+
+    #[test]
+    fn empty_table_drops() {
+        let f = ZenFunction::new(|h| forward(&FwdTable::default(), h, 0));
+        assert_eq!(f.evaluate(&hdr(ip(1, 2, 3, 4))), 0);
+    }
+
+    #[test]
+    fn find_packet_for_port() {
+        let f = ZenFunction::new(|h| table().lookup(h));
+        for opts in [FindOptions::bdd(), FindOptions::smt()] {
+            let h = f.find(|_, port| port.eq(Zen::val(2u8)), &opts).unwrap();
+            assert_eq!(table().lookup_concrete(&h), 2);
+            // Port 2 requires dst in 10.1/16 but not 10.1.2/24.
+            assert!(Prefix::new(ip(10, 1, 0, 0), 16).contains(h.dst_ip));
+            assert!(!Prefix::new(ip(10, 1, 2, 0), 24).contains(h.dst_ip));
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Seeded random workload generators, shared by the benchmark harness
+//! (Fig. 10 reproduces "ACLs and route maps of different sizes generated
+//! randomly") and the property tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::acl::{Acl, AclRule};
+use crate::headers::Header;
+use crate::ip::Prefix;
+use crate::routing::{Action, Clause, MatchCond, PrefixRange, RouteMap};
+
+/// A random prefix with plausible length distribution (favoring /8–/24).
+/// Base addresses are drawn from a modest pool of "site" networks, the
+/// way real ACLs concentrate on a handful of subnets.
+pub fn random_prefix(rng: &mut StdRng) -> Prefix {
+    let len = *[0u8, 8, 8, 16, 16, 16, 24, 24, 24, 32]
+        .get(rng.gen_range(0..10))
+        .unwrap();
+    // 64 deterministic site networks plus host randomness in low bits.
+    let site: u32 = (rng.gen_range(0u32..64)).wrapping_mul(0x0406_4361) ^ 0x0A00_0000;
+    let host: u32 = rng.gen();
+    let addr = (site & 0xFFFF_0000) | (host & 0x0000_FFFF);
+    let p = Prefix::new(addr, len);
+    Prefix::new(addr & p.mask(), len)
+}
+
+/// Well-known service ports real ACLs keep referring to.
+const PORT_POOL: [u16; 24] = [
+    20, 21, 22, 23, 25, 53, 67, 80, 110, 123, 143, 161, 179, 389, 443, 445, 514, 993, 1433, 3306,
+    3389, 5432, 8080, 8443,
+];
+
+fn random_port_range(rng: &mut StdRng) -> (u16, u16) {
+    match rng.gen_range(0..10) {
+        0..=4 => (0, u16::MAX),
+        5..=7 => {
+            let p = PORT_POOL[rng.gen_range(0..PORT_POOL.len())];
+            (p, p)
+        }
+        8 => (0, 1023),
+        _ => (1024, u16::MAX),
+    }
+}
+
+/// A random ACL with `n` rules. The final rule always matches everything,
+/// and no earlier rule matches the reserved header (all-ones address,
+/// port 65535), so the Fig-10 "find a packet matching the last line"
+/// query is always satisfiable — and answering it requires analyzing the
+/// complete ACL.
+pub fn random_acl(n: usize, seed: u64) -> Acl {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reserved = Header::new(u32::MAX, u32::MAX, u16::MAX, u16::MAX, u8::MAX);
+    let mut rules: Vec<AclRule> = (0..n.saturating_sub(1))
+        .map(|_| {
+            let mut r = AclRule {
+                permit: rng.gen_bool(0.5),
+                src: random_prefix(&mut rng),
+                dst: random_prefix(&mut rng),
+                dst_ports: random_port_range(&mut rng),
+                src_ports: random_port_range(&mut rng),
+                protocols: if rng.gen_bool(0.7) {
+                    (0, u8::MAX)
+                } else {
+                    let p = *[6u8, 17, 47, 1].get(rng.gen_range(0..4)).unwrap();
+                    (p, p)
+                },
+            };
+            if r.matches_concrete(&reserved) {
+                // Keep the reserved header for the catch-all.
+                r.dst_ports = (r.dst_ports.0.min(65534), r.dst_ports.1.min(65534));
+            }
+            r
+        })
+        .collect();
+    rules.push(AclRule::any(rng.gen_bool(0.5)));
+    Acl { rules }
+}
+
+/// The announcement reserved by [`random_route_map`] to keep its final
+/// clause reachable: no generated clause matches it.
+pub fn reserved_announcement() -> crate::routing::Announcement {
+    crate::routing::Announcement {
+        prefix: u32::MAX & Prefix::new(u32::MAX, 31).mask(),
+        prefix_len: 31,
+        as_path: vec![1, 2, 3],
+        communities: vec![],
+        local_pref: 100,
+        med: 9999,
+        next_hop: 0,
+    }
+}
+
+/// A random route map with `n` clauses; the final clause matches
+/// everything, and no earlier clause matches the reserved announcement,
+/// so the "find an announcement deciding at the last clause" query stays
+/// satisfiable (with list bound ≥ 3).
+pub fn random_route_map(n: usize, seed: u64) -> RouteMap {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let reserved = reserved_announcement();
+    let mut clauses: Vec<Clause> = (0..n.saturating_sub(1))
+        .map(|_| {
+            let n_conds = rng.gen_range(1..=2);
+            let conds = (0..n_conds)
+                .map(|_| match rng.gen_range(0..5) {
+                    0 => {
+                        let p = random_prefix(&mut rng);
+                        let ge = p.len;
+                        let mut le = rng.gen_range(ge..=32);
+                        let range = PrefixRange { prefix: p, ge, le };
+                        if MatchCond::PrefixIn(vec![range]).matches_concrete(&reserved) {
+                            // Exclude the reserved /31 announcement (this
+                            // branch implies ge <= 24, so the range stays
+                            // non-empty).
+                            le = le.min(30);
+                        }
+                        MatchCond::PrefixIn(vec![PrefixRange { prefix: p, ge, le }])
+                    }
+                    1 => MatchCond::HasCommunity(rng.gen_range(0..64)),
+                    2 => MatchCond::AsPathContains(rng.gen_range(64900..65100)),
+                    // Keep the bound below typical symbolic list bounds so
+                    // the condition stays avoidable (the Fig-10 query needs
+                    // the last clause to be reachable).
+                    3 => MatchCond::AsPathLengthLe(rng.gen_range(1..3)),
+                    _ => MatchCond::MedEq(rng.gen_range(0..4)),
+                })
+                .collect();
+            let n_actions = rng.gen_range(0..=2);
+            let actions = (0..n_actions)
+                .map(|_| match rng.gen_range(0..5) {
+                    0 => Action::SetLocalPref(rng.gen_range(0..400)),
+                    1 => Action::SetMed(rng.gen_range(0..16)),
+                    2 => Action::AddCommunity(rng.gen_range(0..64)),
+                    3 => Action::PrependAsPath(rng.gen_range(64900..65100), rng.gen_range(1..3)),
+                    _ => Action::SetNextHop(rng.gen()),
+                })
+                .collect();
+            Clause {
+                conds,
+                actions,
+                permit: rng.gen_bool(0.7),
+            }
+        })
+        .collect();
+    clauses.push(Clause {
+        conds: vec![],
+        actions: vec![],
+        permit: true,
+    });
+    RouteMap { clauses }
+}
+
+/// A random concrete header.
+pub fn random_header(seed: u64) -> Header {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Header::new(rng.gen(), rng.gen(), rng.gen(), rng.gen(), rng.gen())
+}
+
+/// The prefix owned by leaf `l` in a [`spine_leaf`] fabric.
+pub fn leaf_prefix(l: usize) -> Prefix {
+    Prefix::new(crate::ip::ip(10, l as u8, 0, 0), 16)
+}
+
+/// A two-tier spine-leaf fabric (the data-center topology the paper's
+/// cloud-provider motivation implies): every leaf connects to every
+/// spine; leaf `l` owns `10.l.0.0/16` behind its host port (99).
+/// Cross-leaf traffic goes up to a deterministic spine and back down.
+///
+/// Device indices: spines `0..n_spines`, then leaves
+/// `n_spines..n_spines+n_leaves`.
+pub fn spine_leaf(n_spines: usize, n_leaves: usize) -> crate::topology::Network {
+    use crate::device::Interface;
+    use crate::fwd::{FwdRule, FwdTable};
+    use crate::topology::{Device, Network};
+
+    assert!(n_spines >= 1 && n_leaves >= 1 && n_leaves <= 200);
+    let mut net = Network::default();
+
+    // Spines: port l+1 faces leaf l; route each leaf prefix down.
+    for s in 0..n_spines {
+        let table = FwdTable::new(
+            (0..n_leaves)
+                .map(|l| FwdRule {
+                    prefix: leaf_prefix(l),
+                    port: l as u8 + 1,
+                })
+                .collect(),
+        );
+        net.add_device(Device {
+            name: format!("spine{s}"),
+            interfaces: (0..n_leaves)
+                .map(|l| Interface::new(l as u8 + 1, table.clone()))
+                .collect(),
+        });
+    }
+
+    // Leaves: port s+1 faces spine s; port 99 faces hosts. Own prefix
+    // goes to the host port, every other leaf prefix to that leaf's
+    // designated spine.
+    for l in 0..n_leaves {
+        let mut rules = vec![FwdRule {
+            prefix: leaf_prefix(l),
+            port: 99,
+        }];
+        for m in 0..n_leaves {
+            if m != l {
+                rules.push(FwdRule {
+                    prefix: leaf_prefix(m),
+                    port: (m % n_spines) as u8 + 1,
+                });
+            }
+        }
+        let table = FwdTable::new(rules);
+        let mut interfaces: Vec<Interface> = (0..n_spines)
+            .map(|s| Interface::new(s as u8 + 1, table.clone()))
+            .collect();
+        interfaces.push(Interface::new(99, table.clone()));
+        let leaf = net.add_device(Device {
+            name: format!("leaf{l}"),
+            interfaces,
+        });
+        for s in 0..n_spines {
+            net.add_duplex(leaf, s as u8 + 1, s, l as u8 + 1);
+        }
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_with_seed() {
+        assert_eq!(random_acl(50, 7), random_acl(50, 7));
+        assert_ne!(random_acl(50, 7), random_acl(50, 8));
+        assert_eq!(random_route_map(20, 3), random_route_map(20, 3));
+    }
+
+    #[test]
+    fn acl_sizes() {
+        assert_eq!(random_acl(100, 1).rules.len(), 100);
+        assert_eq!(random_acl(1, 1).rules.len(), 1);
+        assert_eq!(random_route_map(10, 1).clauses.len(), 10);
+    }
+
+    #[test]
+    fn last_rule_is_catch_all() {
+        let acl = random_acl(30, 9);
+        let h = random_header(1234);
+        // Some rule always matches, because the final rule matches all.
+        assert_ne!(acl.matched_line_concrete(&h), 0);
+    }
+
+    #[test]
+    fn prefixes_are_canonical() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            let p = random_prefix(&mut rng);
+            assert_eq!(p.address & p.mask(), p.address);
+        }
+    }
+}

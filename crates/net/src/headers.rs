@@ -1,0 +1,111 @@
+//! Packet headers — the paper's Fig. 4 object model.
+
+use rzen::{zen_struct, Zen};
+
+zen_struct! {
+    /// An IPv4/transport 5-tuple header (the paper's `Header`, Fig. 4).
+    pub struct Header : HeaderFields {
+        /// Destination IPv4 address.
+        dst_ip, with_dst_ip: u32;
+        /// Source IPv4 address.
+        src_ip, with_src_ip: u32;
+        /// Destination transport port.
+        dst_port, with_dst_port: u16;
+        /// Source transport port.
+        src_port, with_src_port: u16;
+        /// IP protocol number (6 = TCP, 17 = UDP, 47 = GRE, ...).
+        protocol, with_protocol: u8;
+    }
+}
+
+zen_struct! {
+    /// A packet with an overlay header and an optional underlay
+    /// (encapsulation) header (the paper's `Packet`, Fig. 4).
+    pub struct Packet : PacketFields {
+        /// The inner (overlay) header.
+        overlay_header, with_overlay_header: Header;
+        /// The outer (underlay) header added by tunneling, if any.
+        underlay_header, with_underlay_header: Option<Header>;
+    }
+}
+
+/// IP protocol numbers used by the models.
+pub mod proto {
+    /// TCP.
+    pub const TCP: u8 = 6;
+    /// UDP.
+    pub const UDP: u8 = 17;
+    /// Generic Routing Encapsulation.
+    pub const GRE: u8 = 47;
+}
+
+impl Header {
+    /// A convenience constructor for fixtures.
+    pub fn new(dst_ip: u32, src_ip: u32, dst_port: u16, src_port: u16, protocol: u8) -> Header {
+        Header {
+            dst_ip,
+            src_ip,
+            dst_port,
+            src_port,
+            protocol,
+        }
+    }
+}
+
+impl Packet {
+    /// A plain (un-tunneled) packet.
+    pub fn plain(overlay: Header) -> Packet {
+        Packet {
+            overlay_header: overlay,
+            underlay_header: None,
+        }
+    }
+}
+
+/// The header a device actually routes on: the underlay header when the
+/// packet is tunneled, the overlay header otherwise.
+pub fn routing_header(p: Zen<Packet>) -> Zen<Header> {
+    p.underlay_header().value_or(p.overlay_header())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rzen::ZenFunction;
+
+    fn hdr(d: u32) -> Header {
+        Header::new(d, 1, 80, 4000, proto::TCP)
+    }
+
+    #[test]
+    fn routing_header_prefers_underlay() {
+        let f = ZenFunction::new(routing_header);
+        let inner = hdr(10);
+        let outer = hdr(99);
+        let tunneled = Packet {
+            overlay_header: inner.clone(),
+            underlay_header: Some(outer.clone()),
+        };
+        assert_eq!(f.evaluate(&tunneled), outer);
+        assert_eq!(f.evaluate(&Packet::plain(inner.clone())), inner);
+    }
+
+    #[test]
+    fn header_update_roundtrip() {
+        let f = ZenFunction::new(|h: Zen<Header>| h.with_dst_port(h.src_port()));
+        let h = hdr(5);
+        let out = f.evaluate(&h);
+        assert_eq!(out.dst_port, h.src_port);
+        assert_eq!(out.dst_ip, h.dst_ip);
+    }
+
+    #[test]
+    fn packet_encap_shape() {
+        let f = ZenFunction::new(|p: Zen<Packet>| p.underlay_header().is_some());
+        assert!(!f.evaluate(&Packet::plain(hdr(1))));
+        assert!(f.evaluate(&Packet {
+            overlay_header: hdr(1),
+            underlay_header: Some(hdr(2))
+        }));
+    }
+}

@@ -1,0 +1,169 @@
+//! IPv4 addresses and prefixes.
+
+use rzen::{Zen, ZenFunction};
+
+/// Build an IPv4 address from dotted-quad octets.
+pub const fn ip(a: u8, b: u8, c: u8, d: u8) -> u32 {
+    (a as u32) << 24 | (b as u32) << 16 | (c as u32) << 8 | d as u32
+}
+
+/// Render an address dotted-quad (diagnostics).
+pub fn fmt_ip(addr: u32) -> String {
+    format!(
+        "{}.{}.{}.{}",
+        addr >> 24 & 0xFF,
+        addr >> 16 & 0xFF,
+        addr >> 8 & 0xFF,
+        addr & 0xFF
+    )
+}
+
+/// An IPv4 prefix `address/len`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Prefix {
+    /// The network address (host bits are ignored when matching).
+    pub address: u32,
+    /// Prefix length, 0–32.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// Construct a prefix (length is validated).
+    pub fn new(address: u32, len: u8) -> Prefix {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Prefix { address, len }
+    }
+
+    /// The wildcard prefix `0.0.0.0/0`.
+    pub const ANY: Prefix = Prefix { address: 0, len: 0 };
+
+    /// The mask selecting the network bits.
+    pub fn mask(&self) -> u32 {
+        if self.len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - self.len)
+        }
+    }
+
+    // ZEN-LOC-BEGIN(lpm)
+    /// Does the (symbolic) address fall inside this prefix? This is the
+    /// paper's `Matches` (Fig. 4): mask the address and compare.
+    pub fn matches(&self, addr: Zen<u32>) -> Zen<bool> {
+        (addr & self.mask()).eq(Zen::val(self.address & self.mask()))
+    }
+    // ZEN-LOC-END(lpm)
+
+    /// Concrete containment check.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr & self.mask() == self.address & self.mask()
+    }
+}
+
+impl std::fmt::Display for Prefix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", fmt_ip(self.address), self.len)
+    }
+}
+
+/// Parse `a.b.c.d/len` (diagnostics and test fixtures).
+impl std::str::FromStr for Prefix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s.split_once('/').ok_or("missing '/'")?;
+        let octets: Vec<u8> = addr
+            .split('.')
+            .map(|o| o.parse().map_err(|e| format!("bad octet: {e}")))
+            .collect::<Result<_, String>>()?;
+        if octets.len() != 4 {
+            return Err("need 4 octets".into());
+        }
+        let len: u8 = len.parse().map_err(|e| format!("bad length: {e}"))?;
+        if len > 32 {
+            return Err("length > 32".into());
+        }
+        Ok(Prefix::new(
+            ip(octets[0], octets[1], octets[2], octets[3]),
+            len,
+        ))
+    }
+}
+
+/// The symbolic and concrete `matches` agree — used as a self-check in
+/// tests and exposed for property testing.
+pub fn matches_model(p: Prefix) -> ZenFunction<u32, bool> {
+    ZenFunction::new(move |addr| p.matches(addr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_packing() {
+        assert_eq!(ip(10, 0, 0, 1), 0x0A000001);
+        assert_eq!(ip(255, 255, 255, 255), u32::MAX);
+        assert_eq!(fmt_ip(ip(192, 168, 1, 7)), "192.168.1.7");
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(Prefix::new(0, 0).mask(), 0);
+        assert_eq!(Prefix::new(0, 8).mask(), 0xFF000000);
+        assert_eq!(Prefix::new(0, 32).mask(), u32::MAX);
+    }
+
+    #[test]
+    fn concrete_containment() {
+        let p = Prefix::new(ip(10, 1, 0, 0), 16);
+        assert!(p.contains(ip(10, 1, 2, 3)));
+        assert!(!p.contains(ip(10, 2, 0, 0)));
+        assert!(Prefix::ANY.contains(ip(1, 2, 3, 4)));
+    }
+
+    #[test]
+    fn symbolic_matches_concrete() {
+        for p in [
+            Prefix::ANY,
+            Prefix::new(ip(10, 0, 0, 0), 8),
+            Prefix::new(ip(192, 168, 1, 0), 24),
+            Prefix::new(ip(1, 2, 3, 4), 32),
+        ] {
+            let m = matches_model(p);
+            for addr in [
+                0u32,
+                ip(10, 0, 0, 1),
+                ip(192, 168, 1, 99),
+                ip(1, 2, 3, 4),
+                u32::MAX,
+            ] {
+                assert_eq!(
+                    m.evaluate(&addr),
+                    p.contains(addr),
+                    "{p} vs {}",
+                    fmt_ip(addr)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parsing() {
+        let p: Prefix = "10.0.0.0/8".parse().unwrap();
+        assert_eq!(p, Prefix::new(ip(10, 0, 0, 0), 8));
+        assert!("10.0.0.0".parse::<Prefix>().is_err());
+        assert!("10.0.0/8".parse::<Prefix>().is_err());
+        assert!("10.0.0.0/33".parse::<Prefix>().is_err());
+    }
+
+    #[test]
+    fn find_address_in_prefix() {
+        let p = Prefix::new(ip(10, 20, 0, 0), 16);
+        let m = matches_model(p);
+        let found = m
+            .find(|_, out| out, &rzen::FindOptions::bdd())
+            .expect("prefix is nonempty");
+        assert!(p.contains(found));
+    }
+}

@@ -1,0 +1,69 @@
+//! BGP route announcements.
+
+use rzen::zen_struct;
+
+zen_struct! {
+    /// A BGP route announcement. Unlike Minesweeper, the full AS path is
+    /// modeled (as a bounded list); OSPF areas are not (the same coverage
+    /// trade the paper reports in §7).
+    pub struct Announcement : AnnouncementFields {
+        /// Announced network address.
+        prefix, with_prefix: u32;
+        /// Announced prefix length.
+        prefix_len, with_prefix_len: u8;
+        /// AS path, most recently prepended AS first.
+        as_path, with_as_path: Vec<u32>;
+        /// Community tags.
+        communities, with_communities: Vec<u32>;
+        /// Local preference (higher wins).
+        local_pref, with_local_pref: u32;
+        /// Multi-exit discriminator (lower wins).
+        med, with_med: u32;
+        /// Next-hop address.
+        next_hop, with_next_hop: u32;
+    }
+}
+
+impl Announcement {
+    /// A default announcement for a destination prefix.
+    pub fn origin(prefix: u32, prefix_len: u8, origin_as: u32) -> Announcement {
+        Announcement {
+            prefix,
+            prefix_len,
+            as_path: vec![origin_as],
+            communities: vec![],
+            local_pref: 100,
+            med: 0,
+            next_hop: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rzen::{Zen, ZenFunction};
+
+    #[test]
+    fn origin_defaults() {
+        let a = Announcement::origin(0x0A000000, 8, 65001);
+        assert_eq!(a.local_pref, 100);
+        assert_eq!(a.as_path, vec![65001]);
+    }
+
+    #[test]
+    fn symbolic_roundtrip() {
+        let f = ZenFunction::new(|a: Zen<Announcement>| a.with_local_pref(a.local_pref() + 10u32));
+        let a = Announcement::origin(0x0A000000, 8, 65001);
+        assert_eq!(f.evaluate(&a).local_pref, 110);
+    }
+
+    #[test]
+    fn as_path_prepend_via_list() {
+        let f = ZenFunction::new(|a: Zen<Announcement>| {
+            a.with_as_path(a.as_path().cons(Zen::val(65002u32)))
+        });
+        let a = Announcement::origin(0x0A000000, 8, 65001);
+        assert_eq!(f.evaluate(&a).as_path, vec![65002, 65001]);
+    }
+}

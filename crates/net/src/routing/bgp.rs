@@ -1,0 +1,382 @@
+//! A symbolic BGP-style control plane.
+//!
+//! This is the substrate for the Minesweeper-style analysis of Table 1.
+//! Minesweeper encodes the *stable paths* solution of a network as SMT
+//! constraints; here the same converged state is computed by a bounded
+//! symbolic fixpoint: propagation is iterated `|routers|` times over
+//! symbolic inputs (link-failure variables), which reaches the converged
+//! routes whenever preferences are loop-free (the practically relevant
+//! case — oscillating policies have no stable solution to verify). The
+//! substitution is documented in DESIGN.md.
+//!
+//! Everything here composes models that already exist: route maps
+//! transform announcements on export/import, and best-route selection is
+//! ordinary `Zen` code.
+
+use crate::routing::announcement::{Announcement, AnnouncementFields};
+use crate::routing::route_map::RouteMap;
+use rzen::{zif, Zen, ZenFunction};
+
+/// A router.
+#[derive(Clone, Debug)]
+pub struct BgpRouter {
+    /// Name (diagnostics).
+    pub name: String,
+    /// The announcement this router originates, if any.
+    pub originates: Option<Announcement>,
+}
+
+/// A directed edge `from → to` with export (at `from`) and import (at
+/// `to`) route maps. `link` identifies the underlying physical link, so
+/// both directions of one cable share a failure variable.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Source router index.
+    pub from: usize,
+    /// Destination router index.
+    pub to: usize,
+    /// Export policy applied at `from`.
+    pub export: RouteMap,
+    /// Import policy applied at `to`.
+    pub import: RouteMap,
+    /// Physical link id (index into the failure vector).
+    pub link: usize,
+}
+
+/// A BGP network: routers and policy edges.
+#[derive(Clone, Debug, Default)]
+pub struct BgpNetwork {
+    /// The routers.
+    pub routers: Vec<BgpRouter>,
+    /// The policy edges.
+    pub edges: Vec<Edge>,
+    /// Number of physical links (failure variables).
+    pub num_links: usize,
+}
+
+/// Select the better of two candidate routes by standard (simplified)
+/// BGP preference: higher local-pref, then shorter AS path, then lower
+/// MED. `a` wins ties (callers fold in deterministic neighbor order).
+fn better(a: Zen<Option<Announcement>>, b: Zen<Option<Announcement>>) -> Zen<Option<Announcement>> {
+    let pick_b = b.is_some().and(a.is_none().or({
+        let (ra, rb) = (a.value(), b.value());
+        let lp = rb.local_pref().gt(ra.local_pref());
+        let lp_eq = rb.local_pref().eq(ra.local_pref());
+        let shorter = rb.as_path().length().lt(ra.as_path().length());
+        let len_eq = rb.as_path().length().eq(ra.as_path().length());
+        let med = rb.med().lt(ra.med());
+        lp.or(lp_eq.and(shorter)).or(lp_eq.and(len_eq).and(med))
+    }));
+    zif(pick_b, b, a)
+}
+
+impl BgpNetwork {
+    /// Add a router; returns its index.
+    pub fn add_router(&mut self, name: &str, originates: Option<Announcement>) -> usize {
+        self.routers.push(BgpRouter {
+            name: name.into(),
+            originates,
+        });
+        self.routers.len() - 1
+    }
+
+    /// Add a bidirectional adjacency with the same policies both ways,
+    /// sharing one failure variable. Returns the link id.
+    pub fn add_adjacency(
+        &mut self,
+        a: usize,
+        b: usize,
+        export: RouteMap,
+        import: RouteMap,
+    ) -> usize {
+        let link = self.num_links;
+        self.num_links += 1;
+        self.edges.push(Edge {
+            from: a,
+            to: b,
+            export: export.clone(),
+            import: import.clone(),
+            link,
+        });
+        self.edges.push(Edge {
+            from: b,
+            to: a,
+            export,
+            import,
+            link,
+        });
+        link
+    }
+
+    /// Compute the converged route at every router, given symbolic link
+    /// failures (`failed.at(link)`), by iterating propagation
+    /// `|routers|` times.
+    pub fn converge(&self, failed: Zen<Vec<bool>>) -> Vec<Zen<Option<Announcement>>> {
+        let mut routes: Vec<Zen<Option<Announcement>>> = self
+            .routers
+            .iter()
+            .map(|r| match &r.originates {
+                Some(a) => Zen::some(Zen::constant(a)),
+                None => Zen::none(0),
+            })
+            .collect();
+        for _round in 0..self.routers.len() {
+            let mut next = routes.clone();
+            for edge in &self.edges {
+                let alive = !failed
+                    .at(Zen::val(edge.link as u16))
+                    .value_or(Zen::bool(false));
+                let exported = self.through_edge(edge, routes[edge.from]);
+                let candidate = zif(alive, exported, Zen::none(0));
+                next[edge.to] = better(next[edge.to], candidate);
+            }
+            routes = next;
+        }
+        routes
+    }
+
+    /// Push a (possibly absent) route through an edge: export map at the
+    /// source, AS prepend, import map at the destination.
+    fn through_edge(
+        &self,
+        edge: &Edge,
+        route: Zen<Option<Announcement>>,
+    ) -> Zen<Option<Announcement>> {
+        let exported = edge.export.apply(route.value());
+        let prepended =
+            exported.map(|a| a.with_as_path(a.as_path().cons(Zen::val(edge.from as u32))));
+        let imported = edge.import.apply(prepended.value());
+        let pass = route
+            .is_some()
+            .and(exported.is_some())
+            .and(imported.is_some());
+        zif(pass, imported, Zen::none(0))
+    }
+
+    /// A model of "does router `r` have a route, as a function of link
+    /// failures" — ready for `find`/`verify` (e.g. reachability under k
+    /// failures) or any other backend.
+    pub fn reachability_model(&self, r: usize) -> ZenFunction<Vec<bool>, bool> {
+        let net = self.clone();
+        ZenFunction::new(move |failed: Zen<Vec<bool>>| net.converge(failed)[r].is_some())
+    }
+
+    /// The full converged-route model for router `r`.
+    pub fn route_model(&self, r: usize) -> ZenFunction<Vec<bool>, Option<Announcement>> {
+        let net = self.clone();
+        ZenFunction::new(move |failed: Zen<Vec<bool>>| net.converge(failed)[r])
+    }
+
+    /// Concrete-reference semantics of [`BgpNetwork::converge`]: the same
+    /// bounded Jacobi iteration executed on plain Rust values. The
+    /// symbolic and concrete fixpoints are differential-tested against
+    /// each other (`tests/prop.rs` of this crate).
+    pub fn converge_concrete(&self, failed: &[bool]) -> Vec<Option<Announcement>> {
+        let mut routes: Vec<Option<Announcement>> =
+            self.routers.iter().map(|r| r.originates.clone()).collect();
+        for _round in 0..self.routers.len() {
+            let mut next = routes.clone();
+            for edge in &self.edges {
+                let alive = !failed.get(edge.link).copied().unwrap_or(false);
+                let candidate = if alive {
+                    self.through_edge_concrete(edge, &routes[edge.from])
+                } else {
+                    None
+                };
+                next[edge.to] = better_concrete(next[edge.to].take(), candidate);
+            }
+            routes = next;
+        }
+        routes
+    }
+
+    fn through_edge_concrete(
+        &self,
+        edge: &Edge,
+        route: &Option<Announcement>,
+    ) -> Option<Announcement> {
+        let route = route.as_ref()?;
+        let exported = edge.export.apply_concrete(route)?;
+        let mut prepended = exported;
+        prepended.as_path.insert(0, edge.from as u32);
+        edge.import.apply_concrete(&prepended)
+    }
+}
+
+/// Concrete mirror of the symbolic [`better`] selection.
+fn better_concrete(a: Option<Announcement>, b: Option<Announcement>) -> Option<Announcement> {
+    match (&a, &b) {
+        (_, None) => a,
+        (None, _) => b,
+        (Some(ra), Some(rb)) => {
+            let pick_b = rb.local_pref > ra.local_pref
+                || (rb.local_pref == ra.local_pref && rb.as_path.len() < ra.as_path.len())
+                || (rb.local_pref == ra.local_pref
+                    && rb.as_path.len() == ra.as_path.len()
+                    && rb.med < ra.med);
+            if pick_b {
+                b
+            } else {
+                a
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::ip;
+    use crate::routing::route_map::{Action, Clause, RouteMap};
+    use rzen::FindOptions;
+
+    fn permit_all() -> RouteMap {
+        RouteMap {
+            clauses: vec![Clause {
+                conds: vec![],
+                actions: vec![],
+                permit: true,
+            }],
+        }
+    }
+
+    /// Line topology: r0 (origin) — r1 — r2.
+    fn line() -> BgpNetwork {
+        let mut n = BgpNetwork::default();
+        let origin = Announcement::origin(ip(10, 0, 0, 0), 8, 65000);
+        let r0 = n.add_router("r0", Some(origin));
+        let r1 = n.add_router("r1", None);
+        let r2 = n.add_router("r2", None);
+        n.add_adjacency(r0, r1, permit_all(), permit_all());
+        n.add_adjacency(r1, r2, permit_all(), permit_all());
+        n
+    }
+
+    fn no_failures(n: &BgpNetwork) -> Vec<bool> {
+        vec![false; n.num_links]
+    }
+
+    #[test]
+    fn routes_propagate_on_line() {
+        let n = line();
+        for r in 0..3 {
+            let m = n.route_model(r);
+            let route = m.evaluate(&no_failures(&n)).expect("route exists");
+            assert_eq!(route.prefix, ip(10, 0, 0, 0));
+        }
+        // AS path grows along the line.
+        let route2 = n.route_model(2).evaluate(&no_failures(&n)).unwrap();
+        assert_eq!(route2.as_path.len(), 3); // 65000 + two hops
+    }
+
+    #[test]
+    fn failure_breaks_line() {
+        let n = line();
+        let m = n.reachability_model(2);
+        assert!(m.evaluate(&no_failures(&n)));
+        assert!(!m.evaluate(&vec![false, true]));
+        assert!(!m.evaluate(&vec![true, false]));
+    }
+
+    #[test]
+    fn find_disconnecting_failure() {
+        let n = line();
+        let m = n.reachability_model(2);
+        // Find a single-link failure that disconnects r2.
+        let failed = m
+            .find(
+                |f, reach| {
+                    let single = f.fold(Zen::val(0u16), |acc, b| {
+                        acc + zif(b, Zen::val(1u16), Zen::val(0u16))
+                    });
+                    (!reach)
+                        .and(single.eq(Zen::val(1)))
+                        .and(f.length().eq(Zen::val(2)))
+                },
+                &FindOptions::bdd().with_list_bound(2),
+            )
+            .expect("a single failure disconnects a line");
+        assert_eq!(failed.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn redundant_path_survives_single_failure() {
+        // Triangle: origin r0; r2 reachable via r1 or directly.
+        let mut n = BgpNetwork::default();
+        let origin = Announcement::origin(ip(10, 0, 0, 0), 8, 65000);
+        let r0 = n.add_router("r0", Some(origin));
+        let r1 = n.add_router("r1", None);
+        let r2 = n.add_router("r2", None);
+        n.add_adjacency(r0, r1, permit_all(), permit_all());
+        n.add_adjacency(r1, r2, permit_all(), permit_all());
+        n.add_adjacency(r0, r2, permit_all(), permit_all());
+        let m = n.reachability_model(r2);
+        // Verify: no single-link failure disconnects r2.
+        let ok = m.verify(
+            |f, reach| {
+                let single = f.fold(Zen::val(0u16), |acc, b| {
+                    acc + zif(b, Zen::val(1u16), Zen::val(0u16))
+                });
+                single.le(Zen::val(1)).implies(reach)
+            },
+            &FindOptions::bdd().with_list_bound(3),
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn local_pref_overrides_path_length() {
+        // r3 hears the route two ways: short path with default pref,
+        // long path with high local-pref. High pref must win.
+        let mut n = BgpNetwork::default();
+        let origin = Announcement::origin(ip(10, 0, 0, 0), 8, 65000);
+        let r0 = n.add_router("r0", Some(origin));
+        let r1 = n.add_router("r1", None);
+        let r2 = n.add_router("r2", None);
+        let r3 = n.add_router("r3", None);
+        let prefer = RouteMap {
+            clauses: vec![Clause {
+                conds: vec![],
+                actions: vec![Action::SetLocalPref(200)],
+                permit: true,
+            }],
+        };
+        // Short: r0 -> r3 directly (default pref).
+        n.add_adjacency(r0, r3, permit_all(), permit_all());
+        // Long: r0 -> r1 -> r2 -> r3, import at r3 sets pref 200.
+        n.add_adjacency(r0, r1, permit_all(), permit_all());
+        n.add_adjacency(r1, r2, permit_all(), permit_all());
+        n.edges.push(Edge {
+            from: r2,
+            to: r3,
+            export: permit_all(),
+            import: prefer,
+            link: n.num_links,
+        });
+        n.edges.push(Edge {
+            from: r3,
+            to: r2,
+            export: permit_all(),
+            import: permit_all(),
+            link: n.num_links,
+        });
+        n.num_links += 1;
+        let route = n
+            .route_model(r3)
+            .evaluate(&vec![false; n.num_links])
+            .unwrap();
+        assert_eq!(route.local_pref, 200);
+        assert_eq!(route.as_path.len(), 4);
+    }
+
+    #[test]
+    fn deny_policy_blocks_propagation() {
+        let mut n = BgpNetwork::default();
+        let origin = Announcement::origin(ip(10, 0, 0, 0), 8, 65000);
+        let r0 = n.add_router("r0", Some(origin));
+        let r1 = n.add_router("r1", None);
+        let deny = RouteMap::default(); // no clauses = deny everything
+        n.add_adjacency(r0, r1, deny, permit_all());
+        assert!(!n.reachability_model(r1).evaluate(&vec![false; 1]));
+    }
+}

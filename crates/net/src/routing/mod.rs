@@ -1,0 +1,10 @@
+//! BGP-style routing: announcements, vendor-style route maps, and a
+//! symbolic control plane.
+
+mod announcement;
+mod bgp;
+mod route_map;
+
+pub use announcement::{Announcement, AnnouncementFields};
+pub use bgp::{BgpNetwork, BgpRouter, Edge};
+pub use route_map::{Action, Clause, MatchCond, PrefixRange, RouteMap};

@@ -1,0 +1,399 @@
+//! Vendor-style route maps: sequences of match/set clauses applied to
+//! announcements.
+//!
+//! The semantic core between the `ZEN-LOC` markers is what the paper's
+//! Table 2 counts (75 lines for route-map filters in Zen, against >1000
+//! in Minesweeper and Bonsai). The same model drives both the BDD and SMT
+//! backends.
+
+use crate::ip::Prefix;
+use crate::routing::announcement::{Announcement, AnnouncementFields};
+use rzen::{zif, Zen};
+
+/// A prefix-list entry with Cisco semantics: the announced prefix must
+/// fall under `prefix` and its length must lie in `[ge, le]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PrefixRange {
+    /// The covering prefix.
+    pub prefix: Prefix,
+    /// Minimum announced length.
+    pub ge: u8,
+    /// Maximum announced length.
+    pub le: u8,
+}
+
+/// A match condition of a route-map clause.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MatchCond {
+    /// The announced prefix matches one of the ranges (a prefix list).
+    PrefixIn(Vec<PrefixRange>),
+    /// The community set contains the tag.
+    HasCommunity(u32),
+    /// The AS path contains the AS number.
+    AsPathContains(u32),
+    /// The AS path is at most this long.
+    AsPathLengthLe(u16),
+    /// MED equals the value.
+    MedEq(u32),
+}
+
+/// An action of a route-map clause.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Set local preference.
+    SetLocalPref(u32),
+    /// Set MED.
+    SetMed(u32),
+    /// Add a community tag.
+    AddCommunity(u32),
+    /// Prepend an AS number `count` times.
+    PrependAsPath(u32, u8),
+    /// Set the next hop.
+    SetNextHop(u32),
+    /// Remove a community tag (all occurrences).
+    DeleteCommunity(u32),
+}
+
+/// One clause: all conditions must match; on match, actions apply and the
+/// clause permits or denies. On no match, evaluation falls through.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clause {
+    /// Conditions (conjunction; empty matches everything).
+    pub conds: Vec<MatchCond>,
+    /// Transformations applied on a permitting match.
+    pub actions: Vec<Action>,
+    /// `true` = permit (announcement continues, transformed), `false` =
+    /// deny (announcement is filtered).
+    pub permit: bool,
+}
+
+/// A route map: clauses tried in order; no match means deny.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RouteMap {
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+// ZEN-LOC-BEGIN(route_map)
+impl MatchCond {
+    /// Does the condition hold for the (symbolic) announcement?
+    pub fn matches(&self, a: Zen<Announcement>) -> Zen<bool> {
+        match self {
+            MatchCond::PrefixIn(ranges) => ranges
+                .iter()
+                .map(|r| {
+                    r.prefix
+                        .matches(a.prefix())
+                        .and(a.prefix_len().ge(Zen::val(r.ge)))
+                        .and(a.prefix_len().le(Zen::val(r.le)))
+                })
+                .fold(Zen::bool(false), |acc, m| acc.or(m)),
+            MatchCond::HasCommunity(c) => a.communities().contains(Zen::val(*c)),
+            MatchCond::AsPathContains(asn) => a.as_path().contains(Zen::val(*asn)),
+            MatchCond::AsPathLengthLe(n) => a.as_path().length().le(Zen::val(*n)),
+            MatchCond::MedEq(m) => a.med().eq(Zen::val(*m)),
+        }
+    }
+}
+
+impl Action {
+    /// Apply the action to the (symbolic) announcement.
+    pub fn apply(&self, a: Zen<Announcement>) -> Zen<Announcement> {
+        match self {
+            Action::SetLocalPref(v) => a.with_local_pref(Zen::val(*v)),
+            Action::SetMed(v) => a.with_med(Zen::val(*v)),
+            Action::AddCommunity(c) => a.with_communities(a.communities().cons(Zen::val(*c))),
+            Action::PrependAsPath(asn, count) => {
+                let mut path = a.as_path();
+                for _ in 0..*count {
+                    path = path.cons(Zen::val(*asn));
+                }
+                a.with_as_path(path)
+            }
+            Action::SetNextHop(v) => a.with_next_hop(Zen::val(*v)),
+            Action::DeleteCommunity(c) => {
+                a.with_communities(a.communities().retain(|x| x.ne(Zen::val(*c))))
+            }
+        }
+    }
+}
+
+impl Clause {
+    /// Do all conditions hold?
+    pub fn matches(&self, a: Zen<Announcement>) -> Zen<bool> {
+        self.conds
+            .iter()
+            .fold(Zen::bool(true), |acc, c| acc.and(c.matches(a)))
+    }
+
+    /// The transformed announcement (before the permit/deny decision).
+    pub fn transform(&self, a: Zen<Announcement>) -> Zen<Announcement> {
+        self.actions.iter().fold(a, |acc, act| act.apply(acc))
+    }
+}
+
+impl RouteMap {
+    /// Apply the route map: the transformed announcement if some clause
+    /// permits it, `None` if a clause denies it or none matches.
+    pub fn apply(&self, a: Zen<Announcement>) -> Zen<Option<Announcement>> {
+        let mut result: Zen<Option<Announcement>> = Zen::none(0);
+        for clause in self.clauses.iter().rev() {
+            let outcome = if clause.permit {
+                Zen::some(clause.transform(a))
+            } else {
+                Zen::none(0)
+            };
+            result = zif(clause.matches(a), outcome, result);
+        }
+        result
+    }
+
+    /// Which clause decides the announcement (1-based; 0 = fell off the
+    /// end)? The line-tracking used by the Fig. 10 verification task.
+    pub fn matched_clause(&self, a: Zen<Announcement>) -> Zen<u16> {
+        let mut result = Zen::val(0u16);
+        for (i, clause) in self.clauses.iter().enumerate().rev() {
+            result = zif(clause.matches(a), Zen::val(i as u16 + 1), result);
+        }
+        result
+    }
+}
+// ZEN-LOC-END(route_map)
+
+impl RouteMap {
+    /// Concrete-reference semantics (for differential tests).
+    pub fn apply_concrete(&self, a: &Announcement) -> Option<Announcement> {
+        for clause in &self.clauses {
+            if clause.matches_concrete(a) {
+                if !clause.permit {
+                    return None;
+                }
+                let mut out = a.clone();
+                for act in &clause.actions {
+                    act.apply_concrete(&mut out);
+                }
+                return Some(out);
+            }
+        }
+        None
+    }
+}
+
+impl Clause {
+    /// Concrete-reference matcher.
+    pub fn matches_concrete(&self, a: &Announcement) -> bool {
+        self.conds.iter().all(|c| c.matches_concrete(a))
+    }
+}
+
+impl MatchCond {
+    /// Concrete-reference matcher.
+    pub fn matches_concrete(&self, a: &Announcement) -> bool {
+        match self {
+            MatchCond::PrefixIn(ranges) => ranges.iter().any(|r| {
+                r.prefix.contains(a.prefix) && a.prefix_len >= r.ge && a.prefix_len <= r.le
+            }),
+            MatchCond::HasCommunity(c) => a.communities.contains(c),
+            MatchCond::AsPathContains(asn) => a.as_path.contains(asn),
+            MatchCond::AsPathLengthLe(n) => a.as_path.len() <= *n as usize,
+            MatchCond::MedEq(m) => a.med == *m,
+        }
+    }
+}
+
+impl Action {
+    /// Concrete-reference application.
+    pub fn apply_concrete(&self, a: &mut Announcement) {
+        match self {
+            Action::SetLocalPref(v) => a.local_pref = *v,
+            Action::SetMed(v) => a.med = *v,
+            Action::AddCommunity(c) => a.communities.insert(0, *c),
+            Action::PrependAsPath(asn, count) => {
+                for _ in 0..*count {
+                    a.as_path.insert(0, *asn);
+                }
+            }
+            Action::SetNextHop(v) => a.next_hop = *v,
+            Action::DeleteCommunity(c) => a.communities.retain(|x| x != c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ip::ip;
+    use rzen::{FindOptions, ZenFunction};
+
+    fn range(p: Prefix, ge: u8, le: u8) -> PrefixRange {
+        PrefixRange { prefix: p, ge, le }
+    }
+
+    fn sample_map() -> RouteMap {
+        RouteMap {
+            clauses: vec![
+                // Deny long prefixes from 10/8.
+                Clause {
+                    conds: vec![MatchCond::PrefixIn(vec![range(
+                        Prefix::new(ip(10, 0, 0, 0), 8),
+                        25,
+                        32,
+                    )])],
+                    actions: vec![],
+                    permit: false,
+                },
+                // Tag and prefer customer routes.
+                Clause {
+                    conds: vec![MatchCond::HasCommunity(100)],
+                    actions: vec![Action::SetLocalPref(200), Action::AddCommunity(999)],
+                    permit: true,
+                },
+                // Default: permit with AS prepend.
+                Clause {
+                    conds: vec![],
+                    actions: vec![Action::PrependAsPath(65000, 2)],
+                    permit: true,
+                },
+            ],
+        }
+    }
+
+    fn ann(prefix: u32, len: u8) -> Announcement {
+        Announcement {
+            communities: vec![],
+            ..Announcement::origin(prefix, len, 65001)
+        }
+    }
+
+    #[test]
+    fn deny_clause_filters() {
+        let f = ZenFunction::new(|a| sample_map().apply(a));
+        assert_eq!(f.evaluate(&ann(ip(10, 1, 2, 0), 28)), None);
+        assert!(f.evaluate(&ann(ip(10, 1, 0, 0), 16)).is_some());
+    }
+
+    #[test]
+    fn actions_apply_in_order() {
+        let f = ZenFunction::new(|a| sample_map().apply(a));
+        let mut a = ann(ip(20, 0, 0, 0), 8);
+        a.communities = vec![100];
+        let out = f.evaluate(&a).unwrap();
+        assert_eq!(out.local_pref, 200);
+        assert_eq!(out.communities, vec![999, 100]);
+        // Third clause untouched: no prepend happened.
+        assert_eq!(out.as_path, vec![65001]);
+    }
+
+    #[test]
+    fn fallthrough_reaches_default() {
+        let f = ZenFunction::new(|a| sample_map().apply(a));
+        let out = f.evaluate(&ann(ip(20, 0, 0, 0), 8)).unwrap();
+        assert_eq!(out.as_path, vec![65000, 65000, 65001]);
+    }
+
+    #[test]
+    fn symbolic_matches_concrete_reference() {
+        let rm = sample_map();
+        let f = ZenFunction::new(|a| sample_map().apply(a));
+        let mut cases = vec![
+            ann(ip(10, 1, 2, 0), 28),
+            ann(ip(10, 1, 0, 0), 16),
+            ann(ip(20, 0, 0, 0), 8),
+        ];
+        let mut tagged = ann(ip(20, 0, 0, 0), 8);
+        tagged.communities = vec![100, 3];
+        cases.push(tagged);
+        for a in cases {
+            assert_eq!(f.evaluate(&a), rm.apply_concrete(&a), "case {a:?}");
+        }
+    }
+
+    #[test]
+    fn find_announcement_reaching_last_clause() {
+        // The Fig-10 (right) verification task.
+        let n = sample_map().clauses.len() as u16;
+        let f = ZenFunction::new(|a| sample_map().matched_clause(a));
+        for opts in [FindOptions::bdd(), FindOptions::smt()] {
+            let a = f
+                .find(|_, line| line.eq(Zen::val(n)), &opts.with_list_bound(3))
+                .expect("some announcement reaches the default clause");
+            assert!(!sample_map().clauses[0].matches_concrete(&a));
+            assert!(!sample_map().clauses[1].matches_concrete(&a));
+        }
+    }
+
+    #[test]
+    fn med_and_aspath_conditions() {
+        let rm = RouteMap {
+            clauses: vec![Clause {
+                conds: vec![MatchCond::MedEq(50), MatchCond::AsPathLengthLe(2)],
+                actions: vec![Action::SetNextHop(ip(1, 1, 1, 1))],
+                permit: true,
+            }],
+        };
+        let f = {
+            let rm = rm.clone();
+            ZenFunction::new(move |a| rm.clone().apply(a))
+        };
+        let mut a = ann(ip(30, 0, 0, 0), 8);
+        a.med = 50;
+        let out = f.evaluate(&a).unwrap();
+        assert_eq!(out.next_hop, ip(1, 1, 1, 1));
+        a.med = 49;
+        assert_eq!(f.evaluate(&a), None);
+        a.med = 50;
+        a.as_path = vec![1, 2, 3];
+        assert_eq!(f.evaluate(&a), None);
+    }
+}
+
+#[cfg(test)]
+mod delete_community_tests {
+    use super::*;
+    use rzen::{Zen, ZenFunction};
+
+    #[test]
+    fn delete_community_removes_all_occurrences() {
+        let rm = RouteMap {
+            clauses: vec![Clause {
+                conds: vec![],
+                actions: vec![Action::DeleteCommunity(7)],
+                permit: true,
+            }],
+        };
+        let f = {
+            let rm = rm.clone();
+            ZenFunction::new(move |a| rm.clone().apply(a))
+        };
+        let mut a = crate::routing::Announcement::origin(0x0A000000, 8, 65001);
+        a.communities = vec![7, 3, 7, 9];
+        let out = f.evaluate(&a).unwrap();
+        assert_eq!(out.communities, vec![3, 9]);
+        assert_eq!(out, rm.apply_concrete(&a).unwrap());
+    }
+
+    #[test]
+    fn delete_then_match_interaction() {
+        // Clause 1 strips the tag; a symbolic query shows no output ever
+        // carries it.
+        let rm = RouteMap {
+            clauses: vec![Clause {
+                conds: vec![],
+                actions: vec![Action::DeleteCommunity(666)],
+                permit: true,
+            }],
+        };
+        let f = {
+            let rm = rm.clone();
+            ZenFunction::new(move |a| rm.clone().apply(a))
+        };
+        let leak = f.find(
+            |_, out| {
+                out.is_some()
+                    .and(out.value().communities().contains(Zen::val(666u32)))
+            },
+            &rzen::FindOptions::smt().with_list_bound(3),
+        );
+        assert!(leak.is_none(), "tag must never survive deletion");
+    }
+}

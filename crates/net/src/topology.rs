@@ -1,0 +1,231 @@
+//! Network topology: devices, links, and path enumeration.
+//!
+//! Analyses that reason per-path (Anteater-style reachability, Fig. 7
+//! forwarding) enumerate simple paths here; set-based analyses (HSA) walk
+//! the same structure with transformers instead.
+
+use crate::device::{Hop, Interface};
+
+/// A device: a named node with numbered interfaces.
+#[derive(Clone, Debug, Default)]
+pub struct Device {
+    /// Human-readable name.
+    pub name: String,
+    /// Interfaces, indexed by their `id` (position in the vector is not
+    /// significant; ids are).
+    pub interfaces: Vec<Interface>,
+}
+
+impl Device {
+    /// Look up an interface by port id.
+    pub fn interface(&self, id: u8) -> Option<&Interface> {
+        self.interfaces.iter().find(|i| i.id == id)
+    }
+}
+
+/// A unidirectional link between two device interfaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Link {
+    /// Source device index.
+    pub from_device: usize,
+    /// Source interface id (egress).
+    pub from_intf: u8,
+    /// Destination device index.
+    pub to_device: usize,
+    /// Destination interface id (ingress).
+    pub to_intf: u8,
+}
+
+/// A network: devices plus links.
+#[derive(Clone, Debug, Default)]
+pub struct Network {
+    /// The devices.
+    pub devices: Vec<Device>,
+    /// The links.
+    pub links: Vec<Link>,
+}
+
+impl Network {
+    /// Add a device, returning its index.
+    pub fn add_device(&mut self, d: Device) -> usize {
+        self.devices.push(d);
+        self.devices.len() - 1
+    }
+
+    /// Add a unidirectional link.
+    pub fn add_link(&mut self, from_device: usize, from_intf: u8, to_device: usize, to_intf: u8) {
+        self.links.push(Link {
+            from_device,
+            from_intf,
+            to_device,
+            to_intf,
+        });
+    }
+
+    /// Add links in both directions.
+    pub fn add_duplex(&mut self, a: usize, a_intf: u8, b: usize, b_intf: u8) {
+        self.add_link(a, a_intf, b, b_intf);
+        self.add_link(b, b_intf, a, a_intf);
+    }
+
+    /// Enumerate the simple device paths from `src` to `dst` (device
+    /// indices), as hop lists usable with
+    /// [`crate::device::forward_along`]. `entry_intf` is the interface on
+    /// `src` where the packet enters the network.
+    pub fn paths(&self, src: usize, entry_intf: u8, dst: usize, exit_intf: u8) -> Vec<Vec<Hop>> {
+        let mut out = Vec::new();
+        let mut visited = vec![false; self.devices.len()];
+        let mut hops: Vec<Hop> = Vec::new();
+        self.dfs(
+            src,
+            entry_intf,
+            dst,
+            exit_intf,
+            &mut visited,
+            &mut hops,
+            &mut out,
+        );
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        &self,
+        dev: usize,
+        in_intf: u8,
+        dst: usize,
+        exit_intf: u8,
+        visited: &mut [bool],
+        hops: &mut Vec<Hop>,
+        out: &mut Vec<Vec<Hop>>,
+    ) {
+        visited[dev] = true;
+        let Some(intf_in) = self.devices[dev].interface(in_intf) else {
+            visited[dev] = false;
+            return;
+        };
+        if dev == dst {
+            if let Some(intf_out) = self.devices[dev].interface(exit_intf) {
+                hops.push(Hop {
+                    intf_in: intf_in.clone(),
+                    intf_out: intf_out.clone(),
+                });
+                out.push(hops.clone());
+                hops.pop();
+            }
+            visited[dev] = false;
+            return;
+        }
+        for link in self.links.iter().filter(|l| l.from_device == dev) {
+            if visited[link.to_device] {
+                continue;
+            }
+            let Some(intf_out) = self.devices[dev].interface(link.from_intf) else {
+                continue;
+            };
+            hops.push(Hop {
+                intf_in: intf_in.clone(),
+                intf_out: intf_out.clone(),
+            });
+            self.dfs(
+                link.to_device,
+                link.to_intf,
+                dst,
+                exit_intf,
+                visited,
+                hops,
+                out,
+            );
+            hops.pop();
+        }
+        visited[dev] = false;
+    }
+
+    /// All (device, interface-id) pairs — used by set-based analyses to
+    /// seed exploration.
+    pub fn all_interfaces(&self) -> Vec<(usize, u8)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .flat_map(|(d, dev)| dev.interfaces.iter().map(move |i| (d, i.id)))
+            .collect()
+    }
+
+    /// The link leaving `(device, intf)`, if any.
+    pub fn link_from(&self, device: usize, intf: u8) -> Option<&Link> {
+        self.links
+            .iter()
+            .find(|l| l.from_device == device && l.from_intf == intf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fwd::{FwdRule, FwdTable};
+    use crate::ip::Prefix;
+
+    fn dev(name: &str, ports: &[u8]) -> Device {
+        let table = FwdTable::new(vec![FwdRule {
+            prefix: Prefix::ANY,
+            port: ports[0],
+        }]);
+        Device {
+            name: name.into(),
+            interfaces: ports
+                .iter()
+                .map(|&p| Interface::new(p, table.clone()))
+                .collect(),
+        }
+    }
+
+    fn triangle() -> Network {
+        // a --1/1-- b --2/1-- c, plus a --2/2-- c directly.
+        let mut n = Network::default();
+        let a = n.add_device(dev("a", &[1, 2, 9]));
+        let b = n.add_device(dev("b", &[1, 2]));
+        let c = n.add_device(dev("c", &[1, 2, 9]));
+        n.add_duplex(a, 1, b, 1);
+        n.add_duplex(b, 2, c, 1);
+        n.add_duplex(a, 2, c, 2);
+        n
+    }
+
+    #[test]
+    fn enumerates_simple_paths() {
+        let n = triangle();
+        // Enter a at 9, exit c at 9.
+        let paths = n.paths(0, 9, 2, 9);
+        assert_eq!(paths.len(), 2); // a-b-c and a-c
+        let lens: Vec<usize> = paths.iter().map(|p| p.len()).collect();
+        assert!(lens.contains(&2) && lens.contains(&3));
+    }
+
+    #[test]
+    fn no_path_to_disconnected_device() {
+        let mut n = triangle();
+        let d = n.add_device(dev("d", &[1]));
+        assert!(n.paths(0, 9, d, 1).is_empty());
+    }
+
+    #[test]
+    fn missing_interface_yields_no_path() {
+        let n = triangle();
+        assert!(n.paths(0, 7, 2, 9).is_empty());
+    }
+
+    #[test]
+    fn link_lookup() {
+        let n = triangle();
+        let l = n.link_from(0, 1).unwrap();
+        assert_eq!(l.to_device, 1);
+        assert_eq!(l.to_intf, 1);
+        assert!(n.link_from(0, 9).is_none());
+    }
+
+    #[test]
+    fn all_interfaces_lists_everything() {
+        let n = triangle();
+        assert_eq!(n.all_interfaces().len(), 8);
+    }
+}

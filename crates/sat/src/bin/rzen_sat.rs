@@ -1,0 +1,44 @@
+//! `rzen-sat` — solve a DIMACS CNF file from the command line.
+//!
+//! ```text
+//! rzen-sat problem.cnf
+//! ```
+//!
+//! Prints `s SATISFIABLE` with a `v` model line, or `s UNSATISFIABLE`,
+//! in the standard SAT-competition output format. Exit code 10 = SAT,
+//! 20 = UNSAT (the competition convention).
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: rzen-sat FILE.cnf");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match rzen_sat::dimacs::solve_text(&text) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        Ok(None) => {
+            println!("s UNSATISFIABLE");
+            std::process::exit(20);
+        }
+        Ok(Some(model)) => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for l in model {
+                line.push(' ');
+                line.push_str(&l.to_string());
+            }
+            line.push_str(" 0");
+            println!("{line}");
+            std::process::exit(10);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! DIMACS CNF input/output, making the solver usable as a standalone
+//! tool and letting its behavior be cross-checked against other solvers
+//! on standard benchmark files.
+
+use crate::solver::Solver;
+use crate::types::{Lit, Var};
+
+/// A parsed DIMACS problem.
+pub struct Dimacs {
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// The clauses, as signed literal lists (DIMACS convention:
+    /// 1-based, negative = negated).
+    pub clauses: Vec<Vec<i64>>,
+}
+
+/// Parse DIMACS CNF text. Accepts comments (`c …`), the problem line
+/// (`p cnf V C`), and clauses terminated by `0` (possibly spanning
+/// lines). Variables beyond the declared count grow the problem (some
+/// generators under-declare).
+pub fn parse(text: &str) -> Result<Dimacs, String> {
+    let mut num_vars = 0usize;
+    let mut declared = false;
+    let mut clauses = Vec::new();
+    let mut current: Vec<i64> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(format!("line {}: expected 'p cnf'", lineno + 1));
+            }
+            num_vars = parts
+                .next()
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("line {}: bad variable count", lineno + 1))?;
+            // Clause count is informative only.
+            declared = true;
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let v: i64 = tok
+                .parse()
+                .map_err(|e| format!("line {}: bad literal {tok:?}: {e}", lineno + 1))?;
+            if v == 0 {
+                clauses.push(std::mem::take(&mut current));
+            } else {
+                num_vars = num_vars.max(v.unsigned_abs() as usize);
+                current.push(v);
+            }
+        }
+    }
+    if !current.is_empty() {
+        clauses.push(current);
+    }
+    if !declared && clauses.is_empty() {
+        return Err("no problem line and no clauses".into());
+    }
+    Ok(Dimacs { num_vars, clauses })
+}
+
+/// Load a parsed problem into a fresh solver. Returns the solver and the
+/// variable handles (index i = DIMACS variable i+1).
+pub fn load(problem: &Dimacs) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..problem.num_vars).map(|_| s.new_var()).collect();
+    for clause in &problem.clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&v| Lit::new(vars[v.unsigned_abs() as usize - 1], v > 0))
+            .collect();
+        s.add_clause(&lits);
+    }
+    (s, vars)
+}
+
+/// Solve DIMACS text directly; returns `None` for UNSAT, or the model as
+/// signed literals (DIMACS `v`-line convention).
+pub fn solve_text(text: &str) -> Result<Option<Vec<i64>>, String> {
+    let problem = parse(text)?;
+    let (mut s, vars) = load(&problem);
+    if !s.solve() {
+        return Ok(None);
+    }
+    Ok(Some(
+        vars.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if s.value(v) {
+                    i as i64 + 1
+                } else {
+                    -(i as i64 + 1)
+                }
+            })
+            .collect(),
+    ))
+}
+
+/// Serialize clauses to DIMACS CNF text.
+pub fn write(num_vars: usize, clauses: &[Vec<i64>]) -> String {
+    let mut out = format!("p cnf {} {}\n", num_vars, clauses.len());
+    for c in clauses {
+        for &l in c {
+            out.push_str(&l.to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAT_EXAMPLE: &str = "\
+c a satisfiable example
+p cnf 3 3
+1 2 0
+-1 3 0
+-2 -3 0
+";
+
+    const UNSAT_EXAMPLE: &str = "\
+p cnf 1 2
+1 0
+-1 0
+";
+
+    #[test]
+    fn parses_and_solves_sat() {
+        let model = solve_text(SAT_EXAMPLE).unwrap().expect("satisfiable");
+        assert_eq!(model.len(), 3);
+        // Model satisfies each clause.
+        let problem = parse(SAT_EXAMPLE).unwrap();
+        for clause in &problem.clauses {
+            assert!(
+                clause.iter().any(|l| model.contains(l)),
+                "clause {clause:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn detects_unsat() {
+        assert_eq!(solve_text(UNSAT_EXAMPLE).unwrap(), None);
+    }
+
+    #[test]
+    fn multiline_clauses_and_comments() {
+        let text = "c x\np cnf 2 1\n1\n2\n0\n";
+        let p = parse(text).unwrap();
+        assert_eq!(p.clauses, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn underdeclared_vars_grow() {
+        let text = "p cnf 1 1\n3 0\n";
+        let p = parse(text).unwrap();
+        assert_eq!(p.num_vars, 3);
+        assert!(solve_text(text).unwrap().is_some());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("p dnf 1 1\n1 0\n").is_err());
+        assert!(parse("p cnf x 1\n").is_err());
+        assert!(parse("hello\n").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_writer() {
+        let clauses = vec![vec![1, -2], vec![2, 3, -1]];
+        let text = write(3, &clauses);
+        let p = parse(&text).unwrap();
+        assert_eq!(p.num_vars, 3);
+        assert_eq!(p.clauses, clauses);
+    }
+
+    #[test]
+    fn trailing_clause_without_zero() {
+        let p = parse("p cnf 2 1\n1 -2\n").unwrap();
+        assert_eq!(p.clauses, vec![vec![1, -2]]);
+    }
+}

@@ -1,0 +1,173 @@
+//! An indexed binary max-heap over variable activities (the VSIDS order).
+//!
+//! Supports decrease/increase-key by tracking each variable's position in
+//! the heap array, as in MiniSat's `Heap` class.
+
+use crate::types::Var;
+
+pub(crate) struct ActivityHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `pos[v]` = index of `v` in `heap`, or `u32::MAX` if absent.
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl ActivityHeap {
+    pub(crate) fn new() -> Self {
+        ActivityHeap {
+            heap: Vec::new(),
+            pos: Vec::new(),
+        }
+    }
+
+    pub(crate) fn grow(&mut self, nvars: usize) {
+        self.pos.resize(nvars, ABSENT);
+    }
+
+    pub(crate) fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != ABSENT
+    }
+
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub(crate) fn insert(&mut self, v: Var, activity: &[f64]) {
+        debug_assert!(!self.contains(v));
+        let i = self.heap.len();
+        self.heap.push(v.0);
+        self.pos[v.index()] = i as u32;
+        self.sift_up(i, activity);
+    }
+
+    /// Restore heap order after `v`'s activity increased.
+    pub(crate) fn bumped(&mut self, v: Var, activity: &[f64]) {
+        let p = self.pos[v.index()];
+        if p != ABSENT {
+            self.sift_up(p as usize, activity);
+        }
+    }
+
+    pub(crate) fn pop_max(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = ABSENT;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    fn sift_up(&mut self, mut i: usize, activity: &[f64]) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            let pv = self.heap[parent];
+            if activity[v as usize] <= activity[pv as usize] {
+                break;
+            }
+            self.heap[i] = pv;
+            self.pos[pv as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, activity: &[f64]) {
+        let v = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let child =
+                if r < n && activity[self.heap[r] as usize] > activity[self.heap[l] as usize] {
+                    r
+                } else {
+                    l
+                };
+            let cv = self.heap[child];
+            if activity[cv as usize] <= activity[v as usize] {
+                break;
+            }
+            self.heap[i] = cv;
+            self.pos[cv as usize] = i as u32;
+            i = child;
+        }
+        self.heap[i] = v;
+        self.pos[v as usize] = i as u32;
+    }
+
+    /// Rebuild positions after a global activity rescale (order unchanged,
+    /// so nothing to do — rescaling divides all activities uniformly).
+    #[cfg(test)]
+    pub(crate) fn check_invariants(&self, activity: &[f64]) {
+        for i in 0..self.heap.len() {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            if l < self.heap.len() {
+                assert!(activity[self.heap[i] as usize] >= activity[self.heap[l] as usize]);
+            }
+            if r < self.heap.len() {
+                assert!(activity[self.heap[i] as usize] >= activity[self.heap[r] as usize]);
+            }
+            assert_eq!(self.pos[self.heap[i] as usize], i as u32);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let activity = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.grow(4);
+        for v in 0..4 {
+            h.insert(Var(v), &activity);
+            h.check_invariants(&activity);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop_max(&activity).map(|v| v.0)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn bump_moves_var_up() {
+        let mut activity = vec![1.0, 2.0, 3.0];
+        let mut h = ActivityHeap::new();
+        h.grow(3);
+        for v in 0..3 {
+            h.insert(Var(v), &activity);
+        }
+        activity[0] = 10.0;
+        h.bumped(Var(0), &activity);
+        h.check_invariants(&activity);
+        assert_eq!(h.pop_max(&activity), Some(Var(0)));
+    }
+
+    #[test]
+    fn contains_tracks_membership() {
+        let activity = vec![1.0, 2.0];
+        let mut h = ActivityHeap::new();
+        h.grow(2);
+        h.insert(Var(1), &activity);
+        assert!(h.contains(Var(1)));
+        assert!(!h.contains(Var(0)));
+        h.pop_max(&activity);
+        assert!(!h.contains(Var(1)));
+        assert!(h.is_empty());
+    }
+}

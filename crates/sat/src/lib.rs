@@ -1,0 +1,42 @@
+//! # rzen-sat — a CDCL SAT solver
+//!
+//! The satisfiability substrate behind rzen's SMT-style backend. The paper's
+//! SMT backend "encodes all primitive operations using the theory of
+//! bitvectors before bitblasting the formulas to SAT" (§6); rzen performs
+//! the same eager pipeline, and this crate is the SAT engine at the bottom
+//! of it.
+//!
+//! The solver is a conventional conflict-driven clause-learning (CDCL)
+//! design:
+//!
+//! * two watched literals per clause for unit propagation,
+//! * first-UIP conflict analysis with clause learning and non-chronological
+//!   backjumping,
+//! * exponential VSIDS variable activities with an indexed max-heap,
+//! * phase saving,
+//! * Luby-sequence restarts,
+//! * activity-based learnt-clause database reduction,
+//! * solving under assumptions (incremental queries reuse learnt clauses).
+//!
+//! ## Example
+//!
+//! ```
+//! use rzen_sat::{Solver, Lit};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! s.add_clause(&[Lit::pos(a), Lit::pos(b)]);   // a ∨ b
+//! s.add_clause(&[Lit::neg(a)]);                // ¬a
+//! assert!(s.solve());
+//! assert!(!s.value(a));
+//! assert!(s.value(b));
+//! ```
+
+pub mod dimacs;
+mod heap;
+mod solver;
+mod types;
+
+pub use solver::{Solver, Stats};
+pub use types::{Lit, Var};

@@ -1,0 +1,765 @@
+//! The CDCL solver core.
+
+use crate::heap::ActivityHeap;
+use crate::types::{LBool, Lit, Var};
+
+/// Index of a clause in the clause arena.
+type ClauseRef = u32;
+
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f32,
+}
+
+#[derive(Clone, Copy)]
+struct Watcher {
+    cref: ClauseRef,
+    /// A literal of the clause other than the watched one; if it is already
+    /// true the clause is satisfied and we can skip scanning it.
+    blocker: Lit,
+}
+
+/// Solver statistics, exposed for benchmarking and debugging.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+}
+
+/// A CDCL SAT solver. See the crate documentation for the feature list.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    learnts: Vec<ClauseRef>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    polarity: Vec<bool>,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f32,
+    heap: ActivityHeap,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    reason: Vec<Option<ClauseRef>>,
+    level: Vec<u32>,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<bool>,
+    /// Statistics for the most recent `solve` call sequence.
+    pub stats: Stats,
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const CLA_DECAY: f32 = 1.0 / 0.999;
+const RESTART_BASE: u64 = 100;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Create an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            learnts: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            polarity: Vec::new(),
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            heap: ActivityHeap::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            reason: Vec::new(),
+            level: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            stats: Stats::default(),
+        }
+    }
+
+    /// Allocate a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.polarity.push(false);
+        self.activity.push(0.0);
+        self.reason.push(None);
+        self.level.push(0);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.heap.grow(self.assigns.len());
+        self.heap.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Number of problem (non-learnt) clauses.
+    pub fn num_clauses(&self) -> usize {
+        self.clauses
+            .iter()
+            .filter(|c| !c.learnt && !c.deleted)
+            .count()
+    }
+
+    #[inline]
+    fn lit_value(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_pos() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+            LBool::False => {
+                if l.is_pos() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    /// Add a clause. Returns `false` if the formula became trivially
+    /// unsatisfiable (empty clause after simplification at level 0).
+    /// Must be called at decision level 0 (i.e. before/between `solve`s).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        assert_eq!(self.decision_level(), 0, "add_clause above level 0");
+        if !self.ok {
+            return false;
+        }
+        // Simplify: sort/dedup, drop false literals, detect tautology.
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        let mut simplified = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return true; // tautology: contains l and ¬l
+            }
+            match self.lit_value(l) {
+                LBool::True => return true, // already satisfied at level 0
+                LBool::False => {}          // drop
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_new(simplified, false);
+                true
+            }
+        }
+    }
+
+    fn attach_new(&mut self, lits: Vec<Lit>, learnt: bool) -> ClauseRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as ClauseRef;
+        let w0 = Watcher {
+            cref,
+            blocker: lits[1],
+        };
+        let w1 = Watcher {
+            cref,
+            blocker: lits[0],
+        };
+        self.watches[(!lits[0]).code()].push(w0);
+        self.watches[(!lits[1]).code()].push(w1);
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        if learnt {
+            self.learnts.push(cref);
+        }
+        cref
+    }
+
+    #[inline]
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
+        debug_assert_eq!(self.lit_value(l), LBool::Undef);
+        let v = l.var();
+        self.assigns[v.index()] = LBool::from_bool(l.is_pos());
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = from;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation. Returns the conflicting clause, if any.
+    fn propagate(&mut self) -> Option<ClauseRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let mut i = 0;
+            // Take the watch list to appease the borrow checker; we write a
+            // compacted list back at the end.
+            let mut ws = std::mem::take(&mut self.watches[p.code()]);
+            let mut j = 0;
+            let mut conflict = None;
+            'watches: while i < ws.len() {
+                let w = ws[i];
+                i += 1;
+                if self.lit_value(w.blocker) == LBool::True {
+                    ws[j] = w;
+                    j += 1;
+                    continue;
+                }
+                let c = &mut self.clauses[w.cref as usize];
+                if c.deleted {
+                    continue; // lazily drop watchers of deleted clauses
+                }
+                // Normalize so that the false literal (¬p) is at position 1.
+                let false_lit = !p;
+                if c.lits[0] == false_lit {
+                    c.lits.swap(0, 1);
+                }
+                debug_assert_eq!(c.lits[1], false_lit);
+                let first = c.lits[0];
+                if first != w.blocker && self.lit_value(first) == LBool::True {
+                    ws[j] = Watcher {
+                        cref: w.cref,
+                        blocker: first,
+                    };
+                    j += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..self.clauses[w.cref as usize].lits.len() {
+                    let lk = self.clauses[w.cref as usize].lits[k];
+                    if self.lit_value(lk) != LBool::False {
+                        let c = &mut self.clauses[w.cref as usize];
+                        c.lits.swap(1, k);
+                        self.watches[(!lk).code()].push(Watcher {
+                            cref: w.cref,
+                            blocker: first,
+                        });
+                        continue 'watches;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[j] = Watcher {
+                    cref: w.cref,
+                    blocker: first,
+                };
+                j += 1;
+                if self.lit_value(first) == LBool::False {
+                    // Conflict: copy the remaining watchers back and stop.
+                    while i < ws.len() {
+                        ws[j] = ws[i];
+                        j += 1;
+                        i += 1;
+                    }
+                    self.qhead = self.trail.len();
+                    conflict = Some(w.cref);
+                } else {
+                    self.unchecked_enqueue(first, Some(w.cref));
+                }
+            }
+            ws.truncate(j);
+            self.watches[p.code()] = ws;
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.heap.bumped(v, &self.activity);
+    }
+
+    fn bump_clause(&mut self, cref: ClauseRef) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for &lr in &self.learnts {
+                self.clauses[lr as usize].activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first) and the backjump level.
+    fn analyze(&mut self, mut confl: ClauseRef) -> (Vec<Lit>, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 = asserting literal
+        let mut counter = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        loop {
+            if self.clauses[confl as usize].learnt {
+                self.bump_clause(confl);
+            }
+            let lits = self.clauses[confl as usize].lits.clone();
+            for &q in &lits {
+                if Some(q) == p {
+                    continue;
+                }
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    self.bump_var(v);
+                    if self.level[v.index()] >= self.decision_level() {
+                        counter += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // Select next trail literal to resolve on.
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            self.seen[pl.var().index()] = false;
+            counter -= 1;
+            p = Some(pl);
+            if counter == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("resolved literal must have a reason");
+        }
+        learnt[0] = !p.unwrap();
+        // Backjump level: highest level among the non-asserting literals.
+        let mut bt = 0;
+        let mut max_i = 1;
+        for (i, &l) in learnt.iter().enumerate().skip(1) {
+            let lv = self.level[l.var().index()];
+            if lv > bt {
+                bt = lv;
+                max_i = i;
+            }
+        }
+        if learnt.len() > 1 {
+            learnt.swap(1, max_i);
+        }
+        for &l in &learnt {
+            self.seen[l.var().index()] = false;
+        }
+        (learnt, bt)
+    }
+
+    fn cancel_until(&mut self, level: u32) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let bound = self.trail_lim[level as usize];
+        while self.trail.len() > bound {
+            let l = self.trail.pop().unwrap();
+            let v = l.var();
+            self.polarity[v.index()] = l.is_pos();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            if !self.heap.contains(v) {
+                self.heap.insert(v, &self.activity);
+            }
+        }
+        self.trail_lim.truncate(level as usize);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.heap.pop_max(&self.activity) {
+            if self.assigns[v.index()] == LBool::Undef {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    /// Reduce the learnt clause database: drop the half with the lowest
+    /// activity (keeping binary clauses and clauses that are reasons for
+    /// current assignments).
+    fn reduce_db(&mut self) {
+        let mut refs = self.learnts.clone();
+        refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap()
+        });
+        let mut locked = vec![false; self.clauses.len()];
+        for l in &self.trail {
+            if let Some(r) = self.reason[l.var().index()] {
+                locked[r as usize] = true;
+            }
+        }
+        let half = refs.len() / 2;
+        let mut removed = 0;
+        for &cref in refs.iter().take(half) {
+            let c = &self.clauses[cref as usize];
+            if c.lits.len() <= 2 || locked[cref as usize] || c.deleted {
+                continue;
+            }
+            self.clauses[cref as usize].deleted = true;
+            removed += 1;
+        }
+        self.learnts.retain(|&c| !self.clauses[c as usize].deleted);
+        self.stats.deleted_clauses += removed;
+    }
+
+    /// Luby restart sequence (0-indexed): 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+    fn luby(mut x: u64) -> u64 {
+        let mut size = 1u64;
+        let mut seq = 0u32;
+        while size < x + 1 {
+            seq += 1;
+            size = 2 * size + 1;
+        }
+        while size - 1 != x {
+            size = (size - 1) / 2;
+            seq -= 1;
+            x %= size;
+        }
+        1u64 << seq
+    }
+
+    /// Solve the formula with no assumptions.
+    pub fn solve(&mut self) -> bool {
+        self.solve_with_assumptions(&[])
+    }
+
+    /// Solve under the given assumptions. Learnt clauses persist across
+    /// calls, making repeated related queries cheap.
+    pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> bool {
+        if !self.ok {
+            return false;
+        }
+        self.cancel_until(0);
+        let max_learnts_base = (self.clauses.len() / 3).max(4000);
+        let mut restarts = 0u64;
+        loop {
+            let budget = RESTART_BASE * Self::luby(restarts);
+            let max_learnts = max_learnts_base + 100 * restarts as usize;
+            match self.search(budget, max_learnts, assumptions) {
+                LBool::True => {
+                    self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
+                    self.cancel_until(0);
+                    return true;
+                }
+                LBool::False => {
+                    self.cancel_until(0);
+                    return false;
+                }
+                LBool::Undef => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                    self.cancel_until(0);
+                }
+            }
+        }
+    }
+
+    /// Run CDCL until a result, a conflict-budget restart, or exhaustion.
+    fn search(&mut self, budget: u64, max_learnts: usize, assumptions: &[Lit]) -> LBool {
+        let mut conflicts = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                conflicts += 1;
+                self.stats.conflicts += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return LBool::False;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                if learnt.len() == 1 {
+                    // A unit learnt clause is a permanent level-0 fact.
+                    debug_assert_eq!(bt, 0);
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let cref = self.attach_new(learnt.clone(), true);
+                    self.bump_clause(cref);
+                    self.unchecked_enqueue(learnt[0], Some(cref));
+                }
+                self.var_inc *= VAR_DECAY;
+                self.cla_inc *= CLA_DECAY;
+                if conflicts >= budget {
+                    return LBool::Undef;
+                }
+                if self.learnts.len() > max_learnts {
+                    self.reduce_db();
+                }
+            } else {
+                // Decide: assumptions first, then VSIDS.
+                let dl = self.decision_level() as usize;
+                if dl < assumptions.len() {
+                    let a = assumptions[dl];
+                    match self.lit_value(a) {
+                        LBool::True => {
+                            // Already implied: introduce an empty decision
+                            // level so assumption indexing stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        // All decisions below are assumption-forced, so a
+                        // false assumption here means the assumption set is
+                        // inconsistent with the formula.
+                        LBool::False => return LBool::False,
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(a, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return LBool::True,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = Lit::new(v, self.polarity[v.index()]);
+                        self.unchecked_enqueue(lit, None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The value of `v` in the most recent satisfying model.
+    /// Panics if the last `solve` did not return `true`.
+    pub fn value(&self, v: Var) -> bool {
+        assert!(
+            !self.model.is_empty(),
+            "no model: last solve was UNSAT or never ran"
+        );
+        self.model[v.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lits(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]));
+        assert!(s.solve());
+        assert!(s.value(v[0]) || s.value(v[1]));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        lits(&mut s, 3);
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn unit_propagation_chain() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 4);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
+        s.add_clause(&[Lit::neg(v[2]), Lit::pos(v[3])]);
+        assert!(s.solve());
+        assert!(s.value(v[0]) && s.value(v[1]) && s.value(v[2]) && s.value(v[3]));
+    }
+
+    #[test]
+    fn tautological_clause_ignored() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        assert!(s.add_clause(&[Lit::pos(v[0]), Lit::neg(v[0])]));
+        assert!(s.add_clause(&[Lit::neg(v[1])]));
+        assert!(s.solve());
+        assert!(!s.value(v[1]));
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p[i][j]: pigeon i in hole j. 3 pigeons, 2 holes.
+        let mut s = Solver::new();
+        let mut p = [[Var(0); 2]; 3];
+        for row in p.iter_mut() {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let n = 5;
+        let m = 4;
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&c);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn assumptions_sat_and_unsat() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        assert!(s.solve_with_assumptions(&[Lit::neg(v[0])]));
+        assert!(s.value(v[1]));
+        assert!(s.solve_with_assumptions(&[Lit::neg(v[0]), Lit::neg(v[1])]) == false);
+        // Solver is reusable after an UNSAT-under-assumptions call.
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn contradictory_assumptions() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert!(!s.solve_with_assumptions(&[Lit::pos(v[0]), Lit::neg(v[0])]));
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x0 ⊕ x1 = 1, x1 ⊕ x2 = 1, ... forces alternation; satisfiable.
+        let mut s = Solver::new();
+        let n = 20;
+        let v = lits(&mut s, n);
+        for i in 0..n - 1 {
+            let (a, b) = (v[i], v[i + 1]);
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        }
+        s.add_clause(&[Lit::pos(v[0])]);
+        assert!(s.solve());
+        for i in 0..n {
+            assert_eq!(s.value(v[i]), i % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn xor_cycle_odd_unsat() {
+        // An odd cycle of inequalities (graph 2-coloring of an odd cycle).
+        let mut s = Solver::new();
+        let n = 7;
+        let v = lits(&mut s, n);
+        for i in 0..n {
+            let (a, b) = (v[i], v[(i + 1) % n]);
+            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+        }
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(Solver::luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn duplicate_literals_handled() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        assert!(s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[0])]));
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn add_clause_after_unsat_is_noop() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 1);
+        s.add_clause(&[Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[0])]);
+        assert!(!s.add_clause(&[Lit::pos(v[0])]));
+        assert!(!s.solve());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        s.solve();
+        assert!(s.stats.decisions + s.stats.propagations > 0);
+    }
+}

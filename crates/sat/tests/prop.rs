@@ -1,0 +1,97 @@
+//! Property tests: the CDCL solver must agree with a brute-force enumerator
+//! on random CNF instances, and models it returns must actually satisfy the
+//! formula.
+
+use proptest::prelude::*;
+use rzen_sat::{Lit, Solver, Var};
+
+const NVARS: u32 = 8;
+
+/// A clause as a set of (var, positive) pairs.
+type TestClause = Vec<(u32, bool)>;
+
+fn clause_strategy() -> impl Strategy<Value = TestClause> {
+    prop::collection::vec(((0..NVARS), any::<bool>()), 1..5)
+}
+
+fn cnf_strategy() -> impl Strategy<Value = Vec<TestClause>> {
+    prop::collection::vec(clause_strategy(), 0..30)
+}
+
+fn eval_cnf(cnf: &[TestClause], assignment: u32) -> bool {
+    cnf.iter().all(|clause| {
+        clause
+            .iter()
+            .any(|&(v, pos)| (assignment & (1 << v) != 0) == pos)
+    })
+}
+
+fn brute_force_sat(cnf: &[TestClause]) -> bool {
+    (0..(1u32 << NVARS)).any(|a| eval_cnf(cnf, a))
+}
+
+fn load(cnf: &[TestClause]) -> (Solver, Vec<Var>) {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..NVARS).map(|_| s.new_var()).collect();
+    for clause in cnf {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&(v, pos)| Lit::new(vars[v as usize], pos))
+            .collect();
+        s.add_clause(&lits);
+    }
+    (s, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(cnf in cnf_strategy()) {
+        let (mut s, vars) = load(&cnf);
+        let sat = s.solve();
+        prop_assert_eq!(sat, brute_force_sat(&cnf));
+        if sat {
+            let mut a = 0u32;
+            for (i, &v) in vars.iter().enumerate() {
+                if s.value(v) {
+                    a |= 1 << i;
+                }
+            }
+            prop_assert!(eval_cnf(&cnf, a), "returned model does not satisfy formula");
+        }
+    }
+
+    #[test]
+    fn assumptions_match_strengthened_formula(cnf in cnf_strategy(),
+                                              assume in prop::collection::vec(((0..NVARS), any::<bool>()), 0..4)) {
+        // Deduplicate assumption vars to avoid contradictory duplicates
+        // (those are valid too, but tested separately).
+        let mut seen = std::collections::HashSet::new();
+        let assume: Vec<(u32, bool)> = assume.into_iter().filter(|&(v, _)| seen.insert(v)).collect();
+
+        let (mut s, vars) = load(&cnf);
+        let lits: Vec<Lit> = assume.iter().map(|&(v, pos)| Lit::new(vars[v as usize], pos)).collect();
+        let got = s.solve_with_assumptions(&lits);
+
+        // Reference: add assumptions as unit clauses to a fresh formula.
+        let mut strengthened = cnf.clone();
+        for &(v, pos) in &assume {
+            strengthened.push(vec![(v, pos)]);
+        }
+        prop_assert_eq!(got, brute_force_sat(&strengthened));
+
+        // The solver must remain usable afterwards and agree on the
+        // original formula.
+        prop_assert_eq!(s.solve(), brute_force_sat(&cnf));
+    }
+
+    #[test]
+    fn repeated_solves_are_consistent(cnf in cnf_strategy()) {
+        let (mut s, _) = load(&cnf);
+        let first = s.solve();
+        for _ in 0..3 {
+            prop_assert_eq!(s.solve(), first);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+use rzen::{Zen, ZenFunction};
+use rzen_bdd::BddManager;
+use rzen_net::gen::random_acl;
+use std::time::Instant;
+
+fn main() {
+    let lines: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(500);
+    let acl = random_acl(lines, 7);
+    let n = acl.rules.len() as u16;
+    let model = acl.clone();
+    let f = ZenFunction::new(move |h| model.matched_line(h));
+    let input = Zen::<rzen_net::headers::Header>::symbolic(0);
+    let out = f.apply(input);
+    let cond = out.eq(Zen::val(n));
+    rzen::with_ctx(|ctx| {
+        let order = rzen::backend::ordering::compute_order(ctx, &[cond.expr_id()], true);
+        let mut m = BddManager::new();
+        let t0 = Instant::now();
+        let (b, _) = rzen::backend::bdd::compile_bool(ctx, &mut m, order, cond.expr_id());
+        println!(
+            "compile: {:?} arena={} result_nodes={}",
+            t0.elapsed(),
+            m.arena_size(),
+            m.node_count(b)
+        );
+        let t0 = Instant::now();
+        let sat = m.any_sat(b).is_some();
+        println!("anysat: {:?} sat={}", t0.elapsed(), sat);
+    });
+}

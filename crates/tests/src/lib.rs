@@ -1,0 +1,124 @@
+//! Shared fixtures for the repository-level integration tests and
+//! examples: the paper's Fig. 3 virtualized network, built from the
+//! composed rzen-net models.
+
+#![warn(missing_docs)]
+
+use rzen_net::acl::{Acl, AclRule};
+use rzen_net::device::Interface;
+use rzen_net::fwd::{FwdRule, FwdTable};
+use rzen_net::gre::GreTunnel;
+use rzen_net::headers::proto;
+use rzen_net::ip::{ip, Prefix};
+use rzen_net::topology::{Device, Network};
+
+/// Addresses of the Fig. 3 topology.
+pub mod addrs {
+    use super::*;
+
+    /// Overlay endpoint Va.
+    pub const VA: u32 = ip(10, 0, 0, 1);
+    /// Overlay endpoint Vb.
+    pub const VB: u32 = ip(10, 0, 0, 2);
+    /// Underlay node U1 (tunnel head).
+    pub const U1: u32 = ip(192, 168, 0, 1);
+    /// Underlay node U2 (transit).
+    pub const U2: u32 = ip(192, 168, 0, 2);
+    /// Underlay node U3 (tunnel tail).
+    pub const U3: u32 = ip(192, 168, 0, 3);
+}
+
+/// The GRE tunnel from U1 to U3.
+pub fn tunnel() -> GreTunnel {
+    GreTunnel {
+        src_ip: addrs::U1,
+        dst_ip: addrs::U3,
+    }
+}
+
+/// Build the Fig. 3 virtualized network: Va — U1 — U2 — U3 — Vb, with
+/// overlay packets (Va→Vb) encapsulated at U1 and decapsulated at U3.
+///
+/// `buggy_underlay_filter`: when true, U2 carries the §2 motivating bug —
+/// an underlay ACL that drops some overlay packets (here: anything whose
+/// *overlay* source port is reused by the GRE copy and falls in a blocked
+/// range), so overlay and underlay verification in isolation both pass
+/// while the composition drops traffic.
+pub fn fig3_network(buggy_underlay_filter: bool) -> Network {
+    let mut net = Network::default();
+
+    // Underlay forwarding: route 192.168.0.3 (U3) rightward, U1 leftward,
+    // and deliver the overlay prefix at the edges.
+    let u3_right = FwdTable::new(vec![
+        FwdRule {
+            prefix: Prefix::new(addrs::U3, 32),
+            port: 2,
+        },
+        FwdRule {
+            prefix: Prefix::new(ip(10, 0, 0, 0), 8),
+            port: 2,
+        },
+        FwdRule {
+            prefix: Prefix::new(addrs::U1, 32),
+            port: 1,
+        },
+    ]);
+
+    // U1: port 1 faces Va, port 2 faces U2. Tunnel starts on egress 2.
+    let u1 = Device {
+        name: "u1".into(),
+        interfaces: vec![
+            Interface::new(1, u3_right.clone()),
+            Interface {
+                gre_start: Some(tunnel()),
+                ..Interface::new(2, u3_right.clone())
+            },
+        ],
+    };
+
+    // U2: transit. Port 1 faces U1, port 2 faces U3.
+    let mut u2_in = Interface::new(1, u3_right.clone());
+    if buggy_underlay_filter {
+        // The bug: an operator blocked "high ports" on the transit link,
+        // forgetting GRE copies the overlay ports into the underlay
+        // header.
+        u2_in.acl_in = Some(Acl {
+            rules: vec![
+                AclRule {
+                    permit: false,
+                    dst_ports: (5000, 6000),
+                    ..AclRule::any(false)
+                },
+                AclRule::any(true),
+            ],
+        });
+    }
+    let u2 = Device {
+        name: "u2".into(),
+        interfaces: vec![u2_in, Interface::new(2, u3_right.clone())],
+    };
+
+    // U3: port 1 faces U2 (tunnel ends here), port 2 faces Vb.
+    let u3 = Device {
+        name: "u3".into(),
+        interfaces: vec![
+            Interface {
+                gre_end: Some(tunnel()),
+                ..Interface::new(1, u3_right.clone())
+            },
+            Interface::new(2, u3_right),
+        ],
+    };
+
+    let u1i = net.add_device(u1);
+    let u2i = net.add_device(u2);
+    let u3i = net.add_device(u3);
+    net.add_duplex(u1i, 2, u2i, 1);
+    net.add_duplex(u2i, 2, u3i, 1);
+    net
+}
+
+/// An overlay header from Va to Vb.
+pub fn overlay_header(dst_port: u16, src_port: u16) -> rzen_net::headers::Header {
+    rzen_net::headers::Header::new(addrs::VB, addrs::VA, dst_port, src_port, proto::TCP)
+}

@@ -1,0 +1,74 @@
+//! Quickstart: model a firewall rule in plain Rust, then simulate,
+//! verify (on two solver backends), generate tests, and compile it.
+//!
+//! Run with: `cargo run --release -p rzen-integration --example quickstart`
+
+use rzen::{zen_struct, zif, FindOptions, Zen, ZenFunction};
+
+zen_struct! {
+    /// A toy packet: just the ports.
+    pub struct Flow : FlowFields {
+        dst_port, with_dst_port: u16;
+        src_port, with_src_port: u16;
+    }
+}
+
+fn main() {
+    // 1. A model is ordinary Rust code over Zen values.
+    let classify = ZenFunction::new(|f: Zen<Flow>| {
+        zif(
+            f.dst_port().eq(Zen::val(22)),
+            Zen::val(1u8), // ssh
+            zif(
+                f.dst_port()
+                    .eq(Zen::val(443))
+                    .or(f.dst_port().eq(Zen::val(80))),
+                Zen::val(2u8), // web
+                Zen::val(0u8), // other
+            ),
+        )
+    });
+
+    // 2. Simulate: models are executable.
+    let https = Flow {
+        dst_port: 443,
+        src_port: 51234,
+    };
+    println!(
+        "simulate: class of {https:?} = {}",
+        classify.evaluate(&https)
+    );
+
+    // 3. Verify: find inputs with a property, on either backend.
+    for opts in [FindOptions::bdd(), FindOptions::smt()] {
+        let w = classify
+            .find(
+                |f, class| class.eq(Zen::val(1u8)).and(f.src_port().lt(Zen::val(1024))),
+                &opts,
+            )
+            .expect("an ssh flow with a low source port exists");
+        println!("find [{:?}]: {w:?}", opts.backend);
+    }
+
+    // And prove a property for ALL inputs.
+    let ok = classify.verify(
+        |f, class| f.dst_port().eq(Zen::val(22)).iff(class.eq(Zen::val(1u8))),
+        &FindOptions::bdd(),
+    );
+    println!("verify: class 1 ⟺ dst port 22: {:?}", ok.is_ok());
+
+    // 4. Generate covering test inputs from the model's structure.
+    let tests = classify.generate_inputs(&FindOptions::smt(), 10);
+    println!("generated {} test flows:", tests.len());
+    for t in &tests {
+        println!("  {t:?} -> class {}", classify.evaluate(t));
+    }
+
+    // 5. Compile the model to an executable implementation.
+    let compiled = classify.compile(0);
+    println!(
+        "compiled to {} VM instructions; class of {https:?} = {}",
+        compiled.size(),
+        compiled.call(&https)
+    );
+}

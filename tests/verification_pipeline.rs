@@ -1,0 +1,128 @@
+//! The Fig. 10 verification pipeline end-to-end on random workloads:
+//! the general framework (both backends) and the hand-optimized baseline
+//! must agree with each other and with concrete simulation.
+
+use rzen::{FindOptions, Zen, ZenFunction};
+use rzen_baselines::AclVerifier;
+use rzen_net::gen::{random_acl, random_route_map};
+
+#[test]
+fn acl_verification_agrees_across_all_three_engines() {
+    for seed in 0..4 {
+        let acl = random_acl(60, seed);
+        let n = acl.rules.len() as u16;
+
+        // Zen BDD + Zen SMT: find a packet whose first match is the last
+        // line.
+        let model_acl = acl.clone();
+        let f = ZenFunction::new(move |h| model_acl.matched_line(h));
+        let bdd = f.find(|_, line| line.eq(Zen::val(n)), &FindOptions::bdd());
+        let smt = f.find(|_, line| line.eq(Zen::val(n)), &FindOptions::smt());
+
+        // Baseline (hand-optimized BDD).
+        let mut baseline = AclVerifier::new(&acl);
+        let base = baseline.find_first_match(n as usize - 1);
+
+        // All three agree on satisfiability.
+        assert_eq!(bdd.is_some(), base.is_some(), "seed {seed}");
+        assert_eq!(smt.is_some(), base.is_some(), "seed {seed}");
+
+        // Each witness is genuine per the concrete reference semantics.
+        for w in [bdd, smt, base].into_iter().flatten() {
+            assert_eq!(acl.matched_line_concrete(&w), n, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn every_reachable_acl_line_agrees_with_baseline() {
+    let acl = random_acl(25, 99);
+    let model_acl = acl.clone();
+    let f = ZenFunction::new(move |h| model_acl.matched_line(h));
+    let mut baseline = AclVerifier::new(&acl);
+    for i in 0..acl.rules.len() {
+        let zen = f.find(
+            |_, line| line.eq(Zen::val(i as u16 + 1)),
+            &FindOptions::bdd(),
+        );
+        let base = baseline.find_first_match(i);
+        assert_eq!(zen.is_some(), base.is_some(), "line {i}");
+        if let Some(w) = zen {
+            assert_eq!(acl.matched_line_concrete(&w), i as u16 + 1);
+        }
+    }
+}
+
+#[test]
+fn route_map_verification_both_backends() {
+    for seed in 0..4 {
+        let rm = random_route_map(15, seed);
+        let n = rm.clauses.len() as u16;
+        let model = rm.clone();
+        let f = ZenFunction::new(move |a| model.matched_clause(a));
+        let bdd = f.find(
+            |_, line| line.eq(Zen::val(n)),
+            &FindOptions::bdd().with_list_bound(4),
+        );
+        let smt = f.find(
+            |_, line| line.eq(Zen::val(n)),
+            &FindOptions::smt().with_list_bound(4),
+        );
+        // Backends must agree on satisfiability; witnesses must be genuine.
+        assert_eq!(bdd.is_some(), smt.is_some(), "seed {seed}");
+        for w in [bdd, smt].into_iter().flatten() {
+            for (i, c) in rm.clauses.iter().enumerate().take(n as usize - 1) {
+                assert!(
+                    !c.matches_concrete(&w),
+                    "seed {seed}: clause {i} matched {w:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn route_map_apply_symbolic_equals_concrete_on_witnesses() {
+    let rm = random_route_map(12, 5);
+    let model = rm.clone();
+    let apply = ZenFunction::new(move |a| model.apply(a));
+    // Use generated inputs as the probe set.
+    let track = rm.clone();
+    let tracked = ZenFunction::new(move |a| track.matched_clause(a));
+    let inputs = tracked.generate_inputs(&FindOptions::smt().with_list_bound(3), 32);
+    assert!(!inputs.is_empty());
+    for a in inputs {
+        assert_eq!(apply.evaluate(&a), rm.apply_concrete(&a), "input {a:?}");
+    }
+}
+
+#[test]
+fn simulation_matches_brute_force_on_random_headers() {
+    let acl = random_acl(40, 7);
+    let model = acl.clone();
+    let f = ZenFunction::new(move |h| model.matched_line(h));
+    let compiled = f.compile(0);
+    for seed in 0..200 {
+        let h = rzen_net::gen::random_header(seed);
+        let expect = acl.matched_line_concrete(&h);
+        assert_eq!(f.evaluate(&h), expect);
+        assert_eq!(compiled.call(&h), expect);
+    }
+}
+
+#[test]
+fn unsatisfiable_query_unsat_everywhere() {
+    // An ACL whose first rule shadows everything: line 2 unreachable.
+    let mut acl = random_acl(10, 3);
+    acl.rules[0] = rzen_net::acl::AclRule::any(true);
+    let model = acl.clone();
+    let f = ZenFunction::new(move |h| model.matched_line(h));
+    assert!(f
+        .find(|_, l| l.eq(Zen::val(2u16)), &FindOptions::bdd())
+        .is_none());
+    assert!(f
+        .find(|_, l| l.eq(Zen::val(2u16)), &FindOptions::smt())
+        .is_none());
+    let mut baseline = AclVerifier::new(&acl);
+    assert!(baseline.line_shadowed(1));
+}
