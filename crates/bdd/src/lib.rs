@@ -48,5 +48,5 @@ mod sat;
 
 pub use cube::Cube;
 pub use hash::{FastHashMap, FastHashSet, FastHasherBuilder};
-pub use manager::{Bdd, BddManager, BDD_FALSE, BDD_TRUE};
+pub use manager::{Bdd, BddManager, BddStats, BDD_FALSE, BDD_TRUE};
 pub use replace::VarMap;

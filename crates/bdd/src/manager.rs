@@ -1,6 +1,35 @@
 //! The BDD manager: node arena, unique table, and core Boolean operations.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::hash::FastHashMap;
+
+/// Point-in-time counters for a [`BddManager`], for benchmarking and the
+/// query engine's observability layer.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BddStats {
+    /// Total nodes in the arena (including the two terminals).
+    pub nodes: usize,
+    /// Entries in the unique (hash-consing) table.
+    pub unique_entries: usize,
+    /// Probes of the operation (computed) caches.
+    pub cache_lookups: u64,
+    /// Probes that hit.
+    pub cache_hits: u64,
+}
+
+impl BddStats {
+    /// Computed-cache hit rate in `[0, 1]`; 0 when no lookups happened.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+}
 
 /// A handle to a BDD node. Handles are plain 32-bit indices into the owning
 /// [`BddManager`]'s arena, so they are `Copy` and comparing two handles for
@@ -50,6 +79,20 @@ pub struct BddManager {
     pub(crate) cubes: Vec<Vec<u32>>,
     pub(crate) cube_index: FastHashMap<Vec<u32>, u32>,
     num_vars: u32,
+    /// Cooperative cancellation flag shared with the caller; polled in
+    /// [`BddManager::mk`], the single choke point every operation funnels
+    /// through.
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Wall-clock cutoff with the same effect as the interrupt flag.
+    deadline: Option<Instant>,
+    /// Latched once the budget is observed exhausted: recursive operations
+    /// unwind immediately (returning an arbitrary node) and stop writing
+    /// to the operation caches.
+    pub(crate) interrupted: bool,
+    /// Call counter gating the (comparatively expensive) budget poll.
+    mk_tick: u32,
+    cache_lookups: u64,
+    cache_hits: u64,
 }
 
 impl Default for BddManager {
@@ -89,6 +132,58 @@ impl BddManager {
             cubes: Vec::new(),
             cube_index: FastHashMap::default(),
             num_vars: 0,
+            interrupt: None,
+            deadline: None,
+            interrupted: false,
+            mk_tick: 0,
+            cache_lookups: 0,
+            cache_hits: 0,
+        }
+    }
+
+    /// Install a cooperative budget: when the flag is raised by another
+    /// thread, or the deadline passes, running operations unwind quickly.
+    ///
+    /// **Contract:** once [`BddManager::interrupted`] reports `true`, any
+    /// `Bdd` handles returned by operations that were in flight are
+    /// meaningless and the manager should be discarded (callers that
+    /// rebuild per query, like the batch engine, simply drop it). The
+    /// unique table and caches themselves are never corrupted — writes are
+    /// suppressed while interrupted — so pre-existing handles stay valid.
+    pub fn set_budget(&mut self, interrupt: Option<Arc<AtomicBool>>, deadline: Option<Instant>) {
+        self.interrupt = interrupt;
+        self.deadline = deadline;
+        self.interrupted = false;
+    }
+
+    /// Has the budget installed by [`BddManager::set_budget`] been
+    /// observed exhausted?
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
+    }
+
+    /// Current substrate counters.
+    pub fn stats(&self) -> BddStats {
+        BddStats {
+            nodes: self.nodes.len(),
+            unique_entries: self.unique.len(),
+            cache_lookups: self.cache_lookups,
+            cache_hits: self.cache_hits,
+        }
+    }
+
+    #[cold]
+    fn poll_budget(&mut self) {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                self.interrupted = true;
+                return;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.interrupted = true;
+            }
         }
     }
 
@@ -149,6 +244,13 @@ impl BddManager {
     /// applying the ROBDD reduction rule `lo == hi ⇒ child`.
     #[inline]
     pub(crate) fn mk(&mut self, var: u32, lo: u32, hi: u32) -> u32 {
+        // Budget poll: `mk` is the choke point every operation funnels
+        // through, so a counter-gated check here bounds cancellation
+        // latency without touching the per-op hot paths.
+        self.mk_tick = self.mk_tick.wrapping_add(1);
+        if self.mk_tick & 0x0FFF == 0 && !self.interrupted {
+            self.poll_budget();
+        }
         if lo == hi {
             return lo;
         }
@@ -194,14 +296,21 @@ impl BddManager {
             0 => 1,
             1 => 0,
             _ => {
+                if self.interrupted {
+                    return 0;
+                }
+                self.cache_lookups += 1;
                 if let Some(&r) = self.cache_not.get(&f) {
+                    self.cache_hits += 1;
                     return r;
                 }
                 let n = self.node(f);
                 let lo = self.not_rec(n.lo);
                 let hi = self.not_rec(n.hi);
                 let r = self.mk(n.var, lo, hi);
-                self.cache_not.insert(f, r);
+                if !self.interrupted {
+                    self.cache_not.insert(f, r);
+                }
                 r
             }
         }
@@ -222,8 +331,13 @@ impl BddManager {
             (1, x) | (x, 1) => return x,
             _ => {}
         }
+        if self.interrupted {
+            return 0;
+        }
         let key = if f < g { (f, g) } else { (g, f) };
+        self.cache_lookups += 1;
         if let Some(&r) = self.cache_and.get(&key) {
+            self.cache_hits += 1;
             return r;
         }
         let nf = self.node(f);
@@ -242,7 +356,9 @@ impl BddManager {
         let lo = self.and_rec(flo, glo);
         let hi = self.and_rec(fhi, ghi);
         let r = self.mk(var, lo, hi);
-        self.cache_and.insert(key, r);
+        if !self.interrupted {
+            self.cache_and.insert(key, r);
+        }
         r
     }
 
@@ -260,8 +376,13 @@ impl BddManager {
             (0, x) | (x, 0) => return x,
             _ => {}
         }
+        if self.interrupted {
+            return 0;
+        }
         let key = if f < g { (f, g) } else { (g, f) };
+        self.cache_lookups += 1;
         if let Some(&r) = self.cache_or.get(&key) {
+            self.cache_hits += 1;
             return r;
         }
         let nf = self.node(f);
@@ -280,7 +401,9 @@ impl BddManager {
         let lo = self.or_rec(flo, glo);
         let hi = self.or_rec(fhi, ghi);
         let r = self.mk(var, lo, hi);
-        self.cache_or.insert(key, r);
+        if !self.interrupted {
+            self.cache_or.insert(key, r);
+        }
         r
     }
 
@@ -298,8 +421,13 @@ impl BddManager {
             (1, x) | (x, 1) => return self.not_rec(x),
             _ => {}
         }
+        if self.interrupted {
+            return 0;
+        }
         let key = if f < g { (f, g) } else { (g, f) };
+        self.cache_lookups += 1;
         if let Some(&r) = self.cache_xor.get(&key) {
+            self.cache_hits += 1;
             return r;
         }
         let nf = self.node(f);
@@ -318,7 +446,9 @@ impl BddManager {
         let lo = self.xor_rec(flo, glo);
         let hi = self.xor_rec(fhi, ghi);
         let r = self.mk(var, lo, hi);
-        self.cache_xor.insert(key, r);
+        if !self.interrupted {
+            self.cache_xor.insert(key, r);
+        }
         r
     }
 
@@ -351,8 +481,13 @@ impl BddManager {
         if g == 1 {
             return self.or_rec(f, h);
         }
+        if self.interrupted {
+            return 0;
+        }
         let key = (f, g, h);
+        self.cache_lookups += 1;
         if let Some(&r) = self.cache_ite.get(&key) {
+            self.cache_hits += 1;
             return r;
         }
         let nf = self.node(f);
@@ -377,7 +512,9 @@ impl BddManager {
         let lo = self.ite_rec(flo, glo, hlo);
         let hi = self.ite_rec(fhi, ghi, hhi);
         let r = self.mk(var, lo, hi);
-        self.cache_ite.insert(key, r);
+        if !self.interrupted {
+            self.cache_ite.insert(key, r);
+        }
         r
     }
 
@@ -533,5 +670,87 @@ mod tests {
         m.clear_caches();
         let a2 = m.and(x, y);
         assert_eq!(a, a2);
+    }
+
+    #[test]
+    fn stats_counters_move() {
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..8).map(|i| m.var(i)).collect();
+        let mut f = BDD_TRUE;
+        for w in vars.windows(2) {
+            let x = m.xor(w[0], w[1]);
+            f = m.and(f, x);
+        }
+        // Repeat the same ops so the computed caches actually hit.
+        let mut g = BDD_TRUE;
+        for w in vars.windows(2) {
+            let x = m.xor(w[0], w[1]);
+            g = m.and(g, x);
+        }
+        assert_eq!(f, g);
+        let s = m.stats();
+        assert!(s.nodes > 2);
+        assert!(s.unique_entries > 0);
+        assert!(s.cache_lookups > 0);
+        assert!(s.cache_hits > 0);
+        assert!(s.cache_hit_rate() > 0.0 && s.cache_hit_rate() <= 1.0);
+    }
+
+    #[test]
+    fn pre_raised_interrupt_latches_and_unwinds() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..16).map(|i| m.var(i)).collect();
+
+        let flag = Arc::new(AtomicBool::new(true));
+        m.set_budget(Some(flag.clone()), None);
+        assert!(!m.interrupted(), "set_budget resets the latch");
+
+        // Enough mk() traffic to cross the poll gate.
+        let mut f = BDD_FALSE;
+        for _ in 0..64 {
+            for w in vars.windows(2) {
+                let x = m.xor(w[0], w[1]);
+                f = m.or(f, x);
+            }
+            m.clear_caches();
+            if m.interrupted() {
+                break;
+            }
+        }
+        assert!(m.interrupted(), "poll in mk() must observe the raised flag");
+
+        // Clearing the budget restores normal operation on a fresh manager
+        // state, and pre-existing handles still evaluate correctly.
+        m.set_budget(None, None);
+        assert!(!m.interrupted());
+        let x = m.var(0);
+        let y = m.var(1);
+        let a = m.and(x, y);
+        assert!(m.eval(a, |_| true));
+        assert!(!m.eval(a, |v| v == 0));
+    }
+
+    #[test]
+    fn expired_deadline_interrupts() {
+        use std::time::Instant;
+
+        let mut m = BddManager::new();
+        let vars: Vec<Bdd> = (0..16).map(|i| m.var(i)).collect();
+        m.set_budget(None, Some(Instant::now()));
+        let mut f = BDD_FALSE;
+        for _ in 0..64 {
+            for w in vars.windows(2) {
+                let x = m.xor(w[0], w[1]);
+                f = m.or(f, x);
+            }
+            m.clear_caches();
+            if m.interrupted() {
+                break;
+            }
+        }
+        assert!(m.interrupted());
     }
 }

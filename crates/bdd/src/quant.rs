@@ -31,6 +31,9 @@ impl BddManager {
             // No quantified variable occurs in f.
             return f;
         }
+        if self.interrupted {
+            return 0;
+        }
         let key = (f, vars.0);
         if let Some(&r) = self.cache_exists.get(&key) {
             return r;
@@ -47,7 +50,9 @@ impl BddManager {
             let hi = self.exists_rec(n.hi, vars);
             self.mk(n.var, lo, hi)
         };
-        self.cache_exists.insert(key, r);
+        if !self.interrupted {
+            self.cache_exists.insert(key, r);
+        }
         r
     }
 
@@ -73,6 +78,9 @@ impl BddManager {
         let var = nf.var.min(ng.var);
         if !self.cube_has_var_geq(vars, var) {
             return self.and_raw(f, g);
+        }
+        if self.interrupted {
+            return 0;
         }
         let key = (f, g, vars.0);
         if let Some(&r) = self.cache_and_exists.get(&key) {
@@ -101,7 +109,9 @@ impl BddManager {
             let hi = self.and_exists_rec(fhi, ghi, vars);
             self.mk(var, lo, hi)
         };
-        self.cache_and_exists.insert(key, r);
+        if !self.interrupted {
+            self.cache_and_exists.insert(key, r);
+        }
         r
     }
 

@@ -92,6 +92,9 @@ impl BddManager {
         if f <= 1 {
             return f;
         }
+        if self.interrupted {
+            return 0;
+        }
         let key = (f, map.0);
         if let Some(&r) = self.cache_replace.get(&key) {
             return r;
@@ -101,7 +104,9 @@ impl BddManager {
         let hi = self.replace_rec(n.hi, map);
         let v = self.map_var(map, n.var);
         let r = self.mk(v, lo, hi);
-        self.cache_replace.insert(key, r);
+        if !self.interrupted {
+            self.cache_replace.insert(key, r);
+        }
         r
     }
 }

@@ -1,0 +1,115 @@
+//! Engine throughput: sequential vs. N-worker speedup on a batched
+//! workload — random ACL line queries plus all-pairs reachability over a
+//! spine-leaf fabric.
+//!
+//! The scaling series runs the BDD backend (one solver thread per worker)
+//! so `jobs` maps 1:1 onto busy cores; a portfolio row is reported
+//! separately. Speedup is bounded by the host's available parallelism,
+//! which is printed with the results: on a single-core host every row
+//! measures ~1.0x by construction.
+//!
+//! Usage:
+//!   cargo run --release -p rzen-bench --bin engine -- [jobs] [acl_queries]
+//!
+//! Emits CSV on stdout and into results/engine_speedup.csv.
+
+use std::time::Instant;
+
+use rzen_bench::write_csv;
+use rzen_engine::{Engine, EngineConfig, Query, QueryBackend, Verdict};
+use rzen_net::gen::{random_acl, spine_leaf};
+
+fn build_queries(n_acl: usize) -> Vec<Query> {
+    let mut queries = Vec::new();
+    // Random ACLs, querying the (always reachable) last line — the Fig. 10
+    // workload, one per ACL so no two queries share a cache slot.
+    for seed in 0..n_acl as u64 {
+        let acl = random_acl(400, seed);
+        let last = acl.rules.len() as u16;
+        queries.push(Query::AclFind {
+            acl,
+            target_line: last,
+        });
+    }
+    // All-pairs reachability over the leaves of a spine-leaf fabric
+    // (entry/exit on each leaf's edge port 99).
+    let n_spines = 2;
+    let n_leaves = 4;
+    let net = spine_leaf(n_spines, n_leaves);
+    for a in 0..n_leaves {
+        for b in 0..n_leaves {
+            if a == b {
+                continue;
+            }
+            queries.push(Query::Reach {
+                net: net.clone(),
+                src: (n_spines + a, 99),
+                dst: (n_spines + b, 99),
+            });
+        }
+    }
+    queries
+}
+
+fn run(queries: &[Query], jobs: usize, backend: QueryBackend) -> f64 {
+    let engine = Engine::new(EngineConfig {
+        jobs,
+        backend,
+        timeout: None,
+        cache: false, // measure raw solve throughput, not cache luck
+    });
+    let t0 = Instant::now();
+    let report = engine.run_batch(queries);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    for r in &report.results {
+        assert!(
+            matches!(r.verdict, Verdict::Sat(_) | Verdict::Unsat),
+            "unlimited-budget query must be decisive"
+        );
+    }
+    ms
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_jobs: usize = args.first().map(|s| s.parse().unwrap()).unwrap_or(4);
+    let n_acl: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(24);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let queries = build_queries(n_acl);
+    println!(
+        "# Engine speedup: {} queries, bdd backend, host parallelism {}",
+        queries.len(),
+        cores
+    );
+    let header = "jobs,ms,speedup";
+    println!("{header}");
+
+    // Warm up (fault in code paths, allocators).
+    run(&queries, 1, QueryBackend::Bdd);
+
+    let seq = run(&queries, 1, QueryBackend::Bdd);
+    let mut rows = Vec::new();
+    let mut jobs = 1;
+    while jobs <= max_jobs {
+        let ms = if jobs == 1 {
+            seq
+        } else {
+            run(&queries, jobs, QueryBackend::Bdd)
+        };
+        let row = format!("{jobs},{ms:.1},{:.2}", seq / ms);
+        println!("{row}");
+        rows.push(row);
+        jobs *= 2;
+    }
+    let pf = run(&queries, max_jobs, QueryBackend::Portfolio);
+    println!(
+        "# portfolio at {max_jobs} workers: {pf:.1} ms ({:.2}x vs sequential bdd)",
+        seq / pf
+    );
+    if let Ok(path) = write_csv("engine_speedup.csv", header, &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+}

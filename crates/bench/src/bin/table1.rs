@@ -141,7 +141,8 @@ fn check_shapeshifter() -> bool {
 fn main() {
     // (analysis, [Rosette, Kaplan, Boogie, NV] from the paper's Table 1,
     // live Zen check)
-    let rows: Vec<(&str, [bool; 4], Box<dyn Fn() -> bool>)> = vec![
+    type Row = (&'static str, [bool; 4], Box<dyn Fn() -> bool>);
+    let rows: Vec<Row> = vec![
         ("HSA", [false, false, false, true], Box::new(check_hsa)),
         ("AP", [false, false, false, false], Box::new(check_ap)),
         (

@@ -14,7 +14,7 @@ pub fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
 /// Mean of repeated timed runs (the paper reports "the mean value across
 /// 100 runs"; the repetition count is a CLI knob here). Each run gets a
 /// fresh expression context so arena growth does not skew later runs.
-pub fn mean_ms(reps: usize, mut f: impl FnMut() -> ()) -> f64 {
+pub fn mean_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     let mut total = 0.0;
     for _ in 0..reps {
         rzen::reset_ctx();

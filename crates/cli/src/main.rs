@@ -9,6 +9,10 @@
 //! rzen-cli hsa    SPEC SRC DST            # exact reachable-set size (transformers)
 //! rzen-cli paths  SPEC SRC DST            # enumerate simple paths
 //! rzen-cli show   SPEC                    # print the parsed network
+//! rzen-cli batch  SPEC [--jobs N] [--timeout-ms MS] [--backend bdd|smt|portfolio]
+//!                                     # all-pairs reach+drops over the edge
+//!                                     # ports, solved by the parallel
+//!                                     # portfolio engine with a stats table
 //! ```
 //!
 //! `SRC`/`DST` are `device:port` endpoints. Example:
@@ -29,6 +33,9 @@ use rzen_net::ip::fmt_ip;
 
 fn usage() -> ! {
     eprintln!("usage: rzen-cli <reach|drops|hsa|paths|show> SPEC [SRC DST]");
+    eprintln!(
+        "       rzen-cli batch SPEC [--jobs N] [--timeout-ms MS] [--backend bdd|smt|portfolio]"
+    );
     eprintln!("  SRC/DST are device:port endpoints, e.g. u1:1");
     std::process::exit(2);
 }
@@ -58,6 +65,11 @@ fn main() {
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     let spec = spec::parse(&text).unwrap_or_else(|e| fail(&e));
+
+    if cmd == "batch" {
+        run_batch(&spec, &args[2..]);
+        return;
+    }
 
     if cmd == "show" {
         println!(
@@ -160,4 +172,121 @@ fn main() {
         }
         _ => usage(),
     }
+}
+
+/// `batch`: all-pairs reach + drops over the spec's edge ports, run by the
+/// parallel portfolio engine.
+fn run_batch(spec: &spec::Spec, flags: &[String]) {
+    use rzen_engine::{Engine, EngineConfig, Query, QueryBackend, Verdict};
+
+    let mut cfg = EngineConfig {
+        jobs: 4,
+        ..Default::default()
+    };
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--jobs" => {
+                let v = flags.get(i + 1).unwrap_or_else(|| fail("--jobs needs N"));
+                cfg.jobs = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --jobs {v:?}: {e}")));
+                if cfg.jobs == 0 {
+                    fail("--jobs must be at least 1");
+                }
+                i += 2;
+            }
+            "--timeout-ms" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--timeout-ms needs MS"));
+                let ms: u64 = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --timeout-ms {v:?}: {e}")));
+                cfg.timeout = Some(std::time::Duration::from_millis(ms));
+                i += 2;
+            }
+            "--backend" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--backend needs bdd|smt|portfolio"));
+                cfg.backend = match v.as_str() {
+                    "bdd" => QueryBackend::Bdd,
+                    "smt" => QueryBackend::Smt,
+                    "portfolio" => QueryBackend::Portfolio,
+                    other => fail(&format!("unknown backend {other:?} (bdd|smt|portfolio)")),
+                };
+                i += 2;
+            }
+            other => fail(&format!("unknown batch flag {other:?}")),
+        }
+    }
+
+    let edges = spec.edge_ports();
+    if edges.len() < 2 {
+        fail("batch needs at least two edge ports (interfaces not used by any link)");
+    }
+    let mut queries = Vec::new();
+    let mut labels = Vec::new();
+    for &src in &edges {
+        for &dst in &edges {
+            if src == dst {
+                continue;
+            }
+            queries.push(Query::Reach {
+                net: spec.net.clone(),
+                src,
+                dst,
+            });
+            labels.push(format!(
+                "reach {} -> {}",
+                spec.endpoint_name(src),
+                spec.endpoint_name(dst)
+            ));
+            queries.push(Query::Drops {
+                net: spec.net.clone(),
+                src,
+                dst,
+            });
+            labels.push(format!(
+                "drops {} -> {}",
+                spec.endpoint_name(src),
+                spec.endpoint_name(dst)
+            ));
+        }
+    }
+
+    println!(
+        "{} edge ports, {} queries, {} workers",
+        edges.len(),
+        queries.len(),
+        cfg.jobs
+    );
+    let engine = Engine::new(cfg);
+    let report = engine.run_batch(&queries);
+    for (r, label) in report.results.iter().zip(&labels) {
+        let verdict = match &r.verdict {
+            Verdict::Sat(_) => "SAT",
+            Verdict::Unsat => "unsat",
+            Verdict::Timeout => "TIMEOUT",
+            Verdict::Cancelled => "cancelled",
+        };
+        let via = if r.cache_hit {
+            " (cache)".to_string()
+        } else {
+            match r.winner {
+                Some(rzen::Backend::Bdd) => " (bdd)".to_string(),
+                Some(rzen::Backend::Smt) => " (smt)".to_string(),
+                None => String::new(),
+            }
+        };
+        let detail = match &r.verdict {
+            Verdict::Sat(rzen_engine::Witness::Packet(p)) => {
+                format!("  witness {}", describe(&p.overlay_header))
+            }
+            _ => String::new(),
+        };
+        println!("  {label:<24} {verdict}{via}{detail}");
+    }
+    println!("{}", report.stats);
 }

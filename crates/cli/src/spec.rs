@@ -51,11 +51,12 @@ pub struct Spec {
 }
 
 impl Spec {
-    /// Resolve `name:port` into (device index, port).
+    /// Resolve `name:port` into (device index, port). The port must be an
+    /// interface that actually exists on the device.
     pub fn endpoint(&self, s: &str) -> Result<(usize, u8), String> {
         let (name, port) = s
             .split_once(':')
-            .ok_or_else(|| format!("bad endpoint {s:?}"))?;
+            .ok_or_else(|| format!("bad endpoint {s:?} (expected DEVICE:PORT)"))?;
         let dev = *self
             .device_index
             .get(name)
@@ -63,7 +64,38 @@ impl Spec {
         let port: u8 = port
             .parse()
             .map_err(|e| format!("bad port in {s:?}: {e}"))?;
+        if self.net.devices[dev].interface(port).is_none() {
+            let ports: Vec<String> = self.net.devices[dev]
+                .interfaces
+                .iter()
+                .map(|i| i.id.to_string())
+                .collect();
+            return Err(format!(
+                "device {name:?} has no interface {port} (has: {})",
+                ports.join(", ")
+            ));
+        }
         Ok((dev, port))
+    }
+
+    /// All edge ports: interfaces not used by any link, i.e. where traffic
+    /// enters and leaves the fabric. These are the natural endpoints for
+    /// all-pairs batch queries.
+    pub fn edge_ports(&self) -> Vec<(usize, u8)> {
+        self.net
+            .all_interfaces()
+            .into_iter()
+            .filter(|&(d, p)| {
+                !self.net.links.iter().any(|l| {
+                    (l.from_device == d && l.from_intf == p) || (l.to_device == d && l.to_intf == p)
+                })
+            })
+            .collect()
+    }
+
+    /// Human-readable `device:port` for an endpoint.
+    pub fn endpoint_name(&self, (dev, port): (usize, u8)) -> String {
+        format!("{}:{}", self.net.devices[dev].name, port)
     }
 }
 
@@ -96,7 +128,10 @@ pub fn parse(text: &str) -> Result<Spec, String> {
         }
         let err = |m: String| format!("line {}: {m}", lineno + 1);
         let mut toks = line.split_whitespace();
-        match toks.next().unwrap() {
+        let Some(directive) = toks.next() else {
+            continue;
+        };
+        match directive {
             "device" => {
                 let name = toks
                     .next()
@@ -224,6 +259,16 @@ pub fn parse(text: &str) -> Result<Spec, String> {
     let mut net = Network::default();
     let mut device_index = HashMap::new();
     for d in devices {
+        let mut seen = Vec::new();
+        for i in &d.intfs {
+            if seen.contains(&i.id) {
+                return Err(format!(
+                    "device {:?} declares interface {} twice",
+                    d.name, i.id
+                ));
+            }
+            seen.push(i.id);
+        }
         let table = FwdTable::new(d.routes.clone());
         let interfaces = d
             .intfs
@@ -237,23 +282,32 @@ pub fn parse(text: &str) -> Result<Spec, String> {
             name: d.name.clone(),
             interfaces,
         });
-        device_index.insert(d.name, idx);
+        if device_index.insert(d.name.clone(), idx).is_some() {
+            return Err(format!("device {:?} declared twice", d.name));
+        }
     }
     let resolve = |s: &str| -> Result<(usize, u8), String> {
         let (name, port) = s
             .split_once(':')
-            .ok_or_else(|| format!("bad endpoint {s:?}"))?;
+            .ok_or_else(|| format!("bad link endpoint {s:?} (expected DEVICE:PORT)"))?;
         let dev = *device_index
             .get(name)
-            .ok_or_else(|| format!("unknown device {name:?}"))?;
+            .ok_or_else(|| format!("unknown device {name:?} in link"))?;
         let port: u8 = port
             .parse()
             .map_err(|e| format!("bad port in {s:?}: {e}"))?;
+        if net.devices[dev].interface(port).is_none() {
+            return Err(format!(
+                "link references {name}:{port}, but device {name:?} has no interface {port}"
+            ));
+        }
         Ok((dev, port))
     };
-    for (a, b) in links {
-        let (ad, ap) = resolve(&a)?;
-        let (bd, bp) = resolve(&b)?;
+    let resolved: Vec<((usize, u8), (usize, u8))> = links
+        .iter()
+        .map(|(a, b)| Ok((resolve(a)?, resolve(b)?)))
+        .collect::<Result<_, String>>()?;
+    for ((ad, ap), (bd, bp)) in resolved {
         net.add_duplex(ad, ap, bd, bp);
     }
     Ok(Spec { net, device_index })
@@ -369,6 +423,30 @@ link u2:2 u3:1
         assert!(parse("frobnicate\n").is_err()); // unknown directive
         assert!(parse("device a\nroute b 0.0.0.0/0 1\n").is_err()); // unknown device
         assert!(parse("device a\nintf 1 acl-in frob\n").is_err()); // bad acl
+                                                                   // Structural errors are caught at materialization.
+        assert!(parse("device a\ndevice a\n").is_err()); // duplicate device
+        assert!(parse("device a\nintf 1\nintf 1\n").is_err()); // duplicate intf
+        assert!(parse("device a\nintf 1\ndevice b\nintf 1\nlink a:2 b:1\n").is_err()); // bad link port
+        assert!(parse("device a\nintf 1\nlink a1 a:1\n").is_err()); // malformed endpoint
+    }
+
+    #[test]
+    fn endpoint_requires_existing_port() {
+        let spec = parse(FIG3).unwrap();
+        let e = spec.endpoint("u2:7").unwrap_err();
+        assert!(e.contains("no interface 7"), "got: {e}");
+    }
+
+    #[test]
+    fn edge_ports_are_unlinked_interfaces() {
+        let spec = parse(FIG3).unwrap();
+        let mut edges: Vec<String> = spec
+            .edge_ports()
+            .into_iter()
+            .map(|ep| spec.endpoint_name(ep))
+            .collect();
+        edges.sort();
+        assert_eq!(edges, vec!["u1:1", "u3:2"]);
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The BDD solver backend.
 
-use rzen_bdd::{Bdd, BddManager, BDD_FALSE, BDD_TRUE};
+use rzen_bdd::{Bdd, BddManager, BddStats, BDD_FALSE, BDD_TRUE};
 
 use crate::backend::bitblast::BitCompiler;
 use crate::backend::boolalg::BoolAlg;
 use crate::backend::interp::Env;
 use crate::backend::ordering::{compute_order, VarOrder};
+use crate::backend::SolveOutcome;
+use crate::budget::Budget;
 use crate::ctx::Context;
 use crate::ir::{ExprId, VarId};
 use crate::sorts::Sort;
@@ -66,24 +68,51 @@ impl BoolAlg for BddAlg<'_> {
 /// the §6 variable-ordering interaction analysis (disable only for the
 /// ordering ablation bench).
 pub fn solve(ctx: &Context, root: ExprId, use_interactions: bool) -> Option<Env> {
+    match solve_budgeted(ctx, root, use_interactions, &Budget::unlimited()).0 {
+        SolveOutcome::Sat(env) => Some(env),
+        SolveOutcome::Unsat => None,
+        SolveOutcome::Cancelled => unreachable!("unlimited budget cannot cancel"),
+    }
+}
+
+/// [`solve`] under a cooperative [`Budget`], also reporting the manager's
+/// substrate counters. The budget is polled inside the manager's
+/// hash-consing choke point, so even a single huge conjunction unwinds
+/// promptly once the flag is raised or the deadline passes.
+pub fn solve_budgeted(
+    ctx: &Context,
+    root: ExprId,
+    use_interactions: bool,
+    budget: &Budget,
+) -> (SolveOutcome, BddStats) {
     assert_eq!(ctx.sort_of(root), Sort::Bool, "solve: root must be Bool");
     let order = compute_order(ctx, &[root], use_interactions);
     let mut m = BddManager::new();
+    m.set_budget(Some(budget.cancel_flag()), budget.deadline());
     let mut alg = BddAlg { m: &mut m, order };
     let mut compiler = BitCompiler::new(&mut alg);
     let sym = compiler.compile(ctx, root);
     let b = *sym.as_bool();
     let order = alg.order;
-    let model = m.any_sat(b)?;
+    let stats = m.stats();
+    if m.interrupted() {
+        // In-flight handles are meaningless once interrupted; the manager
+        // is dropped without reading them.
+        return (SolveOutcome::Cancelled, stats);
+    }
+    let Some(model) = m.any_sat(b) else {
+        return (SolveOutcome::Unsat, stats);
+    };
     // Partial model: levels on the satisfying path. Translate back to
     // variable bits; everything else defaults to zero.
     let mut level_bits: rzen_bdd::FastHashMap<u32, bool> = rzen_bdd::FastHashMap::default();
     for (level, val) in model {
         level_bits.insert(level, val);
     }
-    Some(env_from_levels(ctx, &order, |level| {
+    let env = env_from_levels(ctx, &order, |level| {
         level_bits.get(&level).copied().unwrap_or(false)
-    }))
+    });
+    (SolveOutcome::Sat(env), stats)
 }
 
 /// Build an [`Env`] by reading each ordered variable bit through `bit_at`.

@@ -333,8 +333,8 @@ impl<'a, A: BoolAlg> BitCompiler<'a, A> {
         let mut cur: Vec<A::B> = a.to_vec();
         // Stages for amount bits that shift within the width.
         let stages = usize::BITS - (w - 1).leading_zeros(); // ceil(log2(w)), w >= 1
-        for k in 0..amount.len() {
-            let bit = &amount[k].clone();
+        for (k, amount_bit) in amount.iter().enumerate() {
+            let bit = &amount_bit.clone();
             if (k as u32) < stages {
                 let sh = 1usize << k;
                 let shifted: Vec<A::B> = (0..w)

@@ -27,3 +27,22 @@ pub mod interp;
 pub mod ordering;
 pub mod smt;
 pub mod ternary;
+
+/// Result of a budgeted satisfiability query against either backend.
+#[derive(Clone, Debug)]
+pub enum SolveOutcome {
+    /// Satisfiable, with a model binding every mentioned variable.
+    Sat(interp::Env),
+    /// Proven unsatisfiable.
+    Unsat,
+    /// The budget's flag was raised or its deadline passed before the
+    /// solver reached a verdict. Never returned under an unlimited budget.
+    Cancelled,
+}
+
+impl SolveOutcome {
+    /// Is this a decisive (`Sat`/`Unsat`) verdict?
+    pub fn is_decisive(&self) -> bool {
+        !matches!(self, SolveOutcome::Cancelled)
+    }
+}

@@ -8,11 +8,13 @@
 //! over [`CLit`]s, Tseitin-encoding each gate as it goes.
 
 use rzen_bdd::FastHashMap;
-use rzen_sat::{Lit, Solver};
+use rzen_sat::{Lit, SolveStatus, Solver, Stats};
 
 use crate::backend::bitblast::BitCompiler;
 use crate::backend::boolalg::BoolAlg;
 use crate::backend::interp::Env;
+use crate::backend::SolveOutcome;
+use crate::budget::Budget;
 use crate::ctx::Context;
 use crate::ir::{ExprId, VarId};
 use crate::sorts::Sort;
@@ -157,29 +159,29 @@ impl BoolAlg for CnfAlg {
 
     fn ite(&mut self, c: &CLit, t: &CLit, e: &CLit) -> CLit {
         match *c {
-            CLit::T => return *t,
-            CLit::F => return *e,
+            CLit::T => *t,
+            CLit::F => *e,
             CLit::L(cl) => {
                 if t == e {
                     return *t;
                 }
                 match (*t, *e) {
-                    (CLit::T, CLit::F) => return *c,
-                    (CLit::F, CLit::T) => return self.not(c),
+                    (CLit::T, CLit::F) => *c,
+                    (CLit::F, CLit::T) => self.not(c),
                     // ite(c, true, x)  = c ∨ x
-                    (CLit::T, x) => return self.or(c, &x),
+                    (CLit::T, x) => self.or(c, &x),
                     // ite(c, false, x) = ¬c ∧ x
                     (CLit::F, x) => {
                         let nc = self.not(c);
-                        return self.and(&nc, &x);
+                        self.and(&nc, &x)
                     }
                     // ite(c, x, true)  = ¬c ∨ x
                     (x, CLit::T) => {
                         let nc = self.not(c);
-                        return self.or(&nc, &x);
+                        self.or(&nc, &x)
                     }
                     // ite(c, x, false) = c ∧ x
-                    (x, CLit::F) => return self.and(c, &x),
+                    (x, CLit::F) => self.and(c, &x),
                     (CLit::L(tl), CLit::L(el)) => {
                         let g = self.fresh();
                         self.solver.add_clause(&[!g, !cl, tl]);
@@ -205,18 +207,41 @@ impl BoolAlg for CnfAlg {
 /// Solve a boolean expression with the SAT pipeline; `Some(env)` maps each
 /// variable to a concrete value on success.
 pub fn solve(ctx: &Context, root: ExprId) -> Option<Env> {
+    match solve_budgeted(ctx, root, &Budget::unlimited()).0 {
+        SolveOutcome::Sat(env) => Some(env),
+        SolveOutcome::Unsat => None,
+        SolveOutcome::Cancelled => unreachable!("unlimited budget cannot cancel"),
+    }
+}
+
+/// [`solve`] under a cooperative [`Budget`], also reporting the CDCL
+/// solver's search statistics. The budget is polled on conflict and
+/// decision boundaries inside the search loop.
+pub fn solve_budgeted(ctx: &Context, root: ExprId, budget: &Budget) -> (SolveOutcome, Stats) {
     assert_eq!(ctx.sort_of(root), Sort::Bool, "solve: root must be Bool");
     let mut alg = CnfAlg::new();
     let mut compiler = BitCompiler::new(&mut alg);
     let sym = compiler.compile(ctx, root);
     let b = *sym.as_bool();
     if !alg.assert_true(b) {
-        return None;
+        return (SolveOutcome::Unsat, alg.solver.stats);
     }
-    if !alg.solver.solve() {
-        return None;
+    // Tseitin compilation itself is linear and not interrupted; honor a
+    // budget that expired during it before starting the search.
+    if budget.is_exhausted() {
+        return (SolveOutcome::Cancelled, alg.solver.stats);
     }
-    Some(extract_env(ctx, &alg))
+    alg.solver.set_interrupt(budget.cancel_flag());
+    if let Some(deadline) = budget.deadline() {
+        alg.solver.set_deadline(deadline);
+    }
+    let status = alg.solver.solve_limited(&[]);
+    let stats = alg.solver.stats;
+    match status {
+        SolveStatus::Sat => (SolveOutcome::Sat(extract_env(ctx, &alg)), stats),
+        SolveStatus::Unsat => (SolveOutcome::Unsat, stats),
+        SolveStatus::Unknown => (SolveOutcome::Cancelled, stats),
+    }
 }
 
 /// Read a model out of a satisfied solver.

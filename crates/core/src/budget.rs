@@ -1,0 +1,113 @@
+//! Cooperative solve budgets: cancellation flags and wall-clock deadlines
+//! threaded through both solver substrates.
+//!
+//! A [`Budget`] is cheap to clone (it shares one atomic flag), `Send`, and
+//! observed *cooperatively*: the BDD manager polls it inside its
+//! hash-consing choke point and the CDCL solver polls it on conflict and
+//! decision boundaries, so cancellation latency is bounded by a few
+//! thousand substrate steps rather than by query size.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation token plus an optional wall-clock deadline.
+///
+/// Clones share the same flag: raising [`Budget::cancel`] on any clone
+/// cancels every solve that was handed one. This is what lets a backend
+/// portfolio race two solvers and stop the loser the moment one finishes.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    cancel: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never expires on its own (it can still be
+    /// [`Budget::cancel`]led).
+    pub fn unlimited() -> Self {
+        Budget {
+            cancel: Arc::new(AtomicBool::new(false)),
+            deadline: None,
+        }
+    }
+
+    /// A budget expiring `timeout` from now.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        Budget {
+            cancel: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + timeout),
+        }
+    }
+
+    /// A budget expiring at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        Budget {
+            cancel: Arc::new(AtomicBool::new(false)),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Raise the cancellation flag. Every solve sharing this budget (or a
+    /// clone of it) unwinds at its next poll point.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Has the flag been raised or the deadline passed?
+    pub fn is_exhausted(&self) -> bool {
+        if self.cancel.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) => Instant::now() >= d,
+            None => false,
+        }
+    }
+
+    /// Did the wall-clock deadline pass? Distinguishes `Timeout` from
+    /// explicit `Cancelled` after a solve comes back unknown.
+    pub fn deadline_passed(&self) -> bool {
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
+    /// The shared flag, for installing into a solver substrate.
+    pub fn cancel_flag(&self) -> Arc<AtomicBool> {
+        self.cancel.clone()
+    }
+
+    /// The deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = Budget::unlimited();
+        let b = a.clone();
+        assert!(!a.is_exhausted());
+        b.cancel();
+        assert!(a.is_exhausted());
+        assert!(!a.deadline_passed());
+    }
+
+    #[test]
+    fn deadline_exhausts() {
+        let b = Budget::with_deadline(Instant::now());
+        assert!(b.is_exhausted());
+        assert!(b.deadline_passed());
+        let c = Budget::with_timeout(Duration::from_secs(3600));
+        assert!(!c.is_exhausted());
+    }
+}

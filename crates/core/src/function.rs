@@ -10,6 +10,8 @@ use std::rc::Rc;
 
 use crate::backend::compile::{bind_value, compile, Program};
 use crate::backend::interp::{eval, Env};
+use crate::backend::SolveOutcome;
+use crate::budget::Budget;
 use crate::ctx::with_ctx;
 use crate::ir::ExprId;
 use crate::lang::{Zen, ZenType};
@@ -73,6 +75,29 @@ impl FindOptions {
     }
 }
 
+/// Outcome of a budgeted [`ZenFunction::find_budgeted`] query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FindOutcome<A> {
+    /// An input satisfying the predicate.
+    Found(A),
+    /// No satisfying input exists (up to the list bound).
+    Unsat,
+    /// The budget ran out before the solver reached a verdict.
+    Cancelled,
+}
+
+/// A budgeted find result together with the substrate counters of
+/// whichever solver ran.
+#[derive(Clone, Debug)]
+pub struct FindReport<A> {
+    /// The verdict.
+    pub outcome: FindOutcome<A>,
+    /// CDCL search statistics (SMT backend only).
+    pub sat_stats: Option<rzen_sat::Stats>,
+    /// BDD manager counters (BDD backend only).
+    pub bdd_stats: Option<rzen_bdd::BddStats>,
+}
+
 /// A unary model: a function from `Zen<A>` to `Zen<R>` that the library
 /// can simulate, verify, transform, and compile. Use tuple inputs (or
 /// [`ZenFunction2`]/[`ZenFunction3`]) for multiple arguments.
@@ -112,17 +137,57 @@ impl<A: ZenType, R: ZenType> ZenFunction<A, R> {
         pred: impl FnOnce(Zen<A>, Zen<R>) -> Zen<bool>,
         opts: &FindOptions,
     ) -> Option<A> {
+        match self.find_budgeted(pred, opts, &Budget::unlimited()).outcome {
+            FindOutcome::Found(a) => Some(a),
+            FindOutcome::Unsat => None,
+            FindOutcome::Cancelled => unreachable!("unlimited budget cannot cancel"),
+        }
+    }
+
+    /// [`ZenFunction::find`] under a cooperative [`Budget`]. A raised flag
+    /// or expired deadline yields [`FindOutcome::Cancelled`] — never a
+    /// wrong verdict — and the report carries the substrate counters of
+    /// the backend that ran.
+    pub fn find_budgeted(
+        &self,
+        pred: impl FnOnce(Zen<A>, Zen<R>) -> Zen<bool>,
+        opts: &FindOptions,
+        budget: &Budget,
+    ) -> FindReport<A> {
         let input = Zen::<A>::symbolic(opts.list_bound);
         let out = (self.f)(input);
         let cond = pred(input, out);
-        let env = match opts.backend {
+        let (solved, sat_stats, bdd_stats) = match opts.backend {
             Backend::Bdd => {
-                with_ctx(|ctx| crate::backend::bdd::solve(ctx, cond.id, opts.ordering_analysis))?
+                let (o, s) = with_ctx(|ctx| {
+                    crate::backend::bdd::solve_budgeted(
+                        ctx,
+                        cond.id,
+                        opts.ordering_analysis,
+                        budget,
+                    )
+                });
+                (o, None, Some(s))
             }
-            Backend::Smt => with_ctx(|ctx| crate::backend::smt::solve(ctx, cond.id))?,
+            Backend::Smt => {
+                let (o, s) =
+                    with_ctx(|ctx| crate::backend::smt::solve_budgeted(ctx, cond.id, budget));
+                (o, Some(s), None)
+            }
         };
-        let v = with_ctx(|ctx| eval(ctx, input.id, &env));
-        Some(A::from_value(&v))
+        let outcome = match solved {
+            SolveOutcome::Sat(env) => {
+                let v = with_ctx(|ctx| eval(ctx, input.id, &env));
+                FindOutcome::Found(A::from_value(&v))
+            }
+            SolveOutcome::Unsat => FindOutcome::Unsat,
+            SolveOutcome::Cancelled => FindOutcome::Cancelled,
+        };
+        FindReport {
+            outcome,
+            sat_stats,
+            bdd_stats,
+        }
     }
 
     /// Decide whether `pred(input, output)` holds for **all** inputs

@@ -71,10 +71,10 @@ pub fn generate_inputs<A: ZenType, R: ZenType>(
         let mut compiler = BitCompiler::new(&mut alg);
         for path in &paths {
             for &(c, _) in path {
-                if !cond_lits.contains_key(&c.0) {
+                cond_lits.entry(c.0).or_insert_with(|| {
                     let sym = compiler.compile(ctx, c);
-                    cond_lits.insert(c.0, *sym.as_bool());
-                }
+                    *sym.as_bool()
+                });
             }
         }
     });

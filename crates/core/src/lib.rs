@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod budget;
 pub mod ctx;
 pub mod display;
 mod function;
@@ -63,9 +64,13 @@ pub mod sorts;
 pub mod stateset;
 mod value;
 
+pub use backend::SolveOutcome;
+pub use budget::Budget;
 pub use ctx::{reset_ctx, set_folding, with_ctx};
 pub use display::render;
-pub use function::{Backend, FindOptions, ZenFunction, ZenFunction2, ZenFunction3};
+pub use function::{
+    Backend, FindOptions, FindOutcome, FindReport, ZenFunction, ZenFunction2, ZenFunction3,
+};
 pub use ir::ExprId;
 pub use lang::zstruct::{__make_user_struct, __register_user_struct, __user_struct_value};
 pub use lang::{pair, triple, zif, ZMap, Zen, ZenInt, ZenType};

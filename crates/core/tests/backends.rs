@@ -149,7 +149,7 @@ proptest! {
     /// Both solver backends find correct witnesses and agree on
     /// satisfiability, checked against exhaustive enumeration.
     #[test]
-    fn solvers_match_enumeration(p in prog_strategy(), target: u8) {
+    fn solvers_match_enumeration(p in prog_strategy(), target in any::<u8>()) {
         let f = as_function(&p);
         let exists = (0..=255u16).any(|a| (0..=255u16).step_by(17).any(|b| {
             run_native(&p, a as u8, b as u8) == target
@@ -183,7 +183,7 @@ proptest! {
     /// exact; with unknown inputs, whenever it claims a definite result,
     /// that result matches the concrete semantics for every input.
     #[test]
-    fn ternary_is_sound(p in prog_strategy(), a: u8, b: u8) {
+    fn ternary_is_sound(p in prog_strategy(), a in any::<u8>(), b in any::<u8>()) {
         // Fully concrete: must be exact.
         let expr = build_zen(&p, Zen::val(a), Zen::val(b));
         let t = rzen::with_ctx(|ctx| rzen::backend::ternary::eval(ctx, expr.expr_id(), None));

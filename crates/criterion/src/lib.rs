@@ -1,0 +1,215 @@
+//! Offline drop-in replacement for the subset of the `criterion` API this
+//! workspace's benches use. The build environment has no reachable
+//! crates.io mirror, so the real crate cannot be fetched; this stub keeps
+//! `cargo bench` working with honest (if statistically unsophisticated)
+//! wall-clock measurements: each benchmark runs one warmup iteration and
+//! `sample_size` timed iterations, then prints min/mean/max.
+//!
+//! No HTML reports, no outlier analysis, no saved baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.into(), 10, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.0);
+        let mut b = Bencher {
+            n: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&label, &b.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: `BenchmarkId::new("impl", parameter)`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+pub struct Bencher {
+    n: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run the closure repeatedly, timing each run. The enclosing
+    /// benchmark decides the sample count; `iter` records one sample per
+    /// invocation of the closure.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let n = self.n.max(1);
+        // One untimed warmup run.
+        black_box(f());
+        for _ in 0..n {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        n: sample_size,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    report(label, &b.samples);
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<50} (no samples)");
+        return;
+    }
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{label:<50} time: [{} {} {}]  ({} samples)",
+        fmt_dur(*min),
+        fmt_dur(mean),
+        fmt_dur(*max),
+        samples.len()
+    );
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Upstream builds a configurable harness here; the stub just collects the
+/// target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // simple runner has no options to parse, so they are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_functions_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0usize;
+        {
+            let mut g = c.benchmark_group("demo");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::new("sq", 4usize), &4usize, |b, &n| {
+                b.iter(|| {
+                    ran += 1;
+                    n * n
+                })
+            });
+            g.finish();
+        }
+        // 1 warmup + 3 samples.
+        assert_eq!(ran, 4);
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,229 @@
+//! The batch engine: a worker pool over queries, a backend portfolio per
+//! query, and a structural-fingerprint result cache.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rzen::{Backend, Budget, FindOutcome};
+
+use crate::query::{Query, QueryBackend, RunOutput, Verdict};
+use crate::stats::{BatchReport, EngineStats, QueryResult};
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads for the batch (each query runs on one worker;
+    /// portfolio adds its own two solver threads per query).
+    pub jobs: usize,
+    /// Backend selection per query.
+    pub backend: QueryBackend,
+    /// Per-query wall-clock budget; `None` = unlimited.
+    pub timeout: Option<Duration>,
+    /// Enable the structural-fingerprint result cache.
+    pub cache: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            jobs: 1,
+            backend: QueryBackend::Portfolio,
+            timeout: None,
+            cache: true,
+        }
+    }
+}
+
+/// The batch verification engine. Construct once, [`Engine::run_batch`]
+/// any number of times; the result cache persists across batches.
+pub struct Engine {
+    cfg: EngineConfig,
+    cache: Mutex<HashMap<u64, Verdict>>,
+}
+
+impl Engine {
+    /// Create an engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine {
+            cfg,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Solve every query, distributing them over `jobs` workers. Results
+    /// come back in input order regardless of completion order. Queries
+    /// always run on spawned workers — never on the calling thread — so
+    /// the caller's thread-local `Zen` context is left untouched.
+    pub fn run_batch(&self, queries: &[Query]) -> BatchReport {
+        let started = Instant::now();
+        let n = queries.len();
+        let slots: Vec<Mutex<Option<QueryResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.cfg.jobs.max(1).min(n.max(1));
+
+        thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= n {
+                        break;
+                    }
+                    let result = self.solve_one(i, &queries[i]);
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+
+        let results: Vec<QueryResult> = slots
+            .into_iter()
+            .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
+            .collect();
+        let stats = EngineStats::aggregate(&results, started.elapsed());
+        BatchReport { results, stats }
+    }
+
+    fn solve_one(&self, index: usize, query: &Query) -> QueryResult {
+        let started = Instant::now();
+        let fingerprint = query.fingerprint();
+
+        if self.cfg.cache {
+            if let Some(v) = self.cache.lock().unwrap().get(&fingerprint) {
+                return QueryResult {
+                    index,
+                    kind: query.kind(),
+                    verdict: v.clone(),
+                    latency: started.elapsed(),
+                    winner: None,
+                    cache_hit: true,
+                    sat_stats: None,
+                    bdd_stats: None,
+                };
+            }
+        }
+
+        let budget = match self.cfg.timeout {
+            Some(t) => Budget::with_timeout(t),
+            None => Budget::unlimited(),
+        };
+
+        let (outcome, winner, sat_stats, bdd_stats) = match self.cfg.backend {
+            QueryBackend::Bdd => {
+                let out = query.run_backend(Backend::Bdd, &budget);
+                let w = decisive_winner(&out.outcome, Backend::Bdd);
+                (out.outcome, w, out.sat_stats, out.bdd_stats)
+            }
+            QueryBackend::Smt => {
+                let out = query.run_backend(Backend::Smt, &budget);
+                let w = decisive_winner(&out.outcome, Backend::Smt);
+                (out.outcome, w, out.sat_stats, out.bdd_stats)
+            }
+            QueryBackend::Portfolio => run_portfolio(query, &budget),
+        };
+
+        let verdict = match outcome {
+            FindOutcome::Found(w) => Verdict::Sat(w),
+            FindOutcome::Unsat => Verdict::Unsat,
+            FindOutcome::Cancelled => {
+                if budget.deadline_passed() {
+                    Verdict::Timeout
+                } else {
+                    Verdict::Cancelled
+                }
+            }
+        };
+
+        if self.cfg.cache && verdict.is_decisive() {
+            self.cache
+                .lock()
+                .unwrap()
+                .insert(fingerprint, verdict.clone());
+        }
+
+        QueryResult {
+            index,
+            kind: query.kind(),
+            verdict,
+            latency: started.elapsed(),
+            winner,
+            cache_hit: false,
+            sat_stats,
+            bdd_stats,
+        }
+    }
+}
+
+fn decisive_winner(outcome: &FindOutcome<crate::Witness>, b: Backend) -> Option<Backend> {
+    match outcome {
+        FindOutcome::Cancelled => None,
+        _ => Some(b),
+    }
+}
+
+/// Race the two backends on cloned query data under one shared budget.
+/// The first decisive verdict cancels the other solver; if neither is
+/// decisive (deadline hit both), the query comes back `Cancelled` and the
+/// caller maps it to `Timeout`/`Cancelled` by whether the deadline passed.
+#[allow(clippy::type_complexity)]
+fn run_portfolio(
+    query: &Query,
+    budget: &Budget,
+) -> (
+    FindOutcome<crate::Witness>,
+    Option<Backend>,
+    Option<rzen_sat::Stats>,
+    Option<rzen_bdd::BddStats>,
+) {
+    let (tx, rx) = mpsc::channel::<(Backend, RunOutput)>();
+    thread::scope(|s| {
+        for backend in [Backend::Bdd, Backend::Smt] {
+            let tx = tx.clone();
+            let budget = budget.clone();
+            let query = query.clone();
+            s.spawn(move || {
+                let out = query.run_backend(backend, &budget);
+                // The receiver may have already returned; a closed channel
+                // just means the race was decided without us.
+                let _ = tx.send((backend, out));
+            });
+        }
+        drop(tx);
+
+        let mut winner: Option<(Backend, RunOutput)> = None;
+        let mut sat_stats = None;
+        let mut bdd_stats = None;
+        let mut last: Option<RunOutput> = None;
+        for (backend, out) in rx.iter() {
+            if out.sat_stats.is_some() {
+                sat_stats = out.sat_stats;
+            }
+            if out.bdd_stats.is_some() {
+                bdd_stats = out.bdd_stats;
+            }
+            if winner.is_none() && !matches!(out.outcome, FindOutcome::Cancelled) {
+                // First decisive verdict wins; stop the other solver.
+                budget.cancel();
+                winner = Some((backend, out));
+            } else {
+                last = Some(out);
+            }
+        }
+
+        match winner {
+            Some((backend, out)) => (out.outcome, Some(backend), sat_stats, bdd_stats),
+            None => (
+                last.map(|o| o.outcome).unwrap_or(FindOutcome::Cancelled),
+                None,
+                sat_stats,
+                bdd_stats,
+            ),
+        }
+    })
+}

@@ -1,0 +1,54 @@
+//! # rzen-engine — batched verification query engine
+//!
+//! Runs many verification queries over a worker pool, racing the BDD and
+//! SAT pipelines per query (a backend *portfolio*) with cooperative
+//! cancellation, a structural result cache, and per-batch observability.
+//!
+//! ## Queries as data
+//!
+//! `Zen<T>` handles index a thread-local arena and cannot cross threads,
+//! so the engine's unit of work — [`Query`] — carries only plain model
+//! data (`Send + Clone + Hash`). Each worker rebuilds the symbolic model
+//! in its own context per query, which costs microseconds against solve
+//! times in the milliseconds and keeps the workers fully independent.
+//!
+//! ## Portfolio + cancellation
+//!
+//! With [`QueryBackend::Portfolio`], each query runs both backends on two
+//! threads sharing one [`rzen::Budget`]. The first decisive verdict raises
+//! the budget's flag; the other solver observes it at its next poll point
+//! (BDD: the hash-consing choke point; SAT: conflict/decision boundaries)
+//! and unwinds. A wall-clock timeout uses the same mechanism and degrades
+//! the single query to [`Verdict::Timeout`] without wedging the batch.
+//!
+//! ## Caching
+//!
+//! Results are keyed by a stable FNV-1a fingerprint of the query's
+//! structure. Only decisive verdicts are cached — a `Timeout` is a fact
+//! about the budget, not the query.
+//!
+//! ## Example
+//!
+//! ```
+//! use rzen_engine::{Engine, EngineConfig, Query, QueryBackend, Verdict};
+//! use rzen_net::acl::{Acl, AclRule};
+//!
+//! let acl = Acl { rules: vec![AclRule::any(true), AclRule::any(false)] };
+//! let queries = vec![
+//!     Query::AclFind { acl: acl.clone(), target_line: 1 },
+//!     Query::AclFind { acl, target_line: 2 }, // shadowed -> Unsat
+//! ];
+//! let engine = Engine::new(EngineConfig { jobs: 2, ..Default::default() });
+//! let report = engine.run_batch(&queries);
+//! assert!(matches!(report.results[0].verdict, Verdict::Sat(_)));
+//! assert!(matches!(report.results[1].verdict, Verdict::Unsat));
+//! println!("{}", report.stats);
+//! ```
+
+mod engine;
+mod query;
+mod stats;
+
+pub use engine::{Engine, EngineConfig};
+pub use query::{Query, QueryBackend, Verdict, Witness};
+pub use stats::{BatchReport, EngineStats, QueryResult};

@@ -1,0 +1,208 @@
+//! Per-query results and batch-level aggregation, with a printable
+//! summary table.
+
+use std::fmt;
+use std::time::Duration;
+
+use rzen::Backend;
+
+use crate::query::Verdict;
+
+/// The engine's answer for one query, with provenance and timing.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// Position in the input batch.
+    pub index: usize,
+    /// Query kind label (e.g. `"reach"`).
+    pub kind: &'static str,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Wall-clock time this query took inside the engine (near zero for
+    /// cache hits).
+    pub latency: Duration,
+    /// The backend that produced the verdict (`None` for cache hits and
+    /// undecided queries).
+    pub winner: Option<Backend>,
+    /// Served from the structural-fingerprint cache.
+    pub cache_hit: bool,
+    /// CDCL counters from the SMT run, if one ran.
+    pub sat_stats: Option<rzen_sat::Stats>,
+    /// BDD manager counters from the BDD run, if one ran.
+    pub bdd_stats: Option<rzen_bdd::BddStats>,
+}
+
+/// Everything [`crate::Engine::run_batch`] returns.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-query results, in input order.
+    pub results: Vec<QueryResult>,
+    /// Batch-level aggregation.
+    pub stats: EngineStats,
+}
+
+/// Aggregated observability counters for a batch.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Total queries in the batch.
+    pub total: usize,
+    /// Verdict counts.
+    pub sat: usize,
+    /// Proven-unsat count.
+    pub unsat: usize,
+    /// Deadline expiries.
+    pub timeout: usize,
+    /// Explicit cancellations.
+    pub cancelled: usize,
+    /// Queries served from the result cache.
+    pub cache_hits: usize,
+    /// Queries decided by the BDD backend.
+    pub bdd_wins: usize,
+    /// Queries decided by the SAT backend.
+    pub smt_wins: usize,
+    /// Wall clock for the whole batch.
+    pub wall: Duration,
+    /// Median per-query latency.
+    pub latency_p50: Duration,
+    /// 95th-percentile per-query latency.
+    pub latency_p95: Duration,
+    /// Slowest query.
+    pub latency_max: Duration,
+    /// Summed CDCL conflicts across all SMT runs.
+    pub sat_conflicts: u64,
+    /// Summed CDCL propagations.
+    pub sat_propagations: u64,
+    /// Summed learnt clauses.
+    pub sat_learned: u64,
+    /// Summed restarts.
+    pub sat_restarts: u64,
+    /// Summed BDD nodes allocated across all BDD runs.
+    pub bdd_nodes: u64,
+    /// Summed computed-cache lookups.
+    pub bdd_cache_lookups: u64,
+    /// Summed computed-cache hits.
+    pub bdd_cache_hits: u64,
+}
+
+impl EngineStats {
+    /// Fold per-query results into batch counters.
+    pub fn aggregate(results: &[QueryResult], wall: Duration) -> EngineStats {
+        let mut s = EngineStats {
+            total: results.len(),
+            wall,
+            ..EngineStats::default()
+        };
+        let mut latencies: Vec<Duration> = Vec::with_capacity(results.len());
+        for r in results {
+            match &r.verdict {
+                Verdict::Sat(_) => s.sat += 1,
+                Verdict::Unsat => s.unsat += 1,
+                Verdict::Timeout => s.timeout += 1,
+                Verdict::Cancelled => s.cancelled += 1,
+            }
+            if r.cache_hit {
+                s.cache_hits += 1;
+            }
+            match r.winner {
+                Some(Backend::Bdd) => s.bdd_wins += 1,
+                Some(Backend::Smt) => s.smt_wins += 1,
+                None => {}
+            }
+            if let Some(st) = r.sat_stats {
+                s.sat_conflicts += st.conflicts;
+                s.sat_propagations += st.propagations;
+                s.sat_learned += st.learned_clauses;
+                s.sat_restarts += st.restarts;
+            }
+            if let Some(st) = r.bdd_stats {
+                s.bdd_nodes += st.nodes as u64;
+                s.bdd_cache_lookups += st.cache_lookups;
+                s.bdd_cache_hits += st.cache_hits;
+            }
+            latencies.push(r.latency);
+        }
+        latencies.sort();
+        if !latencies.is_empty() {
+            let n = latencies.len();
+            s.latency_p50 = latencies[n / 2];
+            s.latency_p95 = latencies[(n * 95 / 100).min(n - 1)];
+            s.latency_max = latencies[n - 1];
+        }
+        s
+    }
+
+    /// Cache hit rate over the batch, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.total as f64
+        }
+    }
+
+    /// Aggregate BDD computed-cache hit rate, in `[0, 1]`.
+    pub fn bdd_cache_hit_rate(&self) -> f64 {
+        if self.bdd_cache_lookups == 0 {
+            0.0
+        } else {
+            self.bdd_cache_hits as f64 / self.bdd_cache_lookups as f64
+        }
+    }
+}
+
+fn fmt_dur(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "engine summary")?;
+        writeln!(
+            f,
+            "  queries      {:>8}   wall {:>10}",
+            self.total,
+            fmt_dur(self.wall)
+        )?;
+        writeln!(
+            f,
+            "  verdicts     sat {} / unsat {} / timeout {} / cancelled {}",
+            self.sat, self.unsat, self.timeout, self.cancelled
+        )?;
+        writeln!(
+            f,
+            "  latency      p50 {:>10}   p95 {:>10}   max {:>10}",
+            fmt_dur(self.latency_p50),
+            fmt_dur(self.latency_p95),
+            fmt_dur(self.latency_max)
+        )?;
+        writeln!(
+            f,
+            "  backend wins bdd {} / smt {}",
+            self.bdd_wins, self.smt_wins
+        )?;
+        writeln!(
+            f,
+            "  cache        {} hits / {} queries ({:.0}%)",
+            self.cache_hits,
+            self.total,
+            self.cache_hit_rate() * 100.0
+        )?;
+        writeln!(
+            f,
+            "  sat substrate  conflicts {} / props {} / learned {} / restarts {}",
+            self.sat_conflicts, self.sat_propagations, self.sat_learned, self.sat_restarts
+        )?;
+        write!(
+            f,
+            "  bdd substrate  nodes {} / computed-cache hit rate {:.0}%",
+            self.bdd_nodes,
+            self.bdd_cache_hit_rate() * 100.0
+        )
+    }
+}

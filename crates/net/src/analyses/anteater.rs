@@ -46,7 +46,7 @@ pub fn reachable_such_that(
         let model_path = path.clone();
         let f = ZenFunction::new(move |p| forward_along(&model_path, p));
         let pred = pred.clone();
-        if let Some(packet) = f.find(move |p, out| pred(p, out), &FindOptions::smt()) {
+        if let Some(packet) = f.find(pred, &FindOptions::smt()) {
             return Some(Witness { path, packet });
         }
     }

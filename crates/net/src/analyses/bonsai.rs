@@ -82,7 +82,8 @@ pub fn compress(space: &TransformerSpace, net: &BgpNetwork) -> Compression {
             s.sort_unstable();
         }
         // New classes: (old class, signature).
-        let mut keys: Vec<(usize, &Vec<(usize, usize, usize)>)> = Vec::new();
+        type Signature = Vec<(usize, usize, usize)>;
+        let mut keys: Vec<(usize, &Signature)> = Vec::new();
         let mut next: Vec<usize> = Vec::with_capacity(net.routers.len());
         for r in 0..net.routers.len() {
             let key = (class[r], &signatures[r]);

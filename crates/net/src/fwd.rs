@@ -5,7 +5,7 @@ use crate::ip::Prefix;
 use rzen::{zif, Zen};
 
 /// One forwarding entry: a prefix and the output port it selects.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Hash)]
 pub struct FwdRule {
     /// Destination prefix.
     pub prefix: Prefix,
@@ -17,7 +17,7 @@ pub struct FwdRule {
 /// length so first-match implements longest-prefix match, exactly as the
 /// paper's Fig. 4 assumes ("entries are in descending order of prefix
 /// length").
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Hash)]
 pub struct FwdTable {
     /// The rules, longest prefixes first.
     pub rules: Vec<FwdRule>,
@@ -56,7 +56,7 @@ impl FwdTable {
     /// Build a table from entries, sorting them into LPM order (longest
     /// prefix first; ties keep insertion order).
     pub fn new(mut rules: Vec<FwdRule>) -> FwdTable {
-        rules.sort_by(|a, b| b.prefix.len.cmp(&a.prefix.len));
+        rules.sort_by_key(|r| std::cmp::Reverse(r.prefix.len));
         FwdTable { rules }
     }
 

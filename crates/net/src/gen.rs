@@ -81,7 +81,7 @@ pub fn random_acl(n: usize, seed: u64) -> Acl {
 /// clause reachable: no generated clause matches it.
 pub fn reserved_announcement() -> crate::routing::Announcement {
     crate::routing::Announcement {
-        prefix: u32::MAX & Prefix::new(u32::MAX, 31).mask(),
+        prefix: Prefix::new(u32::MAX, 31).mask(),
         prefix_len: 31,
         as_path: vec![1, 2, 3],
         communities: vec![],
@@ -173,7 +173,7 @@ pub fn spine_leaf(n_spines: usize, n_leaves: usize) -> crate::topology::Network 
     use crate::fwd::{FwdRule, FwdTable};
     use crate::topology::{Device, Network};
 
-    assert!(n_spines >= 1 && n_leaves >= 1 && n_leaves <= 200);
+    assert!(n_spines >= 1 && (1..=200).contains(&n_leaves));
     let mut net = Network::default();
 
     // Spines: port l+1 faces leaf l; route each leaf prefix down.

@@ -4,7 +4,7 @@ use crate::headers::{proto, Header, HeaderFields, Packet, PacketFields};
 use rzen::Zen;
 
 /// A GRE tunnel endpoint pair.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GreTunnel {
     /// Tunnel source (encapsulating device).
     pub src_ip: u32,

@@ -19,7 +19,7 @@ pub fn fmt_ip(addr: u32) -> String {
 }
 
 /// An IPv4 prefix `address/len`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct Prefix {
     /// The network address (host bits are ignored when matching).
     pub address: u32,

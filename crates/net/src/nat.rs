@@ -10,7 +10,7 @@ use crate::ip::Prefix;
 use rzen::{zif, Zen};
 
 /// Which address a rule matches and rewrites.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NatKind {
     /// Source NAT: match and rewrite the source address.
     Snat,
@@ -20,7 +20,7 @@ pub enum NatKind {
 
 /// One static NAT rule: addresses inside `matches` are rewritten to
 /// `rewrite_to` (many-to-one, the common masquerade shape).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NatRule {
     /// Source or destination NAT.
     pub kind: NatKind,
@@ -32,7 +32,7 @@ pub struct NatRule {
 
 /// A NAT table: first matching rule applies; no match leaves the header
 /// unchanged.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Hash)]
 pub struct Nat {
     /// The rules.
     pub rules: Vec<NatRule>,

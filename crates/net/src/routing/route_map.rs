@@ -12,7 +12,7 @@ use rzen::{zif, Zen};
 
 /// A prefix-list entry with Cisco semantics: the announced prefix must
 /// fall under `prefix` and its length must lie in `[ge, le]`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PrefixRange {
     /// The covering prefix.
     pub prefix: Prefix,
@@ -23,7 +23,7 @@ pub struct PrefixRange {
 }
 
 /// A match condition of a route-map clause.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Hash)]
 pub enum MatchCond {
     /// The announced prefix matches one of the ranges (a prefix list).
     PrefixIn(Vec<PrefixRange>),
@@ -38,7 +38,7 @@ pub enum MatchCond {
 }
 
 /// An action of a route-map clause.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Action {
     /// Set local preference.
     SetLocalPref(u32),
@@ -56,7 +56,7 @@ pub enum Action {
 
 /// One clause: all conditions must match; on match, actions apply and the
 /// clause permits or denies. On no match, evaluation falls through.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Hash)]
 pub struct Clause {
     /// Conditions (conjunction; empty matches everything).
     pub conds: Vec<MatchCond>,
@@ -68,7 +68,7 @@ pub struct Clause {
 }
 
 /// A route map: clauses tried in order; no match means deny.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Hash)]
 pub struct RouteMap {
     /// The clauses.
     pub clauses: Vec<Clause>,

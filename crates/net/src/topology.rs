@@ -7,7 +7,7 @@
 use crate::device::{Hop, Interface};
 
 /// A device: a named node with numbered interfaces.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Hash)]
 pub struct Device {
     /// Human-readable name.
     pub name: String,
@@ -24,7 +24,7 @@ impl Device {
 }
 
 /// A unidirectional link between two device interfaces.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Link {
     /// Source device index.
     pub from_device: usize,
@@ -37,7 +37,7 @@ pub struct Link {
 }
 
 /// A network: devices plus links.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Hash)]
 pub struct Network {
     /// The devices.
     pub devices: Vec<Device>,

@@ -38,5 +38,5 @@ mod heap;
 mod solver;
 mod types;
 
-pub use solver::{Solver, Stats};
+pub use solver::{SolveStatus, Solver, Stats};
 pub use types::{Lit, Var};

@@ -1,5 +1,9 @@
 //! The CDCL solver core.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 use crate::heap::ActivityHeap;
 use crate::types::{LBool, Lit, Var};
 
@@ -32,8 +36,32 @@ pub struct Stats {
     pub propagations: u64,
     /// Number of restarts performed.
     pub restarts: u64,
+    /// Number of clauses learnt from conflicts (including unit facts).
+    pub learned_clauses: u64,
     /// Number of learnt clauses deleted by database reduction.
     pub deleted_clauses: u64,
+}
+
+/// Result of a budgeted solve ([`Solver::solve_limited`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Satisfiable; a model is available through [`Solver::value`].
+    Sat,
+    /// Unsatisfiable (under the given assumptions).
+    Unsat,
+    /// The interrupt flag was raised or the deadline passed before the
+    /// search finished. The solver remains usable: learnt clauses are
+    /// kept and a later call may complete the query.
+    Unknown,
+}
+
+/// Internal outcome of one restart-bounded `search` run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SearchResult {
+    Sat,
+    Unsat,
+    Restart,
+    Interrupted,
 }
 
 /// A CDCL SAT solver. See the crate documentation for the feature list.
@@ -57,6 +85,12 @@ pub struct Solver {
     model: Vec<bool>,
     /// Statistics for the most recent `solve` call sequence.
     pub stats: Stats,
+    /// Cooperative cancellation flag, shared with the caller (and, in a
+    /// portfolio, with the competing backend). Checked every few dozen
+    /// conflicts / few hundred decisions so the hot loops stay hot.
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Wall-clock cutoff for budgeted solves.
+    deadline: Option<Instant>,
 }
 
 const VAR_DECAY: f64 = 1.0 / 0.95;
@@ -91,7 +125,43 @@ impl Solver {
             ok: true,
             model: Vec::new(),
             stats: Stats::default(),
+            interrupt: None,
+            deadline: None,
         }
+    }
+
+    /// Install a cooperative interrupt flag: when another thread stores
+    /// `true`, a running [`Solver::solve_limited`] returns
+    /// [`SolveStatus::Unknown`] at its next check point.
+    pub fn set_interrupt(&mut self, flag: Arc<AtomicBool>) {
+        self.interrupt = Some(flag);
+    }
+
+    /// Install a wall-clock deadline with the same effect as the
+    /// interrupt flag.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Remove any interrupt flag and deadline.
+    pub fn clear_budget(&mut self) {
+        self.interrupt = None;
+        self.deadline = None;
+    }
+
+    #[inline]
+    fn budget_exhausted(&self) -> bool {
+        if let Some(flag) = &self.interrupt {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
     }
 
     /// Allocate a fresh variable.
@@ -471,48 +541,75 @@ impl Solver {
 
     /// Solve under the given assumptions. Learnt clauses persist across
     /// calls, making repeated related queries cheap.
+    ///
+    /// If a budget ([`Solver::set_interrupt`] / [`Solver::set_deadline`])
+    /// is installed and exhausted mid-search, this returns `false` like an
+    /// UNSAT result; callers that need to distinguish must use
+    /// [`Solver::solve_limited`].
     pub fn solve_with_assumptions(&mut self, assumptions: &[Lit]) -> bool {
+        self.solve_limited(assumptions) == SolveStatus::Sat
+    }
+
+    /// Solve under the given assumptions, honoring any installed
+    /// interrupt flag and deadline. Returns [`SolveStatus::Unknown`] when
+    /// the budget ran out first; the solver stays usable afterwards.
+    pub fn solve_limited(&mut self, assumptions: &[Lit]) -> SolveStatus {
         if !self.ok {
-            return false;
+            return SolveStatus::Unsat;
         }
         self.cancel_until(0);
+        if self.budget_exhausted() {
+            return SolveStatus::Unknown;
+        }
         let max_learnts_base = (self.clauses.len() / 3).max(4000);
         let mut restarts = 0u64;
         loop {
             let budget = RESTART_BASE * Self::luby(restarts);
             let max_learnts = max_learnts_base + 100 * restarts as usize;
             match self.search(budget, max_learnts, assumptions) {
-                LBool::True => {
+                SearchResult::Sat => {
                     self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
                     self.cancel_until(0);
-                    return true;
+                    return SolveStatus::Sat;
                 }
-                LBool::False => {
+                SearchResult::Unsat => {
                     self.cancel_until(0);
-                    return false;
+                    return SolveStatus::Unsat;
                 }
-                LBool::Undef => {
+                SearchResult::Restart => {
                     restarts += 1;
                     self.stats.restarts += 1;
                     self.cancel_until(0);
+                }
+                SearchResult::Interrupted => {
+                    self.cancel_until(0);
+                    return SolveStatus::Unknown;
                 }
             }
         }
     }
 
-    /// Run CDCL until a result, a conflict-budget restart, or exhaustion.
-    fn search(&mut self, budget: u64, max_learnts: usize, assumptions: &[Lit]) -> LBool {
+    /// Run CDCL until a result, a conflict-budget restart, exhaustion, or
+    /// a budget interruption.
+    fn search(&mut self, budget: u64, max_learnts: usize, assumptions: &[Lit]) -> SearchResult {
         let mut conflicts = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
                 conflicts += 1;
                 self.stats.conflicts += 1;
+                // Poll the budget on a conflict cadence: often enough to
+                // stop within milliseconds, rare enough to stay off the
+                // profile.
+                if self.stats.conflicts & 0x3F == 0 && self.budget_exhausted() {
+                    return SearchResult::Interrupted;
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
-                    return LBool::False;
+                    return SearchResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
                 self.cancel_until(bt);
+                self.stats.learned_clauses += 1;
                 if learnt.len() == 1 {
                     // A unit learnt clause is a permanent level-0 fact.
                     debug_assert_eq!(bt, 0);
@@ -525,7 +622,7 @@ impl Solver {
                 self.var_inc *= VAR_DECAY;
                 self.cla_inc *= CLA_DECAY;
                 if conflicts >= budget {
-                    return LBool::Undef;
+                    return SearchResult::Restart;
                 }
                 if self.learnts.len() > max_learnts {
                     self.reduce_db();
@@ -544,7 +641,7 @@ impl Solver {
                         // All decisions below are assumption-forced, so a
                         // false assumption here means the assumption set is
                         // inconsistent with the formula.
-                        LBool::False => return LBool::False,
+                        LBool::False => return SearchResult::Unsat,
                         LBool::Undef => {
                             self.trail_lim.push(self.trail.len());
                             self.unchecked_enqueue(a, None);
@@ -553,9 +650,14 @@ impl Solver {
                     continue;
                 }
                 match self.pick_branch_var() {
-                    None => return LBool::True,
+                    None => return SearchResult::Sat,
                     Some(v) => {
                         self.stats.decisions += 1;
+                        // Second poll cadence for instances that rarely
+                        // conflict (long propagation-dominated runs).
+                        if self.stats.decisions & 0xFF == 0 && self.budget_exhausted() {
+                            return SearchResult::Interrupted;
+                        }
                         self.trail_lim.push(self.trail.len());
                         let lit = Lit::new(v, self.polarity[v.index()]);
                         self.unchecked_enqueue(lit, None);
@@ -644,6 +746,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
+        #[allow(clippy::needless_range_loop)] // column-wise over p
         for j in 0..2 {
             for i1 in 0..3 {
                 for i2 in (i1 + 1)..3 {
@@ -666,6 +769,7 @@ mod tests {
             let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
             s.add_clause(&c);
         }
+        #[allow(clippy::needless_range_loop)] // column-wise over p
         for j in 0..m {
             for i1 in 0..n {
                 for i2 in (i1 + 1)..n {
@@ -683,7 +787,7 @@ mod tests {
         s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
         assert!(s.solve_with_assumptions(&[Lit::neg(v[0])]));
         assert!(s.value(v[1]));
-        assert!(s.solve_with_assumptions(&[Lit::neg(v[0]), Lit::neg(v[1])]) == false);
+        assert!(!s.solve_with_assumptions(&[Lit::neg(v[0]), Lit::neg(v[1])]));
         // Solver is reusable after an UNSAT-under-assumptions call.
         assert!(s.solve());
     }
@@ -709,8 +813,8 @@ mod tests {
         }
         s.add_clause(&[Lit::pos(v[0])]);
         assert!(s.solve());
-        for i in 0..n {
-            assert_eq!(s.value(v[i]), i % 2 == 0);
+        for (i, &var) in v.iter().enumerate() {
+            assert_eq!(s.value(var), i % 2 == 0);
         }
     }
 
@@ -761,5 +865,67 @@ mod tests {
         s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
         s.solve();
         assert!(s.stats.decisions + s.stats.propagations > 0);
+    }
+
+    fn pigeonhole(n: usize, m: usize) -> Solver {
+        let mut s = Solver::new();
+        let p: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..m).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&c);
+        }
+        #[allow(clippy::needless_range_loop)] // column-wise over p
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn learned_clause_stat_counts() {
+        let mut s = pigeonhole(5, 4);
+        assert!(!s.solve());
+        assert!(s.stats.learned_clauses > 0);
+    }
+
+    #[test]
+    fn pre_raised_interrupt_returns_unknown() {
+        let mut s = pigeonhole(5, 4);
+        let flag = Arc::new(AtomicBool::new(true));
+        s.set_interrupt(Arc::clone(&flag));
+        assert_eq!(s.solve_limited(&[]), SolveStatus::Unknown);
+        // Clearing the budget completes the query with the true answer.
+        s.clear_budget();
+        assert_eq!(s.solve_limited(&[]), SolveStatus::Unsat);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts_hard_instance() {
+        // Large enough that the search cannot finish before the very
+        // first budget check.
+        let mut s = pigeonhole(9, 8);
+        s.set_deadline(Instant::now());
+        assert_eq!(s.solve_limited(&[]), SolveStatus::Unknown);
+        // Unknown must never be cached as a verdict: the solver still
+        // works once the deadline is lifted.
+        s.clear_budget();
+        assert_eq!(s.solve_limited(&[]), SolveStatus::Unsat);
+    }
+
+    #[test]
+    fn budgeted_sat_still_produces_model() {
+        let mut s = Solver::new();
+        let v = lits(&mut s, 2);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.set_interrupt(Arc::new(AtomicBool::new(false)));
+        s.set_deadline(Instant::now() + std::time::Duration::from_secs(60));
+        assert_eq!(s.solve_limited(&[]), SolveStatus::Sat);
+        assert!(s.value(v[0]) || s.value(v[1]));
     }
 }

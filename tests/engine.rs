@@ -1,0 +1,293 @@
+//! Integration tests for the batch query engine: differential agreement
+//! between portfolio and single-backend runs, cancellation soundness
+//! (never a wrong verdict), and cache-hit fidelity.
+
+use std::time::Duration;
+
+use rzen::{Backend, Budget, FindOptions, FindOutcome, Zen, ZenFunction};
+use rzen_engine::{Engine, EngineConfig, Query, QueryBackend, Verdict};
+use rzen_net::gen::{random_acl, random_route_map, spine_leaf};
+
+/// A mixed batch of seeded-random queries with a spread of Sat and Unsat
+/// answers: last-line finds (reachable), beyond-last-line finds
+/// (unsatisfiable), route-map clause finds, and fabric reachability.
+fn mixed_queries() -> Vec<Query> {
+    let mut queries = Vec::new();
+    for seed in 0..6u64 {
+        let acl = random_acl(60, seed);
+        let last = acl.rules.len() as u16;
+        queries.push(Query::AclFind {
+            acl: acl.clone(),
+            target_line: last,
+        });
+        // No rule with this index exists, so the query is Unsat.
+        queries.push(Query::AclFind {
+            acl,
+            target_line: last + 1,
+        });
+    }
+    for seed in 0..4u64 {
+        let map = random_route_map(8, seed);
+        let last = map.clauses.len() as u16;
+        queries.push(Query::RouteMapFind {
+            map: map.clone(),
+            target_clause: last,
+            list_bound: 3,
+        });
+        queries.push(Query::RouteMapFind {
+            map,
+            target_clause: last + 1,
+            list_bound: 3,
+        });
+    }
+    let net = spine_leaf(2, 3);
+    for (src, dst) in [(2usize, 3usize), (3, 4), (4, 2)] {
+        queries.push(Query::Reach {
+            net: net.clone(),
+            src: (src, 99),
+            dst: (dst, 99),
+        });
+    }
+    queries
+}
+
+fn verdict_kind(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Sat(_) => "sat",
+        Verdict::Unsat => "unsat",
+        Verdict::Timeout => "timeout",
+        Verdict::Cancelled => "cancelled",
+    }
+}
+
+#[test]
+fn portfolio_agrees_with_each_sequential_backend() {
+    let queries = mixed_queries();
+    let run = |backend: QueryBackend, jobs: usize| {
+        Engine::new(EngineConfig {
+            jobs,
+            backend,
+            timeout: None,
+            cache: false,
+        })
+        .run_batch(&queries)
+    };
+    let bdd = run(QueryBackend::Bdd, 1);
+    let smt = run(QueryBackend::Smt, 1);
+    let portfolio = run(QueryBackend::Portfolio, 4);
+
+    for (i, q) in queries.iter().enumerate() {
+        let kb = verdict_kind(&bdd.results[i].verdict);
+        let ks = verdict_kind(&smt.results[i].verdict);
+        let kp = verdict_kind(&portfolio.results[i].verdict);
+        assert_eq!(kb, ks, "query {i} ({}): bdd vs smt disagree", q.kind());
+        assert_eq!(kb, kp, "query {i} ({}): portfolio disagrees", q.kind());
+        // Witnesses may legitimately differ between backends; each must
+        // check out against the concrete reference semantics.
+        for report in [&bdd, &smt, &portfolio] {
+            if let Verdict::Sat(w) = &report.results[i].verdict {
+                assert!(q.check_witness(w), "query {i} ({}): bad witness", q.kind());
+            }
+        }
+    }
+    // The batch has both kinds of answers, so agreement is non-vacuous.
+    assert!(portfolio.stats.sat > 0 && portfolio.stats.unsat > 0);
+    // Portfolio attributes every decisive verdict to a winning backend.
+    assert_eq!(
+        portfolio.stats.bdd_wins + portfolio.stats.smt_wins,
+        queries.len()
+    );
+}
+
+#[test]
+fn cancelled_find_is_never_a_wrong_verdict() {
+    // A pre-cancelled budget must yield Cancelled from both backends —
+    // deterministically, regardless of how satisfiable the query is.
+    let budget = Budget::unlimited();
+    budget.cancel();
+    for opts in [FindOptions::bdd(), FindOptions::smt()] {
+        for seed in 0..3u64 {
+            let acl = random_acl(40, seed);
+            let last = acl.rules.len() as u16;
+            let f = ZenFunction::new(move |h| acl.clone().matched_line(h));
+            let report = f.find_budgeted(|_, line| line.eq(Zen::val(last)), &opts, &budget);
+            assert!(
+                matches!(report.outcome, FindOutcome::Cancelled),
+                "backend {:?} returned a verdict under a cancelled budget",
+                opts.backend
+            );
+        }
+    }
+    rzen::reset_ctx();
+}
+
+#[test]
+fn solver_stays_usable_after_cancellation() {
+    // Cancellation must not poison later solves on the same thread.
+    let cancelled = Budget::unlimited();
+    cancelled.cancel();
+    let acl = random_acl(40, 7);
+    let last = acl.rules.len() as u16;
+    let mk = {
+        let acl = acl.clone();
+        move || {
+            let acl = acl.clone();
+            ZenFunction::new(move |h| acl.clone().matched_line(h))
+        }
+    };
+    for opts in [FindOptions::bdd(), FindOptions::smt()] {
+        let report = mk().find_budgeted(|_, line| line.eq(Zen::val(last)), &opts, &cancelled);
+        assert!(matches!(report.outcome, FindOutcome::Cancelled));
+        let report = mk().find_budgeted(
+            |_, line| line.eq(Zen::val(last)),
+            &opts,
+            &Budget::unlimited(),
+        );
+        let FindOutcome::Found(h) = report.outcome else {
+            panic!("fresh budget must solve normally after a cancellation");
+        };
+        assert_eq!(acl.matched_line_concrete(&h), last);
+    }
+    rzen::reset_ctx();
+}
+
+#[test]
+fn expired_timeout_degrades_to_timeout_without_wedging_the_batch() {
+    let queries = mixed_queries();
+    // Ground truth under an unlimited budget, for cross-checking any
+    // verdict that sneaks in before the first budget poll.
+    let truth = Engine::new(EngineConfig {
+        jobs: 1,
+        backend: QueryBackend::Bdd,
+        timeout: None,
+        cache: false,
+    })
+    .run_batch(&queries);
+
+    let engine = Engine::new(EngineConfig {
+        jobs: 4,
+        backend: QueryBackend::Portfolio,
+        timeout: Some(Duration::ZERO),
+        cache: true,
+    });
+    let report = engine.run_batch(&queries);
+    assert_eq!(report.results.len(), queries.len(), "batch must complete");
+    for r in &report.results {
+        // Queries small enough to be decided during compilation (constant
+        // folding, empty path sets) may legitimately finish before the
+        // first budget poll — but a decisive verdict must never be WRONG.
+        match &r.verdict {
+            Verdict::Timeout => {}
+            Verdict::Sat(w) => {
+                assert_eq!(verdict_kind(&truth.results[r.index].verdict), "sat");
+                assert!(
+                    queries[r.index].check_witness(w),
+                    "timeout race gave a bogus witness"
+                );
+            }
+            Verdict::Unsat => {
+                assert_eq!(verdict_kind(&truth.results[r.index].verdict), "unsat");
+            }
+            Verdict::Cancelled => panic!("expired deadline should map to Timeout"),
+        }
+    }
+    assert!(report.stats.timeout > 0, "heavy queries must time out");
+}
+
+#[test]
+fn cache_hits_reproduce_cold_verdicts() {
+    let queries = mixed_queries();
+    let engine = Engine::new(EngineConfig {
+        jobs: 2,
+        backend: QueryBackend::Portfolio,
+        timeout: None,
+        cache: true,
+    });
+    let cold = engine.run_batch(&queries);
+    assert_eq!(cold.stats.cache_hits, 0, "first run is all misses");
+    let warm = engine.run_batch(&queries);
+    assert_eq!(
+        warm.stats.cache_hits,
+        queries.len(),
+        "every decisive verdict must be served from cache on the second run"
+    );
+    for (c, w) in cold.results.iter().zip(&warm.results) {
+        assert!(w.cache_hit);
+        assert_eq!(c.verdict, w.verdict, "cache hit changed the verdict");
+    }
+    // Cache hits skip solving entirely: no substrate stats attached.
+    assert!(warm
+        .results
+        .iter()
+        .all(|r| r.sat_stats.is_none() && r.bdd_stats.is_none()));
+}
+
+#[test]
+fn duplicate_queries_in_one_batch_share_the_cache() {
+    let acl = random_acl(50, 11);
+    let last = acl.rules.len() as u16;
+    let q = Query::AclFind {
+        acl,
+        target_line: last,
+    };
+    let queries: Vec<Query> = std::iter::repeat_with(|| q.clone()).take(8).collect();
+    let engine = Engine::new(EngineConfig {
+        jobs: 1, // deterministic: the first solve populates the cache
+        backend: QueryBackend::Portfolio,
+        timeout: None,
+        cache: true,
+    });
+    let report = engine.run_batch(&queries);
+    assert_eq!(report.stats.cache_hits, 7);
+    assert!(report
+        .results
+        .iter()
+        .all(|r| matches!(r.verdict, Verdict::Sat(_))));
+}
+
+#[test]
+fn engine_does_not_disturb_the_callers_context() {
+    // Building a symbolic expression, then running a batch, then using the
+    // expression must work: workers reset only their own thread contexts.
+    let x = Zen::<u8>::symbolic(2);
+    let expr = x.eq(Zen::val(42u8));
+    let engine = Engine::new(EngineConfig::default());
+    let acl = random_acl(30, 3);
+    let last = acl.rules.len() as u16;
+    engine.run_batch(&[Query::AclFind {
+        acl,
+        target_line: last,
+    }]);
+    // The caller's handles are still alive and solvable.
+    let f = ZenFunction::new(move |_: Zen<u8>| expr);
+    assert!(f.find(|_, r| r, &FindOptions::bdd()).is_some());
+    rzen::reset_ctx();
+}
+
+#[test]
+fn per_backend_stats_are_populated() {
+    let acl = random_acl(80, 5);
+    let last = acl.rules.len() as u16;
+    let q = Query::AclFind {
+        acl,
+        target_line: last,
+    };
+    let run = |backend| {
+        Engine::new(EngineConfig {
+            jobs: 1,
+            backend,
+            timeout: None,
+            cache: false,
+        })
+        .run_batch(std::slice::from_ref(&q))
+    };
+    let bdd = run(QueryBackend::Bdd);
+    assert!(bdd.stats.bdd_nodes > 0);
+    assert_eq!(bdd.stats.bdd_wins, 1);
+    let smt = run(QueryBackend::Smt);
+    assert!(smt.stats.sat_propagations > 0);
+    assert_eq!(smt.stats.smt_wins, 1);
+    // The solve happened under backend `Backend::Smt` — sanity-check the
+    // public enum is what the result reports.
+    assert_eq!(smt.results[0].winner, Some(Backend::Smt));
+}

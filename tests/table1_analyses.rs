@@ -251,8 +251,7 @@ fn datalog_reachability_matches_hsa_and_anteater() {
 
     // Reachability agrees with Anteater per device.
     for d in 0..3 {
-        let ant =
-            anteater::reachable(&net, 0, 1, d, if d == 0 { 2 } else { 2 }).is_some() || d == 0;
+        let ant = anteater::reachable(&net, 0, 1, d, 2).is_some() || d == 0;
         assert_eq!(r.device_reachable(d), ant, "device {d}");
     }
 
