@@ -91,6 +91,8 @@ pub struct BddManager {
     pub(crate) interrupted: bool,
     /// Call counter gating the (comparatively expensive) budget poll.
     mk_tick: u32,
+    /// Last observed unique-table capacity, for resize trace events.
+    obs_unique_cap: usize,
     cache_lookups: u64,
     cache_hits: u64,
 }
@@ -136,6 +138,7 @@ impl BddManager {
             deadline: None,
             interrupted: false,
             mk_tick: 0,
+            obs_unique_cap: 0,
             cache_lookups: 0,
             cache_hits: 0,
         }
@@ -251,6 +254,12 @@ impl BddManager {
         if self.mk_tick & 0x0FFF == 0 && !self.interrupted {
             self.poll_budget();
         }
+        // Trace gate: when tracing is disabled this is exactly one relaxed
+        // atomic load and a branch — the hot-path overhead contract that
+        // `tests/obs.rs` asserts.
+        if rzen_obs::trace::enabled() {
+            self.trace_mk();
+        }
         if lo == hi {
             return lo;
         }
@@ -263,6 +272,28 @@ impl BddManager {
         self.nodes.push(Node { var, lo, hi });
         self.unique.insert(key, id);
         id
+    }
+
+    /// Trace-only bookkeeping for `mk`: counts calls and emits an instant
+    /// event whenever the unique table reallocated since the last call
+    /// (the "resize storm" signal). Reached only while tracing is enabled.
+    fn trace_mk(&mut self) {
+        rzen_obs::counter!(
+            "bdd.mk.calls",
+            "hash-consing constructor calls (traced runs)"
+        )
+        .inc();
+        let cap = self.unique.capacity();
+        if cap != self.obs_unique_cap {
+            rzen_obs::trace::instant2(
+                "bdd.unique.resize",
+                "capacity",
+                cap as u64,
+                "entries",
+                self.unique.len() as u64,
+            );
+            self.obs_unique_cap = cap;
+        }
     }
 
     /// The positive literal of variable `v`.

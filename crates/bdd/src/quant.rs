@@ -11,11 +11,13 @@ use crate::manager::{Bdd, BddManager};
 impl BddManager {
     /// Existential quantification `∃ vars. f`.
     pub fn exists(&mut self, f: Bdd, vars: Cube) -> Bdd {
+        let _span = rzen_obs::span!("bdd.exists", "root" => f.0);
         Bdd(self.exists_rec(f.0, vars))
     }
 
     /// Universal quantification `∀ vars. f`.
     pub fn forall(&mut self, f: Bdd, vars: Cube) -> Bdd {
+        let _span = rzen_obs::span!("bdd.forall", "root" => f.0);
         // ∀x.f = ¬∃x.¬f
         let nf = self.not(f);
         let e = self.exists(nf, vars);
@@ -59,6 +61,7 @@ impl BddManager {
     /// The relational product `∃ vars. f ∧ g`, computed in one pass without
     /// materializing the (often much larger) conjunction `f ∧ g`.
     pub fn and_exists(&mut self, f: Bdd, g: Bdd, vars: Cube) -> Bdd {
+        let _span = rzen_obs::span!("bdd.and_exists", "f" => f.0, "g" => g.0);
         Bdd(self.and_exists_rec(f.0, g.0, vars))
     }
 

@@ -11,7 +11,10 @@
 //! Usage:
 //!   cargo run --release -p rzen-bench --bin engine -- [jobs] [acl_queries]
 //!
-//! Emits CSV on stdout and into results/engine_speedup.csv.
+//! Emits CSV on stdout and into results/engine_speedup.csv. Set
+//! `RZEN_TRACE=1` for a phase report on stderr after the run, or
+//! `RZEN_TRACE=<file>` to also export a Chrome trace of the final
+//! portfolio batch.
 
 use std::time::Instant;
 
@@ -71,6 +74,7 @@ fn run(queries: &[Query], jobs: usize, backend: QueryBackend) -> f64 {
 }
 
 fn main() {
+    let trace_path = rzen_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let max_jobs: usize = args.first().map(|s| s.parse().unwrap()).unwrap_or(4);
     let n_acl: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(24);
@@ -104,6 +108,11 @@ fn main() {
         rows.push(row);
         jobs *= 2;
     }
+    if rzen_obs::trace::enabled() {
+        // Keep the export focused on the portfolio batch, not the warmup
+        // and scaling series that came before it.
+        rzen_obs::trace::clear();
+    }
     let pf = run(&queries, max_jobs, QueryBackend::Portfolio);
     println!(
         "# portfolio at {max_jobs} workers: {pf:.1} ms ({:.2}x vs sequential bdd)",
@@ -111,5 +120,16 @@ fn main() {
     );
     if let Ok(path) = write_csv("engine_speedup.csv", header, &rows) {
         eprintln!("wrote {}", path.display());
+    }
+    if rzen_obs::trace::enabled() {
+        let events = rzen_obs::trace::take_events();
+        if let Some(path) = &trace_path {
+            match std::fs::write(path, rzen_obs::export::chrome_trace(&events)) {
+                Ok(()) => eprintln!("chrome trace -> {path} ({} events)", events.len()),
+                Err(e) => eprintln!("cannot write {path}: {e}"),
+            }
+        }
+        eprint!("{}", rzen_obs::export::phase_report(&events));
+        eprint!("{}", rzen_obs::metrics::registry().render_text());
     }
 }

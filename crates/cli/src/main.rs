@@ -36,7 +36,12 @@ fn usage() -> ! {
     eprintln!(
         "       rzen-cli batch SPEC [--jobs N] [--timeout-ms MS] [--backend bdd|smt|portfolio]"
     );
+    eprintln!("                       [--trace-out FILE] [--stats-json FILE] [--metrics]");
     eprintln!("  SRC/DST are device:port endpoints, e.g. u1:1");
+    eprintln!("  --trace-out FILE   write a Chrome trace-event JSON file (chrome://tracing)");
+    eprintln!("  --stats-json FILE  write the batch report + metrics snapshot as JSON");
+    eprintln!("  --metrics          print the metrics registry after the batch");
+    eprintln!("  RZEN_TRACE=1|FILE  enable tracing from the environment (FILE also exports)");
     std::process::exit(2);
 }
 
@@ -57,6 +62,9 @@ fn describe(p: &rzen_net::headers::Header) -> String {
 }
 
 fn main() {
+    // RZEN_TRACE=1 enables span recording; RZEN_TRACE=<path> also names a
+    // Chrome-trace export file (an explicit --trace-out flag wins).
+    let env_trace = rzen_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p),
@@ -67,7 +75,7 @@ fn main() {
     let spec = spec::parse(&text).unwrap_or_else(|e| fail(&e));
 
     if cmd == "batch" {
-        run_batch(&spec, &args[2..]);
+        run_batch(&spec, &args[2..], env_trace);
         return;
     }
 
@@ -176,16 +184,37 @@ fn main() {
 
 /// `batch`: all-pairs reach + drops over the spec's edge ports, run by the
 /// parallel portfolio engine.
-fn run_batch(spec: &spec::Spec, flags: &[String]) {
+fn run_batch(spec: &spec::Spec, flags: &[String], env_trace: Option<String>) {
     use rzen_engine::{Engine, EngineConfig, Query, QueryBackend, Verdict};
 
     let mut cfg = EngineConfig {
         jobs: 4,
         ..Default::default()
     };
+    let mut trace_out: Option<String> = None;
+    let mut stats_json: Option<String> = None;
+    let mut show_metrics = false;
     let mut i = 0;
     while i < flags.len() {
         match flags[i].as_str() {
+            "--trace-out" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--trace-out needs FILE"));
+                trace_out = Some(v.clone());
+                i += 2;
+            }
+            "--stats-json" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--stats-json needs FILE"));
+                stats_json = Some(v.clone());
+                i += 2;
+            }
+            "--metrics" => {
+                show_metrics = true;
+                i += 1;
+            }
             "--jobs" => {
                 let v = flags.get(i + 1).unwrap_or_else(|| fail("--jobs needs N"));
                 cfg.jobs = v
@@ -220,6 +249,13 @@ fn run_batch(spec: &spec::Spec, flags: &[String]) {
             }
             other => fail(&format!("unknown batch flag {other:?}")),
         }
+    }
+
+    // An explicit --trace-out turns tracing on by itself; when both the
+    // flag and `RZEN_TRACE=<path>` name a file, the flag wins.
+    let trace_path = trace_out.or(env_trace);
+    if trace_path.is_some() {
+        rzen_obs::trace::set_enabled(true);
     }
 
     let edges = spec.edge_ports();
@@ -289,4 +325,24 @@ fn run_batch(spec: &spec::Spec, flags: &[String]) {
         println!("  {label:<24} {verdict}{via}{detail}");
     }
     println!("{}", report.stats);
+
+    if let Some(path) = &stats_json {
+        std::fs::write(path, report.to_json())
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("stats json -> {path}");
+    }
+    if rzen_obs::trace::enabled() {
+        let events = rzen_obs::trace::take_events();
+        if let Some(path) = &trace_path {
+            std::fs::write(path, rzen_obs::export::chrome_trace(&events))
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            println!("chrome trace -> {path} ({} events)", events.len());
+        }
+        if show_metrics {
+            print!("{}", rzen_obs::export::phase_report(&events));
+        }
+    }
+    if show_metrics {
+        print!("{}", rzen_obs::metrics::registry().render_text());
+    }
 }

@@ -86,7 +86,11 @@ pub fn solve_budgeted(
     budget: &Budget,
 ) -> (SolveOutcome, BddStats) {
     assert_eq!(ctx.sort_of(root), Sort::Bool, "solve: root must be Bool");
-    let order = compute_order(ctx, &[root], use_interactions);
+    let _span = rzen_obs::span!("bdd.solve", "root" => root.0);
+    let order = {
+        let _span = rzen_obs::span!("bdd.order");
+        compute_order(ctx, &[root], use_interactions)
+    };
     let mut m = BddManager::new();
     m.set_budget(Some(budget.cancel_flag()), budget.deadline());
     let mut alg = BddAlg { m: &mut m, order };
@@ -95,12 +99,17 @@ pub fn solve_budgeted(
     let b = *sym.as_bool();
     let order = alg.order;
     let stats = m.stats();
+    flush_obs_stats(&stats);
     if m.interrupted() {
         // In-flight handles are meaningless once interrupted; the manager
         // is dropped without reading them.
         return (SolveOutcome::Cancelled, stats);
     }
-    let Some(model) = m.any_sat(b) else {
+    let sat_model = {
+        let _span = rzen_obs::span!("bdd.any_sat");
+        m.any_sat(b)
+    };
+    let Some(model) = sat_model else {
         return (SolveOutcome::Unsat, stats);
     };
     // Partial model: levels on the satisfying path. Translate back to
@@ -113,6 +122,18 @@ pub fn solve_budgeted(
         level_bits.get(&level).copied().unwrap_or(false)
     });
     (SolveOutcome::Sat(env), stats)
+}
+
+/// Fold the manager's substrate counters into the global metrics registry.
+/// Called once per solve, never inside the hash-consing hot loop.
+fn flush_obs_stats(stats: &BddStats) {
+    rzen_obs::counter!("bdd.solves", "BDD backend solve calls").inc();
+    rzen_obs::counter!("bdd.nodes", "BDD nodes allocated (summed over solves)")
+        .add(stats.nodes as u64);
+    rzen_obs::counter!("bdd.opcache.lookups", "op-cache probes").add(stats.cache_lookups);
+    rzen_obs::counter!("bdd.opcache.hits", "op-cache probes that hit").add(stats.cache_hits);
+    rzen_obs::histogram!("bdd.unique.entries", "unique-table entries at end of solve")
+        .observe(stats.unique_entries as u64);
 }
 
 /// Build an [`Env`] by reading each ordered variable bit through `bit_at`.

@@ -94,6 +94,8 @@ impl<'a, A: BoolAlg> BitCompiler<'a, A> {
 
     /// Compile `root` (and everything it references).
     pub fn compile(&mut self, ctx: &Context, root: ExprId) -> Rc<SymVal<A::B>> {
+        let _span = rzen_obs::span!("bitblast.compile", "root" => root.0);
+        let cached_before = self.cache.len();
         enum Task {
             Visit(ExprId),
             Build(ExprId),
@@ -121,6 +123,8 @@ impl<'a, A: BoolAlg> BitCompiler<'a, A> {
                 }
             }
         }
+        rzen_obs::counter!("bitblast.exprs", "IR expressions lowered to circuits")
+            .add((self.cache.len() - cached_before) as u64);
         self.cache[&root.0].clone()
     }
 

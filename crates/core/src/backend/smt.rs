@@ -219,6 +219,7 @@ pub fn solve(ctx: &Context, root: ExprId) -> Option<Env> {
 /// decision boundaries inside the search loop.
 pub fn solve_budgeted(ctx: &Context, root: ExprId, budget: &Budget) -> (SolveOutcome, Stats) {
     assert_eq!(ctx.sort_of(root), Sort::Bool, "solve: root must be Bool");
+    let _span = rzen_obs::span!("smt.solve", "root" => root.0);
     let mut alg = CnfAlg::new();
     let mut compiler = BitCompiler::new(&mut alg);
     let sym = compiler.compile(ctx, root);
@@ -237,6 +238,11 @@ pub fn solve_budgeted(ctx: &Context, root: ExprId, budget: &Budget) -> (SolveOut
     }
     let status = alg.solver.solve_limited(&[]);
     let stats = alg.solver.stats;
+    rzen_obs::counter!("smt.solves", "SMT backend solve calls").inc();
+    rzen_obs::counter!("smt.vars", "CNF variables allocated (summed over solves)")
+        .add(alg.solver.num_vars() as u64);
+    rzen_obs::counter!("smt.clauses", "CNF clauses asserted (summed over solves)")
+        .add(alg.solver.num_clauses() as u64);
     match status {
         SolveStatus::Sat => (SolveOutcome::Sat(extract_env(ctx, &alg)), stats),
         SolveStatus::Unsat => (SolveOutcome::Unsat, stats),

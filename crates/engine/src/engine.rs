@@ -64,20 +64,26 @@ impl Engine {
     /// the caller's thread-local `Zen` context is left untouched.
     pub fn run_batch(&self, queries: &[Query]) -> BatchReport {
         let started = Instant::now();
+        let _span = rzen_obs::span!("engine.batch", "queries" => queries.len() as u64, "jobs" => self.cfg.jobs as u64);
         let n = queries.len();
         let slots: Vec<Mutex<Option<QueryResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let workers = self.cfg.jobs.max(1).min(n.max(1));
 
         thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= n {
-                        break;
+            let next = &next;
+            let slots = &slots;
+            for w in 0..workers {
+                s.spawn(move || {
+                    let _span = rzen_obs::span!("engine.worker", "worker" => w as u64);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::SeqCst);
+                        if i >= n {
+                            break;
+                        }
+                        let result = self.solve_one(i, &queries[i]);
+                        *slots[i].lock().unwrap() = Some(result);
                     }
-                    let result = self.solve_one(i, &queries[i]);
-                    *slots[i].lock().unwrap() = Some(result);
                 });
             }
         });
@@ -92,10 +98,15 @@ impl Engine {
 
     fn solve_one(&self, index: usize, query: &Query) -> QueryResult {
         let started = Instant::now();
+        let _span = rzen_obs::span!("engine.query", "index" => index as u64);
+        rzen_obs::counter!("engine.queries", "queries dispatched to workers").inc();
         let fingerprint = query.fingerprint();
 
         if self.cfg.cache {
             if let Some(v) = self.cache.lock().unwrap().get(&fingerprint) {
+                rzen_obs::counter!("engine.cache.hits", "queries served from the result cache")
+                    .inc();
+                rzen_obs::trace::instant1("engine.cache.hit", "index", index as u64);
                 return QueryResult {
                     index,
                     kind: query.kind(),
@@ -147,11 +158,14 @@ impl Engine {
                 .insert(fingerprint, verdict.clone());
         }
 
+        let latency = started.elapsed();
+        rzen_obs::histogram!("engine.query_us", "per-query wall latency in microseconds")
+            .observe(latency.as_micros() as u64);
         QueryResult {
             index,
             kind: query.kind(),
             verdict,
-            latency: started.elapsed(),
+            latency,
             winner,
             cache_hit: false,
             sat_stats,
@@ -181,6 +195,7 @@ fn run_portfolio(
     Option<rzen_sat::Stats>,
     Option<rzen_bdd::BddStats>,
 ) {
+    let _span = rzen_obs::span!("engine.race");
     let (tx, rx) = mpsc::channel::<(Backend, RunOutput)>();
     thread::scope(|s| {
         for backend in [Backend::Bdd, Backend::Smt] {
@@ -188,6 +203,8 @@ fn run_portfolio(
             let budget = budget.clone();
             let query = query.clone();
             s.spawn(move || {
+                let _span =
+                    rzen_obs::span!("engine.backend", "bdd" => u64::from(backend == Backend::Bdd));
                 let out = query.run_backend(backend, &budget);
                 // The receiver may have already returned; a closed channel
                 // just means the race was decided without us.
@@ -210,8 +227,18 @@ fn run_portfolio(
             if winner.is_none() && !matches!(out.outcome, FindOutcome::Cancelled) {
                 // First decisive verdict wins; stop the other solver.
                 budget.cancel();
+                rzen_obs::trace::instant1(
+                    "engine.race.decisive",
+                    "bdd",
+                    u64::from(backend == Backend::Bdd),
+                );
                 winner = Some((backend, out));
             } else {
+                rzen_obs::trace::instant1(
+                    "engine.race.loser",
+                    "bdd",
+                    u64::from(backend == Backend::Bdd),
+                );
                 last = Some(out);
             }
         }

@@ -40,6 +40,75 @@ pub struct BatchReport {
     pub stats: EngineStats,
 }
 
+impl BatchReport {
+    /// Serialize the full report as a JSON object: per-query results (in
+    /// input order), the batch-level aggregation, and a snapshot of the
+    /// global `rzen-obs` metrics registry. The output is self-contained
+    /// machine-readable JSON — no serde in this tree, so it is written by
+    /// hand and covered by the `rzen-obs` JSON validator in tests.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"results\":[");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let verdict = match &r.verdict {
+                Verdict::Sat(_) => "sat",
+                Verdict::Unsat => "unsat",
+                Verdict::Timeout => "timeout",
+                Verdict::Cancelled => "cancelled",
+            };
+            let winner = match r.winner {
+                Some(Backend::Bdd) => "\"bdd\"",
+                Some(Backend::Smt) => "\"smt\"",
+                None => "null",
+            };
+            out.push_str(&format!(
+                "{{\"index\":{},\"kind\":\"{}\",\"verdict\":\"{}\",\"latency_us\":{},\"winner\":{},\"cache_hit\":{}}}",
+                r.index,
+                rzen_obs::json::escape(r.kind),
+                verdict,
+                r.latency.as_micros(),
+                winner,
+                r.cache_hit,
+            ));
+        }
+        out.push_str("],\"stats\":{");
+        let s = &self.stats;
+        out.push_str(&format!(
+            "\"total\":{},\"sat\":{},\"unsat\":{},\"timeout\":{},\"cancelled\":{},\
+             \"cache_hits\":{},\"bdd_wins\":{},\"smt_wins\":{},\"wall_us\":{},\
+             \"latency_p50_us\":{},\"latency_p95_us\":{},\"latency_max_us\":{},\
+             \"sat_conflicts\":{},\"sat_propagations\":{},\"sat_learned\":{},\"sat_restarts\":{},\
+             \"bdd_nodes\":{},\"bdd_cache_lookups\":{},\"bdd_cache_hits\":{}",
+            s.total,
+            s.sat,
+            s.unsat,
+            s.timeout,
+            s.cancelled,
+            s.cache_hits,
+            s.bdd_wins,
+            s.smt_wins,
+            s.wall.as_micros(),
+            s.latency_p50.as_micros(),
+            s.latency_p95.as_micros(),
+            s.latency_max.as_micros(),
+            s.sat_conflicts,
+            s.sat_propagations,
+            s.sat_learned,
+            s.sat_restarts,
+            s.bdd_nodes,
+            s.bdd_cache_lookups,
+            s.bdd_cache_hits,
+        ));
+        out.push_str("},\"metrics\":");
+        out.push_str(&rzen_obs::metrics::registry().render_json());
+        out.push('}');
+        out
+    }
+}
+
 /// Aggregated observability counters for a batch.
 #[derive(Clone, Debug, Default)]
 pub struct EngineStats {
@@ -121,13 +190,20 @@ impl EngineStats {
             latencies.push(r.latency);
         }
         latencies.sort();
-        if !latencies.is_empty() {
-            let n = latencies.len();
-            s.latency_p50 = latencies[n / 2];
-            s.latency_p95 = latencies[(n * 95 / 100).min(n - 1)];
-            s.latency_max = latencies[n - 1];
-        }
+        s.latency_p50 = percentile(&latencies, 50);
+        s.latency_p95 = percentile(&latencies, 95);
+        s.latency_max = latencies.last().copied().unwrap_or(Duration::ZERO);
         s
+    }
+
+    /// Nearest-rank percentile over the batch's latencies: the value at
+    /// rank `⌈p/100·n⌉` of the sorted list. Well-defined for every batch
+    /// size — an empty batch reports zero, and a single sample is every
+    /// percentile of itself.
+    pub fn latency_percentile(results: &[QueryResult], p: u32) -> Duration {
+        let mut latencies: Vec<Duration> = results.iter().map(|r| r.latency).collect();
+        latencies.sort();
+        percentile(&latencies, p)
     }
 
     /// Cache hit rate over the batch, in `[0, 1]`.
@@ -147,6 +223,17 @@ impl EngineStats {
             self.bdd_cache_hits as f64 / self.bdd_cache_lookups as f64
         }
     }
+}
+
+/// Nearest-rank percentile over an ascending-sorted list. Empty input is
+/// zero; a single sample answers every percentile. Never panics, never
+/// divides by zero.
+fn percentile(sorted: &[Duration], p: u32) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (sorted.len() * p as usize).div_ceil(100).max(1);
+    sorted[rank.min(sorted.len()) - 1]
 }
 
 fn fmt_dur(d: Duration) -> String {
@@ -204,5 +291,74 @@ impl fmt::Display for EngineStats {
             self.bdd_nodes,
             self.bdd_cache_hit_rate() * 100.0
         )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(index: usize, latency_ms: u64) -> QueryResult {
+        QueryResult {
+            index,
+            kind: "reach",
+            verdict: Verdict::Unsat,
+            latency: Duration::from_millis(latency_ms),
+            winner: Some(Backend::Bdd),
+            cache_hit: false,
+            sat_stats: None,
+            bdd_stats: None,
+        }
+    }
+
+    #[test]
+    fn aggregate_empty_batch_is_well_defined() {
+        let s = EngineStats::aggregate(&[], Duration::from_millis(1));
+        assert_eq!(s.total, 0);
+        assert_eq!(s.latency_p50, Duration::ZERO);
+        assert_eq!(s.latency_p95, Duration::ZERO);
+        assert_eq!(s.latency_max, Duration::ZERO);
+        // The derived rates must be numbers, not NaN.
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(s.bdd_cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_single_result_is_every_percentile() {
+        let r = [result(0, 7)];
+        let s = EngineStats::aggregate(&r, Duration::from_millis(8));
+        assert_eq!(s.latency_p50, Duration::from_millis(7));
+        assert_eq!(s.latency_p95, Duration::from_millis(7));
+        assert_eq!(s.latency_max, Duration::from_millis(7));
+    }
+
+    #[test]
+    fn aggregate_percentiles_use_nearest_rank() {
+        // 1ms..=100ms: nearest-rank p50 is the 50th sample, p95 the 95th.
+        let rs: Vec<QueryResult> = (1..=100).map(|ms| result(ms as usize, ms)).collect();
+        let s = EngineStats::aggregate(&rs, Duration::from_secs(1));
+        assert_eq!(s.latency_p50, Duration::from_millis(50));
+        assert_eq!(s.latency_p95, Duration::from_millis(95));
+        assert_eq!(s.latency_max, Duration::from_millis(100));
+    }
+
+    #[test]
+    fn aggregate_two_results_percentiles_in_range() {
+        let rs = [result(0, 2), result(1, 10)];
+        let s = EngineStats::aggregate(&rs, Duration::from_millis(12));
+        assert_eq!(s.latency_p50, Duration::from_millis(2));
+        assert_eq!(s.latency_p95, Duration::from_millis(10));
+        assert_eq!(s.latency_max, Duration::from_millis(10));
+    }
+
+    #[test]
+    fn batch_report_json_is_valid() {
+        let results = vec![result(0, 3), result(1, 5)];
+        let stats = EngineStats::aggregate(&results, Duration::from_millis(9));
+        let report = BatchReport { results, stats };
+        let json = report.to_json();
+        rzen_obs::json::validate(&json).expect("report JSON must parse");
+        assert!(json.contains("\"latency_p50_us\":3000"));
+        assert!(json.contains("\"verdict\":\"unsat\""));
     }
 }

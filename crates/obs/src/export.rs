@@ -1,0 +1,173 @@
+//! Exporters: Chrome trace-event JSON and the hierarchical phase report.
+
+use std::collections::BTreeMap;
+
+use crate::json::escape;
+use crate::trace::{Event, Phase};
+
+/// Render events as Chrome trace-event JSON (the "JSON array format"),
+/// loadable in Perfetto or `chrome://tracing`. Spans become complete
+/// (`"ph": "X"`) events, instants become thread-scoped instant
+/// (`"ph": "i"`) events; timestamps and durations are microseconds since
+/// the trace epoch. The event's subsystem (the first dotted name segment)
+/// is exposed as the `cat` field so the UI can filter by layer.
+pub fn chrome_trace(events: &[Event]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 2);
+    out.push('[');
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n{");
+        let cat = e.name.split('.').next().unwrap_or("misc");
+        out.push_str(&format!(
+            "\"name\":\"{}\",\"cat\":\"{}\",\"pid\":1,\"tid\":{},\"ts\":{}",
+            escape(e.name),
+            escape(cat),
+            e.tid,
+            fmt_us(e.start_ns)
+        ));
+        match e.phase {
+            Phase::Span => out.push_str(&format!(",\"ph\":\"X\",\"dur\":{}", fmt_us(e.dur_ns))),
+            Phase::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+        }
+        let args: Vec<String> = e
+            .args
+            .iter()
+            .filter(|a| !a.key.is_empty())
+            .map(|a| format!("\"{}\":{}", escape(a.key), a.val))
+            .collect();
+        if !args.is_empty() {
+            out.push_str(&format!(",\"args\":{{{}}}", args.join(",")));
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Nanoseconds → microseconds with three decimals (Chrome's `ts` unit),
+/// without going through floats (exact, locale-free).
+fn fmt_us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+#[derive(Default)]
+struct PhaseAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+    instants: u64,
+}
+
+/// Render a human-readable report: every span name aggregated (count,
+/// total, mean, max), indented hierarchically by its dotted name segments
+/// so `bdd.solve` and `bdd.any_sat` group under `bdd`. Instant events are
+/// listed with counts only.
+pub fn phase_report(events: &[Event]) -> String {
+    let mut agg: BTreeMap<&'static str, PhaseAgg> = BTreeMap::new();
+    for e in events {
+        let a = agg.entry(e.name).or_default();
+        match e.phase {
+            Phase::Span => {
+                a.count += 1;
+                a.total_ns += e.dur_ns;
+                a.max_ns = a.max_ns.max(e.dur_ns);
+            }
+            Phase::Instant => a.instants += 1,
+        }
+    }
+    if agg.is_empty() {
+        return "phase report: no events recorded\n".to_string();
+    }
+    let mut out = String::from("phase report (per span name: count / total / mean / max)\n");
+    let mut last_root = "";
+    for (name, a) in &agg {
+        let root = name.split('.').next().unwrap_or(name);
+        if root != last_root {
+            out.push_str(&format!("  {root}\n"));
+            last_root = root;
+        }
+        let depth = name.matches('.').count().max(1);
+        let indent = "  ".repeat(depth + 1);
+        if let Some(mean) = a.total_ns.checked_div(a.count) {
+            out.push_str(&format!(
+                "{indent}{name:<28} {:>8} × {:>10} total {:>10} mean {:>10} max\n",
+                a.count,
+                fmt_dur(a.total_ns),
+                fmt_dur(mean),
+                fmt_dur(a.max_ns)
+            ));
+        }
+        if a.instants > 0 {
+            out.push_str(&format!("{indent}{name:<28} {:>8} events\n", a.instants));
+        }
+    }
+    out
+}
+
+fn fmt_dur(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Arg;
+
+    fn ev(name: &'static str, phase: Phase, start: u64, dur: u64) -> Event {
+        Event {
+            name,
+            phase,
+            start_ns: start,
+            dur_ns: dur,
+            tid: 1,
+            args: [Arg { key: "n", val: 2 }, Arg::default()],
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json() {
+        let events = vec![
+            ev("bdd.solve", Phase::Span, 1_500, 2_000),
+            ev("sat.restart", Phase::Instant, 2_000, 0),
+        ];
+        let json = chrome_trace(&events);
+        crate::json::validate(&json).unwrap();
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"cat\":\"bdd\""));
+        assert!(json.contains("\"ts\":1.500"));
+        assert!(json.contains("\"args\":{\"n\":2}"));
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let json = chrome_trace(&[]);
+        crate::json::validate(&json).unwrap();
+    }
+
+    #[test]
+    fn phase_report_groups_by_subsystem() {
+        let events = vec![
+            ev("bdd.solve", Phase::Span, 0, 5_000),
+            ev("bdd.solve", Phase::Span, 10, 3_000),
+            ev("engine.query", Phase::Span, 20, 9_000),
+            ev("sat.restart", Phase::Instant, 30, 0),
+        ];
+        let report = phase_report(&events);
+        assert!(report.contains("bdd.solve"));
+        assert!(report.contains("2 ×"));
+        assert!(report.contains("engine.query"));
+        assert!(report.contains("sat.restart"));
+        assert!(phase_report(&[]).contains("no events"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Minimal JSON helpers: string escaping for the exporters and a
+//! dependency-free syntax validator used by tests and CI to check that
+//! the emitted trace/stats files are well-formed.
+
+/// Escape a string for inclusion inside JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Validate that `s` is a single well-formed JSON value (syntax only —
+/// no schema). Returns the byte offset and a message on failure.
+pub fn validate(s: &str) -> Result<(), String> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: u32 = 256;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {word:?}")))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        self.expect(b'{')?;
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(());
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<(), String> {
+        self.expect(b'"')?;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                            self.pos += 1;
+                        }
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control character in string")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut digits = 0;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+            digits += 1;
+        }
+        if digits == 0 {
+            return Err(self.err("expected digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let mut frac = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                frac += 1;
+            }
+            if frac == 0 {
+                return Err(self.err("expected fraction digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let mut exp = 0;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+                exp += 1;
+            }
+            if exp == 0 {
+                return Err(self.err("expected exponent digits"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_json() {
+        for s in [
+            "null",
+            "true",
+            "-12.5e3",
+            "\"a\\nb\\u00e9\"",
+            "[]",
+            "{}",
+            "[1, {\"a\": [true, null]}, \"x\"]",
+            "{\"k\": {\"nested\": [1.0, 2e-2]}}",
+        ] {
+            validate(s).unwrap_or_else(|e| panic!("{s:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_json() {
+        for s in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "01abc",
+            "\"unterminated",
+            "[1] trailing",
+            "{'single': 1}",
+            "1.",
+            "nul",
+        ] {
+            assert!(validate(s).is_err(), "{s:?} accepted");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips_through_validator() {
+        let nasty = "a\"b\\c\nd\te\u{1}";
+        let json = format!("\"{}\"", escape(nasty));
+        validate(&json).unwrap();
+    }
+}

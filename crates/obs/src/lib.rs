@@ -1,0 +1,78 @@
+//! # rzen-obs — always-available observability for the rzen solver stack
+//!
+//! A dependency-free measurement substrate shared by every crate in the
+//! workspace: the BDD manager, the CDCL solver, the bit-level compiler,
+//! and the batch engine all report into it, and the CLI / bench harness
+//! read it back out. Three pieces:
+//!
+//! * **Metrics** ([`metrics`]) — a global registry of atomic counters,
+//!   gauges, and log₂-bucketed histograms, registered lazily at the call
+//!   site through the typed [`counter!`], [`gauge!`], and [`histogram!`]
+//!   macros. Metrics are *always on*: updates are relaxed atomic adds and
+//!   are flushed at operation boundaries (end of a solve, end of a query),
+//!   never inside the per-node hot loops.
+//!
+//! * **Tracing** ([`trace`]) — lightweight spans and instant events
+//!   recorded into fixed-capacity per-thread ring buffers. Every recording
+//!   site is gated behind a single relaxed atomic load ([`trace::enabled`]),
+//!   so the *disabled* cost on a hot path — the contract the solver
+//!   substrates rely on — is one load and one predictable branch: no
+//!   allocation, no lock, no timestamp. Enabling tracing
+//!   ([`trace::set_enabled`]) allocates one ring buffer per recording
+//!   thread on first use and timestamps events against a process-wide
+//!   monotonic epoch.
+//!
+//! * **Export** ([`export`]) — the recorded events render either as
+//!   Chrome trace-event JSON (loadable in Perfetto or `chrome://tracing`)
+//!   or as a human-readable hierarchical phase report; the metric registry
+//!   renders as an aligned text table or a JSON object. A minimal JSON
+//!   syntax validator ([`json::validate`]) lets tests and CI check the
+//!   emitted files without external tooling.
+//!
+//! ## Example
+//!
+//! ```
+//! use rzen_obs::{counter, histogram, span, trace};
+//!
+//! trace::set_enabled(true);
+//! {
+//!     let _span = span!("demo.phase", "items" => 3);
+//!     counter!("demo.calls", "how often the demo ran").inc();
+//!     histogram!("demo.latency_us").observe(125);
+//! }
+//! trace::set_enabled(false);
+//! let events = trace::take_events();
+//! assert!(events.iter().any(|e| e.name == "demo.phase"));
+//! let json = rzen_obs::export::chrome_trace(&events);
+//! rzen_obs::json::validate(&json).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{registry, Counter, Gauge, Histogram, MetricSnapshot, SnapshotValue};
+pub use trace::{Event, Phase, Span};
+
+/// Read the `RZEN_TRACE` environment variable and enable tracing if it is
+/// set to anything other than empty or `0`. Returns the trace output path
+/// when the value names one (any value other than `1`); `RZEN_TRACE=1`
+/// enables tracing without choosing a file (callers print the phase report
+/// instead).
+pub fn init_from_env() -> Option<String> {
+    match std::env::var("RZEN_TRACE") {
+        Ok(v) if v.is_empty() || v == "0" => None,
+        Ok(v) => {
+            trace::set_enabled(true);
+            if v == "1" {
+                None
+            } else {
+                Some(v)
+            }
+        }
+        Err(_) => None,
+    }
+}

@@ -1,0 +1,444 @@
+//! The global metrics registry: atomic counters, gauges, and histograms.
+//!
+//! Metrics are registered lazily at the first use of a call site through
+//! the [`counter!`](crate::counter), [`gauge!`](crate::gauge), and
+//! [`histogram!`](crate::histogram) macros, which cache the registry
+//! lookup in a per-call-site `OnceLock` so the steady-state cost of an
+//! update is one acquire load plus one relaxed atomic add. Registration
+//! deduplicates by name, so two call sites naming the same metric share
+//! one instrument.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter (normally obtained through the registry).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, live worker counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge (normally obtained through the registry).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the value by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i > 0`
+/// holds values in `[2^(i-1), 2^i)`.
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed histogram of `u64` observations (latencies in
+/// microseconds, sizes in nodes). Quantiles are estimated from bucket
+/// upper bounds, so they are accurate to a factor of two — plenty for
+/// "where did the time go" questions, and recording stays lock-free.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (normally obtained through the registry).
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// bucket containing the target rank. Returns 0 for an empty
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+}
+
+enum MetricRef {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    metric: MetricRef,
+}
+
+/// The process-wide metric registry. Obtain it with [`registry`].
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        entries: Mutex::new(Vec::new()),
+    })
+}
+
+/// A point-in-time reading of one registered metric.
+#[derive(Clone, Debug)]
+pub struct MetricSnapshot {
+    /// Dotted metric name (`"bdd.mk.calls"`).
+    pub name: &'static str,
+    /// One-line description supplied at registration.
+    pub help: &'static str,
+    /// The value, by instrument kind.
+    pub value: SnapshotValue,
+}
+
+/// The value part of a [`MetricSnapshot`].
+#[derive(Clone, Debug)]
+pub enum SnapshotValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram summary.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+        /// Estimated median.
+        p50: u64,
+        /// Estimated 95th percentile.
+        p95: u64,
+    },
+}
+
+impl Registry {
+    /// Find-or-create the counter `name`. Panics if `name` is already
+    /// registered as a different instrument kind (a programming error).
+    pub fn counter(&self, name: &'static str, help: &'static str) -> &'static Counter {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match e.metric {
+                MetricRef::Counter(c) => return c,
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        entries.push(Entry {
+            name,
+            help,
+            metric: MetricRef::Counter(c),
+        });
+        c
+    }
+
+    /// Find-or-create the gauge `name`. Panics on a kind mismatch.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> &'static Gauge {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match e.metric {
+                MetricRef::Gauge(g) => return g,
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        entries.push(Entry {
+            name,
+            help,
+            metric: MetricRef::Gauge(g),
+        });
+        g
+    }
+
+    /// Find-or-create the histogram `name`. Panics on a kind mismatch.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> &'static Histogram {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            match e.metric {
+                MetricRef::Histogram(h) => return h,
+                _ => panic!("metric {name:?} already registered with a different kind"),
+            }
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        entries.push(Entry {
+            name,
+            help,
+            metric: MetricRef::Histogram(h),
+        });
+        h
+    }
+
+    /// Read every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let entries = self.entries.lock().unwrap();
+        let mut out: Vec<MetricSnapshot> = entries
+            .iter()
+            .map(|e| MetricSnapshot {
+                name: e.name,
+                help: e.help,
+                value: match e.metric {
+                    MetricRef::Counter(c) => SnapshotValue::Counter(c.get()),
+                    MetricRef::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    MetricRef::Histogram(h) => SnapshotValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        p50: h.quantile(0.50),
+                        p95: h.quantile(0.95),
+                    },
+                },
+            })
+            .collect();
+        out.sort_by_key(|s| s.name);
+        out
+    }
+
+    /// Render every metric as an aligned text table.
+    pub fn render_text(&self) -> String {
+        let snap = self.snapshot();
+        let width = snap.iter().map(|s| s.name.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for s in snap {
+            let value = match s.value {
+                SnapshotValue::Counter(v) => format!("{v}"),
+                SnapshotValue::Gauge(v) => format!("{v}"),
+                SnapshotValue::Histogram {
+                    count,
+                    sum,
+                    p50,
+                    p95,
+                } => format!("count {count} sum {sum} p50≈{p50} p95≈{p95}"),
+            };
+            out.push_str(&format!("{:<width$}  {}\n", s.name, value));
+        }
+        out
+    }
+
+    /// Render every metric as one JSON object keyed by metric name.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, s) in self.snapshot().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":", crate::json::escape(s.name)));
+            match s.value {
+                SnapshotValue::Counter(v) => out.push_str(&v.to_string()),
+                SnapshotValue::Gauge(v) => out.push_str(&v.to_string()),
+                SnapshotValue::Histogram {
+                    count,
+                    sum,
+                    p50,
+                    p95,
+                } => out.push_str(&format!(
+                    "{{\"count\":{count},\"sum\":{sum},\"p50\":{p50},\"p95\":{p95}}}"
+                )),
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Find-or-create a [`Counter`] in the global registry, caching the lookup
+/// per call site. `counter!("name")` or `counter!("name", "help text")`.
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {
+        $crate::counter!($name, "")
+    };
+    ($name:expr, $help:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::metrics::registry().counter($name, $help))
+    }};
+}
+
+/// Find-or-create a [`Gauge`] in the global registry, caching the lookup
+/// per call site.
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {
+        $crate::gauge!($name, "")
+    };
+    ($name:expr, $help:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::metrics::registry().gauge($name, $help))
+    }};
+}
+
+/// Find-or-create a [`Histogram`] in the global registry, caching the
+/// lookup per call site.
+#[macro_export]
+macro_rules! histogram {
+    ($name:expr) => {
+        $crate::histogram!($name, "")
+    };
+    ($name:expr, $help:expr) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| $crate::metrics::registry().histogram($name, $help))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_macro_dedups_by_name() {
+        let a = crate::counter!("test.metrics.dedup");
+        let b = crate::counter!("test.metrics.dedup");
+        assert!(std::ptr::eq(a, b));
+        let before = a.get();
+        b.add(3);
+        assert_eq!(a.get(), before + 3);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let g = crate::gauge!("test.metrics.gauge");
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        for v in [0u64, 1, 1, 2, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1104);
+        // p50 of {0,1,1,2,100,1000}: rank 3 lands in the bucket of 1..2.
+        assert!(h.quantile(0.5) <= 3);
+        // p100 is in the bucket containing 1000.
+        assert!(h.quantile(1.0) >= 1000);
+        assert!(h.quantile(1.0) < 2048);
+    }
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_renders() {
+        crate::counter!("test.metrics.zz", "last").inc();
+        crate::counter!("test.metrics.aa", "first").inc();
+        let snap = registry().snapshot();
+        let names: Vec<&str> = snap.iter().map(|s| s.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let text = registry().render_text();
+        assert!(text.contains("test.metrics.aa"));
+        let json = registry().render_json();
+        crate::json::validate(&json).unwrap();
+    }
+}

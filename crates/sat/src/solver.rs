@@ -296,6 +296,12 @@ impl Solver {
 
     /// Unit propagation. Returns the conflicting clause, if any.
     fn propagate(&mut self) -> Option<ClauseRef> {
+        // Trace gate: when tracing is disabled this is exactly one relaxed
+        // atomic load and a branch — the hot-path overhead contract that
+        // `tests/obs.rs` asserts.
+        if rzen_obs::trace::enabled() {
+            rzen_obs::counter!("sat.propagate.calls", "unit-propagation runs (traced runs)").inc();
+        }
         while self.qhead < self.trail.len() {
             let p = self.trail[self.qhead];
             self.qhead += 1;
@@ -554,6 +560,18 @@ impl Solver {
     /// interrupt flag and deadline. Returns [`SolveStatus::Unknown`] when
     /// the budget ran out first; the solver stays usable afterwards.
     pub fn solve_limited(&mut self, assumptions: &[Lit]) -> SolveStatus {
+        let _span = rzen_obs::span!(
+            "sat.solve",
+            "vars" => self.num_vars() as u64,
+            "clauses" => self.clauses.len() as u64
+        );
+        let before = self.stats;
+        let status = self.solve_limited_inner(assumptions);
+        flush_obs_stats(&before, &self.stats);
+        status
+    }
+
+    fn solve_limited_inner(&mut self, assumptions: &[Lit]) -> SolveStatus {
         if !self.ok {
             return SolveStatus::Unsat;
         }
@@ -566,7 +584,11 @@ impl Solver {
         loop {
             let budget = RESTART_BASE * Self::luby(restarts);
             let max_learnts = max_learnts_base + 100 * restarts as usize;
-            match self.search(budget, max_learnts, assumptions) {
+            let result = {
+                let _span = rzen_obs::span!("sat.search", "restart" => restarts);
+                self.search(budget, max_learnts, assumptions)
+            };
+            match result {
                 SearchResult::Sat => {
                     self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
                     self.cancel_until(0);
@@ -579,6 +601,7 @@ impl Solver {
                 SearchResult::Restart => {
                     restarts += 1;
                     self.stats.restarts += 1;
+                    rzen_obs::trace::instant1("sat.restart", "conflicts", self.stats.conflicts);
                     self.cancel_until(0);
                 }
                 SearchResult::Interrupted => {
@@ -599,9 +622,12 @@ impl Solver {
                 self.stats.conflicts += 1;
                 // Poll the budget on a conflict cadence: often enough to
                 // stop within milliseconds, rare enough to stay off the
-                // profile.
-                if self.stats.conflicts & 0x3F == 0 && self.budget_exhausted() {
-                    return SearchResult::Interrupted;
+                // profile. The sampled trace event shares the cadence.
+                if self.stats.conflicts & 0x3F == 0 {
+                    rzen_obs::trace::instant1("sat.conflict", "total", self.stats.conflicts);
+                    if self.budget_exhausted() {
+                        return SearchResult::Interrupted;
+                    }
                 }
                 if self.decision_level() == 0 {
                     self.ok = false;
@@ -655,8 +681,11 @@ impl Solver {
                         self.stats.decisions += 1;
                         // Second poll cadence for instances that rarely
                         // conflict (long propagation-dominated runs).
-                        if self.stats.decisions & 0xFF == 0 && self.budget_exhausted() {
-                            return SearchResult::Interrupted;
+                        if self.stats.decisions & 0xFF == 0 {
+                            rzen_obs::trace::instant1("sat.decide", "total", self.stats.decisions);
+                            if self.budget_exhausted() {
+                                return SearchResult::Interrupted;
+                            }
                         }
                         self.trail_lim.push(self.trail.len());
                         let lit = Lit::new(v, self.polarity[v.index()]);
@@ -676,6 +705,23 @@ impl Solver {
         );
         self.model[v.index()]
     }
+}
+
+/// Fold the delta between two [`Stats`] snapshots into the global obs
+/// metric registry. Called once per `solve_limited`, so the per-step hot
+/// loops never touch an atomic metric.
+fn flush_obs_stats(before: &Stats, after: &Stats) {
+    rzen_obs::counter!("sat.solves", "CDCL solve calls").inc();
+    rzen_obs::counter!("sat.conflicts", "CDCL conflicts across all solves")
+        .add(after.conflicts - before.conflicts);
+    rzen_obs::counter!("sat.decisions", "CDCL decisions across all solves")
+        .add(after.decisions - before.decisions);
+    rzen_obs::counter!("sat.propagations", "literals propagated across all solves")
+        .add(after.propagations - before.propagations);
+    rzen_obs::counter!("sat.restarts", "CDCL restarts across all solves")
+        .add(after.restarts - before.restarts);
+    rzen_obs::counter!("sat.learned_clauses", "clauses learnt across all solves")
+        .add(after.learned_clauses - before.learned_clauses);
 }
 
 #[cfg(test)]

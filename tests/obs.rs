@@ -1,0 +1,164 @@
+//! Observability integration tests: the disabled-path overhead contract
+//! on the substrate hot paths, cross-subsystem span coverage through the
+//! batch engine, and metric accumulation.
+//!
+//! These tests flip the process-global trace flag, so everything that
+//! does is serialized behind one mutex (the test harness runs each
+//! `#[test]` on its own thread, so the thread-local buffer checks see a
+//! fresh thread per test).
+
+use rzen_bdd::BddManager;
+use rzen_engine::{Engine, EngineConfig, Query, QueryBackend};
+use rzen_net::gen::random_acl;
+use rzen_sat::{Lit, SolveStatus, Solver};
+
+/// Tests that touch the global enabled flag must not interleave.
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Drive the BDD manager's `mk()` choke point hard: a blend of
+/// conjunctions, disjunctions, and parities over 24 variables.
+fn mk_heavy_workload() {
+    let mut m = BddManager::new();
+    let mut acc = m.constant(true);
+    let mut parity = m.constant(false);
+    for v in 0..24u32 {
+        let x = m.var(v);
+        let y = m.var((v * 7 + 3) % 24);
+        let clause = m.or(x, y);
+        acc = m.and(acc, clause);
+        parity = m.xor(parity, x);
+    }
+    let both = m.and(acc, parity);
+    assert!(m.stats().nodes > 24, "workload must exercise mk()");
+    std::hint::black_box(both);
+}
+
+/// Drive CDCL `propagate()` hard: the pigeonhole principle PHP(5,4),
+/// unsatisfiable with real conflict analysis.
+fn propagate_heavy_workload() {
+    let n_holes = 4usize;
+    let n_pigeons = 5usize;
+    let mut s = Solver::new();
+    let vars: Vec<Vec<Lit>> = (0..n_pigeons)
+        .map(|_| (0..n_holes).map(|_| Lit::pos(s.new_var())).collect())
+        .collect();
+    for p in &vars {
+        s.add_clause(p);
+    }
+    for h in 0..n_holes {
+        for (a, pa) in vars.iter().enumerate() {
+            for pb in &vars[a + 1..] {
+                s.add_clause(&[!pa[h], !pb[h]]);
+            }
+        }
+    }
+    assert_eq!(s.solve_limited(&[]), SolveStatus::Unsat);
+    assert!(s.stats.propagations > 0);
+}
+
+#[test]
+fn disabled_hot_paths_allocate_and_record_nothing() {
+    let _g = lock();
+    rzen_obs::trace::set_enabled(false);
+    let recorded_before = rzen_obs::trace::events_recorded();
+
+    mk_heavy_workload();
+    propagate_heavy_workload();
+
+    // The whole disabled-path cost is one relaxed load per hook: no event
+    // was recorded anywhere, and this thread never allocated (or locked)
+    // a trace ring buffer.
+    assert_eq!(
+        rzen_obs::trace::events_recorded(),
+        recorded_before,
+        "disabled tracing must record nothing"
+    );
+    assert!(
+        !rzen_obs::trace::thread_buffer_allocated(),
+        "disabled tracing must not allocate a ring buffer"
+    );
+}
+
+#[test]
+fn enabled_batch_records_spans_from_four_subsystems() {
+    let _g = lock();
+    rzen_obs::trace::set_enabled(true);
+    rzen_obs::trace::clear();
+
+    let acl = random_acl(40, 1);
+    let last = acl.rules.len() as u16;
+    let queries = [
+        Query::AclFind {
+            acl: acl.clone(),
+            target_line: last,
+        },
+        Query::AclFind {
+            acl,
+            target_line: last + 1,
+        },
+    ];
+    // Sequential per-backend batches: both substrates run to completion,
+    // so their spans are recorded deterministically (a portfolio race
+    // could cancel one side before its solve span opens).
+    for backend in [QueryBackend::Bdd, QueryBackend::Smt] {
+        Engine::new(EngineConfig {
+            jobs: 2,
+            backend,
+            timeout: None,
+            cache: false,
+        })
+        .run_batch(&queries);
+    }
+
+    rzen_obs::trace::set_enabled(false);
+    let events = rzen_obs::trace::take_events();
+    let subsystems: std::collections::BTreeSet<&str> = events
+        .iter()
+        .map(|e| e.name.split('.').next().unwrap())
+        .collect();
+    for want in ["bdd", "sat", "bitblast", "engine"] {
+        assert!(
+            subsystems.contains(want),
+            "no spans from {want:?}; saw {subsystems:?}"
+        );
+    }
+    // Spans carry real durations and the exporters accept the batch.
+    assert!(events
+        .iter()
+        .any(|e| e.phase == rzen_obs::trace::Phase::Span && e.name == "engine.batch"));
+    let trace = rzen_obs::export::chrome_trace(&events);
+    rzen_obs::json::validate(&trace).expect("chrome trace must be valid JSON");
+    let report = rzen_obs::export::phase_report(&events);
+    assert!(report.contains("engine.batch"));
+}
+
+#[test]
+fn metrics_accumulate_across_batches() {
+    let _g = lock();
+    let solves = rzen_obs::metrics::registry().counter("bdd.solves", "");
+    let queries_counter = rzen_obs::metrics::registry().counter("engine.queries", "");
+    let before_solves = solves.get();
+    let before_queries = queries_counter.get();
+
+    let acl = random_acl(30, 2);
+    let last = acl.rules.len() as u16;
+    Engine::new(EngineConfig {
+        jobs: 1,
+        backend: QueryBackend::Bdd,
+        timeout: None,
+        cache: false,
+    })
+    .run_batch(&[Query::AclFind {
+        acl,
+        target_line: last,
+    }]);
+
+    assert!(solves.get() > before_solves, "bdd.solves must advance");
+    assert_eq!(queries_counter.get(), before_queries + 1);
+    // The registry snapshot renders to valid JSON for --stats-json.
+    let json = rzen_obs::metrics::registry().render_json();
+    rzen_obs::json::validate(&json).expect("metrics JSON must be valid");
+}
