@@ -60,6 +60,7 @@ fn run(queries: &[Query], jobs: usize, backend: QueryBackend) -> f64 {
         backend,
         timeout: None,
         cache: false, // measure raw solve throughput, not cache luck
+        sessions: false,
     });
     let t0 = Instant::now();
     let report = engine.run_batch(queries);

@@ -1,0 +1,167 @@
+//! Session vs. fresh throughput: the same batched workload solved with
+//! fresh per-query solvers and with long-lived per-worker sessions
+//! (incremental SAT via activation literals, a persistent BDD manager,
+//! and the cross-query bitblast cache).
+//!
+//! The workload is built from same-model query *families* — many target
+//! lines of one ACL, all-pairs reach+drops over one fabric — because that
+//! is what sessions accelerate: the model sub-DAG is compiled once per
+//! worker and every later query pays only for its predicate. Verdicts are
+//! cross-checked between the two modes on every row.
+//!
+//! Usage:
+//!   cargo run --release -p rzen-bench --bin sessions -- [jobs] [acl_rules] [lines_per_acl]
+//!
+//! Emits CSV on stdout and into results/session_speedup.csv.
+
+use std::time::Instant;
+
+use rzen_bench::write_csv;
+use rzen_engine::{BatchReport, Engine, EngineConfig, Query, QueryBackend, Verdict};
+use rzen_net::gen::{random_acl, spine_leaf};
+
+fn build_queries(acl_rules: usize, lines_per_acl: usize) -> Vec<Query> {
+    let mut queries = Vec::new();
+    // Three ACL families: each family shares one model and probes many
+    // lines, so each family's 2nd..nth query can reuse the session.
+    for seed in 0..3u64 {
+        let acl = random_acl(acl_rules, seed);
+        let last = acl.rules.len() as u16;
+        for k in 0..lines_per_acl as u16 {
+            queries.push(Query::AclFind {
+                acl: acl.clone(),
+                // Mix satisfiable lines with the unsatisfiable line past
+                // the end, so both polarities ride the same session.
+                target_line: if k % 4 == 3 { last + 1 } else { last - k },
+            });
+        }
+    }
+    // All-pairs reach + drops over one spine-leaf fabric: every query
+    // shares the forwarding model.
+    let n_spines = 2;
+    let n_leaves = 4;
+    let net = spine_leaf(n_spines, n_leaves);
+    for a in 0..n_leaves {
+        for b in 0..n_leaves {
+            if a == b {
+                continue;
+            }
+            queries.push(Query::Reach {
+                net: net.clone(),
+                src: (n_spines + a, 99),
+                dst: (n_spines + b, 99),
+            });
+            queries.push(Query::Drops {
+                net: net.clone(),
+                src: (n_spines + a, 99),
+                dst: (n_spines + b, 99),
+            });
+        }
+    }
+    queries
+}
+
+fn run(
+    queries: &[Query],
+    jobs: usize,
+    backend: QueryBackend,
+    sessions: bool,
+) -> (f64, BatchReport) {
+    let engine = Engine::new(EngineConfig {
+        jobs,
+        backend,
+        timeout: None,
+        cache: false, // measure solver reuse, not result-cache luck
+        sessions,
+    });
+    let t0 = Instant::now();
+    let report = engine.run_batch(queries);
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    for r in &report.results {
+        assert!(
+            matches!(r.verdict, Verdict::Sat(_) | Verdict::Unsat),
+            "unlimited-budget query must be decisive"
+        );
+    }
+    (ms, report)
+}
+
+fn kind(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Sat(_) => "sat",
+        Verdict::Unsat => "unsat",
+        _ => "other",
+    }
+}
+
+fn main() {
+    rzen_obs::init_from_env();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = args.first().map(|s| s.parse().unwrap()).unwrap_or(2);
+    let acl_rules: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(300);
+    let lines_per_acl: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(12);
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let queries = build_queries(acl_rules, lines_per_acl);
+    println!(
+        "# Session reuse: {} queries, {} workers, host parallelism {}",
+        queries.len(),
+        jobs,
+        cores
+    );
+    let header = "backend,mode,ms,speedup,bitblast_hits,sat_carried,bdd_reused";
+    println!("{header}");
+
+    // Warm up code paths and the allocator.
+    run(&queries, jobs, QueryBackend::Bdd, false);
+
+    let mut rows = Vec::new();
+    for backend in [
+        QueryBackend::Bdd,
+        QueryBackend::Smt,
+        QueryBackend::Portfolio,
+    ] {
+        let (fresh_ms, fresh) = run(&queries, jobs, backend, false);
+        let (sess_ms, sess) = run(&queries, jobs, backend, true);
+        for (f, s) in fresh.results.iter().zip(&sess.results) {
+            assert_eq!(
+                kind(&f.verdict),
+                kind(&s.verdict),
+                "session mode changed a verdict under {backend:?}"
+            );
+        }
+        let name = match backend {
+            QueryBackend::Bdd => "bdd",
+            QueryBackend::Smt => "smt",
+            QueryBackend::Portfolio => "portfolio",
+        };
+        for (mode, ms, report) in [("fresh", fresh_ms, &fresh), ("session", sess_ms, &sess)] {
+            let row = format!(
+                "{name},{mode},{ms:.1},{:.2},{},{},{}",
+                fresh_ms / ms,
+                report.stats.session_bitblast_hits,
+                report.stats.session_sat_carried,
+                report.stats.session_bdd_reused
+            );
+            println!("{row}");
+            rows.push(row);
+        }
+        // The reuse the speedup comes from must actually be happening.
+        assert!(sess.stats.session_bitblast_hits > 0, "no bitblast reuse");
+        if backend != QueryBackend::Bdd {
+            assert!(
+                sess.stats.session_sat_carried > 0,
+                "no learnt-clause carryover"
+            );
+        }
+        if backend != QueryBackend::Smt {
+            assert!(sess.stats.session_bdd_reused > 0, "no BDD node reuse");
+        }
+    }
+
+    if let Ok(path) = write_csv("session_speedup.csv", header, &rows) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -36,10 +36,13 @@ fn usage() -> ! {
     eprintln!(
         "       rzen-cli batch SPEC [--jobs N] [--timeout-ms MS] [--backend bdd|smt|portfolio]"
     );
-    eprintln!("                       [--trace-out FILE] [--stats-json FILE] [--metrics]");
+    eprintln!("                       [--sessions on|off] [--trace-out FILE]");
+    eprintln!("                       [--stats-json FILE] [--verdicts-json FILE] [--metrics]");
     eprintln!("  SRC/DST are device:port endpoints, e.g. u1:1");
+    eprintln!("  --sessions on|off  reuse per-worker solver sessions across queries (default off)");
     eprintln!("  --trace-out FILE   write a Chrome trace-event JSON file (chrome://tracing)");
     eprintln!("  --stats-json FILE  write the batch report + metrics snapshot as JSON");
+    eprintln!("  --verdicts-json FILE  write just the verdicts (stable across modes) as JSON");
     eprintln!("  --metrics          print the metrics registry after the batch");
     eprintln!("  RZEN_TRACE=1|FILE  enable tracing from the environment (FILE also exports)");
     std::process::exit(2);
@@ -193,6 +196,7 @@ fn run_batch(spec: &spec::Spec, flags: &[String], env_trace: Option<String>) {
     };
     let mut trace_out: Option<String> = None;
     let mut stats_json: Option<String> = None;
+    let mut verdicts_json: Option<String> = None;
     let mut show_metrics = false;
     let mut i = 0;
     while i < flags.len() {
@@ -214,6 +218,24 @@ fn run_batch(spec: &spec::Spec, flags: &[String], env_trace: Option<String>) {
             "--metrics" => {
                 show_metrics = true;
                 i += 1;
+            }
+            "--verdicts-json" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--verdicts-json needs FILE"));
+                verdicts_json = Some(v.clone());
+                i += 2;
+            }
+            "--sessions" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--sessions needs on|off"));
+                cfg.sessions = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => fail(&format!("bad --sessions {other:?} (on|off)")),
+                };
+                i += 2;
             }
             "--jobs" => {
                 let v = flags.get(i + 1).unwrap_or_else(|| fail("--jobs needs N"));
@@ -306,6 +328,7 @@ fn run_batch(spec: &spec::Spec, flags: &[String], env_trace: Option<String>) {
             Verdict::Unsat => "unsat",
             Verdict::Timeout => "TIMEOUT",
             Verdict::Cancelled => "cancelled",
+            Verdict::Error(_) => "ERROR",
         };
         let via = if r.cache_hit {
             " (cache)".to_string()
@@ -330,6 +353,31 @@ fn run_batch(spec: &spec::Spec, flags: &[String], env_trace: Option<String>) {
         std::fs::write(path, report.to_json())
             .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
         println!("stats json -> {path}");
+    }
+    if let Some(path) = &verdicts_json {
+        // Only the verdicts: latencies, winners, and session counters may
+        // legitimately differ between runs (and between --sessions modes),
+        // so this file is byte-stable for diffing mode against mode.
+        let mut out = String::from("{\"verdicts\":[");
+        for (i, r) in report.results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let v = match &r.verdict {
+                Verdict::Sat(_) => "sat",
+                Verdict::Unsat => "unsat",
+                Verdict::Timeout => "timeout",
+                Verdict::Cancelled => "cancelled",
+                Verdict::Error(_) => "error",
+            };
+            out.push_str(&format!(
+                "{{\"index\":{},\"kind\":\"{}\",\"verdict\":\"{v}\"}}",
+                r.index, r.kind
+            ));
+        }
+        out.push_str("]}\n");
+        std::fs::write(path, out).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!("verdicts json -> {path}");
     }
     if rzen_obs::trace::enabled() {
         let events = rzen_obs::trace::take_events();

@@ -76,15 +76,52 @@ impl<B: Clone> SymVal<B> {
 pub struct BitCompiler<'a, A: BoolAlg> {
     alg: &'a mut A,
     cache: FastHashMap<u32, Rc<SymVal<A::B>>>,
+    /// Keys inserted by *this* compiler (as opposed to seed entries).
+    inserted: FastHashMap<u32, ()>,
+    seed_hits: u64,
 }
 
 impl<'a, A: BoolAlg> BitCompiler<'a, A> {
     /// Create a compiler over the given algebra.
     pub fn new(alg: &'a mut A) -> Self {
+        Self::with_seed_cache(alg, FastHashMap::default())
+    }
+
+    /// Create a compiler seeded with a node cache carried over from
+    /// earlier queries in a solver session. Seed entries are reused
+    /// without recompiling — sound because `ExprId`s are hash-consed and
+    /// stable for the lifetime of the thread-local context — and
+    /// [`BitCompiler::seed_hits`] counts how often that happens.
+    pub fn with_seed_cache(alg: &'a mut A, cache: FastHashMap<u32, Rc<SymVal<A::B>>>) -> Self {
         BitCompiler {
             alg,
-            cache: FastHashMap::default(),
+            cache,
+            inserted: FastHashMap::default(),
+            seed_hits: 0,
         }
+    }
+
+    /// Hand the (grown) node cache back to the session for the next query.
+    pub fn into_cache(self) -> FastHashMap<u32, Rc<SymVal<A::B>>> {
+        self.cache
+    }
+
+    /// Node lookups served by seed entries (entries that predate this
+    /// compiler) — the cross-query reuse counter.
+    pub fn seed_hits(&self) -> u64 {
+        self.seed_hits
+    }
+
+    /// Nodes compiled (newly inserted) by this compiler.
+    pub fn compiled(&self) -> usize {
+        self.inserted.len()
+    }
+
+    /// Drain the keys this compiler inserted, so a session can evict them
+    /// after an interrupted BDD compile (whose in-flight node handles are
+    /// garbage by the manager's budget contract).
+    pub fn take_inserted(&mut self) -> Vec<u32> {
+        self.inserted.drain().map(|(k, ())| k).collect()
     }
 
     /// Access the underlying algebra.
@@ -105,11 +142,18 @@ impl<'a, A: BoolAlg> BitCompiler<'a, A> {
             match task {
                 Task::Visit(e) => {
                     if self.cache.contains_key(&e.0) {
+                        if !self.inserted.contains_key(&e.0) {
+                            self.seed_hits += 1;
+                        }
                         continue;
                     }
                     stack.push(Task::Build(e));
                     for c in children(ctx, e) {
-                        if !self.cache.contains_key(&c.0) {
+                        if self.cache.contains_key(&c.0) {
+                            if !self.inserted.contains_key(&c.0) {
+                                self.seed_hits += 1;
+                            }
+                        } else {
                             stack.push(Task::Visit(c));
                         }
                     }
@@ -120,6 +164,7 @@ impl<'a, A: BoolAlg> BitCompiler<'a, A> {
                     }
                     let v = self.build(ctx, e);
                     self.cache.insert(e.0, v);
+                    self.inserted.insert(e.0, ());
                 }
             }
         }

@@ -102,6 +102,21 @@ impl UnionFind {
 /// disabled (the ablation), variables are laid out sequentially in
 /// first-occurrence order with no interleaving.
 pub fn compute_order(ctx: &Context, roots: &[ExprId], interactions: bool) -> VarOrder {
+    let mut order = VarOrder {
+        map: FastHashMap::default(),
+        next: 0,
+    };
+    extend_order(ctx, &mut order, roots, interactions);
+    order
+}
+
+/// Extend an existing order with the variables reachable from `roots`
+/// that have no level yet. (Var, bit) pairs already assigned keep their
+/// levels; new pairs are appended after the current maximum, with the
+/// same cluster-interleaved layout [`compute_order`] produces. This is
+/// how a [`crate::session::SolverSession`]'s shared BDD manager absorbs
+/// each new query without disturbing the levels earlier queries pinned.
+pub fn extend_order(ctx: &Context, order: &mut VarOrder, roots: &[ExprId], interactions: bool) {
     // Pass 1: first-occurrence order of variables, and interaction edges.
     let mut occurrence: Vec<VarId> = Vec::new();
     let mut seen_vars: FastHashSet<u32> = FastHashSet::default();
@@ -149,10 +164,8 @@ pub fn compute_order(ctx: &Context, roots: &[ExprId], interactions: bool) -> Var
     }
 
     // Pass 3: emit levels — per cluster, interleave member bits MSB-first.
-    let mut order = VarOrder {
-        map: FastHashMap::default(),
-        next: 0,
-    };
+    // Pairs that already have a level (earlier queries in a session) are
+    // skipped, so within the appended range new clusters still interleave.
     for root in cluster_order {
         let members = &cluster_of[&root];
         let widths: Vec<u32> = members.iter().map(|&v| var_width(ctx, v)).collect();
@@ -160,7 +173,7 @@ pub fn compute_order(ctx: &Context, roots: &[ExprId], interactions: bool) -> Var
         // p counts down from the most significant bit position.
         for p in (0..max_w).rev() {
             for (m, &w) in members.iter().zip(&widths) {
-                if p < w {
+                if p < w && !order.map.contains_key(&(m.0, p)) {
                     let l = order.next;
                     order.next += 1;
                     order.map.insert((m.0, p), l);
@@ -168,7 +181,6 @@ pub fn compute_order(ctx: &Context, roots: &[ExprId], interactions: bool) -> Var
             }
         }
     }
-    order
 }
 
 fn var_width(ctx: &Context, v: VarId) -> u32 {

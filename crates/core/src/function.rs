@@ -15,6 +15,7 @@ use crate::budget::Budget;
 use crate::ctx::with_ctx;
 use crate::ir::ExprId;
 use crate::lang::{Zen, ZenType};
+use crate::session::SolverSession;
 use crate::stateset::{StateSetTransformer, TransformerSpace};
 
 /// Which solver pipeline `find` uses.
@@ -175,6 +176,46 @@ impl<A: ZenType, R: ZenType> ZenFunction<A, R> {
                 (o, Some(s), None)
             }
         };
+        let outcome = match solved {
+            SolveOutcome::Sat(env) => {
+                let v = with_ctx(|ctx| eval(ctx, input.id, &env));
+                FindOutcome::Found(A::from_value(&v))
+            }
+            SolveOutcome::Unsat => FindOutcome::Unsat,
+            SolveOutcome::Cancelled => FindOutcome::Cancelled,
+        };
+        FindReport {
+            outcome,
+            sat_stats,
+            bdd_stats,
+        }
+    }
+
+    /// [`ZenFunction::find_budgeted`] through a long-lived
+    /// [`SolverSession`]: the symbolic input, compiled circuit nodes, and
+    /// solver state (learnt clauses / BDD tables) persist across calls on
+    /// the same session. `opts.backend` is ignored — the session's backend
+    /// rules. See [`crate::session`] for the thread-affinity contract.
+    pub fn find_in_session(
+        &self,
+        pred: impl FnOnce(Zen<A>, Zen<R>) -> Zen<bool>,
+        opts: &FindOptions,
+        budget: &Budget,
+        session: &mut SolverSession,
+    ) -> FindReport<A> {
+        // Reuse the session's symbolic input for this (type, bound): the
+        // hash-consed arena then shares every model sub-DAG with earlier
+        // queries over the same model, which is what the session's caches
+        // key on.
+        let input = Zen::<A>::from_id(
+            session.input_for((std::any::TypeId::of::<A>(), opts.list_bound), || {
+                Zen::<A>::symbolic(opts.list_bound).id
+            }),
+        );
+        let out = (self.f)(input);
+        let cond = pred(input, out);
+        let (solved, sat_stats, bdd_stats) =
+            with_ctx(|ctx| session.solve(ctx, cond.id, opts.ordering_analysis, budget));
         let outcome = match solved {
             SolveOutcome::Sat(env) => {
                 let v = with_ctx(|ctx| eval(ctx, input.id, &env));

@@ -60,6 +60,7 @@ mod geninputs;
 pub mod ir;
 mod lang;
 mod semantics;
+pub mod session;
 pub mod sorts;
 pub mod stateset;
 mod value;
@@ -74,6 +75,7 @@ pub use function::{
 pub use ir::ExprId;
 pub use lang::zstruct::{__make_user_struct, __register_user_struct, __user_struct_value};
 pub use lang::{pair, triple, zif, ZMap, Zen, ZenInt, ZenType};
+pub use session::{SessionStats, SolverSession};
 pub use sorts::Sort;
 pub use stateset::{StateSet, StateSetTransformer, TransformerSpace};
 pub use value::Value;

@@ -1,0 +1,375 @@
+//! Incremental solver sessions: long-lived solver state shared across
+//! queries on one worker thread.
+//!
+//! The paper's framework funnels every analysis through one bit-level
+//! translation (§6); a batch of queries over the same ACL, route map, or
+//! topology therefore shares most of its circuit. A [`SolverSession`]
+//! exploits that three ways:
+//!
+//! * **Bitblast cache** — compiled circuit nodes are kept across queries,
+//!   keyed by hash-consed [`ExprId`]. Identical sub-DAGs (the model
+//!   encoding shared by an all-pairs batch) bit-blast once per session.
+//! * **SAT session** — one [`CnfAlg`]/[`rzen_sat::Solver`] pair lives for
+//!   the whole session. Each query's root constraint is guarded by a
+//!   fresh activation literal `a` (`¬a ∨ root` plus the assumption `a`),
+//!   solved with `solve_limited(&[a])`, and retired by permanently
+//!   asserting `¬a`, which makes the query's guard clause vacuous while
+//!   every learnt clause — implied by the monotone clause database alone —
+//!   carries over to later queries.
+//! * **BDD session** — one [`BddManager`] lives for the whole session, so
+//!   the unique table and op-cache persist. The variable order is
+//!   *extended* per query ([`extend_order`]) so earlier queries' levels
+//!   never move.
+//!
+//! Sessions are inherently thread-bound: circuit nodes are `Rc`-shared and
+//! `ExprId`s index the thread-local context. Create a session only after
+//! [`crate::reset_ctx`], and never reset the context while the session is
+//! alive — the caches are keyed by `ExprId`s of the current arena. A panic
+//! while solving leaves the session in an unspecified (but memory-safe)
+//! state; discard it and start a fresh one (the engine's workers do).
+
+use std::any::TypeId;
+use std::rc::Rc;
+
+use rzen_bdd::{Bdd, BddManager, BddStats, FastHashMap};
+use rzen_sat::{Lit, SolveStatus, Stats};
+
+use crate::backend::bdd::{env_from_levels, BddAlg};
+use crate::backend::bitblast::{BitCompiler, SymVal};
+use crate::backend::ordering::{extend_order, VarOrder};
+use crate::backend::smt::{extract_env, CLit, CnfAlg};
+use crate::backend::SolveOutcome;
+use crate::budget::Budget;
+use crate::ctx::Context;
+use crate::function::Backend;
+use crate::ir::ExprId;
+use crate::sorts::Sort;
+
+/// Cumulative reuse counters for one [`SolverSession`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Queries solved through the session.
+    pub queries: u64,
+    /// Bitblast-cache lookups served by nodes compiled for an *earlier*
+    /// query (summed over both backends).
+    pub bitblast_hits: u64,
+    /// Circuit nodes compiled fresh (summed over both backends).
+    pub bitblast_compiled: u64,
+    /// Learnt clauses alive in the SAT solver at query start, summed over
+    /// queries — the clause carryover earlier queries paid for.
+    pub sat_clauses_carried: u64,
+    /// BDD nodes alive in the shared manager at query start (terminals
+    /// excluded), summed over queries.
+    pub bdd_nodes_reused: u64,
+}
+
+impl SessionStats {
+    /// Counter-wise difference `self - earlier` (both snapshots of the
+    /// same monotone session counters).
+    pub fn delta_since(&self, earlier: &SessionStats) -> SessionStats {
+        SessionStats {
+            queries: self.queries - earlier.queries,
+            bitblast_hits: self.bitblast_hits - earlier.bitblast_hits,
+            bitblast_compiled: self.bitblast_compiled - earlier.bitblast_compiled,
+            sat_clauses_carried: self.sat_clauses_carried - earlier.sat_clauses_carried,
+            bdd_nodes_reused: self.bdd_nodes_reused - earlier.bdd_nodes_reused,
+        }
+    }
+
+    /// Add another snapshot's counters into this one.
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.queries += other.queries;
+        self.bitblast_hits += other.bitblast_hits;
+        self.bitblast_compiled += other.bitblast_compiled;
+        self.sat_clauses_carried += other.sat_clauses_carried;
+        self.bdd_nodes_reused += other.bdd_nodes_reused;
+    }
+}
+
+/// Long-lived solver state for one worker thread; see the module docs.
+pub struct SolverSession {
+    backend: Backend,
+    smt: Option<SmtSession>,
+    bdd: Option<BddSession>,
+    /// Symbolic inputs reused across queries, keyed by (input type, list
+    /// bound). Reusing the *same* input variables is what lets the
+    /// hash-consed arena share model sub-DAGs between queries; fresh
+    /// variables per query would defeat every cache below.
+    inputs: FastHashMap<(TypeId, u16), ExprId>,
+    stats: SessionStats,
+}
+
+impl SolverSession {
+    /// A fresh session for `backend`. Call on a thread whose context has
+    /// just been reset and holds no other live `Zen` handles.
+    pub fn new(backend: Backend) -> SolverSession {
+        SolverSession {
+            backend,
+            smt: None,
+            bdd: None,
+            inputs: FastHashMap::default(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The backend this session solves with.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Snapshot of the cumulative reuse counters.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// The cached symbolic input for `key`, creating it with `mk` on first
+    /// use.
+    pub(crate) fn input_for(&mut self, key: (TypeId, u16), mk: impl FnOnce() -> ExprId) -> ExprId {
+        *self.inputs.entry(key).or_insert_with(mk)
+    }
+
+    /// Solve `root` under `budget` with this session's backend, reusing
+    /// carried state and recording reuse counters.
+    pub(crate) fn solve(
+        &mut self,
+        ctx: &Context,
+        root: ExprId,
+        use_interactions: bool,
+        budget: &Budget,
+    ) -> (SolveOutcome, Option<Stats>, Option<BddStats>) {
+        assert_eq!(ctx.sort_of(root), Sort::Bool, "solve: root must be Bool");
+        self.stats.queries += 1;
+        rzen_obs::counter!("session.queries", "queries solved through solver sessions").inc();
+        match self.backend {
+            Backend::Smt => {
+                let (o, s) = self.smt.get_or_insert_with(SmtSession::new).solve(
+                    ctx,
+                    root,
+                    budget,
+                    &mut self.stats,
+                );
+                (o, Some(s), None)
+            }
+            Backend::Bdd => {
+                let (o, s) = self.bdd.get_or_insert_with(BddSession::new).solve(
+                    ctx,
+                    root,
+                    use_interactions,
+                    budget,
+                    &mut self.stats,
+                );
+                (o, None, Some(s))
+            }
+        }
+    }
+}
+
+/// Persistent SAT backend state: one CNF environment and one CDCL solver
+/// for the whole session.
+struct SmtSession {
+    alg: CnfAlg,
+    cache: FastHashMap<u32, Rc<SymVal<CLit>>>,
+}
+
+impl SmtSession {
+    fn new() -> SmtSession {
+        SmtSession {
+            alg: CnfAlg::new(),
+            cache: FastHashMap::default(),
+        }
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &Context,
+        root: ExprId,
+        budget: &Budget,
+        session_stats: &mut SessionStats,
+    ) -> (SolveOutcome, Stats) {
+        let _span = rzen_obs::span!("session.smt.solve", "root" => root.0);
+        let carried = self.alg.solver.num_learnts() as u64;
+        session_stats.sat_clauses_carried += carried;
+        rzen_obs::counter!(
+            "session.sat.carried",
+            "learnt clauses alive at query start (summed over session queries)"
+        )
+        .add(carried);
+
+        let stats_before = self.alg.solver.stats;
+        let seed = std::mem::take(&mut self.cache);
+        let mut compiler = BitCompiler::with_seed_cache(&mut self.alg, seed);
+        let sym = compiler.compile(ctx, root);
+        let b = *sym.as_bool();
+        session_stats.bitblast_hits += compiler.seed_hits();
+        session_stats.bitblast_compiled += compiler.compiled() as u64;
+        rzen_obs::counter!(
+            "session.bitblast.hits",
+            "bitblast-cache lookups served across queries"
+        )
+        .add(compiler.seed_hits());
+        self.cache = compiler.into_cache();
+
+        let delta = |solver: &rzen_sat::Solver| stats_delta(&solver.stats, &stats_before);
+        match b {
+            CLit::F => (SolveOutcome::Unsat, delta(&self.alg.solver)),
+            CLit::T | CLit::L(_) => {
+                // Tseitin compilation is linear and not interrupted; honor
+                // a budget that expired during it before searching.
+                if budget.is_exhausted() {
+                    return (SolveOutcome::Cancelled, delta(&self.alg.solver));
+                }
+                // Guard the root behind a fresh activation literal so it
+                // can be retired after this query without poisoning the
+                // clause database for the next one.
+                let activation = match b {
+                    CLit::L(l) => {
+                        let a = Lit::pos(self.alg.solver.new_var());
+                        self.alg.solver.add_clause(&[!a, l]);
+                        Some(a)
+                    }
+                    _ => None,
+                };
+                self.alg.solver.clear_budget();
+                self.alg.solver.set_interrupt(budget.cancel_flag());
+                if let Some(deadline) = budget.deadline() {
+                    self.alg.solver.set_deadline(deadline);
+                }
+                let assumptions: Vec<Lit> = activation.into_iter().collect();
+                let status = self.alg.solver.solve_limited(&assumptions);
+                self.alg.solver.clear_budget();
+                let stats = delta(&self.alg.solver);
+                let outcome = match status {
+                    SolveStatus::Sat => SolveOutcome::Sat(extract_env(ctx, &self.alg)),
+                    SolveStatus::Unsat => SolveOutcome::Unsat,
+                    SolveStatus::Unknown => SolveOutcome::Cancelled,
+                };
+                // Retire the guard: `¬a` makes this query's root clause
+                // vacuous for every later query, whatever the verdict was.
+                if let Some(a) = activation {
+                    self.alg.solver.add_clause(&[!a]);
+                }
+                (outcome, stats)
+            }
+        }
+    }
+}
+
+fn stats_delta(after: &Stats, before: &Stats) -> Stats {
+    Stats {
+        conflicts: after.conflicts - before.conflicts,
+        decisions: after.decisions - before.decisions,
+        propagations: after.propagations - before.propagations,
+        restarts: after.restarts - before.restarts,
+        learned_clauses: after.learned_clauses - before.learned_clauses,
+        deleted_clauses: after.deleted_clauses - before.deleted_clauses,
+    }
+}
+
+/// Persistent BDD backend state: one manager (unique table + op-cache)
+/// and one ever-growing variable order for the whole session.
+struct BddSession {
+    m: BddManager,
+    order: VarOrder,
+    cache: FastHashMap<u32, Rc<SymVal<Bdd>>>,
+}
+
+impl BddSession {
+    fn new() -> BddSession {
+        BddSession {
+            m: BddManager::new(),
+            order: VarOrder::with_base(0),
+            cache: FastHashMap::default(),
+        }
+    }
+
+    fn solve(
+        &mut self,
+        ctx: &Context,
+        root: ExprId,
+        use_interactions: bool,
+        budget: &Budget,
+        session_stats: &mut SessionStats,
+    ) -> (SolveOutcome, BddStats) {
+        let _span = rzen_obs::span!("session.bdd.solve", "root" => root.0);
+        let reused = (self.m.arena_size() as u64).saturating_sub(2);
+        session_stats.bdd_nodes_reused += reused;
+        rzen_obs::counter!(
+            "session.bdd.reused",
+            "BDD nodes alive at query start (summed over session queries)"
+        )
+        .add(reused);
+
+        // Append levels for this query's unseen variables; earlier
+        // queries' levels are pinned and never move.
+        {
+            let _span = rzen_obs::span!("bdd.order");
+            extend_order(ctx, &mut self.order, &[root], use_interactions);
+        }
+        let stats_before = self.m.stats();
+        // (Re)arm the budget; this also resets the manager's interrupt
+        // latch left by a cancelled earlier query.
+        self.m
+            .set_budget(Some(budget.cancel_flag()), budget.deadline());
+        let order = std::mem::replace(&mut self.order, VarOrder::with_base(0));
+        let seed = std::mem::take(&mut self.cache);
+        let mut alg = BddAlg {
+            m: &mut self.m,
+            order,
+        };
+        let mut compiler = BitCompiler::with_seed_cache(&mut alg, seed);
+        let sym = compiler.compile(ctx, root);
+        let b = *sym.as_bool();
+        session_stats.bitblast_hits += compiler.seed_hits();
+        session_stats.bitblast_compiled += compiler.compiled() as u64;
+        rzen_obs::counter!(
+            "session.bitblast.hits",
+            "bitblast-cache lookups served across queries"
+        )
+        .add(compiler.seed_hits());
+        let inserted = compiler.take_inserted();
+        let mut cache = compiler.into_cache();
+        self.order = alg.order;
+        let stats = bdd_stats_delta(&self.m.stats(), &stats_before);
+
+        if self.m.interrupted() {
+            // Nodes compiled during an interrupted build hold garbage
+            // handles (the manager suppresses writes once interrupted);
+            // evict exactly those. Entries that predate this query were
+            // built to completion and stay valid.
+            for k in inserted {
+                cache.remove(&k);
+            }
+            self.cache = cache;
+            self.m.set_budget(None, None);
+            return (SolveOutcome::Cancelled, stats);
+        }
+        self.cache = cache;
+        let sat_model = {
+            let _span = rzen_obs::span!("bdd.any_sat");
+            self.m.any_sat(b)
+        };
+        self.m.set_budget(None, None);
+        let Some(model) = sat_model else {
+            return (SolveOutcome::Unsat, stats);
+        };
+        let mut level_bits: FastHashMap<u32, bool> = FastHashMap::default();
+        for (level, val) in model {
+            level_bits.insert(level, val);
+        }
+        let env = env_from_levels(ctx, &self.order, |level| {
+            level_bits.get(&level).copied().unwrap_or(false)
+        });
+        (SolveOutcome::Sat(env), stats)
+    }
+}
+
+fn bdd_stats_delta(after: &BddStats, before: &BddStats) -> BddStats {
+    BddStats {
+        // Arena and unique table are session gauges, not per-query
+        // counters; report their current size.
+        nodes: after.nodes,
+        unique_entries: after.unique_entries,
+        cache_lookups: after.cache_lookups - before.cache_lookups,
+        cache_hits: after.cache_hits - before.cache_hits,
+    }
+}

@@ -1,0 +1,93 @@
+//! The result cache, keyed on the full [`Query`].
+//!
+//! The fingerprint is a 64-bit FNV-1a hash — fast to compare and stable,
+//! but *not* collision-free, so it only selects a bucket. Within a bucket
+//! the stored queries are compared structurally (`Query: Eq`); a colliding
+//! fingerprint therefore costs one extra comparison instead of silently
+//! serving another query's verdict (and witness).
+
+use std::collections::HashMap;
+
+use crate::query::{Query, Verdict};
+
+/// Verdicts of decisive queries, keyed by full query with the structural
+/// fingerprint as the hash.
+#[derive(Debug, Default)]
+pub(crate) struct ResultCache {
+    map: HashMap<u64, Vec<(Query, Verdict)>>,
+}
+
+impl ResultCache {
+    pub(crate) fn new() -> ResultCache {
+        ResultCache::default()
+    }
+
+    /// The cached verdict for `query`, if this exact query was decided
+    /// before. `fingerprint` must be `query.fingerprint()` (passed in so
+    /// callers hash once); a bucket match alone is never enough.
+    pub(crate) fn get(&self, fingerprint: u64, query: &Query) -> Option<&Verdict> {
+        self.map
+            .get(&fingerprint)?
+            .iter()
+            .find(|(q, _)| q == query)
+            .map(|(_, v)| v)
+    }
+
+    /// Record a verdict for `query`.
+    pub(crate) fn insert(&mut self, fingerprint: u64, query: &Query, verdict: Verdict) {
+        let bucket = self.map.entry(fingerprint).or_default();
+        match bucket.iter_mut().find(|(q, _)| q == query) {
+            Some(slot) => slot.1 = verdict,
+            None => bucket.push((query.clone(), verdict)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acl_query(target_line: u16) -> Query {
+        Query::AclFind {
+            acl: rzen_net::gen::random_acl(4, 7),
+            target_line,
+        }
+    }
+
+    /// Regression: two *different* queries forced into the same 64-bit
+    /// fingerprint must not serve each other's verdicts. (A genuine FNV-1a
+    /// collision is infeasible to construct, so the collision is forced by
+    /// inserting under the same key — exactly what a collision looks like
+    /// to the cache.)
+    #[test]
+    fn forced_fingerprint_collision_does_not_cross_serve() {
+        let colliding = 0xdead_beef_u64;
+        let (a, b, c) = (acl_query(1), acl_query(2), acl_query(3));
+        let mut cache = ResultCache::new();
+        cache.insert(colliding, &a, Verdict::Unsat);
+        cache.insert(
+            colliding,
+            &b,
+            Verdict::Sat(crate::Witness::Header(rzen_net::headers::Header::new(
+                1, 2, 3, 4, 5,
+            ))),
+        );
+
+        assert_eq!(cache.get(colliding, &a), Some(&Verdict::Unsat));
+        assert!(matches!(cache.get(colliding, &b), Some(&Verdict::Sat(_))));
+        // The old u64-keyed cache returned *something* here; now a query
+        // that merely collides must miss.
+        assert_eq!(cache.get(colliding, &c), None);
+    }
+
+    #[test]
+    fn insert_overwrites_same_query() {
+        let q = acl_query(1);
+        let fp = q.fingerprint();
+        let mut cache = ResultCache::new();
+        cache.insert(fp, &q, Verdict::Unsat);
+        cache.insert(fp, &q, Verdict::Unsat);
+        assert_eq!(cache.get(fp, &q), Some(&Verdict::Unsat));
+        assert_eq!(cache.map[&fp].len(), 1);
+    }
+}

@@ -1,14 +1,17 @@
 //! The batch engine: a worker pool over queries, a backend portfolio per
-//! query, and a structural-fingerprint result cache.
+//! query, a full-query result cache, and (optionally) long-lived
+//! per-worker solver sessions with fingerprint-affinity dispatch.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use rzen::{Backend, Budget, FindOutcome};
+use rzen::{Backend, Budget, FindOutcome, SessionStats, SolverSession};
 
+use crate::cache::ResultCache;
 use crate::query::{Query, QueryBackend, RunOutput, Verdict};
 use crate::stats::{BatchReport, EngineStats, QueryResult};
 
@@ -22,8 +25,12 @@ pub struct EngineConfig {
     pub backend: QueryBackend,
     /// Per-query wall-clock budget; `None` = unlimited.
     pub timeout: Option<Duration>,
-    /// Enable the structural-fingerprint result cache.
+    /// Enable the structural result cache.
     pub cache: bool,
+    /// Keep long-lived solver sessions per worker (incremental SAT with
+    /// activation literals, a shared BDD manager, and a cross-query
+    /// bitblast cache), with same-model queries routed to the same worker.
+    pub sessions: bool,
 }
 
 impl Default for EngineConfig {
@@ -33,6 +40,7 @@ impl Default for EngineConfig {
             backend: QueryBackend::Portfolio,
             timeout: None,
             cache: true,
+            sessions: false,
         }
     }
 }
@@ -41,7 +49,20 @@ impl Default for EngineConfig {
 /// any number of times; the result cache persists across batches.
 pub struct Engine {
     cfg: EngineConfig,
-    cache: Mutex<HashMap<u64, Verdict>>,
+    cache: Mutex<ResultCache>,
+}
+
+/// What one query's solve produced, before verdict mapping.
+struct Solved {
+    /// The raw outcome, or the panic message if the query blew up.
+    outcome: Result<FindOutcome<crate::Witness>, String>,
+    winner: Option<Backend>,
+    sat_stats: Option<rzen_sat::Stats>,
+    bdd_stats: Option<rzen_bdd::BddStats>,
+    /// Elapsed time when the decisive verdict arrived. `None` when nothing
+    /// was decisive; the caller falls back to total elapsed time.
+    decided: Option<Duration>,
+    session: Option<SessionStats>,
 }
 
 impl Engine {
@@ -49,7 +70,7 @@ impl Engine {
     pub fn new(cfg: EngineConfig) -> Self {
         Engine {
             cfg,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(ResultCache::new()),
         }
     }
 
@@ -63,6 +84,9 @@ impl Engine {
     /// always run on spawned workers — never on the calling thread — so
     /// the caller's thread-local `Zen` context is left untouched.
     pub fn run_batch(&self, queries: &[Query]) -> BatchReport {
+        if self.cfg.sessions {
+            return self.run_batch_sessions(queries);
+        }
         let started = Instant::now();
         let _span = rzen_obs::span!("engine.batch", "queries" => queries.len() as u64, "jobs" => self.cfg.jobs as u64);
         let n = queries.len();
@@ -88,12 +112,89 @@ impl Engine {
             }
         });
 
-        let results: Vec<QueryResult> = slots
-            .into_iter()
-            .map(|m| m.into_inner().unwrap().expect("worker filled every slot"))
-            .collect();
+        let results = collect_results(slots, queries);
         let stats = EngineStats::aggregate(&results, started.elapsed());
         BatchReport { results, stats }
+    }
+
+    /// Session-mode batch: partition queries by model fingerprint so that
+    /// queries sharing an ACL/route-map/topology land on the same worker
+    /// (maximizing session reuse), then give each worker persistent
+    /// backend runner threads holding a [`SolverSession`] each.
+    fn run_batch_sessions(&self, queries: &[Query]) -> BatchReport {
+        let started = Instant::now();
+        let _span = rzen_obs::span!("engine.batch", "queries" => queries.len() as u64, "jobs" => self.cfg.jobs as u64);
+        let n = queries.len();
+        let workers = self.cfg.jobs.max(1).min(n.max(1));
+
+        // Fingerprint-affinity dispatch: each new model group goes to the
+        // currently least-loaded worker; members follow their group.
+        let mut group_worker: HashMap<u64, usize> = HashMap::new();
+        let mut load = vec![0usize; workers];
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for (i, q) in queries.iter().enumerate() {
+            let w = *group_worker
+                .entry(q.model_fingerprint())
+                .or_insert_with(|| (0..workers).min_by_key(|&w| load[w]).unwrap_or(0));
+            load[w] += 1;
+            buckets[w].push(i);
+        }
+
+        let slots: Vec<Mutex<Option<QueryResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        thread::scope(|s| {
+            let slots = &slots;
+            for (w, bucket) in buckets.iter().enumerate() {
+                if bucket.is_empty() {
+                    continue;
+                }
+                s.spawn(move || {
+                    let _span = rzen_obs::span!("engine.worker", "worker" => w as u64);
+                    let runners = SessionRunners::spawn(self.cfg.backend);
+                    for &i in bucket {
+                        let result = self.solve_one_session(i, &queries[i], &runners.txs);
+                        *slots[i].lock().unwrap() = Some(result);
+                    }
+                    runners.shutdown();
+                });
+            }
+        });
+
+        let results = collect_results(slots, queries);
+        let stats = EngineStats::aggregate(&results, started.elapsed());
+        BatchReport { results, stats }
+    }
+
+    /// The cached result for this query, if caching is on and this exact
+    /// query (not merely a colliding fingerprint) was decided before.
+    fn cache_lookup(
+        &self,
+        index: usize,
+        query: &Query,
+        fingerprint: u64,
+        started: Instant,
+    ) -> Option<QueryResult> {
+        if !self.cfg.cache {
+            return None;
+        }
+        let v = self
+            .cache
+            .lock()
+            .unwrap()
+            .get(fingerprint, query)
+            .cloned()?;
+        rzen_obs::counter!("engine.cache.hits", "queries served from the result cache").inc();
+        rzen_obs::trace::instant1("engine.cache.hit", "index", index as u64);
+        Some(QueryResult {
+            index,
+            kind: query.kind(),
+            verdict: v,
+            latency: started.elapsed(),
+            winner: None,
+            cache_hit: true,
+            sat_stats: None,
+            bdd_stats: None,
+            session: None,
+        })
     }
 
     fn solve_one(&self, index: usize, query: &Query) -> QueryResult {
@@ -101,23 +202,8 @@ impl Engine {
         let _span = rzen_obs::span!("engine.query", "index" => index as u64);
         rzen_obs::counter!("engine.queries", "queries dispatched to workers").inc();
         let fingerprint = query.fingerprint();
-
-        if self.cfg.cache {
-            if let Some(v) = self.cache.lock().unwrap().get(&fingerprint) {
-                rzen_obs::counter!("engine.cache.hits", "queries served from the result cache")
-                    .inc();
-                rzen_obs::trace::instant1("engine.cache.hit", "index", index as u64);
-                return QueryResult {
-                    index,
-                    kind: query.kind(),
-                    verdict: v.clone(),
-                    latency: started.elapsed(),
-                    winner: None,
-                    cache_hit: true,
-                    sat_stats: None,
-                    bdd_stats: None,
-                };
-            }
+        if let Some(hit) = self.cache_lookup(index, query, fingerprint, started) {
+            return hit;
         }
 
         let budget = match self.cfg.timeout {
@@ -125,40 +211,149 @@ impl Engine {
             None => Budget::unlimited(),
         };
 
-        let (outcome, winner, sat_stats, bdd_stats) = match self.cfg.backend {
-            QueryBackend::Bdd => {
-                let out = query.run_backend(Backend::Bdd, &budget);
-                let w = decisive_winner(&out.outcome, Backend::Bdd);
-                (out.outcome, w, out.sat_stats, out.bdd_stats)
-            }
-            QueryBackend::Smt => {
-                let out = query.run_backend(Backend::Smt, &budget);
-                let w = decisive_winner(&out.outcome, Backend::Smt);
-                (out.outcome, w, out.sat_stats, out.bdd_stats)
-            }
-            QueryBackend::Portfolio => run_portfolio(query, &budget),
+        let solved = match self.cfg.backend {
+            QueryBackend::Bdd => run_fresh(query, Backend::Bdd, &budget, started),
+            QueryBackend::Smt => run_fresh(query, Backend::Smt, &budget, started),
+            QueryBackend::Portfolio => run_portfolio(query, &budget, started),
+        };
+        self.finish(index, query, fingerprint, solved, &budget, started)
+    }
+
+    /// Session-mode solve: hand the query to every runner of this worker
+    /// (one per backend), record latency the moment a decisive reply
+    /// lands, then drain the loser before moving on so the sessions stay
+    /// in lock-step.
+    fn solve_one_session(
+        &self,
+        index: usize,
+        query: &Query,
+        runners: &[mpsc::Sender<SessionJob>],
+    ) -> QueryResult {
+        let started = Instant::now();
+        let _span = rzen_obs::span!("engine.query", "index" => index as u64);
+        rzen_obs::counter!("engine.queries", "queries dispatched to workers").inc();
+        let fingerprint = query.fingerprint();
+        if let Some(hit) = self.cache_lookup(index, query, fingerprint, started) {
+            return hit;
+        }
+
+        let budget = match self.cfg.timeout {
+            Some(t) => Budget::with_timeout(t),
+            None => Budget::unlimited(),
         };
 
-        let verdict = match outcome {
-            FindOutcome::Found(w) => Verdict::Sat(w),
-            FindOutcome::Unsat => Verdict::Unsat,
-            FindOutcome::Cancelled => {
+        let (reply_tx, reply_rx) = mpsc::channel::<SessionReply>();
+        let mut error: Option<String> = None;
+        for tx in runners {
+            let job = SessionJob {
+                query: query.clone(),
+                budget: budget.clone(),
+                reply: reply_tx.clone(),
+            };
+            if tx.send(job).is_err() {
+                error.get_or_insert_with(|| "session runner unavailable".to_string());
+            }
+        }
+        drop(reply_tx);
+
+        let mut winner: Option<(Backend, RunOutput)> = None;
+        let mut decided = None;
+        let mut sat_stats = None;
+        let mut bdd_stats = None;
+        let mut last: Option<RunOutput> = None;
+        let mut session_total = SessionStats::default();
+        for reply in reply_rx.iter() {
+            session_total.absorb(&reply.session);
+            let out = match reply.output {
+                Ok(out) => out,
+                Err(msg) => {
+                    error.get_or_insert(msg);
+                    continue;
+                }
+            };
+            if out.sat_stats.is_some() {
+                sat_stats = out.sat_stats;
+            }
+            if out.bdd_stats.is_some() {
+                bdd_stats = out.bdd_stats;
+            }
+            if winner.is_none() && !matches!(out.outcome, FindOutcome::Cancelled) {
+                budget.cancel();
+                decided = Some(started.elapsed());
+                rzen_obs::trace::instant1(
+                    "engine.race.decisive",
+                    "bdd",
+                    u64::from(reply.backend == Backend::Bdd),
+                );
+                winner = Some((reply.backend, out));
+            } else {
+                last = Some(out);
+            }
+        }
+
+        let solved = match winner {
+            Some((backend, out)) => Solved {
+                outcome: Ok(out.outcome),
+                winner: Some(backend),
+                sat_stats,
+                bdd_stats,
+                decided,
+                session: Some(session_total),
+            },
+            None => Solved {
+                outcome: match error {
+                    Some(msg) => Err(msg),
+                    None => Ok(last.map(|o| o.outcome).unwrap_or(FindOutcome::Cancelled)),
+                },
+                winner: None,
+                sat_stats,
+                bdd_stats,
+                decided: None,
+                session: Some(session_total),
+            },
+        };
+        self.finish(index, query, fingerprint, solved, &budget, started)
+    }
+
+    /// Map the raw outcome to a [`Verdict`], feed the cache and metrics,
+    /// and assemble the result. Latency is the decision-time stamp when
+    /// one exists (portfolio losers drain after it), total elapsed
+    /// otherwise.
+    fn finish(
+        &self,
+        index: usize,
+        query: &Query,
+        fingerprint: u64,
+        solved: Solved,
+        budget: &Budget,
+        started: Instant,
+    ) -> QueryResult {
+        let verdict = match solved.outcome {
+            Ok(FindOutcome::Found(w)) => Verdict::Sat(w),
+            Ok(FindOutcome::Unsat) => Verdict::Unsat,
+            Ok(FindOutcome::Cancelled) => {
                 if budget.deadline_passed() {
                     Verdict::Timeout
                 } else {
                     Verdict::Cancelled
                 }
             }
+            Err(msg) => {
+                rzen_obs::counter!("engine.errors", "queries that panicked inside a worker").inc();
+                Verdict::Error(msg)
+            }
         };
 
+        // Only decisive verdicts are cached, so an `Error` (or a budget
+        // artifact) can never be replayed to a later identical query.
         if self.cfg.cache && verdict.is_decisive() {
             self.cache
                 .lock()
                 .unwrap()
-                .insert(fingerprint, verdict.clone());
+                .insert(fingerprint, query, verdict.clone());
         }
 
-        let latency = started.elapsed();
+        let latency = solved.decided.unwrap_or_else(|| started.elapsed());
         rzen_obs::histogram!("engine.query_us", "per-query wall latency in microseconds")
             .observe(latency.as_micros() as u64);
         QueryResult {
@@ -166,11 +361,46 @@ impl Engine {
             kind: query.kind(),
             verdict,
             latency,
-            winner,
+            winner: solved.winner,
             cache_hit: false,
-            sat_stats,
-            bdd_stats,
+            sat_stats: solved.sat_stats,
+            bdd_stats: solved.bdd_stats,
+            session: solved.session,
         }
+    }
+}
+
+/// Unwrap the slot vector; a missing slot (worker died outside the
+/// per-query panic guard) degrades to an `Error` verdict instead of
+/// poisoning the whole batch.
+fn collect_results(slots: Vec<Mutex<Option<QueryResult>>>, queries: &[Query]) -> Vec<QueryResult> {
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| {
+            m.into_inner().unwrap().unwrap_or_else(|| QueryResult {
+                index: i,
+                kind: queries[i].kind(),
+                verdict: Verdict::Error("worker terminated before filling its slot".into()),
+                latency: Duration::ZERO,
+                winner: None,
+                cache_hit: false,
+                sat_stats: None,
+                bdd_stats: None,
+                session: None,
+            })
+        })
+        .collect()
+}
+
+/// Best-effort text of a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query panicked".to_string()
     }
 }
 
@@ -181,22 +411,40 @@ fn decisive_winner(outcome: &FindOutcome<crate::Witness>, b: Backend) -> Option<
     }
 }
 
+/// One backend, fresh context, with the per-query panic guard.
+fn run_fresh(query: &Query, backend: Backend, budget: &Budget, started: Instant) -> Solved {
+    match catch_unwind(AssertUnwindSafe(|| query.run_backend(backend, budget))) {
+        Ok(out) => Solved {
+            winner: decisive_winner(&out.outcome, backend),
+            // Single backend: nothing drains after the verdict, so
+            // decision time is simply completion time.
+            decided: Some(started.elapsed()),
+            outcome: Ok(out.outcome),
+            sat_stats: out.sat_stats,
+            bdd_stats: out.bdd_stats,
+            session: None,
+        },
+        Err(p) => Solved {
+            outcome: Err(panic_message(p)),
+            winner: None,
+            sat_stats: None,
+            bdd_stats: None,
+            decided: None,
+            session: None,
+        },
+    }
+}
+
 /// Race the two backends on cloned query data under one shared budget.
-/// The first decisive verdict cancels the other solver; if neither is
-/// decisive (deadline hit both), the query comes back `Cancelled` and the
-/// caller maps it to `Timeout`/`Cancelled` by whether the deadline passed.
-#[allow(clippy::type_complexity)]
-fn run_portfolio(
-    query: &Query,
-    budget: &Budget,
-) -> (
-    FindOutcome<crate::Witness>,
-    Option<Backend>,
-    Option<rzen_sat::Stats>,
-    Option<rzen_bdd::BddStats>,
-) {
+/// The first decisive verdict cancels the other solver and stamps the
+/// query's latency; the loser then drains (for its substrate stats)
+/// without inflating it. If neither is decisive (deadline hit both), the
+/// query comes back `Cancelled` and the caller maps it to
+/// `Timeout`/`Cancelled` by whether the deadline passed; a panic on both
+/// sides surfaces as an error.
+fn run_portfolio(query: &Query, budget: &Budget, started: Instant) -> Solved {
     let _span = rzen_obs::span!("engine.race");
-    let (tx, rx) = mpsc::channel::<(Backend, RunOutput)>();
+    let (tx, rx) = mpsc::channel::<(Backend, Result<RunOutput, String>)>();
     thread::scope(|s| {
         for backend in [Backend::Bdd, Backend::Smt] {
             let tx = tx.clone();
@@ -205,7 +453,8 @@ fn run_portfolio(
             s.spawn(move || {
                 let _span =
                     rzen_obs::span!("engine.backend", "bdd" => u64::from(backend == Backend::Bdd));
-                let out = query.run_backend(backend, &budget);
+                let out = catch_unwind(AssertUnwindSafe(|| query.run_backend(backend, &budget)))
+                    .map_err(panic_message);
                 // The receiver may have already returned; a closed channel
                 // just means the race was decided without us.
                 let _ = tx.send((backend, out));
@@ -214,10 +463,19 @@ fn run_portfolio(
         drop(tx);
 
         let mut winner: Option<(Backend, RunOutput)> = None;
+        let mut decided = None;
         let mut sat_stats = None;
         let mut bdd_stats = None;
         let mut last: Option<RunOutput> = None;
-        for (backend, out) in rx.iter() {
+        let mut error: Option<String> = None;
+        for (backend, res) in rx.iter() {
+            let out = match res {
+                Ok(out) => out,
+                Err(msg) => {
+                    error.get_or_insert(msg);
+                    continue;
+                }
+            };
             if out.sat_stats.is_some() {
                 sat_stats = out.sat_stats;
             }
@@ -225,8 +483,10 @@ fn run_portfolio(
                 bdd_stats = out.bdd_stats;
             }
             if winner.is_none() && !matches!(out.outcome, FindOutcome::Cancelled) {
-                // First decisive verdict wins; stop the other solver.
+                // First decisive verdict wins: stop the other solver and
+                // stamp the latency *now*, before the loser's teardown.
                 budget.cancel();
+                decided = Some(started.elapsed());
                 rzen_obs::trace::instant1(
                     "engine.race.decisive",
                     "bdd",
@@ -244,13 +504,112 @@ fn run_portfolio(
         }
 
         match winner {
-            Some((backend, out)) => (out.outcome, Some(backend), sat_stats, bdd_stats),
-            None => (
-                last.map(|o| o.outcome).unwrap_or(FindOutcome::Cancelled),
-                None,
+            Some((backend, out)) => Solved {
+                outcome: Ok(out.outcome),
+                winner: Some(backend),
                 sat_stats,
                 bdd_stats,
-            ),
+                decided,
+                session: None,
+            },
+            None => Solved {
+                outcome: match error {
+                    // A panic is the more actionable signal than the
+                    // other side's cancellation.
+                    Some(msg) => Err(msg),
+                    None => Ok(last.map(|o| o.outcome).unwrap_or(FindOutcome::Cancelled)),
+                },
+                winner: None,
+                sat_stats,
+                bdd_stats,
+                decided: None,
+                session: None,
+            },
         }
     })
+}
+
+/// One query handed to a session runner, with its reply channel.
+struct SessionJob {
+    query: Query,
+    budget: Budget,
+    reply: mpsc::Sender<SessionReply>,
+}
+
+/// A runner's answer: the raw output (or panic message) plus the session
+/// counters this query moved.
+struct SessionReply {
+    backend: Backend,
+    output: Result<RunOutput, String>,
+    session: SessionStats,
+}
+
+/// The persistent backend threads owned by one session-mode worker: one
+/// per backend (two for the portfolio), each holding a [`SolverSession`]
+/// for the worker's whole bucket.
+struct SessionRunners {
+    txs: Vec<mpsc::Sender<SessionJob>>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl SessionRunners {
+    fn spawn(backend: QueryBackend) -> SessionRunners {
+        let backends: &[Backend] = match backend {
+            QueryBackend::Bdd => &[Backend::Bdd],
+            QueryBackend::Smt => &[Backend::Smt],
+            QueryBackend::Portfolio => &[Backend::Bdd, Backend::Smt],
+        };
+        let mut txs = Vec::with_capacity(backends.len());
+        let mut handles = Vec::with_capacity(backends.len());
+        for &b in backends {
+            let (tx, rx) = mpsc::channel::<SessionJob>();
+            txs.push(tx);
+            handles.push(thread::spawn(move || session_runner(b, rx)));
+        }
+        SessionRunners { txs, handles }
+    }
+
+    fn shutdown(self) {
+        drop(self.txs);
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A session runner: owns one [`SolverSession`] (and this thread's `Zen`
+/// context) for its whole lifetime, solving jobs in arrival order. A
+/// panicking query is answered with its panic message, and the session
+/// *and* context are rebuilt from scratch — a half-built session (e.g. a
+/// variable order that lost levels mid-extension) could be unsound, and a
+/// fresh one merely loses cached work.
+fn session_runner(backend: Backend, rx: mpsc::Receiver<SessionJob>) {
+    let _span = rzen_obs::span!("engine.session", "bdd" => u64::from(backend == Backend::Bdd));
+    rzen::reset_ctx();
+    let mut session = SolverSession::new(backend);
+    while let Ok(job) = rx.recv() {
+        let before = session.stats();
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            job.query.run_in_session(&mut session, &job.budget)
+        }));
+        let reply = match out {
+            Ok(output) => SessionReply {
+                backend,
+                output: Ok(output),
+                session: session.stats().delta_since(&before),
+            },
+            Err(p) => {
+                rzen::reset_ctx();
+                session = SolverSession::new(backend);
+                SessionReply {
+                    backend,
+                    output: Err(panic_message(p)),
+                    session: SessionStats::default(),
+                }
+            }
+        };
+        let _ = job.reply.send(reply);
+    }
+    // Leave no arena behind on the (dying) thread.
+    rzen::reset_ctx();
 }

@@ -23,9 +23,20 @@
 //!
 //! ## Caching
 //!
-//! Results are keyed by a stable FNV-1a fingerprint of the query's
-//! structure. Only decisive verdicts are cached — a `Timeout` is a fact
-//! about the budget, not the query.
+//! Results are keyed by the full query, hashed under a stable FNV-1a
+//! fingerprint of its structure (the fingerprint selects the bucket; the
+//! query itself is compared structurally, so hash collisions cannot serve
+//! a wrong verdict). Only decisive verdicts are cached — a `Timeout` is a
+//! fact about the budget, not the query, and a `Verdict::Error` records a
+//! worker panic.
+//!
+//! ## Sessions
+//!
+//! With `EngineConfig { sessions: true, .. }` each worker keeps long-lived
+//! solver state — one incremental SAT solver, one BDD manager, and a
+//! cross-query bitblast cache — and the batch is partitioned by *model
+//! fingerprint* so queries over the same ACL/route-map/topology land on
+//! the same worker and reuse each other's work. See [`rzen::session`].
 //!
 //! ## Example
 //!
@@ -45,6 +56,7 @@
 //! println!("{}", report.stats);
 //! ```
 
+mod cache;
 mod engine;
 mod query;
 mod stats;

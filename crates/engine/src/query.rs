@@ -30,7 +30,7 @@ pub enum QueryBackend {
 /// analyses: ACL line reachability and route-map clause reachability
 /// (Fig. 10), and packet reachability / drop search over a topology
 /// (Figs. 6–7).
-#[derive(Clone, Debug, Hash)]
+#[derive(Clone, Debug, Hash, PartialEq, Eq)]
 pub enum Query {
     /// Find a header that is decided by ACL rule `target_line` (1-based;
     /// 0 = no rule matches). Unsat means the line is shadowed.
@@ -96,6 +96,9 @@ pub enum Verdict {
     /// Cancelled (portfolio loser, or an explicit cancel) before a
     /// verdict; the deadline had not passed.
     Cancelled,
+    /// The query panicked inside a worker (an invariant violation in the
+    /// model or a backend bug). Never cached; carries the panic message.
+    Error(String),
 }
 
 impl Verdict {
@@ -135,11 +138,49 @@ impl Hasher for Fnv1a {
     }
 }
 
+/// How a query executes: a throwaway context per query, or through a
+/// long-lived per-worker [`rzen::SolverSession`].
+pub(crate) enum RunMode<'s> {
+    /// Reset the thread-local context and solve with a fresh backend.
+    Fresh(rzen::Backend),
+    /// Solve through the session, keeping the context (and therefore the
+    /// hash-consed `ExprId`s the session's caches key on) intact.
+    Session(&'s mut rzen::SolverSession),
+}
+
 impl Query {
-    /// Structural fingerprint used as the result-cache key.
+    /// Structural fingerprint used as the result-cache hash.
     pub fn fingerprint(&self) -> u64 {
         let mut h = Fnv1a(FNV_OFFSET);
         self.hash(&mut h);
+        h.finish()
+    }
+
+    /// Fingerprint of the *model* part only (ACL / route map / network),
+    /// ignoring the target line/clause or src/dst pair. Queries sharing a
+    /// model fingerprint share most of their circuit, so the engine's
+    /// affinity dispatch routes them to the same worker session.
+    pub fn model_fingerprint(&self) -> u64 {
+        let mut h = Fnv1a(FNV_OFFSET);
+        match self {
+            Query::AclFind { acl, .. } => {
+                0u8.hash(&mut h);
+                acl.hash(&mut h);
+            }
+            Query::RouteMapFind {
+                map, list_bound, ..
+            } => {
+                1u8.hash(&mut h);
+                map.hash(&mut h);
+                list_bound.hash(&mut h);
+            }
+            // Reach and Drops over the same topology share the forwarding
+            // encoding; hash only the network.
+            Query::Reach { net, .. } | Query::Drops { net, .. } => {
+                2u8.hash(&mut h);
+                net.hash(&mut h);
+            }
+        }
         h.finish()
     }
 
@@ -148,16 +189,28 @@ impl Query {
     /// from a thread with no live `Zen` handles (the engine's workers).
     pub(crate) fn run_backend(&self, backend: rzen::Backend, budget: &Budget) -> RunOutput {
         rzen::reset_ctx();
+        self.run_with(RunMode::Fresh(backend), budget)
+    }
+
+    /// Run through a long-lived session. The context is **not** reset —
+    /// the session's bitblast cache and symbolic inputs are keyed by the
+    /// current arena's `ExprId`s.
+    pub(crate) fn run_in_session(
+        &self,
+        session: &mut rzen::SolverSession,
+        budget: &Budget,
+    ) -> RunOutput {
+        self.run_with(RunMode::Session(session), budget)
+    }
+
+    fn run_with(&self, mode: RunMode<'_>, budget: &Budget) -> RunOutput {
         match self {
             Query::AclFind { acl, target_line } => {
                 let acl = acl.clone();
                 let target = *target_line;
                 let f = ZenFunction::new(move |h| acl.matched_line(h));
-                let opts = FindOptions {
-                    backend,
-                    ..Default::default()
-                };
-                let report = f.find_budgeted(|_, line| line.eq(Zen::val(target)), &opts, budget);
+                let opts = FindOptions::default();
+                let report = dispatch(&f, |_, line| line.eq(Zen::val(target)), opts, budget, mode);
                 RunOutput {
                     outcome: map_outcome(report.outcome, Witness::Header),
                     sat_stats: report.sat_stats,
@@ -173,11 +226,10 @@ impl Query {
                 let target = *target_clause;
                 let f = ZenFunction::new(move |a| map.matched_clause(a));
                 let opts = FindOptions {
-                    backend,
                     list_bound: *list_bound,
                     ..Default::default()
                 };
-                let report = f.find_budgeted(|_, line| line.eq(Zen::val(target)), &opts, budget);
+                let report = dispatch(&f, |_, line| line.eq(Zen::val(target)), opts, budget, mode);
                 RunOutput {
                     outcome: map_outcome(report.outcome, |a| Witness::Announcement(Box::new(a))),
                     sat_stats: report.sat_stats,
@@ -198,11 +250,8 @@ impl Query {
                         acc.or(forward_along(path, p).is_some())
                     })
                 });
-                let opts = FindOptions {
-                    backend,
-                    ..Default::default()
-                };
-                let report = f.find_budgeted(|_, delivered| delivered, &opts, budget);
+                let opts = FindOptions::default();
+                let report = dispatch(&f, |_, delivered| delivered, opts, budget, mode);
                 RunOutput {
                     outcome: map_outcome(report.outcome, Witness::Packet),
                     sat_stats: report.sat_stats,
@@ -225,11 +274,8 @@ impl Query {
                         acc.and(forward_along(path, p).is_none())
                     })
                 });
-                let opts = FindOptions {
-                    backend,
-                    ..Default::default()
-                };
-                let report = f.find_budgeted(|_, dropped| dropped, &opts, budget);
+                let opts = FindOptions::default();
+                let report = dispatch(&f, |_, dropped| dropped, opts, budget, mode);
                 RunOutput {
                     outcome: map_outcome(report.outcome, Witness::Packet),
                     sat_stats: report.sat_stats,
@@ -291,6 +337,24 @@ impl Query {
             Query::Reach { .. } => "reach",
             Query::Drops { .. } => "drops",
         }
+    }
+}
+
+/// Run one find either fresh (overriding the backend in `opts`) or
+/// through the worker's session (which ignores `opts.backend`).
+fn dispatch<A: rzen::ZenType, R: rzen::ZenType>(
+    f: &ZenFunction<A, R>,
+    pred: impl FnOnce(Zen<A>, Zen<R>) -> Zen<bool>,
+    mut opts: FindOptions,
+    budget: &Budget,
+    mode: RunMode<'_>,
+) -> rzen::FindReport<A> {
+    match mode {
+        RunMode::Fresh(backend) => {
+            opts.backend = backend;
+            f.find_budgeted(pred, &opts, budget)
+        }
+        RunMode::Session(session) => f.find_in_session(pred, &opts, budget, session),
     }
 }
 

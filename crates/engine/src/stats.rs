@@ -29,6 +29,8 @@ pub struct QueryResult {
     pub sat_stats: Option<rzen_sat::Stats>,
     /// BDD manager counters from the BDD run, if one ran.
     pub bdd_stats: Option<rzen_bdd::BddStats>,
+    /// Session reuse counters for this query (session mode only).
+    pub session: Option<rzen::SessionStats>,
 }
 
 /// Everything [`crate::Engine::run_batch`] returns.
@@ -58,6 +60,7 @@ impl BatchReport {
                 Verdict::Unsat => "unsat",
                 Verdict::Timeout => "timeout",
                 Verdict::Cancelled => "cancelled",
+                Verdict::Error(_) => "error",
             };
             let winner = match r.winner {
                 Some(Backend::Bdd) => "\"bdd\"",
@@ -77,16 +80,18 @@ impl BatchReport {
         out.push_str("],\"stats\":{");
         let s = &self.stats;
         out.push_str(&format!(
-            "\"total\":{},\"sat\":{},\"unsat\":{},\"timeout\":{},\"cancelled\":{},\
+            "\"total\":{},\"sat\":{},\"unsat\":{},\"timeout\":{},\"cancelled\":{},\"errors\":{},\
              \"cache_hits\":{},\"bdd_wins\":{},\"smt_wins\":{},\"wall_us\":{},\
              \"latency_p50_us\":{},\"latency_p95_us\":{},\"latency_max_us\":{},\
              \"sat_conflicts\":{},\"sat_propagations\":{},\"sat_learned\":{},\"sat_restarts\":{},\
-             \"bdd_nodes\":{},\"bdd_cache_lookups\":{},\"bdd_cache_hits\":{}",
+             \"bdd_nodes\":{},\"bdd_cache_lookups\":{},\"bdd_cache_hits\":{},\
+             \"session_bitblast_hits\":{},\"session_sat_carried\":{},\"session_bdd_reused\":{}",
             s.total,
             s.sat,
             s.unsat,
             s.timeout,
             s.cancelled,
+            s.errors,
             s.cache_hits,
             s.bdd_wins,
             s.smt_wins,
@@ -101,6 +106,9 @@ impl BatchReport {
             s.bdd_nodes,
             s.bdd_cache_lookups,
             s.bdd_cache_hits,
+            s.session_bitblast_hits,
+            s.session_sat_carried,
+            s.session_bdd_reused,
         ));
         out.push_str("},\"metrics\":");
         out.push_str(&rzen_obs::metrics::registry().render_json());
@@ -122,6 +130,8 @@ pub struct EngineStats {
     pub timeout: usize,
     /// Explicit cancellations.
     pub cancelled: usize,
+    /// Queries that panicked inside a worker.
+    pub errors: usize,
     /// Queries served from the result cache.
     pub cache_hits: usize,
     /// Queries decided by the BDD backend.
@@ -150,6 +160,12 @@ pub struct EngineStats {
     pub bdd_cache_lookups: u64,
     /// Summed computed-cache hits.
     pub bdd_cache_hits: u64,
+    /// Bitblast-cache lookups served across queries (session mode).
+    pub session_bitblast_hits: u64,
+    /// Learnt clauses carried into queries (session mode).
+    pub session_sat_carried: u64,
+    /// BDD nodes alive at query start, summed (session mode).
+    pub session_bdd_reused: u64,
 }
 
 impl EngineStats {
@@ -167,6 +183,7 @@ impl EngineStats {
                 Verdict::Unsat => s.unsat += 1,
                 Verdict::Timeout => s.timeout += 1,
                 Verdict::Cancelled => s.cancelled += 1,
+                Verdict::Error(_) => s.errors += 1,
             }
             if r.cache_hit {
                 s.cache_hits += 1;
@@ -186,6 +203,11 @@ impl EngineStats {
                 s.bdd_nodes += st.nodes as u64;
                 s.bdd_cache_lookups += st.cache_lookups;
                 s.bdd_cache_hits += st.cache_hits;
+            }
+            if let Some(st) = r.session {
+                s.session_bitblast_hits += st.bitblast_hits;
+                s.session_sat_carried += st.sat_clauses_carried;
+                s.session_bdd_reused += st.bdd_nodes_reused;
             }
             latencies.push(r.latency);
         }
@@ -258,8 +280,8 @@ impl fmt::Display for EngineStats {
         )?;
         writeln!(
             f,
-            "  verdicts     sat {} / unsat {} / timeout {} / cancelled {}",
-            self.sat, self.unsat, self.timeout, self.cancelled
+            "  verdicts     sat {} / unsat {} / timeout {} / cancelled {} / errors {}",
+            self.sat, self.unsat, self.timeout, self.cancelled, self.errors
         )?;
         writeln!(
             f,
@@ -290,7 +312,15 @@ impl fmt::Display for EngineStats {
             "  bdd substrate  nodes {} / computed-cache hit rate {:.0}%",
             self.bdd_nodes,
             self.bdd_cache_hit_rate() * 100.0
-        )
+        )?;
+        if self.session_bitblast_hits + self.session_sat_carried + self.session_bdd_reused > 0 {
+            write!(
+                f,
+                "\n  session reuse  bitblast hits {} / sat clauses carried {} / bdd nodes kept {}",
+                self.session_bitblast_hits, self.session_sat_carried, self.session_bdd_reused
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -308,6 +338,7 @@ mod tests {
             cache_hit: false,
             sat_stats: None,
             bdd_stats: None,
+            session: None,
         }
     }
 

@@ -8,7 +8,7 @@ use crate::ip::Prefix;
 use rzen::{zif, Zen};
 
 /// One ACL rule: match conditions plus a permit/deny action.
-#[derive(Clone, Debug, PartialEq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct AclRule {
     /// `true` = permit, `false` = deny.
     pub permit: bool,
@@ -48,7 +48,7 @@ impl AclRule {
 }
 
 /// An ACL: rules evaluated first-match; no match means deny.
-#[derive(Clone, Debug, Default, PartialEq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Acl {
     /// The prioritized rules.
     pub rules: Vec<AclRule>,

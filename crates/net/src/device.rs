@@ -14,7 +14,7 @@ use crate::nat::Nat;
 use rzen::{zif, Zen};
 
 /// A device interface with its attached policies (the paper's `Intf`).
-#[derive(Clone, Debug, Default, PartialEq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Interface {
     /// Port number on the owning device (what the forwarding table
     /// returns to select this interface; 0 is reserved for "drop").

@@ -5,7 +5,7 @@ use crate::ip::Prefix;
 use rzen::{zif, Zen};
 
 /// One forwarding entry: a prefix and the output port it selects.
-#[derive(Clone, Debug, PartialEq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct FwdRule {
     /// Destination prefix.
     pub prefix: Prefix,
@@ -17,7 +17,7 @@ pub struct FwdRule {
 /// length so first-match implements longest-prefix match, exactly as the
 /// paper's Fig. 4 assumes ("entries are in descending order of prefix
 /// length").
-#[derive(Clone, Debug, Default, PartialEq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct FwdTable {
     /// The rules, longest prefixes first.
     pub rules: Vec<FwdRule>,

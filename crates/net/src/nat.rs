@@ -32,7 +32,7 @@ pub struct NatRule {
 
 /// A NAT table: first matching rule applies; no match leaves the header
 /// unchanged.
-#[derive(Clone, Debug, Default, PartialEq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Nat {
     /// The rules.
     pub rules: Vec<NatRule>,

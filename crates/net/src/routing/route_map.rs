@@ -23,7 +23,7 @@ pub struct PrefixRange {
 }
 
 /// A match condition of a route-map clause.
-#[derive(Clone, Debug, PartialEq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum MatchCond {
     /// The announced prefix matches one of the ranges (a prefix list).
     PrefixIn(Vec<PrefixRange>),
@@ -56,7 +56,7 @@ pub enum Action {
 
 /// One clause: all conditions must match; on match, actions apply and the
 /// clause permits or denies. On no match, evaluation falls through.
-#[derive(Clone, Debug, PartialEq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Clause {
     /// Conditions (conjunction; empty matches everything).
     pub conds: Vec<MatchCond>,
@@ -68,7 +68,7 @@ pub struct Clause {
 }
 
 /// A route map: clauses tried in order; no match means deny.
-#[derive(Clone, Debug, Default, PartialEq, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct RouteMap {
     /// The clauses.
     pub clauses: Vec<Clause>,

@@ -7,7 +7,7 @@
 use crate::device::{Hop, Interface};
 
 /// A device: a named node with numbered interfaces.
-#[derive(Clone, Debug, Default, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Device {
     /// Human-readable name.
     pub name: String,
@@ -37,7 +37,7 @@ pub struct Link {
 }
 
 /// A network: devices plus links.
-#[derive(Clone, Debug, Default, Hash)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct Network {
     /// The devices.
     pub devices: Vec<Device>,

@@ -185,6 +185,13 @@ impl Solver {
         self.assigns.len()
     }
 
+    /// Number of learnt clauses currently in the database. Across
+    /// incremental solves this is the state that carries over from one
+    /// query to the next (minus what database reduction deleted).
+    pub fn num_learnts(&self) -> usize {
+        self.learnts.len()
+    }
+
     /// Number of problem (non-learnt) clauses.
     pub fn num_clauses(&self) -> usize {
         self.clauses

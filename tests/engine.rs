@@ -13,7 +13,7 @@ use rzen_net::gen::{random_acl, random_route_map, spine_leaf};
 /// (unsatisfiable), route-map clause finds, and fabric reachability.
 fn mixed_queries() -> Vec<Query> {
     let mut queries = Vec::new();
-    for seed in 0..6u64 {
+    for seed in 0..7u64 {
         let acl = random_acl(60, seed);
         let last = acl.rules.len() as u16;
         queries.push(Query::AclFind {
@@ -26,7 +26,7 @@ fn mixed_queries() -> Vec<Query> {
             target_line: last + 1,
         });
     }
-    for seed in 0..4u64 {
+    for seed in 0..5u64 {
         let map = random_route_map(8, seed);
         let last = map.clauses.len() as u16;
         queries.push(Query::RouteMapFind {
@@ -47,7 +47,13 @@ fn mixed_queries() -> Vec<Query> {
             src: (src, 99),
             dst: (dst, 99),
         });
+        queries.push(Query::Drops {
+            net: net.clone(),
+            src: (src, 99),
+            dst: (dst, 99),
+        });
     }
+    assert_eq!(queries.len(), 30);
     queries
 }
 
@@ -57,6 +63,7 @@ fn verdict_kind(v: &Verdict) -> &'static str {
         Verdict::Unsat => "unsat",
         Verdict::Timeout => "timeout",
         Verdict::Cancelled => "cancelled",
+        Verdict::Error(_) => "error",
     }
 }
 
@@ -69,6 +76,7 @@ fn portfolio_agrees_with_each_sequential_backend() {
             backend,
             timeout: None,
             cache: false,
+            sessions: false,
         })
         .run_batch(&queries)
     };
@@ -161,6 +169,7 @@ fn expired_timeout_degrades_to_timeout_without_wedging_the_batch() {
         backend: QueryBackend::Bdd,
         timeout: None,
         cache: false,
+        sessions: false,
     })
     .run_batch(&queries);
 
@@ -169,6 +178,7 @@ fn expired_timeout_degrades_to_timeout_without_wedging_the_batch() {
         backend: QueryBackend::Portfolio,
         timeout: Some(Duration::ZERO),
         cache: true,
+        sessions: false,
     });
     let report = engine.run_batch(&queries);
     assert_eq!(report.results.len(), queries.len(), "batch must complete");
@@ -189,6 +199,7 @@ fn expired_timeout_degrades_to_timeout_without_wedging_the_batch() {
                 assert_eq!(verdict_kind(&truth.results[r.index].verdict), "unsat");
             }
             Verdict::Cancelled => panic!("expired deadline should map to Timeout"),
+            Verdict::Error(e) => panic!("no query in this batch panics: {e}"),
         }
     }
     assert!(report.stats.timeout > 0, "heavy queries must time out");
@@ -202,6 +213,7 @@ fn cache_hits_reproduce_cold_verdicts() {
         backend: QueryBackend::Portfolio,
         timeout: None,
         cache: true,
+        sessions: false,
     });
     let cold = engine.run_batch(&queries);
     assert_eq!(cold.stats.cache_hits, 0, "first run is all misses");
@@ -236,6 +248,7 @@ fn duplicate_queries_in_one_batch_share_the_cache() {
         backend: QueryBackend::Portfolio,
         timeout: None,
         cache: true,
+        sessions: false,
     });
     let report = engine.run_batch(&queries);
     assert_eq!(report.stats.cache_hits, 7);
@@ -278,6 +291,7 @@ fn per_backend_stats_are_populated() {
             backend,
             timeout: None,
             cache: false,
+            sessions: false,
         })
         .run_batch(std::slice::from_ref(&q))
     };
@@ -290,4 +304,48 @@ fn per_backend_stats_are_populated() {
     // The solve happened under backend `Backend::Smt` — sanity-check the
     // public enum is what the result reports.
     assert_eq!(smt.results[0].winner, Some(Backend::Smt));
+}
+
+#[test]
+fn poisoned_query_does_not_abort_the_batch() {
+    // Regression: a panic inside one query used to unwind its worker and
+    // abort the whole batch at slot collection. Device index 99 is out of
+    // bounds for this 3-device fabric, so path enumeration panics.
+    let mut queries = mixed_queries();
+    let poison = Query::Reach {
+        net: spine_leaf(1, 2),
+        src: (99, 99),
+        dst: (0, 99),
+    };
+    let idx = queries.len() / 2;
+    queries.insert(idx, poison.clone());
+    let engine = Engine::new(EngineConfig {
+        jobs: 4,
+        backend: QueryBackend::Portfolio,
+        timeout: None,
+        cache: true,
+        sessions: false,
+    });
+    let report = engine.run_batch(&queries);
+    assert_eq!(report.results.len(), queries.len(), "batch must complete");
+    assert!(
+        matches!(report.results[idx].verdict, Verdict::Error(_)),
+        "the poisoned query must surface as an error, got {:?}",
+        report.results[idx].verdict
+    );
+    assert_eq!(report.stats.errors, 1);
+    for (i, r) in report.results.iter().enumerate() {
+        if i == idx {
+            continue;
+        }
+        assert!(
+            matches!(r.verdict, Verdict::Sat(_) | Verdict::Unsat),
+            "query {i} must still be decided despite the poisoned neighbor"
+        );
+    }
+    // Errors are never cached: a rerun re-executes (and re-fails) the
+    // poisoned query instead of replaying a bogus cached verdict.
+    let rerun = engine.run_batch(std::slice::from_ref(&poison));
+    assert!(matches!(rerun.results[0].verdict, Verdict::Error(_)));
+    assert!(!rerun.results[0].cache_hit);
 }

@@ -109,6 +109,7 @@ fn enabled_batch_records_spans_from_four_subsystems() {
             backend,
             timeout: None,
             cache: false,
+            sessions: false,
         })
         .run_batch(&queries);
     }
@@ -150,6 +151,7 @@ fn metrics_accumulate_across_batches() {
         backend: QueryBackend::Bdd,
         timeout: None,
         cache: false,
+        sessions: false,
     })
     .run_batch(&[Query::AclFind {
         acl,
@@ -161,4 +163,45 @@ fn metrics_accumulate_across_batches() {
     // The registry snapshot renders to valid JSON for --stats-json.
     let json = rzen_obs::metrics::registry().render_json();
     rzen_obs::json::validate(&json).expect("metrics JSON must be valid");
+}
+
+#[test]
+fn query_latency_histogram_records_decision_time() {
+    let _g = lock();
+    let hist = rzen_obs::metrics::registry().histogram("engine.query_us", "");
+    let before_count = hist.count();
+    let before_sum = hist.sum();
+
+    let acl = random_acl(40, 3);
+    let last = acl.rules.len() as u16;
+    let queries = [
+        Query::AclFind {
+            acl: acl.clone(),
+            target_line: last,
+        },
+        Query::AclFind {
+            acl,
+            target_line: last + 1,
+        },
+    ];
+    let report = Engine::new(EngineConfig {
+        jobs: 2,
+        backend: QueryBackend::Portfolio,
+        timeout: None,
+        cache: false,
+        sessions: false,
+    })
+    .run_batch(&queries);
+
+    // One observation per solved query, and the recorded latencies are
+    // the decision-time stamps from the results — for a portfolio race
+    // that is when the winner answered, not when the loser finished
+    // draining.
+    assert_eq!(hist.count(), before_count + queries.len() as u64);
+    let observed: u64 = report
+        .results
+        .iter()
+        .map(|r| r.latency.as_micros() as u64)
+        .sum();
+    assert_eq!(hist.sum() - before_sum, observed);
 }

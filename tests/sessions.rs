@@ -1,0 +1,216 @@
+//! Session-mode engine tests: differential agreement between long-lived
+//! per-worker solver sessions and fresh-per-query solving, reuse-counter
+//! sanity, and cancellation-mid-session recovery.
+
+use rzen::{Backend, Budget, FindOptions, FindOutcome, SolverSession, Zen, ZenFunction};
+use rzen_engine::{Engine, EngineConfig, Query, QueryBackend, Verdict};
+use rzen_net::gen::{random_acl, random_route_map, spine_leaf};
+
+/// The same mixed 30-query batch as `tests/engine.rs`: per-model pairs of
+/// Sat and Unsat ACL line finds, route-map clause finds, and fabric
+/// reach/drops — every [`Query`] kind, with same-model groups so sessions
+/// have something to reuse.
+fn mixed_queries() -> Vec<Query> {
+    let mut queries = Vec::new();
+    for seed in 0..7u64 {
+        let acl = random_acl(60, seed);
+        let last = acl.rules.len() as u16;
+        queries.push(Query::AclFind {
+            acl: acl.clone(),
+            target_line: last,
+        });
+        queries.push(Query::AclFind {
+            acl,
+            target_line: last + 1,
+        });
+    }
+    for seed in 0..5u64 {
+        let map = random_route_map(8, seed);
+        let last = map.clauses.len() as u16;
+        queries.push(Query::RouteMapFind {
+            map: map.clone(),
+            target_clause: last,
+            list_bound: 3,
+        });
+        queries.push(Query::RouteMapFind {
+            map,
+            target_clause: last + 1,
+            list_bound: 3,
+        });
+    }
+    let net = spine_leaf(2, 3);
+    for (src, dst) in [(2usize, 3usize), (3, 4), (4, 2)] {
+        queries.push(Query::Reach {
+            net: net.clone(),
+            src: (src, 99),
+            dst: (dst, 99),
+        });
+        queries.push(Query::Drops {
+            net: net.clone(),
+            src: (src, 99),
+            dst: (dst, 99),
+        });
+    }
+    assert_eq!(queries.len(), 30);
+    queries
+}
+
+fn verdict_kind(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Sat(_) => "sat",
+        Verdict::Unsat => "unsat",
+        Verdict::Timeout => "timeout",
+        Verdict::Cancelled => "cancelled",
+        Verdict::Error(_) => "error",
+    }
+}
+
+fn run(
+    queries: &[Query],
+    backend: QueryBackend,
+    jobs: usize,
+    sessions: bool,
+) -> rzen_engine::BatchReport {
+    Engine::new(EngineConfig {
+        jobs,
+        backend,
+        timeout: None,
+        cache: false, // force every query through a real solve
+        sessions,
+    })
+    .run_batch(queries)
+}
+
+#[test]
+fn sessions_agree_with_fresh_on_mixed_batch() {
+    let queries = mixed_queries();
+    for backend in [
+        QueryBackend::Bdd,
+        QueryBackend::Smt,
+        QueryBackend::Portfolio,
+    ] {
+        let fresh = run(&queries, backend, 2, false);
+        let session = run(&queries, backend, 2, true);
+        for (i, q) in queries.iter().enumerate() {
+            let kf = verdict_kind(&fresh.results[i].verdict);
+            let ks = verdict_kind(&session.results[i].verdict);
+            assert_eq!(
+                kf,
+                ks,
+                "query {i} ({}) under {backend:?}: session mode disagrees with fresh",
+                q.kind()
+            );
+            // Witnesses may differ (any model is a model) but both must
+            // check out against the concrete semantics.
+            for report in [&fresh, &session] {
+                if let Verdict::Sat(w) = &report.results[i].verdict {
+                    assert!(q.check_witness(w), "query {i} ({}): bad witness", q.kind());
+                }
+            }
+        }
+        assert!(session.stats.sat > 0 && session.stats.unsat > 0);
+    }
+}
+
+#[test]
+fn session_reuse_counters_advance() {
+    let queries = mixed_queries();
+
+    // One worker, SMT only: every query lands on the same session, so the
+    // second query of each same-model pair must hit the bitblast cache,
+    // and learnt clauses from earlier queries must still be loaded when
+    // later ones start.
+    let smt = run(&queries, QueryBackend::Smt, 1, true);
+    assert!(
+        smt.stats.session_bitblast_hits > 0,
+        "same-model queries must reuse compiled bitblast nodes"
+    );
+    assert!(
+        smt.stats.session_sat_carried > 0,
+        "learnt clauses must carry over between queries in a session"
+    );
+
+    // BDD side: the shared manager's node table persists, so queries
+    // after the first see a non-trivial arena.
+    let bdd = run(&queries, QueryBackend::Bdd, 1, true);
+    assert!(
+        bdd.stats.session_bitblast_hits > 0,
+        "BDD compilation must reuse the session's node cache"
+    );
+    assert!(
+        bdd.stats.session_bdd_reused > 0,
+        "the BDD unique table must persist across queries"
+    );
+
+    // Affinity: with more workers than model groups would fill, queries
+    // over the same model are still routed to one worker, so reuse
+    // survives parallel dispatch.
+    let parallel = run(&queries, QueryBackend::Portfolio, 4, true);
+    assert!(
+        parallel.stats.session_bitblast_hits > 0,
+        "fingerprint affinity must keep same-model queries on one session"
+    );
+
+    // Fresh mode attaches no session counters at all.
+    let fresh = run(&queries, QueryBackend::Smt, 1, false);
+    assert_eq!(fresh.stats.session_bitblast_hits, 0);
+    assert_eq!(fresh.stats.session_sat_carried, 0);
+    assert!(fresh.results.iter().all(|r| r.session.is_none()));
+}
+
+#[test]
+fn cancellation_mid_session_leaves_session_usable() {
+    // Mirrors tests/budget.rs at the session level: a cancelled query must
+    // not poison the long-lived solver state behind it.
+    for backend in [Backend::Bdd, Backend::Smt] {
+        rzen::reset_ctx();
+        let mut session = SolverSession::new(backend);
+        let acl = random_acl(40, 7);
+        let last = acl.rules.len() as u16;
+        let mk = {
+            let acl = acl.clone();
+            move || {
+                let acl = acl.clone();
+                ZenFunction::new(move |h| acl.clone().matched_line(h))
+            }
+        };
+        let opts = FindOptions::default();
+
+        let cancelled = Budget::unlimited();
+        cancelled.cancel();
+        let report = mk().find_in_session(
+            |_, line| line.eq(Zen::val(last)),
+            &opts,
+            &cancelled,
+            &mut session,
+        );
+        assert!(
+            matches!(report.outcome, FindOutcome::Cancelled),
+            "{backend:?}: pre-cancelled budget must yield Cancelled"
+        );
+
+        // The same session must then solve normally — and produce a
+        // correct witness, not a leftover of the interrupted solve.
+        let report = mk().find_in_session(
+            |_, line| line.eq(Zen::val(last)),
+            &opts,
+            &Budget::unlimited(),
+            &mut session,
+        );
+        let FindOutcome::Found(h) = report.outcome else {
+            panic!("{backend:?}: session must stay usable after a cancellation");
+        };
+        assert_eq!(acl.matched_line_concrete(&h), last);
+
+        // And an unsatisfiable query on the same session stays Unsat.
+        let report = mk().find_in_session(
+            |_, line| line.eq(Zen::val(last + 1)),
+            &opts,
+            &Budget::unlimited(),
+            &mut session,
+        );
+        assert!(matches!(report.outcome, FindOutcome::Unsat));
+        assert_eq!(session.stats().queries, 3);
+    }
+    rzen::reset_ctx();
+}
