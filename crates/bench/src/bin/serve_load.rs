@@ -1,0 +1,209 @@
+//! Closed-loop load generator for the serve layer.
+//!
+//! Starts an in-process server on a kernel-assigned port, then sweeps
+//! client concurrency: each client opens one connection and issues
+//! requests back-to-back (closed loop), drawing round-robin from the
+//! all-pairs reach/drops query set over the spec's edge ports — the same
+//! set `rzen-cli batch` runs. Latency quantiles come from an
+//! [`rzen_obs::Histogram`]; before the sweep, the server's verdicts are
+//! checked identical to the engine batch path on the same query set.
+//!
+//! Writes `results/serve_throughput.csv`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rzen_engine::{Engine, EngineConfig, Query, QueryBackend, Verdict};
+use rzen_net::spec::Spec;
+use rzen_obs::Histogram;
+use rzen_serve::{start, Model, ServerConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let per_client: usize = args.first().map_or(200, |a| a.parse().expect("REQS"));
+
+    let spec_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3.net");
+    let text = std::fs::read_to_string(spec_path).expect("spec");
+    let model = Model::parse(&text).expect("parse");
+    let requests = Arc::new(request_set(&model.spec));
+    println!(
+        "{} distinct requests over the edge ports of fig3.net",
+        requests.len()
+    );
+
+    let handle = start(
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 2,
+            backlog: 256,
+            timeout: Some(Duration::from_secs(10)),
+            sessions: false,
+            backend: QueryBackend::Portfolio,
+            handle_signals: false,
+            debug_ops: false,
+        },
+        model,
+    )
+    .expect("bind");
+    let addr = handle.addr();
+    println!("server on {addr}");
+
+    verify_against_batch(addr, &text, &requests);
+
+    let mut rows = Vec::new();
+    for &clients in &[1usize, 2, 4, 8] {
+        let hist = Arc::new(Histogram::new());
+        let t0 = Instant::now();
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                let hist = hist.clone();
+                let requests = requests.clone();
+                thread::spawn(move || client_loop(addr, &requests, c, per_client, &hist))
+            })
+            .collect();
+        let mut shed = 0usize;
+        for w in workers {
+            shed += w.join().expect("client");
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let total = clients * per_client;
+        let qps = total as f64 / wall;
+        let p50 = hist.quantile(0.50);
+        let p99 = hist.quantile(0.99);
+        println!(
+            "clients={clients:<2} requests={total:<5} qps={qps:>8.0} p50={p50:>6}us p99={p99:>6}us shed={shed}"
+        );
+        rows.push(format!("{clients},{total},{qps:.1},{p50},{p99},{shed}"));
+    }
+
+    handle.shutdown();
+    handle.join();
+
+    let path = rzen_bench::write_csv(
+        "serve_throughput.csv",
+        "clients,requests,qps,p50_us,p99_us,shed",
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+}
+
+/// All-pairs reach + drops request lines over the spec's edge ports —
+/// the same query set `rzen-cli batch` runs.
+fn request_set(spec: &Spec) -> Vec<(String, Query)> {
+    let edges = spec.edge_ports();
+    let mut out = Vec::new();
+    for &src in &edges {
+        for &dst in &edges {
+            if src == dst {
+                continue;
+            }
+            let (s, d) = (spec.endpoint_name(src), spec.endpoint_name(dst));
+            out.push((
+                format!("{{\"op\":\"reach\",\"src\":\"{s}\",\"dst\":\"{d}\"}}"),
+                Query::Reach {
+                    net: spec.net.clone(),
+                    src,
+                    dst,
+                },
+            ));
+            out.push((
+                format!("{{\"op\":\"drops\",\"src\":\"{s}\",\"dst\":\"{d}\"}}"),
+                Query::Drops {
+                    net: spec.net.clone(),
+                    src,
+                    dst,
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// The acceptance gate: the server must answer the query set with
+/// verdicts identical to the engine batch path (what `rzen-cli batch`
+/// prints).
+fn verify_against_batch(addr: SocketAddr, _spec_text: &str, requests: &[(String, Query)]) {
+    let engine = Engine::new(EngineConfig {
+        jobs: 2,
+        backend: QueryBackend::Portfolio,
+        timeout: Some(Duration::from_secs(10)),
+        cache: true,
+        sessions: false,
+    });
+    let queries: Vec<Query> = requests.iter().map(|(_, q)| q.clone()).collect();
+    let report = engine.run_batch(&queries);
+    let batch: Vec<&str> = report
+        .results
+        .iter()
+        .map(|r| verdict_str(&r.verdict))
+        .collect();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut served = Vec::new();
+    for (line, _) in requests {
+        stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("response");
+        let v = rzen_obs::json::parse(resp.trim())
+            .expect("valid response json")
+            .get("verdict")
+            .and_then(|v| v.as_str().map(str::to_string))
+            .expect("verdict member");
+        served.push(v);
+    }
+    assert_eq!(
+        served, batch,
+        "server verdicts must be identical to the batch path"
+    );
+    println!(
+        "verdict equivalence: {} served verdicts match the batch path: {:?}",
+        served.len(),
+        served
+    );
+}
+
+fn verdict_str(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Sat(_) => "sat",
+        Verdict::Unsat => "unsat",
+        Verdict::Timeout => "timeout",
+        Verdict::Cancelled => "cancelled",
+        Verdict::Error(_) => "error",
+    }
+}
+
+/// One closed-loop client: `n` requests back-to-back on one connection.
+/// Returns how many were shed (`overloaded`).
+fn client_loop(
+    addr: SocketAddr,
+    requests: &[(String, Query)],
+    seed: usize,
+    n: usize,
+    hist: &Histogram,
+) -> usize {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    let mut shed = 0;
+    for i in 0..n {
+        // Stagger clients over the request set so identical concurrent
+        // queries (and thus coalescing + cache hits) occur naturally.
+        let (line, _) = &requests[(seed + i) % requests.len()];
+        let t0 = Instant::now();
+        writer.write_all(format!("{line}\n").as_bytes()).unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("response");
+        hist.observe(t0.elapsed().as_micros() as u64);
+        if resp.contains("\"error\":\"overloaded\"") {
+            shed += 1;
+        }
+    }
+    shed
+}

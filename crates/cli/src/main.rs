@@ -23,7 +23,7 @@
 
 #![warn(missing_docs)]
 
-pub mod spec;
+pub use rzen_net::spec;
 
 use rzen::{TransformerSpace, ZenFunction};
 use rzen_net::analyses::{anteater, hsa};
@@ -31,20 +31,32 @@ use rzen_net::device::forward_along;
 use rzen_net::headers::{HeaderFields, PacketFields};
 use rzen_net::ip::fmt_ip;
 
+/// The usage text, shared by `--help` (stdout, exit 0) and error paths
+/// (stderr, exit 2).
+fn usage_text() -> String {
+    [
+        "usage: rzen-cli <reach|drops|hsa|paths|show> SPEC [SRC DST]",
+        "       rzen-cli batch SPEC [--jobs N] [--timeout-ms MS] [--backend bdd|smt|portfolio]",
+        "                       [--sessions on|off] [--trace-out FILE]",
+        "                       [--stats-json FILE] [--verdicts-json FILE] [--metrics]",
+        "       rzen-cli serve SPEC [--addr HOST:PORT] [--jobs N] [--backlog N]",
+        "                       [--timeout-ms MS] [--sessions on|off] [--backend ...]",
+        "       rzen-cli --version | --help",
+        "  SRC/DST are device:port endpoints, e.g. u1:1",
+        "  --sessions on|off  reuse per-worker solver sessions across queries (default off)",
+        "  --trace-out FILE   write a Chrome trace-event JSON file (chrome://tracing)",
+        "  --stats-json FILE  write the batch report + metrics snapshot as JSON",
+        "  --verdicts-json FILE  write just the verdicts (stable across modes) as JSON",
+        "  --metrics          print the metrics registry after the batch",
+        "  serve answers NDJSON queries on a TCP socket, plus HTTP GET /healthz,",
+        "  GET /metrics, and POST /model (spec hot-swap); SIGTERM drains gracefully",
+        "  RZEN_TRACE=1|FILE  enable tracing from the environment (FILE also exports)",
+    ]
+    .join("\n")
+}
+
 fn usage() -> ! {
-    eprintln!("usage: rzen-cli <reach|drops|hsa|paths|show> SPEC [SRC DST]");
-    eprintln!(
-        "       rzen-cli batch SPEC [--jobs N] [--timeout-ms MS] [--backend bdd|smt|portfolio]"
-    );
-    eprintln!("                       [--sessions on|off] [--trace-out FILE]");
-    eprintln!("                       [--stats-json FILE] [--verdicts-json FILE] [--metrics]");
-    eprintln!("  SRC/DST are device:port endpoints, e.g. u1:1");
-    eprintln!("  --sessions on|off  reuse per-worker solver sessions across queries (default off)");
-    eprintln!("  --trace-out FILE   write a Chrome trace-event JSON file (chrome://tracing)");
-    eprintln!("  --stats-json FILE  write the batch report + metrics snapshot as JSON");
-    eprintln!("  --verdicts-json FILE  write just the verdicts (stable across modes) as JSON");
-    eprintln!("  --metrics          print the metrics registry after the batch");
-    eprintln!("  RZEN_TRACE=1|FILE  enable tracing from the environment (FILE also exports)");
+    eprintln!("{}", usage_text());
     std::process::exit(2);
 }
 
@@ -69,12 +81,35 @@ fn main() {
     // Chrome-trace export file (an explicit --trace-out flag wins).
     let env_trace = rzen_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--version" | "-V") => {
+            println!("rzen-cli {}", env!("CARGO_PKG_VERSION"));
+            return;
+        }
+        Some("--help" | "-h") => {
+            println!("{}", usage_text());
+            return;
+        }
+        _ => {}
+    }
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p),
         _ => usage(),
     };
+    // Validate the subcommand before touching the filesystem: a typo'd
+    // command must exit with usage, not a confusing spec-read error.
+    const COMMANDS: &[&str] = &["reach", "drops", "hsa", "paths", "show", "batch", "serve"];
+    if !COMMANDS.contains(&cmd) {
+        eprintln!("error: unknown command {cmd:?}");
+        usage();
+    }
     let text =
         std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+
+    if cmd == "serve" {
+        run_serve(&text, &args[2..]);
+        return;
+    }
     let spec = spec::parse(&text).unwrap_or_else(|e| fail(&e));
 
     if cmd == "batch" {
@@ -393,4 +428,109 @@ fn run_batch(spec: &spec::Spec, flags: &[String], env_trace: Option<String>) {
     if show_metrics {
         print!("{}", rzen_obs::metrics::registry().render_text());
     }
+}
+
+/// `serve`: run the TCP query server until SIGTERM/ctrl-c, then drain
+/// and flush a final metrics (and, when tracing, Chrome-trace) snapshot.
+fn run_serve(spec_text: &str, flags: &[String]) {
+    use std::io::Write as _;
+
+    let mut cfg = rzen_serve::ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        handle_signals: true,
+        ..Default::default()
+    };
+    let mut i = 0;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--addr" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--addr needs HOST:PORT"));
+                cfg.addr = v.clone();
+                i += 2;
+            }
+            "--jobs" => {
+                let v = flags.get(i + 1).unwrap_or_else(|| fail("--jobs needs N"));
+                cfg.jobs = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --jobs {v:?}: {e}")));
+                if cfg.jobs == 0 {
+                    fail("--jobs must be at least 1");
+                }
+                i += 2;
+            }
+            "--backlog" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--backlog needs N"));
+                cfg.backlog = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --backlog {v:?}: {e}")));
+                i += 2;
+            }
+            "--timeout-ms" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--timeout-ms needs MS"));
+                let ms: u64 = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --timeout-ms {v:?}: {e}")));
+                cfg.timeout = Some(std::time::Duration::from_millis(ms));
+                i += 2;
+            }
+            "--sessions" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--sessions needs on|off"));
+                cfg.sessions = match v.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => fail(&format!("bad --sessions {other:?} (on|off)")),
+                };
+                i += 2;
+            }
+            "--backend" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--backend needs bdd|smt|portfolio"));
+                cfg.backend = match v.as_str() {
+                    "bdd" => rzen_engine::QueryBackend::Bdd,
+                    "smt" => rzen_engine::QueryBackend::Smt,
+                    "portfolio" => rzen_engine::QueryBackend::Portfolio,
+                    other => fail(&format!("unknown backend {other:?} (bdd|smt|portfolio)")),
+                };
+                i += 2;
+            }
+            "--debug-ops" => {
+                cfg.debug_ops = true;
+                i += 1;
+            }
+            other => fail(&format!("unknown serve flag {other:?}")),
+        }
+    }
+
+    let model = rzen_serve::Model::parse(spec_text).unwrap_or_else(|e| fail(&e));
+    let handle =
+        rzen_serve::start(cfg, model).unwrap_or_else(|e| fail(&format!("cannot bind: {e}")));
+    // Exact bound address on a flushed line: CI and scripts parse this to
+    // learn the port when --addr used :0.
+    println!("listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.join();
+
+    // Final observability snapshot after the drain: every in-flight span
+    // is closed by now, so the export is complete.
+    eprint!("{}", rzen_obs::metrics::registry().render_text());
+    if rzen_obs::trace::enabled() {
+        if let Ok(path) = std::env::var("RZEN_TRACE") {
+            if path != "1" {
+                let events = rzen_obs::trace::take_events();
+                std::fs::write(&path, rzen_obs::export::chrome_trace(&events))
+                    .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+                eprintln!("chrome trace -> {path} ({} events)", events.len());
+            }
+        }
+    }
+    println!("drained; bye");
 }

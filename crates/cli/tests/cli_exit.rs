@@ -1,0 +1,71 @@
+//! Exit-behavior contract of the CLI: unknown subcommands and flags fail
+//! fast with usage on stderr and a nonzero status, `--version`/`--help`
+//! succeed, and a typo'd command never produces a misleading
+//! cannot-read-spec error.
+
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_rzen-cli");
+const SPEC: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3.net");
+
+fn run(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(BIN).args(args).output().expect("spawn");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn version_prints_and_succeeds() {
+    for flag in ["--version", "-V"] {
+        let (code, stdout, _) = run(&[flag]);
+        assert_eq!(code, 0);
+        assert!(
+            stdout.starts_with("rzen-cli ") && stdout.trim().len() > "rzen-cli ".len(),
+            "bad version line: {stdout:?}"
+        );
+    }
+}
+
+#[test]
+fn help_prints_usage_to_stdout_and_succeeds() {
+    let (code, stdout, _) = run(&["--help"]);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("usage: rzen-cli"));
+    assert!(stdout.contains("serve"), "usage must document serve");
+}
+
+#[test]
+fn no_arguments_fails_with_usage_on_stderr() {
+    let (code, stdout, stderr) = run(&[]);
+    assert_ne!(code, 0);
+    assert!(stderr.contains("usage: rzen-cli"));
+    assert!(stdout.is_empty(), "usage errors belong on stderr");
+}
+
+#[test]
+fn unknown_subcommand_fails_before_touching_the_spec() {
+    // The spec path doesn't exist; a typo'd command must report the typo,
+    // not a confusing file error.
+    let (code, _, stderr) = run(&["raech", "/nonexistent.net"]);
+    assert_ne!(code, 0);
+    assert!(
+        stderr.contains("unknown command") && stderr.contains("raech"),
+        "stderr: {stderr:?}"
+    );
+    assert!(stderr.contains("usage: rzen-cli"));
+    assert!(!stderr.contains("cannot read"), "stderr: {stderr:?}");
+}
+
+#[test]
+fn unknown_flags_fail_nonzero() {
+    let (code, _, stderr) = run(&["batch", SPEC, "--warp-speed"]);
+    assert_ne!(code, 0);
+    assert!(stderr.contains("--warp-speed"), "stderr: {stderr:?}");
+
+    let (code, _, stderr) = run(&["serve", SPEC, "--warp-speed"]);
+    assert_ne!(code, 0);
+    assert!(stderr.contains("--warp-speed"), "stderr: {stderr:?}");
+}

@@ -86,6 +86,14 @@ impl Budget {
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
     }
+
+    /// Wall-clock time left before the deadline (`None` for an unlimited
+    /// budget, zero once the deadline has passed). Lets a serving layer
+    /// decide whether a queued request is still worth starting.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 #[cfg(test)]
@@ -107,7 +115,10 @@ mod tests {
         let b = Budget::with_deadline(Instant::now());
         assert!(b.is_exhausted());
         assert!(b.deadline_passed());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
         let c = Budget::with_timeout(Duration::from_secs(3600));
         assert!(!c.is_exhausted());
+        assert!(c.remaining().unwrap() > Duration::from_secs(3000));
+        assert_eq!(Budget::unlimited().remaining(), None);
     }
 }

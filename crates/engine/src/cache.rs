@@ -33,6 +33,11 @@ impl ResultCache {
             .map(|(_, v)| v)
     }
 
+    /// Drop every cached verdict (model hot-swap, tests).
+    pub(crate) fn clear(&mut self) {
+        self.map.clear();
+    }
+
     /// Record a verdict for `query`.
     pub(crate) fn insert(&mut self, fingerprint: u64, query: &Query, verdict: Verdict) {
         let bucket = self.map.entry(fingerprint).or_default();

@@ -5,13 +5,14 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use rzen::{Backend, Budget, FindOutcome, SessionStats, SolverSession};
 
 use crate::cache::ResultCache;
+use crate::inflight::{Admission, InflightTable};
 use crate::query::{Query, QueryBackend, RunOutput, Verdict};
 use crate::stats::{BatchReport, EngineStats, QueryResult};
 
@@ -50,6 +51,7 @@ impl Default for EngineConfig {
 pub struct Engine {
     cfg: EngineConfig,
     cache: Mutex<ResultCache>,
+    inflight: Arc<InflightTable>,
 }
 
 /// What one query's solve produced, before verdict mapping.
@@ -71,6 +73,7 @@ impl Engine {
         Engine {
             cfg,
             cache: Mutex::new(ResultCache::new()),
+            inflight: Arc::new(InflightTable::default()),
         }
     }
 
@@ -79,11 +82,44 @@ impl Engine {
         &self.cfg
     }
 
+    /// Drop every cached verdict. A serving layer calls this when the
+    /// model is hot-swapped: entries for the old model are keyed by the
+    /// old network and could never be *served* wrongly, but they would
+    /// pin its memory for the life of the process.
+    pub fn clear_cache(&self) {
+        self.cache.lock().unwrap().clear();
+    }
+
+    /// Admit a query for serving: the first arrival of a query leads (and
+    /// must execute it, then [`crate::LeadGuard::publish`] the result);
+    /// identical concurrent arrivals join and wait for the leader's
+    /// verdict. The coalescing key is the full query — which embeds the
+    /// model, so queries over different models never coalesce — compared
+    /// structurally within its fingerprint bucket.
+    pub fn admit(&self, query: &Query) -> Admission {
+        self.inflight.admit(query.fingerprint(), query)
+    }
+
+    /// Number of distinct queries currently in flight (admitted leaders
+    /// that have not yet published).
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
     /// Solve every query, distributing them over `jobs` workers. Results
     /// come back in input order regardless of completion order. Queries
     /// always run on spawned workers — never on the calling thread — so
     /// the caller's thread-local `Zen` context is left untouched.
     pub fn run_batch(&self, queries: &[Query]) -> BatchReport {
+        // The idle path must be free: no worker spawn, no span, and a
+        // well-formed report (percentiles and rates all defined on zero
+        // samples).
+        if queries.is_empty() {
+            return BatchReport {
+                results: Vec::new(),
+                stats: EngineStats::aggregate(&[], Duration::ZERO),
+            };
+        }
         if self.cfg.sessions {
             return self.run_batch_sessions(queries);
         }
@@ -105,7 +141,7 @@ impl Engine {
                         if i >= n {
                             break;
                         }
-                        let result = self.solve_one(i, &queries[i]);
+                        let result = self.solve_one(i, &queries[i], self.request_budget());
                         *slots[i].lock().unwrap() = Some(result);
                     }
                 });
@@ -151,7 +187,12 @@ impl Engine {
                     let _span = rzen_obs::span!("engine.worker", "worker" => w as u64);
                     let runners = SessionRunners::spawn(self.cfg.backend);
                     for &i in bucket {
-                        let result = self.solve_one_session(i, &queries[i], &runners.txs);
+                        let result = self.solve_one_session(
+                            i,
+                            &queries[i],
+                            &runners.txs,
+                            self.request_budget(),
+                        );
                         *slots[i].lock().unwrap() = Some(result);
                     }
                     runners.shutdown();
@@ -197,7 +238,15 @@ impl Engine {
         })
     }
 
-    fn solve_one(&self, index: usize, query: &Query) -> QueryResult {
+    /// A fresh budget for one query, from the configured default timeout.
+    fn request_budget(&self) -> Budget {
+        match self.cfg.timeout {
+            Some(t) => Budget::with_timeout(t),
+            None => Budget::unlimited(),
+        }
+    }
+
+    fn solve_one(&self, index: usize, query: &Query, budget: Budget) -> QueryResult {
         let started = Instant::now();
         let _span = rzen_obs::span!("engine.query", "index" => index as u64);
         rzen_obs::counter!("engine.queries", "queries dispatched to workers").inc();
@@ -205,11 +254,6 @@ impl Engine {
         if let Some(hit) = self.cache_lookup(index, query, fingerprint, started) {
             return hit;
         }
-
-        let budget = match self.cfg.timeout {
-            Some(t) => Budget::with_timeout(t),
-            None => Budget::unlimited(),
-        };
 
         let solved = match self.cfg.backend {
             QueryBackend::Bdd => run_fresh(query, Backend::Bdd, &budget, started),
@@ -228,6 +272,7 @@ impl Engine {
         index: usize,
         query: &Query,
         runners: &[mpsc::Sender<SessionJob>],
+        budget: Budget,
     ) -> QueryResult {
         let started = Instant::now();
         let _span = rzen_obs::span!("engine.query", "index" => index as u64);
@@ -236,11 +281,6 @@ impl Engine {
         if let Some(hit) = self.cache_lookup(index, query, fingerprint, started) {
             return hit;
         }
-
-        let budget = match self.cfg.timeout {
-            Some(t) => Budget::with_timeout(t),
-            None => Budget::unlimited(),
-        };
 
         let (reply_tx, reply_rx) = mpsc::channel::<SessionReply>();
         let mut error: Option<String> = None;
@@ -366,6 +406,45 @@ impl Engine {
             sat_stats: solved.sat_stats,
             bdd_stats: solved.bdd_stats,
             session: solved.session,
+        }
+    }
+    /// Create a serving worker for the calling thread: the single-query
+    /// counterpart of a batch worker. With `cfg.sessions` it owns
+    /// persistent per-backend [`SolverSession`] runner threads (warm
+    /// across every query it serves); without, it is a cheap token that
+    /// marks the thread as dedicated to solving.
+    pub fn serve_worker(&self) -> ServeWorker {
+        ServeWorker {
+            runners: self
+                .cfg
+                .sessions
+                .then(|| SessionRunners::spawn(self.cfg.backend)),
+        }
+    }
+
+    /// Solve one query with an explicit per-request budget (a serving
+    /// layer derives it from the request deadline, queue wait included),
+    /// consulting and feeding the shared result cache. Must be called
+    /// from a thread with no live `Zen` handles — in fresh mode the query
+    /// rebuilds its model in (and resets) the thread-local context.
+    pub fn run_one(&self, query: &Query, budget: Budget, worker: &ServeWorker) -> QueryResult {
+        match &worker.runners {
+            Some(runners) => self.solve_one_session(0, query, &runners.txs, budget),
+            None => self.solve_one(0, query, budget),
+        }
+    }
+}
+
+/// A long-lived serving worker: per-thread solver state for
+/// [`Engine::run_one`]. Dropping it joins any session runner threads.
+pub struct ServeWorker {
+    runners: Option<SessionRunners>,
+}
+
+impl Drop for ServeWorker {
+    fn drop(&mut self) {
+        if let Some(runners) = self.runners.take() {
+            runners.shutdown();
         }
     }
 }

@@ -1,0 +1,230 @@
+//! In-flight query coalescing.
+//!
+//! A serving layer sees bursts of identical queries (every client asking
+//! "can A reach B?" after the same event). Solving each copy wastes a
+//! worker per copy; caching alone does not help because the copies are
+//! *concurrent* — none has finished when the next arrives. The in-flight
+//! table closes that gap: the first arrival of a query becomes its
+//! **leader** and executes; identical arrivals while the leader is running
+//! **join** and merely wait; the leader's verdict is fanned out to every
+//! joiner. The coalescing key is the full [`Query`] (which embeds the
+//! model — ACL, route map, or network — so queries against different
+//! models never coalesce), compared structurally under the same FNV-1a
+//! fingerprint the result cache uses.
+//!
+//! The leader's guard publishes exactly once; if the leader is dropped
+//! without publishing (its request was shed or its worker died), joiners
+//! wake with `None` and the serving layer answers them `overloaded`
+//! rather than hanging them forever.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::query::Query;
+use crate::stats::QueryResult;
+
+/// Shared verdict slot between a leader and its joiners.
+#[derive(Debug)]
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Pending,
+    Done(Box<Option<QueryResult>>),
+}
+
+/// One fingerprint bucket: structurally-compared (query, slot) pairs.
+type Bucket = Vec<(Query, Arc<Slot>)>;
+
+/// The in-flight table: fingerprint buckets of (query, slot) pairs, the
+/// same collision-safe shape as the result cache.
+#[derive(Debug, Default)]
+pub(crate) struct InflightTable {
+    buckets: Mutex<HashMap<u64, Bucket>>,
+}
+
+/// What [`crate::Engine::admit`] decided for a query.
+pub enum Admission {
+    /// No identical query is in flight: the caller leads. Execute the
+    /// query and [`LeadGuard::publish`] the result (or drop the guard to
+    /// release joiners empty-handed).
+    Lead(LeadGuard),
+    /// An identical query is already in flight: [`JoinHandle::wait`] for
+    /// the leader's verdict instead of executing.
+    Join(JoinHandle),
+}
+
+/// Leadership of one in-flight query. Exactly one exists per distinct
+/// in-flight query; dropping it without publishing wakes joiners with
+/// `None`.
+pub struct LeadGuard {
+    table: Arc<InflightTable>,
+    fingerprint: u64,
+    query: Query,
+    slot: Arc<Slot>,
+    done: bool,
+}
+
+impl LeadGuard {
+    /// Publish the leader's result to every joiner and retire the entry.
+    pub fn publish(mut self, result: &QueryResult) {
+        self.finish(Some(result.clone()));
+    }
+
+    fn finish(&mut self, result: Option<QueryResult>) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        {
+            let mut buckets = self.table.buckets.lock().unwrap();
+            if let Some(bucket) = buckets.get_mut(&self.fingerprint) {
+                bucket.retain(|(q, _)| q != &self.query);
+                if bucket.is_empty() {
+                    buckets.remove(&self.fingerprint);
+                }
+            }
+        }
+        *self.slot.state.lock().unwrap() = SlotState::Done(Box::new(result));
+        self.slot.cv.notify_all();
+    }
+}
+
+impl Drop for LeadGuard {
+    fn drop(&mut self) {
+        self.finish(None);
+    }
+}
+
+/// A joiner's ticket: blocks until the leader publishes.
+pub struct JoinHandle {
+    slot: Arc<Slot>,
+}
+
+impl JoinHandle {
+    /// Wait for the leader's verdict. `None` means the leader was dropped
+    /// without publishing (shed or died) — the caller should treat the
+    /// request as shed, not retry in a loop.
+    pub fn wait(self) -> Option<QueryResult> {
+        let mut state = self.slot.state.lock().unwrap();
+        loop {
+            match &*state {
+                SlotState::Pending => state = self.slot.cv.wait(state).unwrap(),
+                SlotState::Done(result) => return (**result).clone(),
+            }
+        }
+    }
+}
+
+impl InflightTable {
+    /// Join the in-flight entry for `query`, or become its leader.
+    pub(crate) fn admit(self: &Arc<Self>, fingerprint: u64, query: &Query) -> Admission {
+        let mut buckets = self.buckets.lock().unwrap();
+        let bucket = buckets.entry(fingerprint).or_default();
+        if let Some((_, slot)) = bucket.iter().find(|(q, _)| q == query) {
+            rzen_obs::counter!(
+                "engine.inflight.joined",
+                "queries coalesced onto an identical in-flight execution"
+            )
+            .inc();
+            return Admission::Join(JoinHandle { slot: slot.clone() });
+        }
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState::Pending),
+            cv: Condvar::new(),
+        });
+        bucket.push((query.clone(), slot.clone()));
+        Admission::Lead(LeadGuard {
+            table: self.clone(),
+            fingerprint,
+            query: query.clone(),
+            slot,
+            done: false,
+        })
+    }
+
+    /// Number of distinct queries currently in flight.
+    pub(crate) fn len(&self) -> usize {
+        self.buckets.lock().unwrap().values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Verdict;
+    use std::time::Duration;
+
+    fn query(line: u16) -> Query {
+        Query::AclFind {
+            acl: rzen_net::gen::random_acl(4, 1),
+            target_line: line,
+        }
+    }
+
+    fn result() -> QueryResult {
+        QueryResult {
+            index: 0,
+            kind: "acl-find",
+            verdict: Verdict::Unsat,
+            latency: Duration::ZERO,
+            winner: None,
+            cache_hit: false,
+            sat_stats: None,
+            bdd_stats: None,
+            session: None,
+        }
+    }
+
+    #[test]
+    fn second_identical_query_joins_and_receives_the_verdict() {
+        let table = Arc::new(InflightTable::default());
+        let q = query(1);
+        let fp = q.fingerprint();
+        let Admission::Lead(guard) = table.admit(fp, &q) else {
+            panic!("first arrival must lead");
+        };
+        let Admission::Join(join) = table.admit(fp, &q) else {
+            panic!("second identical arrival must join");
+        };
+        assert_eq!(table.len(), 1);
+        guard.publish(&result());
+        let got = join.wait().expect("leader published");
+        assert_eq!(got.verdict, Verdict::Unsat);
+        assert_eq!(table.len(), 0, "publish retires the entry");
+    }
+
+    #[test]
+    fn distinct_queries_do_not_coalesce_even_on_forced_collision() {
+        let table = Arc::new(InflightTable::default());
+        let (a, b) = (query(1), query(2));
+        let colliding = 0xfeed_u64;
+        let Admission::Lead(_ga) = table.admit(colliding, &a) else {
+            panic!("a leads");
+        };
+        // Same bucket, different query: must lead its own entry.
+        let Admission::Lead(_gb) = table.admit(colliding, &b) else {
+            panic!("b must lead despite sharing a's bucket");
+        };
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn dropped_leader_releases_joiners_with_none() {
+        let table = Arc::new(InflightTable::default());
+        let q = query(3);
+        let fp = q.fingerprint();
+        let Admission::Lead(guard) = table.admit(fp, &q) else {
+            panic!("first arrival must lead");
+        };
+        let Admission::Join(join) = table.admit(fp, &q) else {
+            panic!("second arrival must join");
+        };
+        drop(guard);
+        assert!(join.wait().is_none(), "joiner must not hang");
+        assert_eq!(table.len(), 0);
+    }
+}

@@ -58,9 +58,11 @@
 
 mod cache;
 mod engine;
+mod inflight;
 mod query;
 mod stats;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, ServeWorker};
+pub use inflight::{Admission, JoinHandle, LeadGuard};
 pub use query::{Query, QueryBackend, Verdict, Witness};
 pub use stats::{BatchReport, EngineStats, QueryResult};

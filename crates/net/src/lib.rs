@@ -27,6 +27,7 @@ pub mod headers;
 pub mod ip;
 pub mod nat;
 pub mod routing;
+pub mod spec;
 pub mod topology;
 
 pub use headers::{Header, HeaderFields, Packet, PacketFields};

@@ -1,7 +1,10 @@
-//! The network-spec text format.
+//! The network-spec text format: parsing and serialization.
 //!
 //! A small line-oriented format for describing networks, so the verifier
-//! can be driven without writing Rust. Example:
+//! can be driven without writing Rust. This lives in `rzen-net` (rather
+//! than the CLI) because every front end needs it: the CLI loads specs
+//! from disk, and the serve layer re-parses specs received over
+//! `POST /model` for atomic hot-swap. Example:
 //!
 //! ```text
 //! # Fig. 3: tunneled overlay across a 3-node underlay
@@ -31,16 +34,20 @@
 //!
 //! `route DEVICE PREFIX PORT` adds a forwarding entry to every interface
 //! of the device (interfaces of one device share its table).
+//!
+//! [`serialize`] renders a parsed [`Spec`] back into this format;
+//! [`parse`] ∘ [`serialize`] ∘ [`parse`] is the identity on the network
+//! structure, which is what guards the serve layer's model hot-swap path.
 
 use std::collections::HashMap;
 
-use rzen_net::acl::{Acl, AclRule};
-use rzen_net::device::Interface;
-use rzen_net::fwd::{FwdRule, FwdTable};
-use rzen_net::gre::GreTunnel;
-use rzen_net::ip::Prefix;
-use rzen_net::nat::{Nat, NatKind, NatRule};
-use rzen_net::topology::{Device, Network};
+use crate::acl::{Acl, AclRule};
+use crate::device::Interface;
+use crate::fwd::{FwdRule, FwdTable};
+use crate::gre::GreTunnel;
+use crate::ip::{fmt_ip, Prefix};
+use crate::nat::{Nat, NatKind, NatRule};
+use crate::topology::{Device, Network};
 
 /// A parsed spec: the network plus the device-name index.
 pub struct Spec {
@@ -107,7 +114,7 @@ fn parse_ip(s: &str) -> Result<u32, String> {
     if octets.len() != 4 {
         return Err(format!("bad address {s:?}"));
     }
-    Ok(rzen_net::ip::ip(octets[0], octets[1], octets[2], octets[3]))
+    Ok(crate::ip::ip(octets[0], octets[1], octets[2], octets[3]))
 }
 
 struct PendingDevice {
@@ -368,6 +375,136 @@ fn parse_acl(rest: &[&str]) -> Result<(Acl, usize), String> {
     }
 }
 
+/// Render an ACL back into its spec shorthand, if it has one. The spec
+/// format only expresses the four shorthand forms, so this is total on
+/// everything [`parse`] produces and an error on anything else.
+fn serialize_acl(acl: &Acl) -> Result<String, String> {
+    if acl.rules.is_empty() {
+        return Ok("deny".into());
+    }
+    if acl.rules == vec![AclRule::any(true)] {
+        return Ok("permit".into());
+    }
+    if acl.rules.len() == 2 && acl.rules[1] == AclRule::any(true) {
+        let r = &acl.rules[0];
+        let template = AclRule {
+            dst_ports: r.dst_ports,
+            ..AclRule::any(false)
+        };
+        if *r == template {
+            return Ok(format!("deny-dport {} {}", r.dst_ports.0, r.dst_ports.1));
+        }
+    }
+    if acl.rules.len() == 2 && acl.rules[1] == AclRule::any(false) {
+        let r = &acl.rules[0];
+        let template = AclRule {
+            dst: r.dst,
+            ..AclRule::any(true)
+        };
+        if *r == template {
+            return Ok(format!("permit-dst {}", r.dst));
+        }
+    }
+    Err("ACL has no spec-format shorthand".into())
+}
+
+fn serialize_nat(nat: &Nat, kind: NatKind) -> Result<String, String> {
+    let [rule] = nat.rules.as_slice() else {
+        return Err("NAT with more than one rule has no spec-format form".into());
+    };
+    if rule.kind != kind {
+        return Err("NAT rule direction disagrees with its interface slot".into());
+    }
+    let word = match kind {
+        NatKind::Snat => "snat",
+        NatKind::Dnat => "dnat",
+    };
+    Ok(format!(
+        "{word} {} {}",
+        rule.matches,
+        fmt_ip(rule.rewrite_to)
+    ))
+}
+
+/// Serialize a [`Spec`] back into the text format, such that
+/// `parse(&serialize(&spec)?)` reconstructs a structurally equal
+/// [`Network`] and device index. Fails when the network uses a construct
+/// the format cannot express (an arbitrary ACL, a multi-rule NAT, or
+/// interfaces of one device with diverging forwarding tables — none of
+/// which [`parse`] can produce).
+pub fn serialize(spec: &Spec) -> Result<String, String> {
+    let mut out = String::new();
+    for d in &spec.net.devices {
+        out.push_str(&format!("device {}\n", d.name));
+        for i in &d.interfaces {
+            if i.table != d.interfaces[0].table {
+                return Err(format!(
+                    "device {:?}: interfaces disagree on the forwarding table",
+                    d.name
+                ));
+            }
+            out.push_str(&format!("  intf {}", i.id));
+            if let Some(acl) = &i.acl_in {
+                out.push_str(&format!(" acl-in {}", serialize_acl(acl)?));
+            }
+            if let Some(acl) = &i.acl_out {
+                out.push_str(&format!(" acl-out {}", serialize_acl(acl)?));
+            }
+            if let Some(t) = &i.gre_start {
+                out.push_str(&format!(
+                    " gre-start {} {}",
+                    fmt_ip(t.src_ip),
+                    fmt_ip(t.dst_ip)
+                ));
+            }
+            if let Some(t) = &i.gre_end {
+                out.push_str(&format!(
+                    " gre-end {} {}",
+                    fmt_ip(t.src_ip),
+                    fmt_ip(t.dst_ip)
+                ));
+            }
+            if let Some(nat) = &i.nat_out {
+                out.push_str(&format!(" {}", serialize_nat(nat, NatKind::Snat)?));
+            }
+            if let Some(nat) = &i.nat_in {
+                out.push_str(&format!(" {}", serialize_nat(nat, NatKind::Dnat)?));
+            }
+            out.push('\n');
+        }
+        // Interfaces share the device table, so routes are emitted once
+        // from the first interface.
+        if let Some(first) = d.interfaces.first() {
+            for rule in &first.table.rules {
+                out.push_str(&format!("route {} {} {}\n", d.name, rule.prefix, rule.port));
+            }
+        }
+    }
+    // Links come in duplex pairs ([`Network::add_duplex`] pushes both
+    // directions back to back); emit each pair once, in first-appearance
+    // order, so re-parsing rebuilds the identical link list.
+    let mut emitted: Vec<&crate::topology::Link> = Vec::new();
+    for l in &spec.net.links {
+        if emitted.iter().any(|e| {
+            e.from_device == l.to_device
+                && e.from_intf == l.to_intf
+                && e.to_device == l.from_device
+                && e.to_intf == l.from_intf
+        }) {
+            continue;
+        }
+        emitted.push(l);
+        out.push_str(&format!(
+            "link {}:{} {}:{}\n",
+            spec.net.devices[l.from_device].name,
+            l.from_intf,
+            spec.net.devices[l.to_device].name,
+            l.to_intf
+        ));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,5 +595,35 @@ link u2:2 u3:1
         let gw = &spec.net.devices[0];
         assert!(gw.interface(1).unwrap().nat_out.is_some());
         assert!(gw.interface(2).unwrap().nat_in.is_some());
+    }
+
+    #[test]
+    fn serialize_round_trips_every_construct() {
+        // One spec exercising every policy the format can express.
+        let text = "device gw\n  intf 1 acl-in permit acl-out deny\n  \
+                    intf 2 acl-in deny-dport 22 23 gre-start 1.2.3.4 5.6.7.8\n  \
+                    intf 3 acl-out permit-dst 10.0.0.0/8 gre-end 1.2.3.4 5.6.7.8 \
+                    snat 10.0.0.0/8 203.0.113.1 dnat 0.0.0.0/0 10.0.0.5\n\
+                    device edge\n  intf 1\nroute gw 0.0.0.0/0 2\nroute gw 10.0.0.0/8 3\n\
+                    link gw:1 edge:1\n";
+        let spec = parse(text).unwrap();
+        let rendered = serialize(&spec).unwrap();
+        let reparsed =
+            parse(&rendered).unwrap_or_else(|e| panic!("reparse failed: {e}\n{rendered}"));
+        assert_eq!(
+            spec.net, reparsed.net,
+            "round trip changed the network:\n{rendered}"
+        );
+        assert_eq!(spec.device_index, reparsed.device_index);
+    }
+
+    #[test]
+    fn serialize_rejects_unrepresentable_acl() {
+        let mut spec = parse("device a\n  intf 1 acl-in permit\n").unwrap();
+        // An arbitrary two-rule ACL has no shorthand.
+        spec.net.devices[0].interfaces[0].acl_in = Some(Acl {
+            rules: vec![AclRule::any(false), AclRule::any(false)],
+        });
+        assert!(serialize(&spec).is_err());
     }
 }

@@ -1,6 +1,7 @@
-//! Minimal JSON helpers: string escaping for the exporters and a
+//! Minimal JSON helpers: string escaping for the exporters, a
 //! dependency-free syntax validator used by tests and CI to check that
-//! the emitted trace/stats files are well-formed.
+//! the emitted trace/stats files are well-formed, and a small [`Value`]
+//! parser used by the serve layer to read wire-protocol requests.
 
 /// Escape a string for inclusion inside JSON double quotes.
 pub fn escape(s: &str) -> String {
@@ -22,18 +23,78 @@ pub fn escape(s: &str) -> String {
 /// Validate that `s` is a single well-formed JSON value (syntax only —
 /// no schema). Returns the byte offset and a message on failure.
 pub fn validate(s: &str) -> Result<(), String> {
+    parse(s).map(|_| ())
+}
+
+/// A parsed JSON value. Numbers are kept as `f64` (every value this
+/// repo's protocols exchange fits losslessly).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object, in source order.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `s` as a single JSON value. Returns the byte offset and a
+/// message on failure.
+pub fn parse(s: &str) -> Result<Value, String> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
         depth: 0,
     };
     p.skip_ws();
-    p.value()?;
+    let v = p.value()?;
     p.skip_ws();
     if p.pos != p.bytes.len() {
         return Err(format!("trailing data at byte {}", p.pos));
     }
-    Ok(())
+    Ok(v)
 }
 
 const MAX_DEPTH: u32 = 256;
@@ -77,110 +138,150 @@ impl Parser<'_> {
         }
     }
 
-    fn value(&mut self) -> Result<(), String> {
+    fn value(&mut self) -> Result<Value, String> {
         if self.depth >= MAX_DEPTH {
             return Err(self.err("nesting too deep"));
         }
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),
-            Some(b'"') => self.string(),
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
-            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.literal("true").map(|_| Value::Bool(true)),
+            Some(b'f') => self.literal("false").map(|_| Value::Bool(false)),
+            Some(b'n') => self.literal("null").map(|_| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number().map(Value::Num),
             _ => Err(self.err("expected a JSON value")),
         }
     }
 
-    fn object(&mut self) -> Result<(), String> {
+    fn object(&mut self) -> Result<Value, String> {
         self.depth += 1;
         self.expect(b'{')?;
         self.skip_ws();
+        let mut members = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
             self.depth -= 1;
-            return Ok(());
+            return Ok(Value::Obj(members));
         }
         loop {
             self.skip_ws();
-            self.string()?;
+            let key = self.string()?;
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
-            self.value()?;
+            let value = self.value()?;
+            members.push((key, value));
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
                     self.depth -= 1;
-                    return Ok(());
+                    return Ok(Value::Obj(members));
                 }
                 _ => return Err(self.err("expected ',' or '}'")),
             }
         }
     }
 
-    fn array(&mut self) -> Result<(), String> {
+    fn array(&mut self) -> Result<Value, String> {
         self.depth += 1;
         self.expect(b'[')?;
         self.skip_ws();
+        let mut items = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
             self.depth -= 1;
-            return Ok(());
+            return Ok(Value::Arr(items));
         }
         loop {
             self.skip_ws();
-            self.value()?;
+            items.push(self.value()?);
             self.skip_ws();
             match self.peek() {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
                     self.depth -= 1;
-                    return Ok(());
+                    return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected ',' or ']'")),
             }
         }
     }
 
-    fn string(&mut self) -> Result<(), String> {
+    fn string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
+        let mut out = Vec::new();
         loop {
             match self.peek() {
                 None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
-                    return Ok(());
+                    return String::from_utf8(out).map_err(|_| self.err("invalid utf-8"));
                 }
                 Some(b'\\') => {
                     self.pos += 1;
                     match self.peek() {
-                        Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => {
+                        Some(c @ (b'"' | b'\\' | b'/')) => {
+                            out.push(c);
+                            self.pos += 1;
+                        }
+                        Some(b'b') => {
+                            out.push(0x08);
+                            self.pos += 1;
+                        }
+                        Some(b'f') => {
+                            out.push(0x0c);
+                            self.pos += 1;
+                        }
+                        Some(b'n') => {
+                            out.push(b'\n');
+                            self.pos += 1;
+                        }
+                        Some(b'r') => {
+                            out.push(b'\r');
+                            self.pos += 1;
+                        }
+                        Some(b't') => {
+                            out.push(b'\t');
                             self.pos += 1;
                         }
                         Some(b'u') => {
                             self.pos += 1;
+                            let mut code = 0u32;
                             for _ in 0..4 {
                                 match self.peek() {
-                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
+                                    Some(c) if c.is_ascii_hexdigit() => {
+                                        code = code * 16 + (c as char).to_digit(16).unwrap();
+                                        self.pos += 1;
+                                    }
                                     _ => return Err(self.err("bad \\u escape")),
                                 }
                             }
+                            // Surrogates would need pairing; the repo's own
+                            // exporters never emit them, so reject rather
+                            // than silently mangle.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("unpaired surrogate in \\u escape"))?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
                         }
                         _ => return Err(self.err("bad escape")),
                     }
                 }
                 Some(c) if c < 0x20 => return Err(self.err("control character in string")),
-                Some(_) => self.pos += 1,
+                Some(c) => {
+                    out.push(c);
+                    self.pos += 1;
+                }
             }
         }
     }
 
-    fn number(&mut self) -> Result<(), String> {
+    fn number(&mut self) -> Result<f64, String> {
+        let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
@@ -217,7 +318,10 @@ impl Parser<'_> {
                 return Err(self.err("expected exponent digits"));
             }
         }
-        Ok(())
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| self.err("bad number"))
     }
 }
 
@@ -257,6 +361,22 @@ mod tests {
         ] {
             assert!(validate(s).is_err(), "{s:?} accepted");
         }
+    }
+
+    #[test]
+    fn parse_builds_values() {
+        let v = parse("{\"op\":\"reach\",\"n\":3,\"ok\":true,\"s\":\"a\\nb\",\"xs\":[1,null]}")
+            .unwrap();
+        assert_eq!(v.get("op").and_then(Value::as_str), Some("reach"));
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("a\nb"));
+        assert_eq!(
+            v.get("xs"),
+            Some(&Value::Arr(vec![Value::Num(1.0), Value::Null]))
+        );
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Num(1.5).as_u64(), None);
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! # rzen-serve — the network-verification query server
+//!
+//! Loads a network spec once, keeps warm solver state per worker, and
+//! answers `reach` / `drops` / `hsa` / `paths` queries over
+//! newline-delimited JSON on a plain TCP socket, with a minimal HTTP/1.1
+//! shim on the same port for `GET /healthz`, `GET /metrics`
+//! (the [`rzen_obs`] registry in text form), and `POST /model`
+//! (atomic spec hot-swap).
+//!
+//! Like [`rzen_obs`], the crate is std-only — no async runtime, no HTTP
+//! framework. Threads are cheap at this concurrency (tens of
+//! connections, a handful of workers), and a thread-per-connection server
+//! whose blocking points are all obvious is far easier to reason about
+//! under drain than an executor.
+//!
+//! The serving disciplines — bounded admission with explicit shedding,
+//! in-flight coalescing, deadlines that include queue wait, atomic model
+//! swap, graceful drain — are documented on [`server`]'s module docs and
+//! in `DESIGN.md` §9.
+//!
+//! ```no_run
+//! use rzen_serve::{start, Model, ServerConfig};
+//!
+//! let spec = std::fs::read_to_string("specs/fig3.net").unwrap();
+//! let handle = start(ServerConfig::default(), Model::parse(&spec).unwrap()).unwrap();
+//! println!("listening on {}", handle.addr());
+//! // ... send {"op":"reach","src":"u1:1","dst":"u3:2"} lines at it ...
+//! handle.shutdown();
+//! handle.join();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod proto;
+mod server;
+pub mod signal;
+
+pub use server::{start, Model, ServerConfig, ServerHandle};

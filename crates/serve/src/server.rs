@@ -1,0 +1,721 @@
+//! The server: accept loop, bounded admission queue, worker pool with
+//! warm solver sessions, in-flight coalescing, model hot-swap, and
+//! graceful drain.
+//!
+//! ## Threads
+//!
+//! One nonblocking accept thread, one thread per connection (requests on
+//! a connection are answered in order), and `jobs` worker threads pulling
+//! from one bounded queue. Workers own the solver state: each holds an
+//! [`rzen_engine::ServeWorker`] — with sessions enabled, persistent
+//! per-backend solver threads that stay warm across requests.
+//!
+//! ## Admission
+//!
+//! A request is admitted by reserving a slot in a
+//! [`std::sync::mpsc::sync_channel`] bounded at `backlog`; a full queue
+//! sheds the request with an explicit `overloaded` response — the client
+//! is never left hanging. The per-request [`rzen::Budget`] is created at
+//! admission, so time spent queued counts against the deadline and a
+//! request that expires in the queue degrades to a `timeout` verdict
+//! instead of wasting solver time.
+//!
+//! ## Coalescing
+//!
+//! Identical concurrent queries coalesce through the engine's in-flight
+//! table ([`rzen_engine::Engine::admit`]): the first arrival leads and
+//! occupies a queue slot; identical arrivals while it runs join, wait on
+//! the leader's verdict, and consume no queue slot at all. If the leader
+//! is shed, joiners are released with `overloaded` rather than hanging.
+//!
+//! ## Hot swap
+//!
+//! `POST /model` re-parses a spec off the connection thread, then swaps
+//! the shared model pointer atomically and clears the engine's result
+//! cache. Requests admitted before the swap keep their `Arc` to the old
+//! model and finish against it; requests admitted after see only the new
+//! one. There is no window where a request observes half of each.
+//!
+//! ## Drain
+//!
+//! Shutdown (SIGTERM/ctrl-c via [`crate::signal`], or
+//! [`ServerHandle::shutdown`]) stops the accept loop, marks the server
+//! draining (new requests answered `shutting_down`), waits for every
+//! admitted job to finish and be answered, unblocks and joins the
+//! connection threads, then retires the workers.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rzen::Budget;
+use rzen_engine::{Admission, Engine, EngineConfig, LeadGuard, Query, QueryBackend, ServeWorker};
+use rzen_net::spec::{self, Spec};
+
+use crate::proto::{self, Body, Op};
+use crate::signal;
+
+/// Server configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`host:port`; port 0 picks a free one).
+    pub addr: String,
+    /// Worker threads (concurrent query executions).
+    pub jobs: usize,
+    /// Admitted-but-not-yet-running jobs beyond the workers; a request
+    /// arriving past this bound is shed with `overloaded`.
+    pub backlog: usize,
+    /// Default per-request deadline; `None` = unlimited.
+    pub timeout: Option<Duration>,
+    /// Keep warm per-worker solver sessions.
+    pub sessions: bool,
+    /// Backend selection for engine queries.
+    pub backend: QueryBackend,
+    /// React to SIGINT/SIGTERM (the CLI sets this; tests drive
+    /// [`ServerHandle::shutdown`] instead).
+    pub handle_signals: bool,
+    /// Expose the test-only `sleep` op.
+    pub debug_ops: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 2,
+            backlog: 64,
+            timeout: Some(Duration::from_secs(30)),
+            sessions: false,
+            backend: QueryBackend::Portfolio,
+            handle_signals: false,
+            debug_ops: false,
+        }
+    }
+}
+
+/// One loaded network model. Immutable once built; hot-swap replaces the
+/// whole `Arc`.
+pub struct Model {
+    /// The parsed spec.
+    pub spec: Spec,
+    /// FNV-1a fingerprint of the spec text (reported by `/healthz` so
+    /// clients can tell which model answered).
+    pub fingerprint: u64,
+}
+
+impl Model {
+    /// Parse a spec text into a model.
+    pub fn parse(text: &str) -> Result<Model, String> {
+        Ok(Model {
+            spec: spec::parse(text)?,
+            fingerprint: fnv1a(text.as_bytes()),
+        })
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    engine: Engine,
+    model: RwLock<Arc<Model>>,
+    /// The admission queue sender; `None` once the drain retired it.
+    jobs_tx: Mutex<Option<mpsc::SyncSender<Job>>>,
+    /// Stop accepting connections.
+    shutdown: AtomicBool,
+    /// Stop admitting requests (drain phase).
+    draining: AtomicBool,
+    /// Jobs admitted (queued or running) and not yet answered.
+    admitted: AtomicUsize,
+    /// Connection threads currently processing a request (from read to
+    /// response-write completion). The drain waits for this to hit zero
+    /// before closing sockets, so an in-flight verdict is never lost to
+    /// a socket shutdown racing its own write.
+    busy_conns: AtomicUsize,
+    /// Socket clones for unblocking connection readers at drain.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// One admitted unit of work, executed on a worker thread.
+struct Job {
+    work: Work,
+    budget: Budget,
+    /// The rendered response line goes back to the connection thread.
+    reply: mpsc::Sender<String>,
+}
+
+enum Work {
+    /// An engine query led by this request (joiners wait on the guard).
+    Query {
+        id: Option<u64>,
+        op: &'static str,
+        query: Box<Query>,
+        guard: LeadGuard,
+    },
+    /// Exact reachable-set size (header-space transformers).
+    Hsa {
+        id: Option<u64>,
+        src: (usize, u8),
+        dst: (usize, u8),
+        model: Arc<Model>,
+    },
+    /// Simple-path count.
+    Paths {
+        id: Option<u64>,
+        src: (usize, u8),
+        dst: (usize, u8),
+        model: Arc<Model>,
+    },
+    /// Debug: hold the worker.
+    Sleep { id: Option<u64>, ms: u64 },
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when the config said 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Jobs admitted and not yet answered (queued + running).
+    pub fn inflight(&self) -> usize {
+        self.shared.admitted.load(Ordering::SeqCst)
+    }
+
+    /// Begin graceful shutdown: stop accepting, drain in-flight work,
+    /// answer stragglers `shutting_down`. Returns immediately.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the drain to complete and every thread to retire.
+    pub fn join(self) {
+        let _ = self.accept.join();
+    }
+}
+
+/// Start a server for `model` under `cfg`. Returns once the listener is
+/// bound and the workers are up; queries are answerable immediately.
+pub fn start(cfg: ServerConfig, model: Model) -> io::Result<ServerHandle> {
+    if cfg.handle_signals {
+        signal::install();
+    }
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let engine = Engine::new(EngineConfig {
+        jobs: cfg.jobs,
+        backend: cfg.backend,
+        timeout: cfg.timeout,
+        cache: true,
+        sessions: cfg.sessions,
+    });
+    let (tx, rx) = mpsc::sync_channel::<Job>(cfg.backlog);
+    let jobs = cfg.jobs.max(1);
+    let shared = Arc::new(Shared {
+        cfg,
+        engine,
+        model: RwLock::new(Arc::new(model)),
+        jobs_tx: Mutex::new(Some(tx)),
+        shutdown: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
+        admitted: AtomicUsize::new(0),
+        busy_conns: AtomicUsize::new(0),
+        conns: Mutex::new(Vec::new()),
+    });
+
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(jobs);
+    for w in 0..jobs {
+        let shared = shared.clone();
+        let rx = rx.clone();
+        workers.push(thread::spawn(move || worker_loop(shared, rx, w)));
+    }
+
+    let accept = {
+        let shared = shared.clone();
+        thread::spawn(move || accept_loop(listener, shared, workers))
+    };
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>, workers: Vec<thread::JoinHandle<()>>) {
+    let _span = rzen_obs::span!("serve.accept");
+    let mut conn_threads = Vec::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst)
+            || (shared.cfg.handle_signals && signal::triggered())
+        {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                rzen_obs::counter!("serve.connections", "TCP connections accepted").inc();
+                // Request/response lines are tiny; Nagle + delayed ACK
+                // would add ~40ms to every exchange.
+                let _ = stream.set_nodelay(true);
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().unwrap().push(clone);
+                }
+                let shared = shared.clone();
+                conn_threads.push(thread::spawn(move || handle_conn(stream, shared)));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(3));
+            }
+            Err(_) => break,
+        }
+    }
+    drain(&shared, conn_threads, workers);
+}
+
+/// The drain sequence; see the module docs. Runs on the accept thread.
+fn drain(
+    shared: &Arc<Shared>,
+    conns: Vec<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+) {
+    let _span = rzen_obs::span!("serve.drain");
+    shared.draining.store(true, Ordering::SeqCst);
+    // Every admitted job gets solved, answered, *and written back* before
+    // sockets close: `admitted` covers queued/running jobs, `busy_conns`
+    // covers the response write itself.
+    while shared.admitted.load(Ordering::SeqCst) > 0 || shared.busy_conns.load(Ordering::SeqCst) > 0
+    {
+        thread::sleep(Duration::from_millis(2));
+    }
+    // Unblock connection threads parked in read_line, then join them. A
+    // request racing the draining flag is still answered: its job was
+    // admitted before its socket shut down, and workers are still up.
+    for s in shared.conns.lock().unwrap().drain(..) {
+        let _ = s.shutdown(Shutdown::Both);
+    }
+    for h in conns {
+        let _ = h.join();
+    }
+    while shared.admitted.load(Ordering::SeqCst) > 0 {
+        thread::sleep(Duration::from_millis(2));
+    }
+    // All senders gone -> workers' recv errors out and they retire.
+    shared.jobs_tx.lock().unwrap().take();
+    for h in workers {
+        let _ = h.join();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>, w: usize) {
+    let _span = rzen_obs::span!("serve.worker", "worker" => w as u64);
+    let solver = shared.engine.serve_worker();
+    loop {
+        // Hold the receiver lock only while waiting; execution happens
+        // with it released so other workers can pick up jobs.
+        let job = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => break,
+        };
+        let Ok(job) = job else { break };
+        run_job(&shared, &solver, job);
+        shared.admitted.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn run_job(shared: &Arc<Shared>, solver: &ServeWorker, job: Job) {
+    let started = Instant::now();
+    let _span = rzen_obs::span!("serve.job");
+    let Job {
+        work,
+        budget,
+        reply,
+    } = job;
+    let resp = match work {
+        Work::Query {
+            id,
+            op,
+            query,
+            guard,
+        } => {
+            // An exhausted budget (the request aged out in the queue)
+            // still runs: the solvers observe it at their first poll and
+            // the request degrades to `timeout` — while a result-cache
+            // hit can still answer it for free.
+            let result = shared.engine.run_one(&query, budget, solver);
+            let resp = proto::verdict_response(id, op, &result, false);
+            guard.publish(&result);
+            resp
+        }
+        Work::Hsa {
+            id,
+            src,
+            dst,
+            model,
+        } => {
+            // HSA builds transformer sets in the thread-local context;
+            // reset on both sides so engine queries on this worker never
+            // see a foreign arena.
+            rzen::reset_ctx();
+            let space = rzen::TransformerSpace::new();
+            let set = rzen_net::analyses::hsa::reachable_set(
+                &model.spec.net,
+                &space,
+                src.0,
+                src.1,
+                dst.0,
+            );
+            let mut b = Body::with_id(id);
+            b.str("op", "hsa").bool("reachable", !set.is_empty());
+            if !set.is_empty() {
+                b.float("log2_count", set.count().log2());
+                if let Some(sample) = set.element() {
+                    b.str("sample", &proto::describe_header(&sample.overlay_header));
+                }
+            }
+            rzen::reset_ctx();
+            b.num("latency_us", started.elapsed().as_micros() as u64);
+            b.line()
+        }
+        Work::Paths {
+            id,
+            src,
+            dst,
+            model,
+        } => {
+            let paths = model.spec.net.paths(src.0, src.1, dst.0, dst.1);
+            let mut b = Body::with_id(id);
+            b.str("op", "paths")
+                .num("paths", paths.len() as u64)
+                .num("latency_us", started.elapsed().as_micros() as u64);
+            b.line()
+        }
+        Work::Sleep { id, ms } => {
+            thread::sleep(Duration::from_millis(ms));
+            let mut b = Body::with_id(id);
+            b.str("op", "sleep")
+                .num("latency_us", started.elapsed().as_micros() as u64);
+            b.line()
+        }
+    };
+    // A gone connection is not an error: the verdict was still published
+    // to any coalesced joiners above.
+    let _ = reply.send(resp);
+}
+
+fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
+    let _span = rzen_obs::span!("serve.conn");
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+
+    let mut line = String::new();
+    match reader.read_line(&mut line) {
+        Ok(0) | Err(_) => return,
+        Ok(_) => {}
+    }
+    // One listener, two protocols: an HTTP request line is unmistakable,
+    // everything else is the NDJSON query stream.
+    if line.starts_with("GET ") || line.starts_with("POST ") || line.starts_with("HEAD ") {
+        handle_http(&mut reader, &mut writer, &line, &shared);
+        return;
+    }
+    loop {
+        let trimmed = line.trim();
+        if !trimmed.is_empty() {
+            // Busy spans the whole request, response write included, so
+            // the drain cannot close this socket under the write.
+            shared.busy_conns.fetch_add(1, Ordering::SeqCst);
+            let resp = handle_request(trimmed, &shared);
+            let write = writer.write_all(resp.as_bytes());
+            shared.busy_conns.fetch_sub(1, Ordering::SeqCst);
+            if write.is_err() {
+                break;
+            }
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Answer one NDJSON request line (blocking until the verdict).
+fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
+    let started = Instant::now();
+    let _span = rzen_obs::span!("serve.request");
+    rzen_obs::counter!("serve.requests", "query requests received").inc();
+    let req = match proto::parse_request(line, shared.cfg.debug_ops) {
+        Ok(r) => r,
+        Err(e) => {
+            rzen_obs::counter!("serve.bad_requests", "malformed request lines").inc();
+            return proto::error_response(None, &e);
+        }
+    };
+    if shared.draining.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+        return proto::error_response(req.id, "shutting_down");
+    }
+    // The model pointer is captured here, before admission: a hot swap
+    // between admission and execution must not change what this request
+    // computes against.
+    let model = shared.model.read().unwrap().clone();
+    // The budget starts at admission so queue wait consumes the deadline.
+    let budget = match req
+        .timeout_ms
+        .map(Duration::from_millis)
+        .or(shared.cfg.timeout)
+    {
+        Some(t) => Budget::with_timeout(t),
+        None => Budget::unlimited(),
+    };
+    let id = req.id;
+    let op_name = req.op.name();
+
+    let resolve = |s: &str| model.spec.endpoint(s);
+    let work = match &req.op {
+        Op::Reach { src, dst } | Op::Drops { src, dst } => {
+            let (src, dst) = match (resolve(src), resolve(dst)) {
+                (Ok(s), Ok(d)) => (s, d),
+                (Err(e), _) | (_, Err(e)) => return proto::error_response(id, &e),
+            };
+            let query = if matches!(req.op, Op::Reach { .. }) {
+                Query::Reach {
+                    net: model.spec.net.clone(),
+                    src,
+                    dst,
+                }
+            } else {
+                Query::Drops {
+                    net: model.spec.net.clone(),
+                    src,
+                    dst,
+                }
+            };
+            // Coalesce before consuming a queue slot: joiners ride the
+            // leader's execution for free.
+            match shared.engine.admit(&query) {
+                Admission::Join(join) => {
+                    rzen_obs::counter!(
+                        "serve.coalesced",
+                        "requests answered by joining an identical in-flight query"
+                    )
+                    .inc();
+                    let resp = match join.wait() {
+                        Some(result) => proto::verdict_response(id, op_name, &result, true),
+                        // The leader was shed (or died) without a verdict.
+                        None => proto::error_response(id, "overloaded"),
+                    };
+                    observe_latency(started);
+                    return resp;
+                }
+                Admission::Lead(guard) => Work::Query {
+                    id,
+                    op: op_name,
+                    query: Box::new(query),
+                    guard,
+                },
+            }
+        }
+        Op::Hsa { src, dst } => {
+            let (src, dst) = match (resolve(src), resolve(dst)) {
+                (Ok(s), Ok(d)) => (s, d),
+                (Err(e), _) | (_, Err(e)) => return proto::error_response(id, &e),
+            };
+            Work::Hsa {
+                id,
+                src,
+                dst,
+                model,
+            }
+        }
+        Op::Paths { src, dst } => {
+            let (src, dst) = match (resolve(src), resolve(dst)) {
+                (Ok(s), Ok(d)) => (s, d),
+                (Err(e), _) | (_, Err(e)) => return proto::error_response(id, &e),
+            };
+            Work::Paths {
+                id,
+                src,
+                dst,
+                model,
+            }
+        }
+        Op::Sleep { ms } => Work::Sleep { id, ms: *ms },
+    };
+
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        work,
+        budget,
+        reply: reply_tx,
+    };
+    let tx = shared.jobs_tx.lock().unwrap().clone();
+    let Some(tx) = tx else {
+        return proto::error_response(id, "shutting_down");
+    };
+    // Reserve the in-flight slot before the send so the drain never
+    // observes zero while a job sits in the queue.
+    shared.admitted.fetch_add(1, Ordering::SeqCst);
+    match tx.try_send(job) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(job)) => {
+            shared.admitted.fetch_sub(1, Ordering::SeqCst);
+            rzen_obs::counter!(
+                "serve.overloaded",
+                "requests shed by the full admission queue"
+            )
+            .inc();
+            // Dropping the job drops any LeadGuard inside: joiners wake
+            // with `None` and get their own `overloaded`.
+            drop(job);
+            return proto::error_response(id, "overloaded");
+        }
+        Err(mpsc::TrySendError::Disconnected(_)) => {
+            shared.admitted.fetch_sub(1, Ordering::SeqCst);
+            return proto::error_response(id, "shutting_down");
+        }
+    }
+    let resp = match reply_rx.recv() {
+        Ok(resp) => resp,
+        Err(_) => proto::error_response(id, "internal: worker lost the reply"),
+    };
+    observe_latency(started);
+    resp
+}
+
+fn observe_latency(started: Instant) {
+    rzen_obs::histogram!(
+        "serve.request_us",
+        "request wall latency (admission to response) in microseconds"
+    )
+    .observe(started.elapsed().as_micros() as u64);
+}
+
+/// The HTTP/1.1 shim: health, metrics, and model hot-swap. One request
+/// per connection (`Connection: close`).
+fn handle_http(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    request_line: &str,
+    shared: &Arc<Shared>,
+) {
+    let _span = rzen_obs::span!("serve.http");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+
+    match (method, path) {
+        ("GET", "/healthz") => {
+            let model = shared.model.read().unwrap().clone();
+            let mut b = Body::new();
+            b.str("status", "ok")
+                .str("model", &format!("{:016x}", model.fingerprint))
+                .num("devices", model.spec.net.devices.len() as u64)
+                .num("inflight", shared.admitted.load(Ordering::SeqCst) as u64)
+                .bool("draining", shared.draining.load(Ordering::SeqCst));
+            http_respond(writer, 200, "application/json", &b.document());
+        }
+        ("GET", "/metrics") => {
+            let text = rzen_obs::metrics::registry().render_text();
+            http_respond(writer, 200, "text/plain; charset=utf-8", &text);
+        }
+        ("POST", "/model") => {
+            const MAX_SPEC: usize = 16 << 20;
+            if content_length == 0 || content_length > MAX_SPEC {
+                let mut b = Body::new();
+                b.str("error", "model body missing or oversized");
+                http_respond(writer, 400, "application/json", &b.document());
+                return;
+            }
+            let mut body = vec![0u8; content_length];
+            if reader.read_exact(&mut body).is_err() {
+                let mut b = Body::new();
+                b.str("error", "truncated body");
+                http_respond(writer, 400, "application/json", &b.document());
+                return;
+            }
+            let parsed = String::from_utf8(body)
+                .map_err(|_| "body is not utf-8".to_string())
+                .and_then(|text| Model::parse(&text));
+            match parsed {
+                Ok(model) => {
+                    // Parse happened above, outside the lock; the swap
+                    // itself is a pointer store. In-flight requests hold
+                    // their own Arc and finish against the old model.
+                    let model = Arc::new(model);
+                    *shared.model.write().unwrap() = model.clone();
+                    shared.engine.clear_cache();
+                    rzen_obs::counter!("serve.model_swaps", "successful POST /model swaps").inc();
+                    let mut b = Body::new();
+                    b.str("status", "ok")
+                        .str("model", &format!("{:016x}", model.fingerprint))
+                        .num("devices", model.spec.net.devices.len() as u64);
+                    http_respond(writer, 200, "application/json", &b.document());
+                }
+                Err(e) => {
+                    let mut b = Body::new();
+                    b.str("error", &e);
+                    http_respond(writer, 400, "application/json", &b.document());
+                }
+            }
+        }
+        _ => {
+            let mut b = Body::new();
+            b.str("error", "not found");
+            http_respond(writer, 404, "application/json", &b.document());
+        }
+    }
+    let _ = writer.flush();
+    let _ = writer.shutdown(Shutdown::Both);
+}
+
+fn http_respond(writer: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        _ => "",
+    };
+    let _ = write!(
+        writer,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+}

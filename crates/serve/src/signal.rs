@@ -1,0 +1,56 @@
+//! Zero-dependency SIGINT/SIGTERM hook.
+//!
+//! The handler does the only async-signal-safe thing available to it — a
+//! relaxed atomic store — and the accept loop polls the flag between
+//! (nonblocking) accepts. No self-pipe, no extra thread: the loop already
+//! wakes every few milliseconds, so the added shutdown latency is one
+//! poll interval.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::{Ordering, SIGNALLED};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        // libc's simplified installer is all we need: no sigaction flags,
+        // no mask. Returning the previous handler (which we ignore).
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(sig: i32) {
+        // Async-signal-safe by construction: an atomic store plus a
+        // re-arm. `signal()` may reset the disposition to default on
+        // delivery (SysV semantics); re-installing here keeps a second
+        // ctrl-c from killing the process mid-drain.
+        SIGNALLED.store(true, Ordering::Relaxed);
+        unsafe { signal(sig, on_signal) };
+    }
+
+    pub(super) fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub(super) fn install() {}
+}
+
+/// Install the SIGINT/SIGTERM handler (no-op off unix). Idempotent.
+pub fn install() {
+    imp::install();
+}
+
+/// Has a termination signal arrived since [`install`]?
+pub fn triggered() -> bool {
+    SIGNALLED.load(Ordering::Relaxed)
+}

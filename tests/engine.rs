@@ -349,3 +349,29 @@ fn poisoned_query_does_not_abort_the_batch() {
     assert!(matches!(rerun.results[0].verdict, Verdict::Error(_)));
     assert!(!rerun.results[0].cache_hit);
 }
+
+#[test]
+fn empty_batch_yields_a_well_formed_report() {
+    // The idle path: no queries must mean no worker spawn and a report
+    // whose every statistic is defined (percentiles on zero samples used
+    // to index into an empty vector).
+    for sessions in [false, true] {
+        let engine = Engine::new(EngineConfig {
+            jobs: 4,
+            backend: QueryBackend::Portfolio,
+            timeout: None,
+            cache: true,
+            sessions,
+        });
+        let report = engine.run_batch(&[]);
+        assert!(report.results.is_empty());
+        assert_eq!(report.stats.total, 0);
+        assert_eq!(report.stats.errors, 0);
+        assert_eq!(report.stats.cache_hits, 0);
+        assert_eq!(report.stats.latency_p50, Duration::ZERO);
+        assert_eq!(report.stats.latency_p95, Duration::ZERO);
+        assert_eq!(report.stats.latency_max, Duration::ZERO);
+        // The human rendering must not divide by zero either.
+        let _ = format!("{}", report.stats);
+    }
+}

@@ -1,0 +1,45 @@
+//! Round-trip property for the spec format over every checked-in spec:
+//! parse → serialize → parse must reproduce a structurally equal model.
+//! This is what guarantees a served model can be exported, archived, and
+//! re-posted to `POST /model` without drift.
+
+use rzen_net::spec;
+
+fn spec_files() -> Vec<(String, String)> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir).expect("specs/ directory") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) == Some("net") {
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            let text = std::fs::read_to_string(&path).unwrap();
+            out.push((name, text));
+        }
+    }
+    assert!(!out.is_empty(), "no .net files under specs/");
+    out
+}
+
+#[test]
+fn every_checked_in_spec_round_trips_structurally() {
+    for (name, text) in spec_files() {
+        let first = spec::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let serialized =
+            spec::serialize(&first).unwrap_or_else(|e| panic!("{name}: unserializable: {e}"));
+        let second = spec::parse(&serialized).unwrap_or_else(|e| {
+            panic!("{name}: reparse of serialized form failed: {e}\n{serialized}")
+        });
+        assert_eq!(
+            first.net, second.net,
+            "{name}: round trip changed the model\n--- serialized ---\n{serialized}"
+        );
+        assert_eq!(
+            first.device_index, second.device_index,
+            "{name}: name index drifted"
+        );
+        // And the serializer is a fixpoint: serializing the reparse gives
+        // the same text (canonical form is stable).
+        let again = spec::serialize(&second).unwrap();
+        assert_eq!(serialized, again, "{name}: serialization not canonical");
+    }
+}
