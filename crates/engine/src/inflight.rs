@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
 
 use crate::query::Query;
 use crate::stats::QueryResult;
@@ -104,16 +105,53 @@ pub struct JoinHandle {
     slot: Arc<Slot>,
 }
 
+/// Outcome of a [`JoinHandle`] wait.
+pub enum Joined {
+    /// The leader published this verdict.
+    Verdict(Box<QueryResult>),
+    /// The leader was dropped without publishing (shed or died) — the
+    /// caller should treat the request as shed, not retry in a loop.
+    LeaderLost,
+    /// The joiner's own deadline passed before the leader published. The
+    /// leader keeps running; only this joiner gives up.
+    Expired,
+}
+
 impl JoinHandle {
     /// Wait for the leader's verdict. `None` means the leader was dropped
     /// without publishing (shed or died) — the caller should treat the
     /// request as shed, not retry in a loop.
     pub fn wait(self) -> Option<QueryResult> {
+        match self.wait_deadline(None) {
+            Joined::Verdict(r) => Some(*r),
+            Joined::LeaderLost => None,
+            Joined::Expired => unreachable!("no deadline was set"),
+        }
+    }
+
+    /// Wait for the leader's verdict, but only until `deadline`: a joiner
+    /// carries its own budget, which may be shorter than the leader's, and
+    /// must degrade to its own timeout instead of inheriting the leader's
+    /// patience. `None` waits forever (equivalent to [`JoinHandle::wait`]).
+    pub fn wait_deadline(self, deadline: Option<Instant>) -> Joined {
         let mut state = self.slot.state.lock().unwrap();
         loop {
-            match &*state {
-                SlotState::Pending => state = self.slot.cv.wait(state).unwrap(),
-                SlotState::Done(result) => return (**result).clone(),
+            // Check the slot before the clock: a verdict that is already
+            // published answers the joiner even at/past its deadline.
+            if let SlotState::Done(result) = &*state {
+                return match (**result).clone() {
+                    Some(r) => Joined::Verdict(Box::new(r)),
+                    None => Joined::LeaderLost,
+                };
+            }
+            match deadline {
+                None => state = self.slot.cv.wait(state).unwrap(),
+                Some(d) => {
+                    let Some(left) = d.checked_duration_since(Instant::now()) else {
+                        return Joined::Expired;
+                    };
+                    state = self.slot.cv.wait_timeout(state, left).unwrap().0;
+                }
             }
         }
     }
@@ -210,6 +248,35 @@ mod tests {
             panic!("b must lead despite sharing a's bucket");
         };
         assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn joiner_deadline_expires_without_waiting_for_the_leader() {
+        let table = Arc::new(InflightTable::default());
+        let q = query(4);
+        let fp = q.fingerprint();
+        let Admission::Lead(guard) = table.admit(fp, &q) else {
+            panic!("first arrival must lead");
+        };
+        let Admission::Join(join) = table.admit(fp, &q) else {
+            panic!("second arrival must join");
+        };
+        // The leader never publishes inside this joiner's budget: the
+        // joiner must give up at its own deadline, not the leader's.
+        let deadline = std::time::Instant::now() + Duration::from_millis(20);
+        assert!(matches!(join.wait_deadline(Some(deadline)), Joined::Expired));
+        // The entry is still in flight — only the joiner gave up.
+        assert_eq!(table.len(), 1);
+        // A published verdict is preferred over an already-passed deadline.
+        let Admission::Join(join) = table.admit(fp, &q) else {
+            panic!("third arrival must join");
+        };
+        guard.publish(&result());
+        let past = std::time::Instant::now() - Duration::from_millis(5);
+        assert!(matches!(
+            join.wait_deadline(Some(past)),
+            Joined::Verdict(_)
+        ));
     }
 
     #[test]

@@ -63,6 +63,6 @@ mod query;
 mod stats;
 
 pub use engine::{Engine, EngineConfig, ServeWorker};
-pub use inflight::{Admission, JoinHandle, LeadGuard};
+pub use inflight::{Admission, JoinHandle, Joined, LeadGuard};
 pub use query::{Query, QueryBackend, Verdict, Witness};
 pub use stats::{BatchReport, EngineStats, QueryResult};

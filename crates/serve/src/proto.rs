@@ -227,10 +227,16 @@ impl Body {
         self
     }
 
-    /// Append a float member (finite; renders with enough precision to
-    /// round-trip).
+    /// Append a float member, rendered with Rust's shortest round-trip
+    /// formatting. JSON has no NaN/Infinity tokens, so non-finite values
+    /// render as `null` rather than emitting invalid JSON.
     pub fn float(&mut self, key: &str, v: f64) -> &mut Body {
-        self.parts.push(format!("\"{}\":{v:.3}", escape(key)));
+        let rendered = if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        };
+        self.parts.push(format!("\"{}\":{rendered}", escape(key)));
         self
     }
 
@@ -298,6 +304,17 @@ mod tests {
         ] {
             assert!(parse_request(line, true).is_err(), "{line:?} accepted");
         }
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_degrades_to_null() {
+        let mut b = Body::new();
+        b.float("a", 13.870_312_5).float("b", f64::INFINITY);
+        let line = b.line();
+        rzen_obs::json::validate(line.trim()).unwrap();
+        let v = parse(line.trim()).unwrap();
+        assert!(matches!(v.get("a"), Some(Value::Num(n)) if *n == 13.870_312_5));
+        assert!(matches!(v.get("b"), Some(Value::Null)));
     }
 
     #[test]

@@ -44,15 +44,20 @@
 //! admitted job to finish and be answered, unblocks and joins the
 //! connection threads, then retires the workers.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex, RwLock};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use rzen::Budget;
-use rzen_engine::{Admission, Engine, EngineConfig, LeadGuard, Query, QueryBackend, ServeWorker};
+use rzen_engine::{
+    Admission, Engine, EngineConfig, Joined, LeadGuard, Query, QueryBackend, QueryResult,
+    ServeWorker, Verdict,
+};
 use rzen_net::spec::{self, Spec};
 
 use crate::proto::{self, Body, Op};
@@ -142,8 +147,27 @@ struct Shared {
     /// before closing sockets, so an in-flight verdict is never lost to
     /// a socket shutdown racing its own write.
     busy_conns: AtomicUsize,
-    /// Socket clones for unblocking connection readers at drain.
-    conns: Mutex<Vec<TcpStream>>,
+    /// Socket clones for unblocking connection readers at drain, keyed by
+    /// connection id. An entry lives exactly as long as its connection
+    /// thread: [`handle_conn`]'s scope guard removes it when the client
+    /// goes away, so connection churn (every `/healthz` scrape opens a
+    /// fresh socket) does not accumulate dead file descriptors.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    /// Connection id allocator for [`Shared::conns`] keys.
+    conn_seq: AtomicU64,
+}
+
+/// Removes this connection's socket clone from [`Shared::conns`] when the
+/// connection thread exits — on any path, including a panic.
+struct ConnGuard {
+    shared: Arc<Shared>,
+    id: u64,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.shared.conns.lock().unwrap().remove(&self.id);
+    }
 }
 
 /// One admitted unit of work, executed on a worker thread.
@@ -180,6 +204,18 @@ enum Work {
     Sleep { id: Option<u64>, ms: u64 },
 }
 
+impl Work {
+    /// The client correlation id, for answering on the panic path.
+    fn id(&self) -> Option<u64> {
+        match self {
+            Work::Query { id, .. }
+            | Work::Hsa { id, .. }
+            | Work::Paths { id, .. }
+            | Work::Sleep { id, .. } => *id,
+        }
+    }
+}
+
 /// A running server. Dropping the handle does **not** stop the server;
 /// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
 pub struct ServerHandle {
@@ -197,6 +233,13 @@ impl ServerHandle {
     /// Jobs admitted and not yet answered (queued + running).
     pub fn inflight(&self) -> usize {
         self.shared.admitted.load(Ordering::SeqCst)
+    }
+
+    /// Live connections currently tracked for the drain. Closed
+    /// connections are removed as they go, so this must not grow with
+    /// connection churn — tests assert on it to catch fd leaks.
+    pub fn open_conns(&self) -> usize {
+        self.shared.conns.lock().unwrap().len()
     }
 
     /// Begin graceful shutdown: stop accepting, drain in-flight work,
@@ -239,7 +282,8 @@ pub fn start(cfg: ServerConfig, model: Model) -> io::Result<ServerHandle> {
         draining: AtomicBool::new(false),
         admitted: AtomicUsize::new(0),
         busy_conns: AtomicUsize::new(0),
-        conns: Mutex::new(Vec::new()),
+        conns: Mutex::new(HashMap::new()),
+        conn_seq: AtomicU64::new(0),
     });
 
     let rx = Arc::new(Mutex::new(rx));
@@ -263,12 +307,22 @@ pub fn start(cfg: ServerConfig, model: Model) -> io::Result<ServerHandle> {
 
 fn accept_loop(listener: TcpListener, shared: Arc<Shared>, workers: Vec<thread::JoinHandle<()>>) {
     let _span = rzen_obs::span!("serve.accept");
-    let mut conn_threads = Vec::new();
+    let mut conn_threads: Vec<thread::JoinHandle<()>> = Vec::new();
     loop {
         if shared.shutdown.load(Ordering::SeqCst)
             || (shared.cfg.handle_signals && signal::triggered())
         {
             break;
+        }
+        // Reap retired connection threads so the handle list tracks live
+        // connections, not the connection count since boot.
+        let mut i = 0;
+        while i < conn_threads.len() {
+            if conn_threads[i].is_finished() {
+                let _ = conn_threads.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
@@ -276,16 +330,29 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, workers: Vec<thread::
                 // Request/response lines are tiny; Nagle + delayed ACK
                 // would add ~40ms to every exchange.
                 let _ = stream.set_nodelay(true);
+                let id = shared.conn_seq.fetch_add(1, Ordering::SeqCst);
                 if let Ok(clone) = stream.try_clone() {
-                    shared.conns.lock().unwrap().push(clone);
+                    shared.conns.lock().unwrap().insert(id, clone);
                 }
                 let shared = shared.clone();
-                conn_threads.push(thread::spawn(move || handle_conn(stream, shared)));
+                conn_threads.push(thread::spawn(move || {
+                    let _guard = ConnGuard {
+                        shared: shared.clone(),
+                        id,
+                    };
+                    handle_conn(stream, shared);
+                }));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 thread::sleep(Duration::from_millis(3));
             }
-            Err(_) => break,
+            Err(_) => {
+                // EMFILE, ECONNABORTED, EINTR, ...: all transient for a
+                // listener. Shedding one accept must not kill the server;
+                // back off and retry — shutdown is still the only exit.
+                rzen_obs::counter!("serve.accept_errors", "transient accept() failures").inc();
+                thread::sleep(Duration::from_millis(10));
+            }
         }
     }
     drain(&shared, conn_threads, workers);
@@ -309,7 +376,7 @@ fn drain(
     // Unblock connection threads parked in read_line, then join them. A
     // request racing the draining flag is still answered: its job was
     // admitted before its socket shut down, and workers are still up.
-    for s in shared.conns.lock().unwrap().drain(..) {
+    for (_, s) in shared.conns.lock().unwrap().drain() {
         let _ = s.shutdown(Shutdown::Both);
     }
     for h in conns {
@@ -341,15 +408,36 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>, w: usiz
     }
 }
 
+/// Execute one admitted job and answer its connection. Never unwinds:
+/// engine queries catch panics internally, and `hsa`/`paths` run under
+/// [`catch_unwind`] here — a panicking analysis answers an `error`
+/// response and releases its queue slot instead of killing the worker
+/// (which would leak an `admitted` count and wedge the drain forever).
 fn run_job(shared: &Arc<Shared>, solver: &ServeWorker, job: Job) {
-    let started = Instant::now();
     let _span = rzen_obs::span!("serve.job");
     let Job {
         work,
         budget,
         reply,
     } = job;
-    let resp = match work {
+    let id = work.id();
+    let resp = catch_unwind(AssertUnwindSafe(|| run_work(shared, solver, work, budget)))
+        .unwrap_or_else(|_| {
+            // The panic may have left the thread-local transformer arena
+            // half-built; reset it so the next job on this worker starts
+            // clean. A dropped LeadGuard already released any joiners.
+            rzen::reset_ctx();
+            rzen_obs::counter!("serve.job_panics", "jobs that panicked during execution").inc();
+            proto::error_response(id, "internal: analysis panicked")
+        });
+    // A gone connection is not an error: the verdict was still published
+    // to any coalesced joiners inside run_work.
+    let _ = reply.send(resp);
+}
+
+fn run_work(shared: &Arc<Shared>, solver: &ServeWorker, work: Work, budget: Budget) -> String {
+    let started = Instant::now();
+    match work {
         Work::Query {
             id,
             op,
@@ -415,10 +503,7 @@ fn run_job(shared: &Arc<Shared>, solver: &ServeWorker, job: Job) {
                 .num("latency_us", started.elapsed().as_micros() as u64);
             b.line()
         }
-    };
-    // A gone connection is not an error: the verdict was still published
-    // to any coalesced joiners above.
-    let _ = reply.send(resp);
+    }
 }
 
 fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
@@ -521,10 +606,34 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
                         "requests answered by joining an identical in-flight query"
                     )
                     .inc();
-                    let resp = match join.wait() {
-                        Some(result) => proto::verdict_response(id, op_name, &result, true),
+                    // The wait is bounded by *this* request's deadline: a
+                    // short-budget joiner riding a long-budget leader must
+                    // degrade to its own `timeout`, not wait the leader out.
+                    let resp = match join.wait_deadline(budget.deadline()) {
+                        Joined::Verdict(result) => {
+                            proto::verdict_response(id, op_name, &result, true)
+                        }
                         // The leader was shed (or died) without a verdict.
-                        None => proto::error_response(id, "overloaded"),
+                        Joined::LeaderLost => proto::error_response(id, "overloaded"),
+                        Joined::Expired => {
+                            rzen_obs::counter!(
+                                "serve.join_timeouts",
+                                "joiners whose own deadline passed before the leader published"
+                            )
+                            .inc();
+                            let timed_out = QueryResult {
+                                index: 0,
+                                kind: op_name,
+                                verdict: Verdict::Timeout,
+                                latency: started.elapsed(),
+                                winner: None,
+                                cache_hit: false,
+                                sat_stats: None,
+                                bdd_stats: None,
+                                session: None,
+                            };
+                            proto::verdict_response(id, op_name, &timed_out, true)
+                        }
                     };
                     observe_latency(started);
                     return resp;
@@ -641,8 +750,11 @@ fn handle_http(
         }
     }
 
+    // HEAD gets the same status line and headers as GET — Content-Length
+    // included — but no body, as HTTP requires.
+    let head = method == "HEAD";
     match (method, path) {
-        ("GET", "/healthz") => {
+        ("GET" | "HEAD", "/healthz") => {
             let model = shared.model.read().unwrap().clone();
             let mut b = Body::new();
             b.str("status", "ok")
@@ -650,25 +762,25 @@ fn handle_http(
                 .num("devices", model.spec.net.devices.len() as u64)
                 .num("inflight", shared.admitted.load(Ordering::SeqCst) as u64)
                 .bool("draining", shared.draining.load(Ordering::SeqCst));
-            http_respond(writer, 200, "application/json", &b.document());
+            http_respond(writer, 200, "application/json", &b.document(), head);
         }
-        ("GET", "/metrics") => {
+        ("GET" | "HEAD", "/metrics") => {
             let text = rzen_obs::metrics::registry().render_text();
-            http_respond(writer, 200, "text/plain; charset=utf-8", &text);
+            http_respond(writer, 200, "text/plain; charset=utf-8", &text, head);
         }
         ("POST", "/model") => {
             const MAX_SPEC: usize = 16 << 20;
             if content_length == 0 || content_length > MAX_SPEC {
                 let mut b = Body::new();
                 b.str("error", "model body missing or oversized");
-                http_respond(writer, 400, "application/json", &b.document());
+                http_respond(writer, 400, "application/json", &b.document(), false);
                 return;
             }
             let mut body = vec![0u8; content_length];
             if reader.read_exact(&mut body).is_err() {
                 let mut b = Body::new();
                 b.str("error", "truncated body");
-                http_respond(writer, 400, "application/json", &b.document());
+                http_respond(writer, 400, "application/json", &b.document(), false);
                 return;
             }
             let parsed = String::from_utf8(body)
@@ -687,26 +799,28 @@ fn handle_http(
                     b.str("status", "ok")
                         .str("model", &format!("{:016x}", model.fingerprint))
                         .num("devices", model.spec.net.devices.len() as u64);
-                    http_respond(writer, 200, "application/json", &b.document());
+                    http_respond(writer, 200, "application/json", &b.document(), false);
                 }
                 Err(e) => {
                     let mut b = Body::new();
                     b.str("error", &e);
-                    http_respond(writer, 400, "application/json", &b.document());
+                    http_respond(writer, 400, "application/json", &b.document(), false);
                 }
             }
         }
         _ => {
             let mut b = Body::new();
             b.str("error", "not found");
-            http_respond(writer, 404, "application/json", &b.document());
+            http_respond(writer, 404, "application/json", &b.document(), head);
         }
     }
     let _ = writer.flush();
     let _ = writer.shutdown(Shutdown::Both);
 }
 
-fn http_respond(writer: &mut TcpStream, status: u16, content_type: &str, body: &str) {
+/// Write one HTTP response. `head` sends the status line and headers
+/// (with the Content-Length the body *would* have) but no body.
+fn http_respond(writer: &mut TcpStream, status: u16, content_type: &str, body: &str, head: bool) {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
@@ -715,7 +829,8 @@ fn http_respond(writer: &mut TcpStream, status: u16, content_type: &str, body: &
     };
     let _ = write!(
         writer,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        if head { "" } else { body }
     );
 }

@@ -124,6 +124,114 @@ fn identical_concurrent_queries_coalesce_onto_one_execution() {
 }
 
 #[test]
+fn connection_churn_does_not_accumulate_tracked_sockets() {
+    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    // Every request and health scrape below opens and closes its own
+    // connection — exactly the churn a monitoring stack produces. The
+    // server must drop each connection's drain-tracking entry (and with
+    // it the duplicated file descriptor) when the client goes away, or a
+    // long-lived process runs out of fds.
+    for _ in 0..20 {
+        request(addr, REACH);
+        let (status, _) = http_get(addr, "/healthz");
+        assert!(status.contains("200"));
+    }
+
+    // Removal happens when the connection thread notices EOF, which can
+    // trail the client's close slightly; poll briefly.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.open_conns() > 0 && Instant::now() < deadline {
+        thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        handle.open_conns(),
+        0,
+        "closed connections must be untracked, not leaked until shutdown"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn joiner_respects_its_own_deadline_not_the_leaders() {
+    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    // Occupy the single worker, then queue a leader with the default
+    // (long) budget. While the leader waits for the worker, a joiner
+    // arrives carrying a 100ms budget of its own.
+    let blocker = thread::spawn(move || request(addr, "{\"op\":\"sleep\",\"ms\":900}"));
+    thread::sleep(Duration::from_millis(150));
+    let leader = thread::spawn(move || request(addr, REACH));
+    thread::sleep(Duration::from_millis(150));
+
+    let started = Instant::now();
+    let resp = parse(&request(
+        addr,
+        "{\"id\":3,\"op\":\"reach\",\"src\":\"u1:1\",\"dst\":\"u3:2\",\"timeout_ms\":100}",
+    ))
+    .unwrap();
+    assert_eq!(
+        field(&resp, "verdict").as_str(),
+        Some("timeout"),
+        "a short-budget joiner must degrade to its own timeout"
+    );
+    assert_eq!(field(&resp, "coalesced").as_bool(), Some(true));
+    assert!(
+        started.elapsed() < Duration::from_millis(600),
+        "the joiner must not wait out the leader's budget"
+    );
+
+    // The leader is unaffected by the joiner giving up.
+    let leader_resp = parse(&leader.join().unwrap()).unwrap();
+    assert_eq!(field(&leader_resp, "verdict").as_str(), Some("sat"));
+    blocker.join().unwrap();
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn head_requests_get_headers_without_a_body() {
+    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    for path in ["/healthz", "/metrics"] {
+        let (status, body) = http(
+            addr,
+            &format!("HEAD {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+        );
+        assert!(status.contains("200"), "HEAD {path}: {status}");
+        assert!(body.is_empty(), "HEAD {path} must not carry a body: {body:?}");
+    }
+    // The advertised Content-Length is the length GET's body would have.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream
+        .write_all(b"HEAD /healthz HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let advertised: usize = raw
+        .lines()
+        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+        .expect("HEAD response carries Content-Length")
+        .trim()
+        .parse()
+        .unwrap();
+    let (_, get_body) = http_get(addr, "/healthz");
+    assert_eq!(advertised, get_body.len());
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
 fn full_backlog_sheds_with_explicit_overloaded() {
     // One worker, zero backlog: anything arriving while the worker is
     // busy must be shed immediately, never queued or hung.
