@@ -36,6 +36,7 @@ use rzen_net::ip::fmt_ip;
 fn usage_text() -> String {
     [
         "usage: rzen-cli <reach|drops|hsa|paths|show> SPEC [SRC DST]",
+        "       rzen-cli delta SPEC DELTA.ndjson [--out FILE]",
         "       rzen-cli batch SPEC [--jobs N] [--timeout-ms MS] [--backend bdd|smt|portfolio]",
         "                       [--sessions on|off] [--trace-out FILE]",
         "                       [--stats-json FILE] [--verdicts-json FILE] [--metrics]",
@@ -43,6 +44,9 @@ fn usage_text() -> String {
         "                       [--timeout-ms MS] [--sessions on|off] [--backend ...]",
         "       rzen-cli --version | --help",
         "  SRC/DST are device:port endpoints, e.g. u1:1",
+        "  delta applies an NDJSON op sequence (set-acl, set-route, link-up/down,",
+        "  add/remove-device) to the spec and reports the per-device fingerprint",
+        "  moves; --out FILE writes the patched spec (\"-\" for stdout)",
         "  --sessions on|off  reuse per-worker solver sessions across queries (default off)",
         "  --trace-out FILE   write a Chrome trace-event JSON file (chrome://tracing)",
         "  --stats-json FILE  write the batch report + metrics snapshot as JSON",
@@ -98,7 +102,9 @@ fn main() {
     };
     // Validate the subcommand before touching the filesystem: a typo'd
     // command must exit with usage, not a confusing spec-read error.
-    const COMMANDS: &[&str] = &["reach", "drops", "hsa", "paths", "show", "batch", "serve"];
+    const COMMANDS: &[&str] = &[
+        "reach", "drops", "hsa", "paths", "show", "batch", "serve", "delta",
+    ];
     if !COMMANDS.contains(&cmd) {
         eprintln!("error: unknown command {cmd:?}");
         usage();
@@ -114,6 +120,11 @@ fn main() {
 
     if cmd == "batch" {
         run_batch(&spec, &args[2..], env_trace);
+        return;
+    }
+
+    if cmd == "delta" {
+        run_delta(&spec, &args[2..]);
         return;
     }
 
@@ -217,6 +228,85 @@ fn main() {
             }
         }
         _ => usage(),
+    }
+}
+
+/// `delta`: apply an NDJSON op sequence to the spec offline and report what
+/// moved — touched devices, per-device fingerprint churn, and the composite
+/// model identity before and after. `--out FILE` writes the patched spec.
+fn run_delta(spec: &spec::Spec, flags: &[String]) {
+    let delta_path = match flags.first() {
+        Some(p) if !p.starts_with("--") => p.clone(),
+        _ => usage(),
+    };
+    let mut out: Option<String> = None;
+    let mut i = 1;
+    while i < flags.len() {
+        match flags[i].as_str() {
+            "--out" => {
+                let v = flags.get(i + 1).unwrap_or_else(|| fail("--out needs FILE"));
+                out = Some(v.clone());
+                i += 2;
+            }
+            other => fail(&format!("unknown delta flag {other:?}")),
+        }
+    }
+
+    let text = std::fs::read_to_string(&delta_path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {delta_path}: {e}")));
+    let ops = rzen_delta::parse_ops(&text).unwrap_or_else(|e| fail(&e));
+    if ops.is_empty() {
+        fail("delta file contains no ops");
+    }
+
+    let fp_before = rzen_delta::composite_fingerprint(&spec.net);
+    let leaves_before: Vec<(String, u64)> = spec
+        .net
+        .devices
+        .iter()
+        .enumerate()
+        .map(|(i, d)| (d.name.clone(), rzen_delta::device_fingerprint(&spec.net, i)))
+        .collect();
+
+    let mut patched = spec.clone();
+    let applied = rzen_delta::apply_all(&mut patched, &ops).unwrap_or_else(|e| fail(&e));
+    let fp_after = rzen_delta::composite_fingerprint(&patched.net);
+
+    println!(
+        "applied {} op(s); touched: {}",
+        applied.steps.len(),
+        if applied.touched.is_empty() {
+            "(none)".to_string()
+        } else {
+            applied.touched.join(", ")
+        }
+    );
+    println!("model: {fp_before:016x} -> {fp_after:016x}");
+    // Per-device leaf hashes, matched by name: indices can shift when
+    // devices are added or removed mid-sequence.
+    for (i, d) in patched.net.devices.iter().enumerate() {
+        let new_fp = rzen_delta::device_fingerprint(&patched.net, i);
+        match leaves_before.iter().find(|(n, _)| *n == d.name) {
+            Some((_, old_fp)) if *old_fp == new_fp => {}
+            Some((_, old_fp)) => println!("  {}: {old_fp:016x} -> {new_fp:016x}", d.name),
+            None => println!("  {}: (new) {new_fp:016x}", d.name),
+        }
+    }
+    for (name, old_fp) in &leaves_before {
+        if !patched.net.devices.iter().any(|d| d.name == *name) {
+            println!("  {name}: {old_fp:016x} -> (removed)");
+        }
+    }
+
+    if let Some(path) = out {
+        let rendered = spec::serialize(&patched).unwrap_or_else(|e| fail(&e));
+        if path == "-" {
+            print!("{rendered}");
+        } else {
+            std::fs::write(&path, rendered)
+                .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+            println!("wrote patched spec to {path}");
+        }
     }
 }
 

@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 
 use rzen::{Backend, Budget, FindOutcome, SessionStats, SolverSession};
 
-use crate::cache::ResultCache;
+use crate::cache::{DeltaCacheStats, ResultCache};
 use crate::inflight::{Admission, InflightTable};
 use crate::query::{Query, QueryBackend, RunOutput, Verdict};
 use crate::stats::{BatchReport, EngineStats, QueryResult};
@@ -87,7 +87,48 @@ impl Engine {
     /// old network and could never be *served* wrongly, but they would
     /// pin its memory for the life of the process.
     pub fn clear_cache(&self) {
-        self.cache.lock().unwrap().clear();
+        let mut cache = self.cache.lock().unwrap();
+        cache.clear();
+        rzen_obs::gauge!("engine.cache.entries", "entries in the result cache").set(0);
+    }
+
+    /// Cached verdicts currently held.
+    pub fn cache_len(&self) -> usize {
+        self.cache.lock().unwrap().len()
+    }
+
+    /// Apply a model delta to the result cache: evict exactly the
+    /// `Reach`/`Drops` entries (keyed by `old_net`) whose cone of
+    /// influence one of `steps` touched, and re-key the survivors to
+    /// `new_net` so they keep answering post-delta queries without a
+    /// solve. See [`DeltaCacheStats`] and the sweep's own docs for the
+    /// invalidation rules. Everything else in the cache — other query
+    /// kinds, other models — is untouched, and warm solver sessions are
+    /// deliberately left alone: their caches key on hash-consed
+    /// expression ids, so changed sub-models simply produce new ids
+    /// while unchanged circuitry keeps hitting.
+    pub fn apply_delta(
+        &self,
+        old_net: &rzen_net::topology::Network,
+        new_net: &rzen_net::topology::Network,
+        steps: &[rzen_net::topology::DeltaStep],
+    ) -> DeltaCacheStats {
+        let mut cache = self.cache.lock().unwrap();
+        let stats = cache.sweep_delta(old_net, new_net, steps);
+        rzen_obs::counter!("engine.deltas", "model deltas applied to the result cache").inc();
+        rzen_obs::counter!(
+            "engine.cache.delta_evicted",
+            "cache entries evicted by delta cone-of-influence sweeps"
+        )
+        .add(stats.evicted as u64);
+        rzen_obs::counter!(
+            "engine.cache.delta_retained",
+            "cache entries kept warm (re-keyed) across delta sweeps"
+        )
+        .add(stats.retained as u64);
+        rzen_obs::gauge!("engine.cache.entries", "entries in the result cache")
+            .set(cache.len() as i64);
+        stats
     }
 
     /// Admit a query for serving: the first arrival of a query leads (and
@@ -217,12 +258,11 @@ impl Engine {
         if !self.cfg.cache {
             return None;
         }
-        let v = self
-            .cache
-            .lock()
-            .unwrap()
-            .get(fingerprint, query)
-            .cloned()?;
+        let hit = self.cache.lock().unwrap().get(fingerprint, query).cloned();
+        let Some(v) = hit else {
+            rzen_obs::counter!("engine.cache.misses", "cache lookups that found no entry").inc();
+            return None;
+        };
         rzen_obs::counter!("engine.cache.hits", "queries served from the result cache").inc();
         rzen_obs::trace::instant1("engine.cache.hit", "index", index as u64);
         Some(QueryResult {
@@ -387,10 +427,10 @@ impl Engine {
         // Only decisive verdicts are cached, so an `Error` (or a budget
         // artifact) can never be replayed to a later identical query.
         if self.cfg.cache && verdict.is_decisive() {
-            self.cache
-                .lock()
-                .unwrap()
-                .insert(fingerprint, query, verdict.clone());
+            let mut cache = self.cache.lock().unwrap();
+            cache.insert(fingerprint, query, verdict.clone());
+            rzen_obs::gauge!("engine.cache.entries", "entries in the result cache")
+                .set(cache.len() as i64);
         }
 
         let latency = solved.decided.unwrap_or_else(|| started.elapsed());

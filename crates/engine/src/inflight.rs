@@ -264,7 +264,10 @@ mod tests {
         // The leader never publishes inside this joiner's budget: the
         // joiner must give up at its own deadline, not the leader's.
         let deadline = std::time::Instant::now() + Duration::from_millis(20);
-        assert!(matches!(join.wait_deadline(Some(deadline)), Joined::Expired));
+        assert!(matches!(
+            join.wait_deadline(Some(deadline)),
+            Joined::Expired
+        ));
         // The entry is still in flight — only the joiner gave up.
         assert_eq!(table.len(), 1);
         // A published verdict is preferred over an already-passed deadline.
@@ -273,10 +276,7 @@ mod tests {
         };
         guard.publish(&result());
         let past = std::time::Instant::now() - Duration::from_millis(5);
-        assert!(matches!(
-            join.wait_deadline(Some(past)),
-            Joined::Verdict(_)
-        ));
+        assert!(matches!(join.wait_deadline(Some(past)), Joined::Verdict(_)));
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod inflight;
 mod query;
 mod stats;
 
+pub use cache::DeltaCacheStats;
 pub use engine::{Engine, EngineConfig, ServeWorker};
 pub use inflight::{Admission, JoinHandle, Joined, LeadGuard};
 pub use query::{Query, QueryBackend, Verdict, Witness};

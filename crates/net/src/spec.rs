@@ -50,6 +50,7 @@ use crate::nat::{Nat, NatKind, NatRule};
 use crate::topology::{Device, Network};
 
 /// A parsed spec: the network plus the device-name index.
+#[derive(Clone, Debug)]
 pub struct Spec {
     /// The network.
     pub net: Network,
@@ -58,6 +59,19 @@ pub struct Spec {
 }
 
 impl Spec {
+    /// Wrap an already-built [`Network`] in a spec, deriving the name
+    /// index from the device list. Fails on duplicate device names (the
+    /// index would silently shadow one of them).
+    pub fn from_network(net: Network) -> Result<Spec, String> {
+        let mut device_index = HashMap::new();
+        for (i, d) in net.devices.iter().enumerate() {
+            if device_index.insert(d.name.clone(), i).is_some() {
+                return Err(format!("duplicate device name {:?}", d.name));
+            }
+        }
+        Ok(Spec { net, device_index })
+    }
+
     /// Resolve `name:port` into (device index, port). The port must be an
     /// interface that actually exists on the device.
     pub fn endpoint(&self, s: &str) -> Result<(usize, u8), String> {
@@ -318,6 +332,26 @@ pub fn parse(text: &str) -> Result<Spec, String> {
         net.add_duplex(ad, ap, bd, bp);
     }
     Ok(Spec { net, device_index })
+}
+
+/// Parse a complete ACL shorthand string (`permit`, `deny`,
+/// `deny-dport LO HI`, `permit-dst PREFIX`) — the same grammar `intf`
+/// lines use after `acl-in`/`acl-out`. Rejects trailing tokens. The
+/// delta protocol (`rzen-delta`) reuses this so a wire delta and a spec
+/// line express ACLs identically.
+pub fn parse_acl_shorthand(s: &str) -> Result<Acl, String> {
+    let toks: Vec<&str> = s.split_whitespace().collect();
+    let (acl, used) = parse_acl(&toks)?;
+    if used != toks.len() {
+        return Err(format!("trailing tokens after ACL shorthand in {s:?}"));
+    }
+    Ok(acl)
+}
+
+/// Render an ACL into its spec shorthand, if it has one. Public for the
+/// delta layer's round-trips; [`serialize`] uses it per interface.
+pub fn acl_shorthand(acl: &Acl) -> Result<String, String> {
+    serialize_acl(acl)
 }
 
 /// Parse one ACL shorthand; returns (acl, tokens consumed).

@@ -141,6 +141,122 @@ impl Network {
         visited[dev] = false;
     }
 
+    /// Devices reachable from `dev` by following links forward (including
+    /// `dev` itself). Link-level connectivity only — tables and ACLs are
+    /// ignored, so this over-approximates forwarding reachability, which
+    /// is the safe direction for cache invalidation.
+    pub fn reachable_from(&self, dev: usize) -> std::collections::HashSet<usize> {
+        self.closure(dev, |l| (l.from_device, l.to_device))
+    }
+
+    /// Devices from which `dev` is reachable by following links forward
+    /// (including `dev` itself): the reverse closure of
+    /// [`Network::reachable_from`].
+    pub fn reaching(&self, dev: usize) -> std::collections::HashSet<usize> {
+        self.closure(dev, |l| (l.to_device, l.from_device))
+    }
+
+    fn closure(
+        &self,
+        start: usize,
+        dir: impl Fn(&Link) -> (usize, usize),
+    ) -> std::collections::HashSet<usize> {
+        let mut seen = std::collections::HashSet::new();
+        if start >= self.devices.len() {
+            return seen;
+        }
+        let mut stack = vec![start];
+        seen.insert(start);
+        while let Some(d) = stack.pop() {
+            for l in &self.links {
+                let (from, to) = dir(l);
+                if from == d && seen.insert(to) {
+                    stack.push(to);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Every `(device, interface)` pair that lies on some simple path from
+    /// `(src, entry_intf)` to `(dst, exit_intf)` — both the ingress and
+    /// egress interface of every hop, entry and exit ports included. This
+    /// is the *path footprint* of a reachability query: a policy change on
+    /// an interface outside the footprint cannot change the query's
+    /// verdict, because no enumerated path evaluates that interface.
+    pub fn path_footprint(
+        &self,
+        src: usize,
+        entry_intf: u8,
+        dst: usize,
+        exit_intf: u8,
+    ) -> std::collections::HashSet<(usize, u8)> {
+        let mut out = std::collections::HashSet::new();
+        let mut visited = vec![false; self.devices.len()];
+        let mut trail: Vec<(usize, u8)> = Vec::new();
+        self.footprint_dfs(
+            src,
+            entry_intf,
+            dst,
+            exit_intf,
+            &mut visited,
+            &mut trail,
+            &mut out,
+        );
+        out
+    }
+
+    /// Mirrors [`Network::dfs`] exactly (same traversal, same pruning) but
+    /// records `(device, intf)` pairs instead of building hop lists.
+    #[allow(clippy::too_many_arguments)]
+    fn footprint_dfs(
+        &self,
+        dev: usize,
+        in_intf: u8,
+        dst: usize,
+        exit_intf: u8,
+        visited: &mut [bool],
+        trail: &mut Vec<(usize, u8)>,
+        out: &mut std::collections::HashSet<(usize, u8)>,
+    ) {
+        visited[dev] = true;
+        if self.devices[dev].interface(in_intf).is_none() {
+            visited[dev] = false;
+            return;
+        }
+        if dev == dst {
+            if self.devices[dev].interface(exit_intf).is_some() {
+                out.extend(trail.iter().copied());
+                out.insert((dev, in_intf));
+                out.insert((dev, exit_intf));
+            }
+            visited[dev] = false;
+            return;
+        }
+        for link in self.links.iter().filter(|l| l.from_device == dev) {
+            if visited[link.to_device] {
+                continue;
+            }
+            if self.devices[dev].interface(link.from_intf).is_none() {
+                continue;
+            }
+            trail.push((dev, in_intf));
+            trail.push((dev, link.from_intf));
+            self.footprint_dfs(
+                link.to_device,
+                link.to_intf,
+                dst,
+                exit_intf,
+                visited,
+                trail,
+                out,
+            );
+            trail.pop();
+            trail.pop();
+        }
+        visited[dev] = false;
+    }
+
     /// All (device, interface-id) pairs — used by set-based analyses to
     /// seed exploration.
     pub fn all_interfaces(&self) -> Vec<(usize, u8)> {
@@ -157,6 +273,68 @@ impl Network {
             .iter()
             .find(|l| l.from_device == device && l.from_intf == intf)
     }
+}
+
+/// What one delta operation touched, at the granularity cache
+/// invalidation reasons about. Produced by the delta applier
+/// (`rzen-delta`), consumed by the engine's dependency-aware eviction —
+/// it lives here because both sides already depend on `rzen-net`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Touch {
+    /// Per-interface policy changed (ACL, tunnel, NAT): only queries whose
+    /// path footprint includes this exact `(device, intf)` can change.
+    Intf {
+        /// Device index in the *post-op* network.
+        device: usize,
+        /// Interface id on that device.
+        intf: u8,
+    },
+    /// The device's forwarding table changed: any query whose footprint
+    /// visits the device at all can change.
+    Table {
+        /// Device index in the *post-op* network.
+        device: usize,
+    },
+    /// A duplex link went down. A query is affected only if the *used*
+    /// link was on one of its paths — i.e. both endpoints are in its
+    /// footprint.
+    LinkDown {
+        /// One endpoint of the removed duplex pair.
+        a: (usize, u8),
+        /// The other endpoint.
+        b: (usize, u8),
+    },
+    /// A duplex link came up. Existing paths are untouched; new paths can
+    /// only appear for queries where one endpoint was forward-reachable
+    /// from the source and the other could reach the destination on the
+    /// pre-op graph.
+    LinkUp {
+        /// One endpoint of the added duplex pair.
+        a: (usize, u8),
+        /// The other endpoint.
+        b: (usize, u8),
+    },
+    /// A device was appended (unlinked): no existing query can change.
+    DeviceAdded {
+        /// Index of the new device.
+        device: usize,
+    },
+    /// A device was removed. Indices shift, so nothing keyed by the old
+    /// network can be salvaged: evict everything for that model.
+    DeviceRemoved,
+}
+
+/// One applied delta operation: the network as it stood *before* the op,
+/// plus what the op touched. Multi-op deltas are invalidated one step at
+/// a time against each step's own pre-op graph — evaluating every op
+/// against the original graph would miss paths enabled by a chain of
+/// `link-up`s.
+#[derive(Clone, Debug)]
+pub struct DeltaStep {
+    /// The network before this op was applied.
+    pub pre: Network,
+    /// What the op touched.
+    pub touch: Touch,
 }
 
 #[cfg(test)]
@@ -227,5 +405,64 @@ mod tests {
     fn all_interfaces_lists_everything() {
         let n = triangle();
         assert_eq!(n.all_interfaces().len(), 8);
+    }
+
+    #[test]
+    fn closures_follow_link_direction() {
+        // a -> b -> c (one-way chain), d isolated.
+        let mut n = Network::default();
+        let a = n.add_device(dev("a", &[1]));
+        let b = n.add_device(dev("b", &[1, 2]));
+        let c = n.add_device(dev("c", &[1]));
+        let d = n.add_device(dev("d", &[1]));
+        n.add_link(a, 1, b, 1);
+        n.add_link(b, 2, c, 1);
+
+        let from_a = n.reachable_from(a);
+        assert!(from_a.contains(&a) && from_a.contains(&b) && from_a.contains(&c));
+        assert!(!from_a.contains(&d));
+        assert_eq!(n.reachable_from(c).len(), 1); // just itself
+        let to_c = n.reaching(c);
+        assert!(to_c.contains(&a) && to_c.contains(&b) && to_c.contains(&c));
+        assert_eq!(n.reaching(a).len(), 1);
+    }
+
+    #[test]
+    fn footprint_covers_exactly_the_interfaces_on_paths() {
+        let n = triangle();
+        // a:9 -> c:9 has two paths: a-b-c and a-c direct.
+        let fp = n.path_footprint(0, 9, 2, 9);
+        // Every interface of a, b, c that a path evaluates:
+        for pair in [
+            (0, 9), // entry
+            (0, 1), // a's egress toward b
+            (0, 2), // a's egress toward c
+            (1, 1), // b ingress
+            (1, 2), // b egress
+            (2, 1), // c ingress from b
+            (2, 2), // c ingress from a
+            (2, 9), // exit
+        ] {
+            assert!(fp.contains(&pair), "missing {pair:?} in {fp:?}");
+        }
+        assert_eq!(fp.len(), 8);
+    }
+
+    #[test]
+    fn footprint_excludes_interfaces_off_path() {
+        // spine-leaf: an edge port of a third leaf is on no path between
+        // the other two leaves.
+        let n = crate::gen::spine_leaf(2, 3);
+        let (l0, l1, l2) = (2, 3, 4);
+        let fp = n.path_footprint(l0, 99, l2, 99);
+        assert!(fp.contains(&(l0, 99)) && fp.contains(&(l2, 99)));
+        assert!(
+            !fp.contains(&(l1, 99)),
+            "l1's host port must not be on any l0->l2 path"
+        );
+        // Empty when no path exists.
+        let mut disconnected = n.clone();
+        disconnected.links.clear();
+        assert!(disconnected.path_footprint(l0, 99, l2, 99).is_empty());
     }
 }

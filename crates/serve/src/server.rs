@@ -28,13 +28,24 @@
 //! the leader's verdict, and consume no queue slot at all. If the leader
 //! is shed, joiners are released with `overloaded` rather than hanging.
 //!
-//! ## Hot swap
+//! ## Hot swap and deltas
 //!
 //! `POST /model` re-parses a spec off the connection thread, then swaps
-//! the shared model pointer atomically and clears the engine's result
-//! cache. Requests admitted before the swap keep their `Arc` to the old
-//! model and finish against it; requests admitted after see only the new
-//! one. There is no window where a request observes half of each.
+//! the shared model pointer atomically, clears the engine's result
+//! cache, and quiesces worker sessions. Requests admitted before the
+//! swap keep their `Arc` to the old model and finish against it;
+//! requests admitted after see only the new one. There is no window
+//! where a request observes half of each. Re-posting a spec whose
+//! composite fingerprint matches the running model is a no-op
+//! (`"swapped":false`): cache and sessions stay warm.
+//!
+//! `POST /delta` applies an NDJSON sequence of [`rzen_delta::DeltaOp`]s
+//! to a clone of the running spec and publishes the patched model with
+//! the same pointer-store atomicity — but instead of clearing the cache
+//! it runs the engine's dependency-aware sweep, evicting only entries
+//! whose cone of influence an op touched, and leaves every warm session
+//! alone. Model mutations are serialized by `Shared::swap`; `/healthz`
+//! reports the composite fingerprint and the mutation generation.
 //!
 //! ## Drain
 //!
@@ -106,34 +117,46 @@ impl Default for ServerConfig {
 pub struct Model {
     /// The parsed spec.
     pub spec: Spec,
-    /// FNV-1a fingerprint of the spec text (reported by `/healthz` so
-    /// clients can tell which model answered).
+    /// The Merkle-style composite model fingerprint
+    /// ([`rzen_delta::composite_fingerprint`]): the hash of the ordered
+    /// per-device structural fingerprints, reported by `/healthz` so
+    /// clients can tell which model answered. Structural, not textual —
+    /// re-posting a reformatted spec yields the same identity, and a
+    /// delta moves only the touched devices' leaf hashes.
     pub fingerprint: u64,
 }
 
 impl Model {
     /// Parse a spec text into a model.
     pub fn parse(text: &str) -> Result<Model, String> {
-        Ok(Model {
-            spec: spec::parse(text)?,
-            fingerprint: fnv1a(text.as_bytes()),
-        })
+        Ok(Model::from_spec(spec::parse(text)?))
     }
-}
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    /// Wrap an already-parsed (e.g. delta-patched) spec in a model.
+    pub fn from_spec(spec: Spec) -> Model {
+        let fingerprint = rzen_delta::composite_fingerprint(&spec.net);
+        Model { spec, fingerprint }
     }
-    h
 }
 
 struct Shared {
     cfg: ServerConfig,
     engine: Engine,
     model: RwLock<Arc<Model>>,
+    /// Serializes model mutations (`POST /model`, `POST /delta`): each is
+    /// a read-modify-write of the model pointer plus a cache
+    /// transition, and interleaving two would lose one of them. Query
+    /// admission never takes this lock — it only reads the pointer.
+    swap: Mutex<()>,
+    /// Counts accepted model mutations (swaps and deltas); reported by
+    /// `/healthz` and in mutation responses so a client can tell which
+    /// model lineage answered.
+    generation: AtomicU64,
+    /// Bumped when worker sessions must be rebuilt (full model swap).
+    /// Deltas leave it alone: session caches key on hash-consed
+    /// expression ids, so unchanged sub-circuits stay warm and changed
+    /// ones get new ids — nothing stale can be served.
+    session_epoch: AtomicU64,
     /// The admission queue sender; `None` once the drain retired it.
     jobs_tx: Mutex<Option<mpsc::SyncSender<Job>>>,
     /// Stop accepting connections.
@@ -277,6 +300,9 @@ pub fn start(cfg: ServerConfig, model: Model) -> io::Result<ServerHandle> {
         cfg,
         engine,
         model: RwLock::new(Arc::new(model)),
+        swap: Mutex::new(()),
+        generation: AtomicU64::new(0),
+        session_epoch: AtomicU64::new(0),
         jobs_tx: Mutex::new(Some(tx)),
         shutdown: AtomicBool::new(false),
         draining: AtomicBool::new(false),
@@ -394,7 +420,8 @@ fn drain(
 
 fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>, w: usize) {
     let _span = rzen_obs::span!("serve.worker", "worker" => w as u64);
-    let solver = shared.engine.serve_worker();
+    let mut epoch = shared.session_epoch.load(Ordering::SeqCst);
+    let mut solver = shared.engine.serve_worker();
     loop {
         // Hold the receiver lock only while waiting; execution happens
         // with it released so other workers can pick up jobs.
@@ -403,6 +430,20 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>, w: usiz
             Err(_) => break,
         };
         let Ok(job) = job else { break };
+        // A full model swap quiesces this worker's sessions: the old
+        // solver (and its runner threads) retires between jobs, and a
+        // fresh one starts cold. Deltas never bump the epoch — warm
+        // sessions stay warm across them by design.
+        let now = shared.session_epoch.load(Ordering::SeqCst);
+        if now != epoch {
+            epoch = now;
+            solver = shared.engine.serve_worker();
+            rzen_obs::counter!(
+                "serve.session_rebuilds",
+                "worker sessions quiesced and rebuilt by full model swaps"
+            )
+            .inc();
+        }
         run_job(&shared, &solver, job);
         shared.admitted.fetch_sub(1, Ordering::SeqCst);
     }
@@ -759,6 +800,7 @@ fn handle_http(
             let mut b = Body::new();
             b.str("status", "ok")
                 .str("model", &format!("{:016x}", model.fingerprint))
+                .num("generation", shared.generation.load(Ordering::SeqCst))
                 .num("devices", model.spec.net.devices.len() as u64)
                 .num("inflight", shared.admitted.load(Ordering::SeqCst) as u64)
                 .bool("draining", shared.draining.load(Ordering::SeqCst));
@@ -769,35 +811,46 @@ fn handle_http(
             http_respond(writer, 200, "text/plain; charset=utf-8", &text, head);
         }
         ("POST", "/model") => {
-            const MAX_SPEC: usize = 16 << 20;
-            if content_length == 0 || content_length > MAX_SPEC {
-                let mut b = Body::new();
-                b.str("error", "model body missing or oversized");
-                http_respond(writer, 400, "application/json", &b.document(), false);
+            let Some(text) = read_post_body(reader, writer, content_length) else {
                 return;
-            }
-            let mut body = vec![0u8; content_length];
-            if reader.read_exact(&mut body).is_err() {
-                let mut b = Body::new();
-                b.str("error", "truncated body");
-                http_respond(writer, 400, "application/json", &b.document(), false);
-                return;
-            }
-            let parsed = String::from_utf8(body)
-                .map_err(|_| "body is not utf-8".to_string())
-                .and_then(|text| Model::parse(&text));
-            match parsed {
+            };
+            match Model::parse(&text) {
                 Ok(model) => {
                     // Parse happened above, outside the lock; the swap
                     // itself is a pointer store. In-flight requests hold
                     // their own Arc and finish against the old model.
+                    let _swap = shared.swap.lock().unwrap();
+                    let current = shared.model.read().unwrap().clone();
+                    if current.fingerprint == model.fingerprint {
+                        // Same structural identity: re-posting the
+                        // running model (reformatted or not) keeps the
+                        // cache and every warm session.
+                        rzen_obs::counter!(
+                            "serve.model_noop_swaps",
+                            "POST /model requests whose fingerprint matched the running model"
+                        )
+                        .inc();
+                        let mut b = Body::new();
+                        b.str("status", "ok")
+                            .bool("swapped", false)
+                            .str("model", &format!("{:016x}", current.fingerprint))
+                            .num("generation", shared.generation.load(Ordering::SeqCst))
+                            .num("devices", current.spec.net.devices.len() as u64);
+                        http_respond(writer, 200, "application/json", &b.document(), false);
+                        return;
+                    }
                     let model = Arc::new(model);
                     *shared.model.write().unwrap() = model.clone();
                     shared.engine.clear_cache();
+                    // Sessions rebuilt: the whole model may have changed.
+                    shared.session_epoch.fetch_add(1, Ordering::SeqCst);
+                    let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
                     rzen_obs::counter!("serve.model_swaps", "successful POST /model swaps").inc();
                     let mut b = Body::new();
                     b.str("status", "ok")
+                        .bool("swapped", true)
                         .str("model", &format!("{:016x}", model.fingerprint))
+                        .num("generation", generation)
                         .num("devices", model.spec.net.devices.len() as u64);
                     http_respond(writer, 200, "application/json", &b.document(), false);
                 }
@@ -808,6 +861,64 @@ fn handle_http(
                 }
             }
         }
+        ("POST", "/delta") => {
+            let Some(text) = read_post_body(reader, writer, content_length) else {
+                return;
+            };
+            let ops = match rzen_delta::parse_ops(&text) {
+                Ok(ops) if ops.is_empty() => {
+                    let mut b = Body::new();
+                    b.str("error", "empty delta");
+                    http_respond(writer, 400, "application/json", &b.document(), false);
+                    return;
+                }
+                Ok(ops) => ops,
+                Err(e) => {
+                    let mut b = Body::new();
+                    b.str("error", &e);
+                    http_respond(writer, 400, "application/json", &b.document(), false);
+                    return;
+                }
+            };
+            // Same discipline as hot-swap: patch a clone off to the
+            // side, then publish with one pointer store. A failing op
+            // discards the clone — the running model is never half
+            // patched. In-flight requests keep their admitted Arc.
+            let _swap = shared.swap.lock().unwrap();
+            let current = shared.model.read().unwrap().clone();
+            let mut patched = current.spec.clone();
+            let applied = match rzen_delta::apply_all(&mut patched, &ops) {
+                Ok(applied) => applied,
+                Err(e) => {
+                    let mut b = Body::new();
+                    b.str("error", &e);
+                    http_respond(writer, 400, "application/json", &b.document(), false);
+                    return;
+                }
+            };
+            let model = Arc::new(Model::from_spec(patched));
+            *shared.model.write().unwrap() = model.clone();
+            // The dependency-aware sweep replaces clear_cache(): only
+            // entries whose cone of influence an op touched are
+            // evicted, the rest are re-keyed and stay warm. Sessions
+            // are not quiesced at all (see `Shared::session_epoch`).
+            let stats =
+                shared
+                    .engine
+                    .apply_delta(&current.spec.net, &model.spec.net, &applied.steps);
+            let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+            rzen_obs::counter!("serve.deltas", "successful POST /delta applications").inc();
+            let mut b = Body::new();
+            b.str("status", "ok")
+                .str("model", &format!("{:016x}", model.fingerprint))
+                .num("generation", generation)
+                .num("ops", applied.steps.len() as u64)
+                .str("touched", &applied.touched.join(","))
+                .num("devices", model.spec.net.devices.len() as u64)
+                .num("evicted", stats.evicted as u64)
+                .num("retained", stats.retained as u64);
+            http_respond(writer, 200, "application/json", &b.document(), false);
+        }
         _ => {
             let mut b = Body::new();
             b.str("error", "not found");
@@ -816,6 +927,37 @@ fn handle_http(
     }
     let _ = writer.flush();
     let _ = writer.shutdown(Shutdown::Both);
+}
+
+/// Read and validate a POST body (spec text or NDJSON delta), answering
+/// the 400 itself and returning `None` when the request is unusable.
+fn read_post_body(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    content_length: usize,
+) -> Option<String> {
+    const MAX_BODY: usize = 16 << 20;
+    let reject = |writer: &mut TcpStream, msg: &str| {
+        let mut b = Body::new();
+        b.str("error", msg);
+        http_respond(writer, 400, "application/json", &b.document(), false);
+    };
+    if content_length == 0 || content_length > MAX_BODY {
+        reject(writer, "body missing or oversized");
+        return None;
+    }
+    let mut body = vec![0u8; content_length];
+    if reader.read_exact(&mut body).is_err() {
+        reject(writer, "truncated body");
+        return None;
+    }
+    match String::from_utf8(body) {
+        Ok(text) => Some(text),
+        Err(_) => {
+            reject(writer, "body is not utf-8");
+            None
+        }
+    }
 }
 
 /// Write one HTTP response. `head` sends the status line and headers

@@ -1,0 +1,488 @@
+//! Delta subsystem integration tests: differential correctness of scripted
+//! deltas against a fresh parse of the equivalent full spec (for every
+//! checked-in spec), cone-of-influence eviction precision, session-state
+//! survival across deltas, and the serve layer's `POST /delta` and no-op
+//! `POST /model` behavior over real sockets.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rzen::Budget;
+use rzen_delta::composite_fingerprint;
+use rzen_engine::{DeltaCacheStats, Engine, EngineConfig, Query, QueryBackend, Verdict};
+use rzen_net::spec::{self, Spec};
+use rzen_obs::json::{parse, Value};
+use rzen_serve::{start, Model, ServerConfig};
+
+fn specs_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../specs")
+}
+
+/// The scripted delta for one checked-in spec. Every file in `specs/`
+/// must have one — a new spec without a script fails the differential
+/// test, which is the point: delta coverage stays total.
+fn scripted_delta(name: &str) -> &'static str {
+    match name {
+        // Flip the transit ACL, then add and remove a middlebox: the
+        // add/remove pair must cancel out structurally.
+        "fig3.net" => concat!(
+            "{\"op\":\"set-acl\",\"device\":\"u2\",\"intf\":1,\"dir\":\"in\",",
+            "\"acl\":\"permit-dst 192.168.0.0/16\"}\n",
+            "{\"op\":\"add-device\",\"name\":\"m1\",\"intfs\":[7]}\n",
+            "{\"op\":\"remove-device\",\"name\":\"m1\"}\n",
+        ),
+        // Exercise every remaining op kind; the link flap restores the
+        // topology so the edge-port set is unchanged.
+        "spine_leaf.net" => concat!(
+            "# drop l1's telnet filter, shield l2's hosts instead\n",
+            "{\"op\":\"remove-acl\",\"device\":\"l1\",\"intf\":99,\"dir\":\"in\"}\n",
+            "{\"op\":\"set-acl\",\"device\":\"l2\",\"intf\":99,\"dir\":\"out\",",
+            "\"acl\":\"deny-dport 80 80\"}\n",
+            "{\"op\":\"link-down\",\"a\":\"l1:2\",\"b\":\"s1:2\"}\n",
+            "{\"op\":\"link-up\",\"a\":\"l1:2\",\"b\":\"s1:2\"}\n",
+            "{\"op\":\"set-route\",\"device\":\"l1\",\"prefix\":\"10.2.0.0/16\",\"port\":2}\n",
+        ),
+        other => panic!(
+            "no scripted delta for specs/{other}: add one to scripted_delta() \
+             so the differential suite keeps covering every spec"
+        ),
+    }
+}
+
+fn verdict_kind(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Sat(_) => "sat",
+        Verdict::Unsat => "unsat",
+        Verdict::Timeout => "timeout",
+        Verdict::Cancelled => "cancelled",
+        Verdict::Error(_) => "error",
+    }
+}
+
+/// All-pairs Reach + Drops over the spec's edge ports — the same query
+/// set `rzen-cli batch` runs.
+fn all_pairs(spec: &Spec) -> Vec<Query> {
+    let ports = spec.edge_ports();
+    let mut queries = Vec::new();
+    for &src in &ports {
+        for &dst in &ports {
+            if src == dst {
+                continue;
+            }
+            queries.push(Query::Reach {
+                net: spec.net.clone(),
+                src,
+                dst,
+            });
+            queries.push(Query::Drops {
+                net: spec.net.clone(),
+                src,
+                dst,
+            });
+        }
+    }
+    queries
+}
+
+fn engine(cache: bool) -> Engine {
+    Engine::new(EngineConfig {
+        jobs: 4,
+        backend: QueryBackend::Portfolio,
+        timeout: None,
+        cache,
+        sessions: false,
+    })
+}
+
+#[test]
+fn scripted_deltas_agree_with_fresh_parse_on_every_spec() {
+    let mut names: Vec<String> = std::fs::read_dir(specs_dir())
+        .expect("specs dir")
+        .filter_map(|e| {
+            let name = e.unwrap().file_name().into_string().unwrap();
+            name.ends_with(".net").then_some(name)
+        })
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "specs/ must hold at least one spec");
+
+    for name in names {
+        let text = std::fs::read_to_string(specs_dir().join(&name)).unwrap();
+        let base = spec::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let ops = rzen_delta::parse_ops(scripted_delta(&name)).unwrap();
+        let mut patched = base.clone();
+        let applied = rzen_delta::apply_all(&mut patched, &ops).unwrap();
+        assert!(!applied.touched.is_empty(), "{name}: delta touched nothing");
+
+        // The serializer must close the loop: a fresh parse of the
+        // rendered patched spec is the "equivalent full spec", and
+        // re-rendering it must be a fixpoint.
+        let rendered = spec::serialize(&patched).unwrap();
+        let reparsed = spec::parse(&rendered)
+            .unwrap_or_else(|e| panic!("{name}: patched spec does not reparse: {e}\n{rendered}"));
+        assert_eq!(
+            spec::serialize(&reparsed).unwrap(),
+            rendered,
+            "{name}: serializer must be a fixpoint on patched specs"
+        );
+        assert_eq!(
+            composite_fingerprint(&patched.net),
+            composite_fingerprint(&reparsed.net),
+            "{name}: in-place patch and fresh parse must have one identity"
+        );
+        assert_eq!(patched.edge_ports(), reparsed.edge_ports());
+
+        // Differential: all-pairs verdicts of the in-place patched model
+        // against a from-scratch parse, solved by independent engines
+        // with the cache off (every verdict is a real solve).
+        let qp = all_pairs(&patched);
+        let qr = all_pairs(&reparsed);
+        let rp = engine(false).run_batch(&qp);
+        let rr = engine(false).run_batch(&qr);
+        for (i, q) in qp.iter().enumerate() {
+            assert_eq!(
+                verdict_kind(&rp.results[i].verdict),
+                verdict_kind(&rr.results[i].verdict),
+                "{name}: query {i} ({}) diverges between patched and reparsed",
+                q.kind()
+            );
+            for (report, query) in [(&rp, q), (&rr, &qr[i])] {
+                if let Verdict::Sat(w) = &report.results[i].verdict {
+                    assert!(query.check_witness(w), "{name}: query {i}: bad witness");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn delta_evicts_exactly_the_cone_of_influence() {
+    let text = std::fs::read_to_string(specs_dir().join("spine_leaf.net")).unwrap();
+    let base = spec::parse(&text).unwrap();
+    let l1 = *base.device_index.get("l1").unwrap();
+
+    // Warm the cache with the full all-pairs set: 3 edge ports, 6
+    // ordered pairs, Reach + Drops each.
+    let eng = engine(true);
+    let warm = eng.run_batch(&all_pairs(&base));
+    assert!(warm.results.iter().all(|r| r.verdict.is_decisive()));
+    assert_eq!(eng.cache_len(), 12);
+
+    // One ACL line on l1's host port. Its cone of influence is every
+    // pair with l1 as an endpoint — transit paths through l1 enter via
+    // the spine-facing ports, never through intf 99.
+    let ops = rzen_delta::parse_ops(
+        "{\"op\":\"set-acl\",\"device\":\"l1\",\"intf\":99,\"dir\":\"in\",\"acl\":\"deny\"}",
+    )
+    .unwrap();
+    let mut patched = base.clone();
+    let applied = rzen_delta::apply_all(&mut patched, &ops).unwrap();
+    let stats = eng.apply_delta(&base.net, &patched.net, &applied.steps);
+    assert_eq!(
+        stats,
+        DeltaCacheStats {
+            evicted: 8,
+            retained: 4,
+            unaffected: 0
+        },
+        "4 ordered pairs touch l1 (x Reach+Drops = 8); l0<->l2 survives"
+    );
+    assert_eq!(eng.cache_len(), 4);
+
+    // Survivors were re-keyed to the new model: re-running the full set
+    // against the patched net hits exactly the untouched pairs, and
+    // every verdict agrees with an engine that saw only the new model.
+    let queries = all_pairs(&patched);
+    let rerun = eng.run_batch(&queries);
+    let fresh = engine(false).run_batch(&queries);
+    for (i, q) in queries.iter().enumerate() {
+        let (Query::Reach { src, dst, .. } | Query::Drops { src, dst, .. }) = q else {
+            unreachable!()
+        };
+        let involves_l1 = src.0 == l1 || dst.0 == l1;
+        assert_eq!(
+            rerun.results[i].cache_hit, !involves_l1,
+            "query {i}: pairs off the cone must stay warm, on-cone must resolve"
+        );
+        assert_eq!(
+            verdict_kind(&rerun.results[i].verdict),
+            verdict_kind(&fresh.results[i].verdict),
+            "query {i} ({}): a retained entry answered for the wrong model",
+            q.kind()
+        );
+    }
+}
+
+#[test]
+fn warm_session_state_survives_a_delta() {
+    let text = std::fs::read_to_string(specs_dir().join("spine_leaf.net")).unwrap();
+    let base = spec::parse(&text).unwrap();
+    let src = base.endpoint("l0:99").unwrap();
+    let dst = base.endpoint("l2:99").unwrap();
+
+    // Sessions on, cache off: every run_one is a real solve through the
+    // worker's persistent solver sessions.
+    let eng = Engine::new(EngineConfig {
+        jobs: 1,
+        backend: QueryBackend::Smt,
+        timeout: None,
+        cache: false,
+        sessions: true,
+    });
+    // Warm the session on the full all-pairs set: the unsat Drops
+    // queries are what make the SAT side learn clauses worth carrying.
+    let worker = eng.serve_worker();
+    let mut first = None;
+    for q in all_pairs(&base) {
+        let r = eng.run_one(&q, Budget::unlimited(), &worker);
+        assert!(r.verdict.is_decisive());
+        if matches!(&q, Query::Reach { src: s, dst: d, .. } if (*s, *d) == (src, dst)) {
+            first = Some(r);
+        }
+    }
+    let first = first.expect("the observed pair is in the all-pairs set");
+
+    let ops = rzen_delta::parse_ops(
+        "{\"op\":\"set-acl\",\"device\":\"l1\",\"intf\":99,\"dir\":\"in\",\"acl\":\"deny\"}",
+    )
+    .unwrap();
+    let mut patched = base.clone();
+    let applied = rzen_delta::apply_all(&mut patched, &ops).unwrap();
+    eng.apply_delta(&base.net, &patched.net, &applied.steps);
+
+    // The same pair against the patched model: only l1's sub-model
+    // changed, so the session must reuse the bitblast nodes and carried
+    // clauses it compiled before the delta — deltas never quiesce
+    // sessions, that is the whole point of sub-model fingerprints.
+    let after = eng.run_one(
+        &Query::Reach {
+            net: patched.net.clone(),
+            src,
+            dst,
+        },
+        Budget::unlimited(),
+        &worker,
+    );
+    assert!(after.verdict.is_decisive());
+    let session = after.session.expect("session mode attaches stats");
+    assert!(
+        session.bitblast_hits > 0,
+        "post-delta query must reuse nodes compiled before the delta"
+    );
+    assert!(
+        session.sat_clauses_carried > 0,
+        "learnt clauses must survive the delta"
+    );
+    assert_eq!(
+        verdict_kind(&first.verdict),
+        verdict_kind(&after.verdict),
+        "the untouched pair's verdict must not move"
+    );
+}
+
+// ---------------------------------------------------------------- serve --
+
+const REACH: &str = "{\"op\":\"reach\",\"src\":\"u1:1\",\"dst\":\"u3:2\"}";
+
+fn cfg(sessions: bool) -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        jobs: 1,
+        backlog: 16,
+        timeout: Some(Duration::from_secs(30)),
+        sessions,
+        backend: QueryBackend::Portfolio,
+        handle_signals: false,
+        debug_ops: false,
+    }
+}
+
+fn fig3_text() -> String {
+    std::fs::read_to_string(specs_dir().join("fig3.net")).unwrap()
+}
+
+fn request(addr: SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut resp = String::new();
+    reader.read_line(&mut resp).expect("response");
+    resp.trim().to_string()
+}
+
+fn http(addr: SocketAddr, request: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("http response");
+    let status = raw.lines().next().unwrap_or("").to_string();
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn http_get(addr: SocketAddr, path: &str) -> (String, String) {
+    http(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn http_post(addr: SocketAddr, path: &str, body: &str) -> (String, String) {
+    http(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn field<'v>(v: &'v Value, key: &str) -> &'v Value {
+    v.get(key)
+        .unwrap_or_else(|| panic!("response missing {key:?}: {v:?}"))
+}
+
+fn healthz(addr: SocketAddr) -> Value {
+    let (status, body) = http_get(addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+    parse(&body).unwrap()
+}
+
+#[test]
+fn post_delta_flips_verdicts_and_advances_the_generation() {
+    let fig3 = fig3_text();
+    let handle = start(cfg(true), Model::parse(&fig3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    let before = parse(&request(addr, REACH)).unwrap();
+    assert_eq!(field(&before, "verdict").as_str(), Some("sat"));
+    let health = healthz(addr);
+    let fp_before = field(&health, "model").as_str().unwrap().to_string();
+    let gen_before = field(&health, "generation").as_u64().unwrap();
+
+    // A bad delta (unknown device) must change nothing.
+    let (status, body) = http_post(
+        addr,
+        "/delta",
+        "{\"op\":\"set-acl\",\"device\":\"nope\",\"intf\":1,\"dir\":\"in\",\"acl\":\"deny\"}",
+    );
+    assert!(status.contains("400"), "{status} {body}");
+    assert_eq!(
+        field(&healthz(addr), "model").as_str().unwrap(),
+        fp_before,
+        "a rejected delta must not move the model"
+    );
+
+    // One ACL line over the wire: the transit hop now denies everything.
+    let (status, body) = http_post(
+        addr,
+        "/delta",
+        "{\"op\":\"set-acl\",\"device\":\"u2\",\"intf\":1,\"dir\":\"in\",\"acl\":\"deny\"}",
+    );
+    assert!(status.contains("200"), "{status} {body}");
+    let resp = parse(&body).unwrap();
+    assert_eq!(field(&resp, "status").as_str(), Some("ok"));
+    assert_eq!(field(&resp, "ops").as_u64(), Some(1));
+    assert_eq!(field(&resp, "touched").as_str(), Some("u2"));
+    assert_eq!(field(&resp, "generation").as_u64(), Some(gen_before + 1));
+    // u2 is on the only u1->u3 path, so the cached pair is in the cone.
+    assert!(field(&resp, "evicted").as_u64().unwrap() > 0);
+
+    let after = parse(&request(addr, REACH)).unwrap();
+    assert_eq!(
+        field(&after, "verdict").as_str(),
+        Some("unsat"),
+        "the delta must be visible to the next query"
+    );
+    assert_eq!(field(&after, "cache_hit").as_bool(), Some(false));
+
+    let health = healthz(addr);
+    assert_ne!(
+        field(&health, "model").as_str().unwrap(),
+        fp_before,
+        "healthz must report the new composite fingerprint"
+    );
+    assert_eq!(
+        field(&health, "generation").as_u64(),
+        Some(gen_before + 1),
+        "each accepted mutation advances the generation exactly once"
+    );
+
+    // Cache observability rides along: the delta-eviction counters and
+    // the entries gauge are live in /metrics.
+    let (_, metrics) = http_get(addr, "/metrics");
+    for name in [
+        "engine.cache.entries",
+        "engine.cache.delta_evicted",
+        "engine.cache.delta_retained",
+        "engine.cache.hits",
+        "engine.cache.misses",
+        "engine.deltas",
+    ] {
+        assert!(
+            metrics.contains(name),
+            "/metrics missing {name}:\n{metrics}"
+        );
+    }
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn equal_fingerprint_model_post_is_a_noop_that_keeps_the_cache() {
+    let fig3 = fig3_text();
+    let handle = start(cfg(false), Model::parse(&fig3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    let miss = parse(&request(addr, REACH)).unwrap();
+    assert_eq!(field(&miss, "cache_hit").as_bool(), Some(false));
+    let hit = parse(&request(addr, REACH)).unwrap();
+    assert_eq!(field(&hit, "cache_hit").as_bool(), Some(true));
+    let gen_before = field(&healthz(addr), "generation").as_u64().unwrap();
+
+    // The same network, textually reformatted: model identity is the
+    // Merkle composite over the *structure*, so this must be a no-op
+    // that leaves the warm cache alone.
+    let reformatted = format!("# a cosmetic comment\n\n{fig3}\n");
+    assert_ne!(reformatted, fig3);
+    let (status, body) = http_post(addr, "/model", &reformatted);
+    assert!(status.contains("200"), "{status} {body}");
+    let resp = parse(&body).unwrap();
+    assert_eq!(field(&resp, "swapped").as_bool(), Some(false));
+    assert_eq!(field(&resp, "generation").as_u64(), Some(gen_before));
+
+    let still_hit = parse(&request(addr, REACH)).unwrap();
+    assert_eq!(
+        field(&still_hit, "cache_hit").as_bool(),
+        Some(true),
+        "a no-op swap must not clear the result cache"
+    );
+
+    // A genuinely different model still swaps and clears.
+    let blocked = fig3.replace("acl-in deny-dport 5000 6000", "acl-in deny");
+    assert_ne!(blocked, fig3);
+    let (status, body) = http_post(addr, "/model", &blocked);
+    assert!(status.contains("200"), "{status} {body}");
+    let resp = parse(&body).unwrap();
+    assert_eq!(field(&resp, "swapped").as_bool(), Some(true));
+    assert_eq!(field(&resp, "generation").as_u64(), Some(gen_before + 1));
+    let after = parse(&request(addr, REACH)).unwrap();
+    assert_eq!(field(&after, "verdict").as_str(), Some("unsat"));
+    assert_eq!(field(&after, "cache_hit").as_bool(), Some(false));
+
+    handle.shutdown();
+    handle.join();
+}

@@ -205,7 +205,10 @@ fn head_requests_get_headers_without_a_body() {
             &format!("HEAD {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"),
         );
         assert!(status.contains("200"), "HEAD {path}: {status}");
-        assert!(body.is_empty(), "HEAD {path} must not carry a body: {body:?}");
+        assert!(
+            body.is_empty(),
+            "HEAD {path} must not carry a body: {body:?}"
+        );
     }
     // The advertised Content-Length is the length GET's body would have.
     let mut stream = TcpStream::connect(addr).unwrap();
@@ -219,7 +222,11 @@ fn head_requests_get_headers_without_a_body() {
     stream.read_to_string(&mut raw).unwrap();
     let advertised: usize = raw
         .lines()
-        .find_map(|l| l.to_ascii_lowercase().strip_prefix("content-length:").map(str::to_string))
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_string)
+        })
         .expect("HEAD response carries Content-Length")
         .trim()
         .parse()
