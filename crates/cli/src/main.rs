@@ -42,6 +42,7 @@ fn usage_text() -> String {
         "                       [--stats-json FILE] [--verdicts-json FILE] [--metrics]",
         "       rzen-cli serve SPEC [--addr HOST:PORT] [--jobs N] [--backlog N]",
         "                       [--timeout-ms MS] [--sessions on|off] [--backend ...]",
+        "                       [--flight-recorder-size N]",
         "       rzen-cli --version | --help",
         "  SRC/DST are device:port endpoints, e.g. u1:1",
         "  delta applies an NDJSON op sequence (set-acl, set-route, link-up/down,",
@@ -51,9 +52,11 @@ fn usage_text() -> String {
         "  --trace-out FILE   write a Chrome trace-event JSON file (chrome://tracing)",
         "  --stats-json FILE  write the batch report + metrics snapshot as JSON",
         "  --verdicts-json FILE  write just the verdicts (stable across modes) as JSON",
-        "  --metrics          print the metrics registry after the batch",
+        "  --metrics          print the metrics registry and slow table after the batch",
+        "  --flight-recorder-size N  ring capacity of the serve flight recorder",
         "  serve answers NDJSON queries on a TCP socket, plus HTTP GET /healthz,",
-        "  GET /metrics, and POST /model (spec hot-swap); SIGTERM drains gracefully",
+        "  GET /metrics (Prometheus format), GET /debug/requests|slow|trace?ms=N,",
+        "  and POST /model (spec hot-swap); SIGTERM drains gracefully",
         "  RZEN_TRACE=1|FILE  enable tracing from the environment (FILE also exports)",
     ]
     .join("\n")
@@ -517,6 +520,7 @@ fn run_batch(spec: &spec::Spec, flags: &[String], env_trace: Option<String>) {
     }
     if show_metrics {
         print!("{}", rzen_obs::metrics::registry().render_text());
+        print!("{}", rzen_obs::flight::render_slow_text());
     }
 }
 
@@ -595,6 +599,19 @@ fn run_serve(spec_text: &str, flags: &[String]) {
             "--debug-ops" => {
                 cfg.debug_ops = true;
                 i += 1;
+            }
+            "--flight-recorder-size" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--flight-recorder-size needs N"));
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --flight-recorder-size {v:?}: {e}")));
+                if n == 0 {
+                    fail("--flight-recorder-size must be at least 1");
+                }
+                rzen_obs::flight::set_capacity(n);
+                i += 2;
             }
             other => fail(&format!("unknown serve flag {other:?}")),
         }

@@ -136,9 +136,12 @@ impl Engine {
     /// identical concurrent arrivals join and wait for the leader's
     /// verdict. The coalescing key is the full query — which embeds the
     /// model, so queries over different models never coalesce — compared
-    /// structurally within its fingerprint bucket.
-    pub fn admit(&self, query: &Query) -> Admission {
-        self.inflight.admit(query.fingerprint(), query)
+    /// structurally within its fingerprint bucket. `req_id` is the
+    /// arriving request's own id: a leader stamps it on the in-flight
+    /// entry so joiners can record whose execution they rode
+    /// ([`crate::JoinHandle::leader_id`]).
+    pub fn admit(&self, query: &Query, req_id: u64) -> Admission {
+        self.inflight.admit(query.fingerprint(), query, req_id)
     }
 
     /// Number of distinct queries currently in flight (admitted leaders
@@ -182,7 +185,10 @@ impl Engine {
                         if i >= n {
                             break;
                         }
-                        let result = self.solve_one(i, &queries[i], self.request_budget());
+                        let ctx = rzen_obs::RequestCtx::mint(queries[i].model_fingerprint(), 0);
+                        let start_us = rzen_obs::flight::now_us();
+                        let result = self.solve_one(i, &queries[i], self.request_budget(), ctx.id);
+                        record_flight(&ctx, start_us, &queries[i], &result);
                         *slots[i].lock().unwrap() = Some(result);
                     }
                 });
@@ -228,12 +234,16 @@ impl Engine {
                     let _span = rzen_obs::span!("engine.worker", "worker" => w as u64);
                     let runners = SessionRunners::spawn(self.cfg.backend);
                     for &i in bucket {
+                        let ctx = rzen_obs::RequestCtx::mint(queries[i].model_fingerprint(), 0);
+                        let start_us = rzen_obs::flight::now_us();
                         let result = self.solve_one_session(
                             i,
                             &queries[i],
                             &runners.txs,
                             self.request_budget(),
+                            ctx.id,
                         );
+                        record_flight(&ctx, start_us, &queries[i], &result);
                         *slots[i].lock().unwrap() = Some(result);
                     }
                     runners.shutdown();
@@ -286,9 +296,9 @@ impl Engine {
         }
     }
 
-    fn solve_one(&self, index: usize, query: &Query, budget: Budget) -> QueryResult {
+    fn solve_one(&self, index: usize, query: &Query, budget: Budget, req: u64) -> QueryResult {
         let started = Instant::now();
-        let _span = rzen_obs::span!("engine.query", "index" => index as u64);
+        let _span = rzen_obs::span!("engine.query", "req" => req, "index" => index as u64);
         rzen_obs::counter!("engine.queries", "queries dispatched to workers").inc();
         let fingerprint = query.fingerprint();
         if let Some(hit) = self.cache_lookup(index, query, fingerprint, started) {
@@ -296,9 +306,9 @@ impl Engine {
         }
 
         let solved = match self.cfg.backend {
-            QueryBackend::Bdd => run_fresh(query, Backend::Bdd, &budget, started),
-            QueryBackend::Smt => run_fresh(query, Backend::Smt, &budget, started),
-            QueryBackend::Portfolio => run_portfolio(query, &budget, started),
+            QueryBackend::Bdd => run_fresh(query, Backend::Bdd, &budget, started, req),
+            QueryBackend::Smt => run_fresh(query, Backend::Smt, &budget, started, req),
+            QueryBackend::Portfolio => run_portfolio(query, &budget, started, req),
         };
         self.finish(index, query, fingerprint, solved, &budget, started)
     }
@@ -313,9 +323,10 @@ impl Engine {
         query: &Query,
         runners: &[mpsc::Sender<SessionJob>],
         budget: Budget,
+        req: u64,
     ) -> QueryResult {
         let started = Instant::now();
-        let _span = rzen_obs::span!("engine.query", "index" => index as u64);
+        let _span = rzen_obs::span!("engine.query", "req" => req, "index" => index as u64);
         rzen_obs::counter!("engine.queries", "queries dispatched to workers").inc();
         let fingerprint = query.fingerprint();
         if let Some(hit) = self.cache_lookup(index, query, fingerprint, started) {
@@ -329,6 +340,7 @@ impl Engine {
                 query: query.clone(),
                 budget: budget.clone(),
                 reply: reply_tx.clone(),
+                req,
             };
             if tx.send(job).is_err() {
                 error.get_or_insert_with(|| "session runner unavailable".to_string());
@@ -433,6 +445,26 @@ impl Engine {
                 .set(cache.len() as i64);
         }
 
+        match solved.winner {
+            Some(Backend::Bdd) => {
+                rzen_obs::counter!(
+                    "engine.backend.wins",
+                    "decisive verdicts by deciding backend",
+                    "backend" => "bdd"
+                )
+                .inc();
+            }
+            Some(Backend::Smt) => {
+                rzen_obs::counter!(
+                    "engine.backend.wins",
+                    "decisive verdicts by deciding backend",
+                    "backend" => "smt"
+                )
+                .inc();
+            }
+            None => {}
+        }
+
         let latency = solved.decided.unwrap_or_else(|| started.elapsed());
         rzen_obs::histogram!("engine.query_us", "per-query wall latency in microseconds")
             .observe(latency.as_micros() as u64);
@@ -464,13 +496,23 @@ impl Engine {
 
     /// Solve one query with an explicit per-request budget (a serving
     /// layer derives it from the request deadline, queue wait included),
-    /// consulting and feeding the shared result cache. Must be called
-    /// from a thread with no live `Zen` handles — in fresh mode the query
-    /// rebuilds its model in (and resets) the thread-local context.
-    pub fn run_one(&self, query: &Query, budget: Budget, worker: &ServeWorker) -> QueryResult {
+    /// consulting and feeding the shared result cache. `ctx` is the
+    /// request identity minted at serve admission; its id rides every
+    /// span on the solve path. The serve layer owns the flight record for
+    /// the request (it knows the endpoints and the full wall latency), so
+    /// this method does not write one. Must be called from a thread with
+    /// no live `Zen` handles — in fresh mode the query rebuilds its model
+    /// in (and resets) the thread-local context.
+    pub fn run_one(
+        &self,
+        query: &Query,
+        budget: Budget,
+        worker: &ServeWorker,
+        ctx: rzen_obs::RequestCtx,
+    ) -> QueryResult {
         match &worker.runners {
-            Some(runners) => self.solve_one_session(0, query, &runners.txs, budget),
-            None => self.solve_one(0, query, budget),
+            Some(runners) => self.solve_one_session(0, query, &runners.txs, budget, ctx.id),
+            None => self.solve_one(0, query, budget, ctx.id),
         }
     }
 }
@@ -512,6 +554,35 @@ fn collect_results(slots: Vec<Mutex<Option<QueryResult>>>, queries: &[Query]) ->
         .collect()
 }
 
+/// Write one batch query's flight record. Batch queries have no client
+/// endpoints; the op is the query kind and the serve-only fields stay
+/// zero. (The serve layer writes its own records for served requests —
+/// see `Engine::run_one`.)
+fn record_flight(ctx: &rzen_obs::RequestCtx, start_us: u64, query: &Query, result: &QueryResult) {
+    use rzen_obs::flight::{self, SmallStr, FLAG_CACHE_HIT, FLAG_SESSION};
+    let mut flags = 0u8;
+    if result.cache_hit {
+        flags |= FLAG_CACHE_HIT;
+    }
+    if result.session.is_some() {
+        flags |= FLAG_SESSION;
+    }
+    flight::record(rzen_obs::RequestRecord {
+        id: ctx.id,
+        start_us,
+        latency_us: result.latency.as_micros() as u64,
+        model: ctx.model,
+        generation: ctx.generation,
+        leader: 0,
+        op: SmallStr::new(query.kind()),
+        src: SmallStr::default(),
+        dst: SmallStr::default(),
+        verdict: result.verdict.class(),
+        backend: result.backend_class(),
+        flags,
+    });
+}
+
 /// Best-effort text of a panic payload.
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -531,7 +602,14 @@ fn decisive_winner(outcome: &FindOutcome<crate::Witness>, b: Backend) -> Option<
 }
 
 /// One backend, fresh context, with the per-query panic guard.
-fn run_fresh(query: &Query, backend: Backend, budget: &Budget, started: Instant) -> Solved {
+fn run_fresh(
+    query: &Query,
+    backend: Backend,
+    budget: &Budget,
+    started: Instant,
+    req: u64,
+) -> Solved {
+    let _span = rzen_obs::span!("engine.backend", "req" => req, "bdd" => u64::from(backend == Backend::Bdd));
     match catch_unwind(AssertUnwindSafe(|| query.run_backend(backend, budget))) {
         Ok(out) => Solved {
             winner: decisive_winner(&out.outcome, backend),
@@ -561,8 +639,8 @@ fn run_fresh(query: &Query, backend: Backend, budget: &Budget, started: Instant)
 /// query comes back `Cancelled` and the caller maps it to
 /// `Timeout`/`Cancelled` by whether the deadline passed; a panic on both
 /// sides surfaces as an error.
-fn run_portfolio(query: &Query, budget: &Budget, started: Instant) -> Solved {
-    let _span = rzen_obs::span!("engine.race");
+fn run_portfolio(query: &Query, budget: &Budget, started: Instant, req: u64) -> Solved {
+    let _span = rzen_obs::span!("engine.race", "req" => req);
     let (tx, rx) = mpsc::channel::<(Backend, Result<RunOutput, String>)>();
     thread::scope(|s| {
         for backend in [Backend::Bdd, Backend::Smt] {
@@ -570,8 +648,7 @@ fn run_portfolio(query: &Query, budget: &Budget, started: Instant) -> Solved {
             let budget = budget.clone();
             let query = query.clone();
             s.spawn(move || {
-                let _span =
-                    rzen_obs::span!("engine.backend", "bdd" => u64::from(backend == Backend::Bdd));
+                let _span = rzen_obs::span!("engine.backend", "req" => req, "bdd" => u64::from(backend == Backend::Bdd));
                 let out = catch_unwind(AssertUnwindSafe(|| query.run_backend(backend, &budget)))
                     .map_err(panic_message);
                 // The receiver may have already returned; a closed channel
@@ -653,6 +730,8 @@ struct SessionJob {
     query: Query,
     budget: Budget,
     reply: mpsc::Sender<SessionReply>,
+    /// Request id of the query, stamped on the runner's per-job span.
+    req: u64,
 }
 
 /// A runner's answer: the raw output (or panic message) plus the session
@@ -708,9 +787,11 @@ fn session_runner(backend: Backend, rx: mpsc::Receiver<SessionJob>) {
     let mut session = SolverSession::new(backend);
     while let Ok(job) = rx.recv() {
         let before = session.stats();
+        let job_span = rzen_obs::span!("engine.backend", "req" => job.req, "bdd" => u64::from(backend == Backend::Bdd));
         let out = catch_unwind(AssertUnwindSafe(|| {
             job.query.run_in_session(&mut session, &job.budget)
         }));
+        drop(job_span);
         let reply = match out {
             Ok(output) => SessionReply {
                 backend,

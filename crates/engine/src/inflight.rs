@@ -29,6 +29,9 @@ use crate::stats::QueryResult;
 struct Slot {
     state: Mutex<SlotState>,
     cv: Condvar,
+    /// Request id of the leader, so joiners can record which execution
+    /// they coalesced onto (`/debug/requests` shows it as `leader`).
+    leader: u64,
 }
 
 #[derive(Debug)]
@@ -105,6 +108,13 @@ pub struct JoinHandle {
     slot: Arc<Slot>,
 }
 
+impl JoinHandle {
+    /// The request id of the leader this joiner coalesced onto.
+    pub fn leader_id(&self) -> u64 {
+        self.slot.leader
+    }
+}
+
 /// Outcome of a [`JoinHandle`] wait.
 pub enum Joined {
     /// The leader published this verdict.
@@ -159,7 +169,14 @@ impl JoinHandle {
 
 impl InflightTable {
     /// Join the in-flight entry for `query`, or become its leader.
-    pub(crate) fn admit(self: &Arc<Self>, fingerprint: u64, query: &Query) -> Admission {
+    /// `req_id` is the admitted request's own id: a new leader stamps it
+    /// on the slot so later joiners can name the execution they rode.
+    pub(crate) fn admit(
+        self: &Arc<Self>,
+        fingerprint: u64,
+        query: &Query,
+        req_id: u64,
+    ) -> Admission {
         let mut buckets = self.buckets.lock().unwrap();
         let bucket = buckets.entry(fingerprint).or_default();
         if let Some((_, slot)) = bucket.iter().find(|(q, _)| q == query) {
@@ -168,11 +185,19 @@ impl InflightTable {
                 "queries coalesced onto an identical in-flight execution"
             )
             .inc();
+            rzen_obs::trace::instant2(
+                "engine.inflight.joined",
+                "req",
+                req_id,
+                "leader",
+                slot.leader,
+            );
             return Admission::Join(JoinHandle { slot: slot.clone() });
         }
         let slot = Arc::new(Slot {
             state: Mutex::new(SlotState::Pending),
             cv: Condvar::new(),
+            leader: req_id,
         });
         bucket.push((query.clone(), slot.clone()));
         Admission::Lead(LeadGuard {
@@ -222,12 +247,13 @@ mod tests {
         let table = Arc::new(InflightTable::default());
         let q = query(1);
         let fp = q.fingerprint();
-        let Admission::Lead(guard) = table.admit(fp, &q) else {
+        let Admission::Lead(guard) = table.admit(fp, &q, 41) else {
             panic!("first arrival must lead");
         };
-        let Admission::Join(join) = table.admit(fp, &q) else {
+        let Admission::Join(join) = table.admit(fp, &q, 42) else {
             panic!("second identical arrival must join");
         };
+        assert_eq!(join.leader_id(), 41, "joiner learns its leader's id");
         assert_eq!(table.len(), 1);
         guard.publish(&result());
         let got = join.wait().expect("leader published");
@@ -240,11 +266,11 @@ mod tests {
         let table = Arc::new(InflightTable::default());
         let (a, b) = (query(1), query(2));
         let colliding = 0xfeed_u64;
-        let Admission::Lead(_ga) = table.admit(colliding, &a) else {
+        let Admission::Lead(_ga) = table.admit(colliding, &a, 0) else {
             panic!("a leads");
         };
         // Same bucket, different query: must lead its own entry.
-        let Admission::Lead(_gb) = table.admit(colliding, &b) else {
+        let Admission::Lead(_gb) = table.admit(colliding, &b, 0) else {
             panic!("b must lead despite sharing a's bucket");
         };
         assert_eq!(table.len(), 2);
@@ -255,10 +281,10 @@ mod tests {
         let table = Arc::new(InflightTable::default());
         let q = query(4);
         let fp = q.fingerprint();
-        let Admission::Lead(guard) = table.admit(fp, &q) else {
+        let Admission::Lead(guard) = table.admit(fp, &q, 0) else {
             panic!("first arrival must lead");
         };
-        let Admission::Join(join) = table.admit(fp, &q) else {
+        let Admission::Join(join) = table.admit(fp, &q, 0) else {
             panic!("second arrival must join");
         };
         // The leader never publishes inside this joiner's budget: the
@@ -271,7 +297,7 @@ mod tests {
         // The entry is still in flight — only the joiner gave up.
         assert_eq!(table.len(), 1);
         // A published verdict is preferred over an already-passed deadline.
-        let Admission::Join(join) = table.admit(fp, &q) else {
+        let Admission::Join(join) = table.admit(fp, &q, 0) else {
             panic!("third arrival must join");
         };
         guard.publish(&result());
@@ -284,10 +310,10 @@ mod tests {
         let table = Arc::new(InflightTable::default());
         let q = query(3);
         let fp = q.fingerprint();
-        let Admission::Lead(guard) = table.admit(fp, &q) else {
+        let Admission::Lead(guard) = table.admit(fp, &q, 0) else {
             panic!("first arrival must lead");
         };
-        let Admission::Join(join) = table.admit(fp, &q) else {
+        let Admission::Join(join) = table.admit(fp, &q, 0) else {
             panic!("second arrival must join");
         };
         drop(guard);

@@ -107,6 +107,17 @@ impl Verdict {
     pub fn is_decisive(&self) -> bool {
         matches!(self, Verdict::Sat(_) | Verdict::Unsat)
     }
+
+    /// Classify for the flight recorder (drops the witness / message).
+    pub fn class(&self) -> rzen_obs::VerdictClass {
+        match self {
+            Verdict::Sat(_) => rzen_obs::VerdictClass::Sat,
+            Verdict::Unsat => rzen_obs::VerdictClass::Unsat,
+            Verdict::Timeout => rzen_obs::VerdictClass::Timeout,
+            Verdict::Cancelled => rzen_obs::VerdictClass::Cancelled,
+            Verdict::Error(_) => rzen_obs::VerdictClass::Error,
+        }
+    }
 }
 
 /// Raw result of running one backend on one query.

@@ -33,6 +33,21 @@ pub struct QueryResult {
     pub session: Option<rzen::SessionStats>,
 }
 
+impl QueryResult {
+    /// Classify which backend answered, for the flight recorder: cache
+    /// hits trump the (absent) winner, undecided queries map to `None`.
+    pub fn backend_class(&self) -> rzen_obs::BackendClass {
+        if self.cache_hit {
+            return rzen_obs::BackendClass::Cache;
+        }
+        match self.winner {
+            Some(Backend::Bdd) => rzen_obs::BackendClass::Bdd,
+            Some(Backend::Smt) => rzen_obs::BackendClass::Smt,
+            None => rzen_obs::BackendClass::None,
+        }
+    }
+}
+
 /// Everything [`crate::Engine::run_batch`] returns.
 #[derive(Clone, Debug)]
 pub struct BatchReport {

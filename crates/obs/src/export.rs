@@ -81,6 +81,12 @@ pub fn phase_report(events: &[Event]) -> String {
         return "phase report: no events recorded\n".to_string();
     }
     let mut out = String::from("phase report (per span name: count / total / mean / max)\n");
+    let dropped = crate::trace::events_dropped();
+    if dropped > 0 {
+        out.push_str(&format!(
+            "  WARNING: {dropped} events lost to span-ring wrap-around — totals undercount\n"
+        ));
+    }
     let mut last_root = "";
     for (name, a) in &agg {
         let root = name.split('.').next().unwrap_or(name);

@@ -1,0 +1,559 @@
+//! The flight recorder: an always-on, lock-free ring of per-request
+//! records plus a top-K slow-query table.
+//!
+//! Where [`crate::trace`] answers "where does the time go inside one
+//! operation" (and must be switched on), the flight recorder answers
+//! "which requests went through this process recently, and which were
+//! slow" — continuously, at a cost low enough to leave on in production:
+//! one atomic ticket fetch plus a seqlock-protected 128-byte write per
+//! *request* (not per event), and no allocation anywhere on the record
+//! path.
+//!
+//! ## Request identity
+//!
+//! A [`RequestCtx`] is minted once per request at serve admission (or per
+//! query in a batch) from a process-wide monotonic counter, and carries
+//! the model fingerprint and mutation generation the request was admitted
+//! under. The id is threaded through spans (as a `"req"` argument), the
+//! in-flight coalescer (followers record their leader's id), and the
+//! flight record, so one request can be followed across every layer.
+//!
+//! ## Concurrency
+//!
+//! The ring is a fixed array of seqlock slots. A writer claims a slot
+//! with one `fetch_add` on the head ticket, marks the slot's sequence
+//! odd, writes the record, and publishes an even sequence. Readers
+//! ([`snapshot`]) sample each slot's sequence before and after copying
+//! and discard torn reads. Writers never wait on readers or on each
+//! other; a reader racing a writer simply skips that slot.
+//!
+//! The slow table keeps the K largest-latency records seen since
+//! startup. Requests faster than the table's current minimum skip the
+//! lock entirely (one relaxed atomic load); only candidate slow requests
+//! take the small mutex.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring capacity, in records.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Slow-query table size.
+pub const SLOW_K: usize = 16;
+
+/// Fixed-size inline string for ops and endpoints: no allocation on the
+/// record path. Longer inputs are truncated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SmallStr {
+    len: u8,
+    buf: [u8; 15],
+}
+
+impl SmallStr {
+    /// Build from a `&str`, truncating (on a char boundary) to 15 bytes.
+    pub fn new(s: &str) -> SmallStr {
+        let mut end = s.len().min(15);
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let mut buf = [0u8; 15];
+        buf[..end].copy_from_slice(&s.as_bytes()[..end]);
+        SmallStr {
+            len: end as u8,
+            buf,
+        }
+    }
+
+    /// The stored text.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.buf[..self.len as usize]).unwrap_or("")
+    }
+}
+
+/// Verdict classification of a finished request — the engine verdicts
+/// plus the serve-layer outcomes that never reach the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub enum VerdictClass {
+    /// Satisfiable (witness found).
+    Sat,
+    /// Proven unsatisfiable.
+    Unsat,
+    /// Deadline expired.
+    Timeout,
+    /// Cancelled before a verdict.
+    Cancelled,
+    /// The request errored (panic, analysis failure).
+    #[default]
+    Error,
+    /// A non-verdict op (hsa / paths / sleep) answered normally.
+    Ok,
+    /// Shed by the full admission queue.
+    Overloaded,
+    /// Refused during drain.
+    ShuttingDown,
+    /// The request line did not parse.
+    BadRequest,
+    /// An endpoint name did not resolve against the model.
+    ResolveFailed,
+    /// The worker disappeared before answering.
+    WorkerLost,
+}
+
+impl VerdictClass {
+    /// Stable lowercase label, used in JSON and metric labels.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            VerdictClass::Sat => "sat",
+            VerdictClass::Unsat => "unsat",
+            VerdictClass::Timeout => "timeout",
+            VerdictClass::Cancelled => "cancelled",
+            VerdictClass::Error => "error",
+            VerdictClass::Ok => "ok",
+            VerdictClass::Overloaded => "overloaded",
+            VerdictClass::ShuttingDown => "shutting_down",
+            VerdictClass::BadRequest => "bad_request",
+            VerdictClass::ResolveFailed => "resolve_failed",
+            VerdictClass::WorkerLost => "worker_lost",
+        }
+    }
+
+    /// Did the request fail at the serve layer (as opposed to carrying an
+    /// engine verdict or a normal non-verdict answer)?
+    pub fn is_serve_error(self) -> bool {
+        matches!(
+            self,
+            VerdictClass::Error
+                | VerdictClass::Overloaded
+                | VerdictClass::ShuttingDown
+                | VerdictClass::BadRequest
+                | VerdictClass::ResolveFailed
+                | VerdictClass::WorkerLost
+        )
+    }
+}
+
+/// Which backend answered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub enum BackendClass {
+    /// No backend ran (errors, non-verdict ops, joiners).
+    #[default]
+    None,
+    /// The BDD pipeline decided.
+    Bdd,
+    /// The SAT/SMT pipeline decided.
+    Smt,
+    /// Served from the result cache.
+    Cache,
+}
+
+impl BackendClass {
+    /// Stable lowercase label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BackendClass::None => "none",
+            BackendClass::Bdd => "bdd",
+            BackendClass::Smt => "smt",
+            BackendClass::Cache => "cache",
+        }
+    }
+}
+
+/// Record flag: the verdict came from the result cache.
+pub const FLAG_CACHE_HIT: u8 = 1 << 0;
+/// Record flag: the request coalesced onto an identical in-flight leader.
+pub const FLAG_COALESCED: u8 = 1 << 1;
+/// Record flag: solved through a warm solver session.
+pub const FLAG_SESSION: u8 = 1 << 2;
+
+/// One finished request, as kept by the ring and the slow table.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RequestRecord {
+    /// Monotonic process-wide request id (from [`RequestCtx::mint`]).
+    pub id: u64,
+    /// Microseconds since the flight-recorder epoch (process start).
+    pub start_us: u64,
+    /// Request wall latency in microseconds.
+    pub latency_us: u64,
+    /// Composite model fingerprint the request was admitted under.
+    pub model: u64,
+    /// Model mutation generation at admission.
+    pub generation: u64,
+    /// Leader's request id when coalesced (0 otherwise).
+    pub leader: u64,
+    /// Operation (`reach`, `drops`, `sleep`, ...).
+    pub op: SmallStr,
+    /// Source endpoint, as given by the client.
+    pub src: SmallStr,
+    /// Destination endpoint.
+    pub dst: SmallStr,
+    /// How the request ended.
+    pub verdict: VerdictClass,
+    /// Which backend decided.
+    pub backend: BackendClass,
+    /// `FLAG_*` bits.
+    pub flags: u8,
+}
+
+impl RequestRecord {
+    /// Render as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"req\":{},\"start_us\":{},\"latency_us\":{},\"op\":\"{}\",\"src\":\"{}\",\
+             \"dst\":\"{}\",\"verdict\":\"{}\",\"backend\":\"{}\",\"cache_hit\":{},\
+             \"coalesced\":{},\"session\":{},\"leader\":{},\"model\":\"{:016x}\",\"generation\":{}}}",
+            self.id,
+            self.start_us,
+            self.latency_us,
+            crate::json::escape(self.op.as_str()),
+            crate::json::escape(self.src.as_str()),
+            crate::json::escape(self.dst.as_str()),
+            self.verdict.as_str(),
+            self.backend.as_str(),
+            self.flags & FLAG_CACHE_HIT != 0,
+            self.flags & FLAG_COALESCED != 0,
+            self.flags & FLAG_SESSION != 0,
+            self.leader,
+            self.model,
+            self.generation,
+        )
+    }
+}
+
+/// Request identity and model provenance, minted once per request at
+/// admission and threaded through spans, the coalescer, and the flight
+/// record.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestCtx {
+    /// Monotonic process-wide request id (never 0).
+    pub id: u64,
+    /// Composite model fingerprint at admission.
+    pub model: u64,
+    /// Model mutation generation at admission.
+    pub generation: u64,
+}
+
+static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
+
+impl RequestCtx {
+    /// Mint the next request id, stamped with the model identity the
+    /// request is being admitted under.
+    pub fn mint(model: u64, generation: u64) -> RequestCtx {
+        RequestCtx {
+            id: NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed),
+            model,
+            generation,
+        }
+    }
+}
+
+/// One seqlock slot: an odd sequence marks a write in progress; a reader
+/// accepts a copy only when the sequence was even and unchanged around it.
+struct Slot {
+    seq: AtomicU64,
+    data: UnsafeCell<RequestRecord>,
+}
+
+// SAFETY: `data` is only read through the seqlock protocol — readers
+// validate `seq` around the copy and discard torn reads; `RequestRecord`
+// is `Copy` with no padding-sensitive invariants.
+unsafe impl Sync for Slot {}
+
+struct Ring {
+    slots: Box<[Slot]>,
+    head: AtomicU64,
+}
+
+struct Flight {
+    ring: Ring,
+    slow: Mutex<Vec<RequestRecord>>,
+    /// Latency floor for the slow table: requests at or below it cannot
+    /// displace an entry, so the common (fast) path never takes the lock.
+    slow_floor: AtomicU64,
+    epoch: Instant,
+}
+
+static FLIGHT: OnceLock<Flight> = OnceLock::new();
+static CONFIGURED_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
+
+fn new_flight(capacity: usize) -> Flight {
+    let capacity = capacity.max(16);
+    let slots = (0..capacity)
+        .map(|_| Slot {
+            seq: AtomicU64::new(0),
+            data: UnsafeCell::new(RequestRecord::default()),
+        })
+        .collect();
+    Flight {
+        ring: Ring {
+            slots,
+            head: AtomicU64::new(0),
+        },
+        slow: Mutex::new(Vec::with_capacity(SLOW_K)),
+        slow_floor: AtomicU64::new(0),
+        epoch: Instant::now(),
+    }
+}
+
+fn flight() -> &'static Flight {
+    FLIGHT.get_or_init(|| new_flight(CONFIGURED_CAPACITY.load(Ordering::Relaxed)))
+}
+
+/// Set the ring capacity (in records) before the first record is written.
+/// Once the recorder has materialized, the capacity is fixed; a late call
+/// is a silent no-op — resizing a lock-free ring under writers is not
+/// worth the complexity for a debug facility.
+pub fn set_capacity(records: usize) {
+    CONFIGURED_CAPACITY.store(records.max(16), Ordering::Relaxed);
+}
+
+/// Ring capacity currently in effect.
+pub fn capacity() -> usize {
+    flight().ring.slots.len()
+}
+
+/// Microseconds since the flight-recorder epoch, for stamping
+/// [`RequestRecord::start_us`].
+pub fn now_us() -> u64 {
+    flight().epoch.elapsed().as_micros() as u64
+}
+
+/// Append one finished request. Lock-free: one `fetch_add` plus a
+/// seqlock-guarded 128-byte store; never allocates, never blocks.
+pub fn record(rec: RequestRecord) {
+    let f = flight();
+    let ticket = f.ring.head.fetch_add(1, Ordering::Relaxed);
+    let slot = &f.ring.slots[(ticket % f.ring.slots.len() as u64) as usize];
+    // Claim: odd sequence tells readers a write is in progress. Two
+    // writers can only collide on a slot a full ring-lap apart; the
+    // sequence still changes, so a reader spanning both discards.
+    let claimed = ticket.wrapping_mul(2).wrapping_add(1);
+    slot.seq.store(claimed, Ordering::Release);
+    // SAFETY: readers validate `seq` around their copy (see `snapshot`);
+    // a concurrent lap-apart writer makes the record contents undefined
+    // for readers, but the sequence mismatch discards that read.
+    unsafe { *slot.data.get() = rec };
+    slot.seq.store(claimed.wrapping_add(1), Ordering::Release);
+
+    // Slow-table admission. Fast path: one relaxed load against the
+    // current floor. The floor only rises, so a stale read can cause at
+    // worst one unnecessary lock, never a missed admission.
+    if rec.latency_us > f.slow_floor.load(Ordering::Relaxed) {
+        maybe_admit_slow(f, rec);
+    }
+}
+
+fn maybe_admit_slow(f: &Flight, rec: RequestRecord) {
+    if rec.latency_us <= f.slow_floor.load(Ordering::Relaxed) {
+        return;
+    }
+    let mut slow = f.slow.lock().unwrap();
+    if slow.len() < SLOW_K {
+        slow.push(rec);
+    } else {
+        let (mi, min) = slow
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.latency_us)
+            .map(|(i, r)| (i, r.latency_us))
+            .unwrap();
+        if rec.latency_us <= min {
+            return;
+        }
+        slow[mi] = rec;
+    }
+    if slow.len() == SLOW_K {
+        let floor = slow.iter().map(|r| r.latency_us).min().unwrap_or(0);
+        f.slow_floor.store(floor, Ordering::Relaxed);
+    }
+}
+
+/// Copy out the ring's live records, oldest first. Torn slots (a writer
+/// was mid-store) are skipped; with the ring orders of magnitude larger
+/// than the writer count, that loses at most a handful of records.
+pub fn snapshot() -> Vec<RequestRecord> {
+    let f = flight();
+    let head = f.ring.head.load(Ordering::Acquire);
+    let cap = f.ring.slots.len() as u64;
+    let live = head.min(cap);
+    let mut out = Vec::with_capacity(live as usize);
+    // Oldest live ticket first.
+    for ticket in head.saturating_sub(cap)..head {
+        let slot = &f.ring.slots[(ticket % cap) as usize];
+        let s1 = slot.seq.load(Ordering::Acquire);
+        if s1 % 2 == 1 {
+            continue;
+        }
+        // SAFETY: seqlock read — the copy is only kept when the sequence
+        // is even and unchanged across it.
+        let copy = unsafe { *slot.data.get() };
+        let s2 = slot.seq.load(Ordering::Acquire);
+        if s1 == s2 && s1 != 0 {
+            out.push(copy);
+        }
+    }
+    out
+}
+
+/// The slow-query table, slowest first. At most [`SLOW_K`] entries.
+pub fn slow_snapshot() -> Vec<RequestRecord> {
+    let mut slow = flight().slow.lock().unwrap().clone();
+    slow.sort_by_key(|r| std::cmp::Reverse(r.latency_us));
+    slow
+}
+
+/// Total requests recorded since startup (including ones since
+/// overwritten by ring wrap).
+pub fn records_written() -> u64 {
+    flight().ring.head.load(Ordering::Relaxed)
+}
+
+/// Render `records` as a JSON array (`/debug/requests`, `/debug/slow`).
+pub fn render_json(records: &[RequestRecord]) -> String {
+    let mut out = String::with_capacity(records.len() * 160 + 2);
+    out.push('[');
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&r.to_json());
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Render the slow table as an aligned text table (CLI `batch` output).
+pub fn render_slow_text() -> String {
+    let slow = slow_snapshot();
+    if slow.is_empty() {
+        return "slow-query table: empty\n".to_string();
+    }
+    let mut out = String::from(
+        "slow-query table (top latencies since start)\n  req        latency      op        src->dst                verdict    backend\n",
+    );
+    for r in &slow {
+        out.push_str(&format!(
+            "  {:<10} {:>8}µs   {:<9} {:<23} {:<10} {}{}\n",
+            r.id,
+            r.latency_us,
+            r.op.as_str(),
+            format!("{}->{}", r.src.as_str(), r.dst.as_str()),
+            r.verdict.as_str(),
+            r.backend.as_str(),
+            if r.flags & FLAG_CACHE_HIT != 0 {
+                " (cache)"
+            } else if r.flags & FLAG_COALESCED != 0 {
+                " (coalesced)"
+            } else {
+                ""
+            },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, latency_us: u64) -> RequestRecord {
+        RequestRecord {
+            id,
+            latency_us,
+            op: SmallStr::new("reach"),
+            src: SmallStr::new("u1:1"),
+            dst: SmallStr::new("u3:2"),
+            verdict: VerdictClass::Sat,
+            backend: BackendClass::Bdd,
+            ..RequestRecord::default()
+        }
+    }
+
+    #[test]
+    fn small_str_truncates_on_char_boundary() {
+        assert_eq!(SmallStr::new("reach").as_str(), "reach");
+        assert_eq!(SmallStr::new("").as_str(), "");
+        let long = "abcdefghijklmnopqrstuvwxyz";
+        assert_eq!(SmallStr::new(long).as_str(), &long[..15]);
+        // Multi-byte char straddling the cut is dropped whole.
+        let uni = "aaaaaaaaaaaaaa\u{00e9}"; // 14 ASCII + 2-byte é = 16 bytes
+        assert_eq!(SmallStr::new(uni).as_str(), "aaaaaaaaaaaaaa");
+    }
+
+    #[test]
+    fn mint_is_monotonic() {
+        let a = RequestCtx::mint(1, 0);
+        let b = RequestCtx::mint(1, 0);
+        assert!(b.id > a.id);
+        assert!(a.id > 0);
+    }
+
+    #[test]
+    fn record_and_snapshot_round_trip() {
+        record(rec(u64::MAX - 7, 42));
+        let snap = snapshot();
+        let got = snap
+            .iter()
+            .find(|r| r.id == u64::MAX - 7)
+            .expect("record visible in snapshot");
+        assert_eq!(got.latency_us, 42);
+        assert_eq!(got.op.as_str(), "reach");
+        assert_eq!(got.verdict, VerdictClass::Sat);
+        crate::json::validate(&render_json(&snap)).unwrap();
+    }
+
+    #[test]
+    fn slow_table_keeps_the_k_slowest() {
+        // Ids in a disjoint range so parallel tests don't interfere.
+        let base = 1 << 40;
+        for i in 0..200u64 {
+            record(rec(base + i, i * 1_000_000));
+        }
+        let slow = slow_snapshot();
+        assert_eq!(slow.len(), SLOW_K);
+        // Slowest first, strictly ordered.
+        for w in slow.windows(2) {
+            assert!(w[0].latency_us >= w[1].latency_us);
+        }
+        assert_eq!(slow[0].latency_us, 199_000_000);
+    }
+
+    #[test]
+    fn concurrent_writers_never_tear_records() {
+        use std::sync::atomic::AtomicBool;
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Self-consistent payload: latency == id low bits.
+                        let id = (2 << 40) + t * 1_000_000 + i;
+                        let mut r = rec(id, id & 0xffff);
+                        r.generation = id & 0xffff;
+                        record(r);
+                        i += 1;
+                    }
+                });
+            }
+            for _ in 0..50 {
+                for r in snapshot() {
+                    if r.id >= (2 << 40) {
+                        assert_eq!(
+                            r.latency_us,
+                            r.id & 0xffff,
+                            "torn record escaped the seqlock"
+                        );
+                        assert_eq!(r.generation, r.id & 0xffff);
+                    }
+                }
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+}

@@ -22,6 +22,13 @@
 //!   thread on first use and timestamps events against a process-wide
 //!   monotonic epoch.
 //!
+//! * **Flight recorder** ([`flight`]) — an always-on, lock-free ring of
+//!   per-request [`RequestRecord`]s plus a top-K slow-query table, written
+//!   by the serving layer on every completed request and read back over
+//!   the server's `/debug/requests` and `/debug/slow` endpoints. Request
+//!   identity ([`RequestCtx`]) is minted here so ids are process-unique
+//!   across serve, engine, and backend spans.
+//!
 //! * **Export** ([`export`]) — the recorded events render either as
 //!   Chrome trace-event JSON (loadable in Perfetto or `chrome://tracing`)
 //!   or as a human-readable hierarchical phase report; the metric registry
@@ -50,10 +57,12 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod trace;
 
+pub use flight::{BackendClass, RequestCtx, RequestRecord, VerdictClass};
 pub use metrics::{registry, Counter, Gauge, Histogram, MetricSnapshot, SnapshotValue};
 pub use trace::{Event, Phase, Span};
 

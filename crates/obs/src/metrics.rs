@@ -5,8 +5,27 @@
 //! [`histogram!`](crate::histogram) macros, which cache the registry
 //! lookup in a per-call-site `OnceLock` so the steady-state cost of an
 //! update is one acquire load plus one relaxed atomic add. Registration
-//! deduplicates by name, so two call sites naming the same metric share
-//! one instrument.
+//! deduplicates by name (and label set), so two call sites naming the
+//! same metric share one instrument.
+//!
+//! ## Labels
+//!
+//! A metric may carry a small set of `key="value"` labels, turning one
+//! name into a *family* of instruments (`engine.backend.wins` split by
+//! `backend="bdd"` / `backend="smt"`). Labels with values known at the
+//! call site go through the macros (`counter!("n", "h", "backend" =>
+//! "bdd")`), which cache as usual; labels whose value is chosen at run
+//! time (an error `kind`) go through [`Registry::counter_with`] directly —
+//! a mutex lookup per call, acceptable on rare paths. Every instrument in
+//! a family must have the same kind.
+//!
+//! ## Exposition
+//!
+//! [`Registry::render_prometheus`] renders the registry in the Prometheus
+//! text exposition format: dotted names become underscored, counters gain
+//! a `_total` suffix, and the log₂ histograms render as cumulative
+//! `_bucket{le="..."}` series whose `+Inf` bucket equals `_count` even
+//! while other threads are updating the histogram.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -134,6 +153,14 @@ impl Histogram {
         self.sum.load(Ordering::Relaxed)
     }
 
+    /// One read of every bucket. Exposition derives its `_count` from the
+    /// sum of this array rather than [`Histogram::count`] so the `+Inf`
+    /// cumulative bucket always equals `_count`, even when observers race
+    /// with `observe` between the two atomics.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
     /// Estimated `q`-quantile (`0.0 ..= 1.0`): the upper bound of the
     /// bucket containing the target rank. Returns 0 for an empty
     /// histogram.
@@ -160,10 +187,33 @@ enum MetricRef {
     Histogram(&'static Histogram),
 }
 
+impl MetricRef {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricRef::Counter(_) => "counter",
+            MetricRef::Gauge(_) => "gauge",
+            MetricRef::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// An owned label set: keys are static (they come from call sites), values
+/// may be chosen at run time.
+type Labels = Vec<(&'static str, String)>;
+
 struct Entry {
     name: &'static str,
     help: &'static str,
+    labels: Labels,
     metric: MetricRef,
+}
+
+fn labels_eq(owned: &Labels, wanted: &[(&'static str, &str)]) -> bool {
+    owned.len() == wanted.len()
+        && owned
+            .iter()
+            .zip(wanted)
+            .all(|((ok, ov), (wk, wv))| ok == wk && ov == wv)
 }
 
 /// The process-wide metric registry. Obtain it with [`registry`].
@@ -186,8 +236,26 @@ pub struct MetricSnapshot {
     pub name: &'static str,
     /// One-line description supplied at registration.
     pub help: &'static str,
+    /// Label set (empty for unlabeled metrics).
+    pub labels: Vec<(&'static str, String)>,
     /// The value, by instrument kind.
     pub value: SnapshotValue,
+}
+
+impl MetricSnapshot {
+    /// `name` with a `{k=v,...}` suffix when labels are present — the
+    /// display key used by the text and JSON renderers.
+    pub fn display_name(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.to_string();
+        }
+        let body: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        format!("{}{{{}}}", self.name, body.join(","))
+    }
 }
 
 /// The value part of a [`MetricSnapshot`].
@@ -214,17 +282,31 @@ impl Registry {
     /// Find-or-create the counter `name`. Panics if `name` is already
     /// registered as a different instrument kind (a programming error).
     pub fn counter(&self, name: &'static str, help: &'static str) -> &'static Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Find-or-create the counter `name` with `labels`. Every member of a
+    /// name family must be a counter; a kind mismatch panics.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> &'static Counter {
         let mut entries = self.entries.lock().unwrap();
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
-            match e.metric {
-                MetricRef::Counter(c) => return c,
-                _ => panic!("metric {name:?} already registered with a different kind"),
+        for e in entries.iter().filter(|e| e.name == name) {
+            let MetricRef::Counter(c) = e.metric else {
+                panic!("metric {name:?} already registered with a different kind");
+            };
+            if labels_eq(&e.labels, labels) {
+                return c;
             }
         }
         let c: &'static Counter = Box::leak(Box::new(Counter::new()));
         entries.push(Entry {
             name,
             help,
+            labels: labels.iter().map(|(k, v)| (*k, v.to_string())).collect(),
             metric: MetricRef::Counter(c),
         });
         c
@@ -232,17 +314,31 @@ impl Registry {
 
     /// Find-or-create the gauge `name`. Panics on a kind mismatch.
     pub fn gauge(&self, name: &'static str, help: &'static str) -> &'static Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Find-or-create the gauge `name` with `labels`. Panics on a kind
+    /// mismatch anywhere in the name family.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> &'static Gauge {
         let mut entries = self.entries.lock().unwrap();
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
-            match e.metric {
-                MetricRef::Gauge(g) => return g,
-                _ => panic!("metric {name:?} already registered with a different kind"),
+        for e in entries.iter().filter(|e| e.name == name) {
+            let MetricRef::Gauge(g) = e.metric else {
+                panic!("metric {name:?} already registered with a different kind");
+            };
+            if labels_eq(&e.labels, labels) {
+                return g;
             }
         }
         let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
         entries.push(Entry {
             name,
             help,
+            labels: labels.iter().map(|(k, v)| (*k, v.to_string())).collect(),
             metric: MetricRef::Gauge(g),
         });
         g
@@ -250,23 +346,37 @@ impl Registry {
 
     /// Find-or-create the histogram `name`. Panics on a kind mismatch.
     pub fn histogram(&self, name: &'static str, help: &'static str) -> &'static Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Find-or-create the histogram `name` with `labels`. Panics on a
+    /// kind mismatch anywhere in the name family.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> &'static Histogram {
         let mut entries = self.entries.lock().unwrap();
-        if let Some(e) = entries.iter().find(|e| e.name == name) {
-            match e.metric {
-                MetricRef::Histogram(h) => return h,
-                _ => panic!("metric {name:?} already registered with a different kind"),
+        for e in entries.iter().filter(|e| e.name == name) {
+            let MetricRef::Histogram(h) = e.metric else {
+                panic!("metric {name:?} already registered with a different kind");
+            };
+            if labels_eq(&e.labels, labels) {
+                return h;
             }
         }
         let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
         entries.push(Entry {
             name,
             help,
+            labels: labels.iter().map(|(k, v)| (*k, v.to_string())).collect(),
             metric: MetricRef::Histogram(h),
         });
         h
     }
 
-    /// Read every registered metric, sorted by name.
+    /// Read every registered metric, sorted by name then labels.
     pub fn snapshot(&self) -> Vec<MetricSnapshot> {
         let entries = self.entries.lock().unwrap();
         let mut out: Vec<MetricSnapshot> = entries
@@ -274,6 +384,7 @@ impl Registry {
             .map(|e| MetricSnapshot {
                 name: e.name,
                 help: e.help,
+                labels: e.labels.clone(),
                 value: match e.metric {
                     MetricRef::Counter(c) => SnapshotValue::Counter(c.get()),
                     MetricRef::Gauge(g) => SnapshotValue::Gauge(g.get()),
@@ -286,16 +397,17 @@ impl Registry {
                 },
             })
             .collect();
-        out.sort_by_key(|s| s.name);
+        out.sort_by(|a, b| a.name.cmp(b.name).then_with(|| a.labels.cmp(&b.labels)));
         out
     }
 
     /// Render every metric as an aligned text table.
     pub fn render_text(&self) -> String {
         let snap = self.snapshot();
-        let width = snap.iter().map(|s| s.name.len()).max().unwrap_or(0);
+        let names: Vec<String> = snap.iter().map(|s| s.display_name()).collect();
+        let width = names.iter().map(String::len).max().unwrap_or(0);
         let mut out = String::new();
-        for s in snap {
+        for (s, name) in snap.iter().zip(&names) {
             let value = match s.value {
                 SnapshotValue::Counter(v) => format!("{v}"),
                 SnapshotValue::Gauge(v) => format!("{v}"),
@@ -306,19 +418,20 @@ impl Registry {
                     p95,
                 } => format!("count {count} sum {sum} p50≈{p50} p95≈{p95}"),
             };
-            out.push_str(&format!("{:<width$}  {}\n", s.name, value));
+            out.push_str(&format!("{name:<width$}  {value}\n"));
         }
         out
     }
 
-    /// Render every metric as one JSON object keyed by metric name.
+    /// Render every metric as one JSON object keyed by metric name (with a
+    /// `{k=v}` suffix for labeled metrics).
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
         for (i, s) in self.snapshot().iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("\"{}\":", crate::json::escape(s.name)));
+            out.push_str(&format!("\"{}\":", crate::json::escape(&s.display_name())));
             match s.value {
                 SnapshotValue::Counter(v) => out.push_str(&v.to_string()),
                 SnapshotValue::Gauge(v) => out.push_str(&v.to_string()),
@@ -335,10 +448,172 @@ impl Registry {
         out.push('}');
         out
     }
+
+    /// Render every metric in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers per family, dotted
+    /// names underscored, `_total` suffixed counters, and histograms as
+    /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+    ///
+    /// The histogram `_count` is derived from one read of the bucket
+    /// array, so the `+Inf` bucket always equals `_count` even while
+    /// other threads are observing into the histogram.
+    pub fn render_prometheus(&self) -> String {
+        struct Row {
+            labels: Labels,
+            value: PromValue,
+        }
+        enum PromValue {
+            Counter(u64),
+            Gauge(i64),
+            Histogram {
+                buckets: Box<[u64; BUCKETS]>,
+                sum: u64,
+            },
+        }
+        // Snapshot under the lock: (family name, help, kind, rows).
+        let mut families: Vec<(&'static str, &'static str, &'static str, Vec<Row>)> = Vec::new();
+        {
+            let entries = self.entries.lock().unwrap();
+            for e in entries.iter() {
+                let value = match e.metric {
+                    MetricRef::Counter(c) => PromValue::Counter(c.get()),
+                    MetricRef::Gauge(g) => PromValue::Gauge(g.get()),
+                    MetricRef::Histogram(h) => PromValue::Histogram {
+                        buckets: Box::new(h.bucket_counts()),
+                        sum: h.sum(),
+                    },
+                };
+                let row = Row {
+                    labels: e.labels.clone(),
+                    value,
+                };
+                match families.iter_mut().find(|(n, ..)| *n == e.name) {
+                    Some((_, _, _, rows)) => rows.push(row),
+                    None => families.push((e.name, e.help, e.metric.kind(), vec![row])),
+                }
+            }
+        }
+        families.sort_by_key(|(n, ..)| *n);
+        let mut out = String::new();
+        for (name, help, kind, mut rows) in families {
+            rows.sort_by(|a, b| a.labels.cmp(&b.labels));
+            let base = prom_name(name);
+            let family = if kind == "counter" && !base.ends_with("_total") {
+                format!("{base}_total")
+            } else {
+                base
+            };
+            if !help.is_empty() {
+                out.push_str(&format!("# HELP {family} {}\n", prom_escape_help(help)));
+            }
+            out.push_str(&format!("# TYPE {family} {kind}\n"));
+            for row in rows {
+                match row.value {
+                    PromValue::Counter(v) => {
+                        out.push_str(&format!("{family}{} {v}\n", prom_labels(&row.labels, None)));
+                    }
+                    PromValue::Gauge(v) => {
+                        out.push_str(&format!("{family}{} {v}\n", prom_labels(&row.labels, None)));
+                    }
+                    PromValue::Histogram { buckets, sum } => {
+                        let total: u64 = buckets.iter().sum();
+                        // Emit finite buckets up to the last non-empty one
+                        // (always at least le="0"), then +Inf == _count.
+                        let hi = buckets
+                            .iter()
+                            .rposition(|&c| c != 0)
+                            .unwrap_or(0)
+                            .min(BUCKETS - 2);
+                        let mut cum = 0u64;
+                        for (i, &c) in buckets.iter().enumerate().take(hi + 1) {
+                            cum += c;
+                            out.push_str(&format!(
+                                "{family}_bucket{} {cum}\n",
+                                prom_labels(&row.labels, Some(&bucket_upper_bound(i).to_string()))
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{family}_bucket{} {total}\n",
+                            prom_labels(&row.labels, Some("+Inf"))
+                        ));
+                        out.push_str(&format!(
+                            "{family}_sum{} {sum}\n",
+                            prom_labels(&row.labels, None)
+                        ));
+                        out.push_str(&format!(
+                            "{family}_count{} {total}\n",
+                            prom_labels(&row.labels, None)
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Convert a dotted metric name into a valid Prometheus metric name:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`.
+fn prom_name(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Render a `{k="v",...}` label block (empty string when there are no
+/// labels and no `le`). `le`, when present, is appended last.
+fn prom_labels(labels: &Labels, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Escape a label value: backslash, double quote, and newline.
+fn prom_escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a `# HELP` text: backslash and newline.
+fn prom_escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Find-or-create a [`Counter`] in the global registry, caching the lookup
-/// per call site. `counter!("name")` or `counter!("name", "help text")`.
+/// per call site. `counter!("name")`, `counter!("name", "help text")`, or
+/// `counter!("name", "help", "label" => "value", ...)` for labels whose
+/// values are known at the call site (run-time label values go through
+/// [`Registry::counter_with`] directly).
 #[macro_export]
 macro_rules! counter {
     ($name:expr) => {
@@ -349,10 +624,17 @@ macro_rules! counter {
             ::std::sync::OnceLock::new();
         *SLOT.get_or_init(|| $crate::metrics::registry().counter($name, $help))
     }};
+    ($name:expr, $help:expr, $($k:expr => $v:expr),+ $(,)?) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Counter> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| {
+            $crate::metrics::registry().counter_with($name, $help, &[$(($k, $v)),+])
+        })
+    }};
 }
 
 /// Find-or-create a [`Gauge`] in the global registry, caching the lookup
-/// per call site.
+/// per call site. Labeled form as in [`counter!`](crate::counter).
 #[macro_export]
 macro_rules! gauge {
     ($name:expr) => {
@@ -363,10 +645,17 @@ macro_rules! gauge {
             ::std::sync::OnceLock::new();
         *SLOT.get_or_init(|| $crate::metrics::registry().gauge($name, $help))
     }};
+    ($name:expr, $help:expr, $($k:expr => $v:expr),+ $(,)?) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Gauge> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| {
+            $crate::metrics::registry().gauge_with($name, $help, &[$(($k, $v)),+])
+        })
+    }};
 }
 
 /// Find-or-create a [`Histogram`] in the global registry, caching the
-/// lookup per call site.
+/// lookup per call site. Labeled form as in [`counter!`](crate::counter).
 #[macro_export]
 macro_rules! histogram {
     ($name:expr) => {
@@ -376,6 +665,13 @@ macro_rules! histogram {
         static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
             ::std::sync::OnceLock::new();
         *SLOT.get_or_init(|| $crate::metrics::registry().histogram($name, $help))
+    }};
+    ($name:expr, $help:expr, $($k:expr => $v:expr),+ $(,)?) => {{
+        static SLOT: ::std::sync::OnceLock<&'static $crate::metrics::Histogram> =
+            ::std::sync::OnceLock::new();
+        *SLOT.get_or_init(|| {
+            $crate::metrics::registry().histogram_with($name, $help, &[$(($k, $v)),+])
+        })
     }};
 }
 
@@ -432,13 +728,77 @@ mod tests {
         crate::counter!("test.metrics.zz", "last").inc();
         crate::counter!("test.metrics.aa", "first").inc();
         let snap = registry().snapshot();
-        let names: Vec<&str> = snap.iter().map(|s| s.name).collect();
-        let mut sorted = names.clone();
+        let keys: Vec<String> = snap.iter().map(|s| s.display_name()).collect();
+        let mut sorted = keys.clone();
         sorted.sort();
-        assert_eq!(names, sorted);
+        assert_eq!(keys, sorted);
         let text = registry().render_text();
         assert!(text.contains("test.metrics.aa"));
         let json = registry().render_json();
         crate::json::validate(&json).unwrap();
+    }
+
+    #[test]
+    fn labels_split_one_name_into_a_family() {
+        let bdd = crate::counter!("test.metrics.family", "split", "backend" => "bdd");
+        let smt = registry().counter_with("test.metrics.family", "split", &[("backend", "smt")]);
+        assert!(
+            !std::ptr::eq(bdd, smt),
+            "distinct label sets, distinct cells"
+        );
+        let again = registry().counter_with("test.metrics.family", "split", &[("backend", "bdd")]);
+        assert!(std::ptr::eq(bdd, again), "same label set dedups");
+        bdd.add(2);
+        smt.inc();
+        let snap = registry().snapshot();
+        let rows: Vec<&MetricSnapshot> = snap
+            .iter()
+            .filter(|s| s.name == "test.metrics.family")
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows
+            .iter()
+            .any(|s| s.display_name() == "test.metrics.family{backend=bdd}"));
+    }
+
+    #[test]
+    fn prometheus_exposition_basics() {
+        crate::counter!("test.prom.hits", "hit counter").add(7);
+        crate::gauge!("test.prom.depth", "queue depth").set(-3);
+        let h = crate::histogram!("test.prom.lat_us", "latency");
+        for v in [0u64, 1, 5, 5, 300] {
+            h.observe(v);
+        }
+        let text = registry().render_prometheus();
+        assert!(text.contains("# TYPE test_prom_hits_total counter"));
+        assert!(text.contains("# HELP test_prom_hits_total hit counter"));
+        assert!(
+            text.contains("\ntest_prom_hits_total 7\n")
+                || text.starts_with("test_prom_hits_total 7\n")
+        );
+        assert!(text.contains("# TYPE test_prom_depth gauge"));
+        assert!(text.contains("test_prom_depth -3"));
+        assert!(text.contains("# TYPE test_prom_lat_us histogram"));
+        assert!(text.contains("test_prom_lat_us_bucket{le=\"0\"} 1"));
+        assert!(text.contains("test_prom_lat_us_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("test_prom_lat_us_count 5"));
+        assert!(text.contains("test_prom_lat_us_sum 311"));
+    }
+
+    #[test]
+    fn prometheus_escapes_label_values() {
+        registry()
+            .counter_with("test.prom.esc", "", &[("kind", "a\"b\\c\nd")])
+            .inc();
+        let text = registry().render_prometheus();
+        assert!(text.contains("test_prom_esc_total{kind=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn counter_name_already_ending_in_total_is_not_doubled() {
+        crate::counter!("test.prom.events_total", "pre-suffixed").inc();
+        let text = registry().render_prometheus();
+        assert!(text.contains("# TYPE test_prom_events_total counter"));
+        assert!(!text.contains("events_total_total"));
     }
 }

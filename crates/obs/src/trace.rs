@@ -118,6 +118,11 @@ impl Ring {
             self.events[self.head] = ev;
             self.head = (self.head + 1) % self.capacity;
             self.dropped += 1;
+            crate::counter!(
+                "trace.dropped_events_total",
+                "span-ring events overwritten by wrap-around (trace history lost)"
+            )
+            .inc();
         }
     }
 

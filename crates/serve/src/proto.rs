@@ -128,12 +128,16 @@ pub fn parse_request(line: &str, debug_ops: bool) -> Result<Request, String> {
     Ok(Request { id, op, timeout_ms })
 }
 
-/// One response line (newline-terminated) carrying only an error.
-pub fn error_response(id: Option<u64>, error: &str) -> String {
-    match id {
-        Some(id) => format!("{{\"id\":{id},\"error\":\"{}\"}}\n", escape(error)),
-        None => format!("{{\"error\":\"{}\"}}\n", escape(error)),
+/// One response line (newline-terminated) carrying only an error. `req`
+/// is the server-minted request id (0 = omit), echoed so a failed
+/// request can still be found in `/debug/requests`.
+pub fn error_response(id: Option<u64>, req: u64, error: &str) -> String {
+    let mut b = Body::with_id(id);
+    if req != 0 {
+        b.num("req", req);
     }
+    b.str("error", error);
+    b.line()
 }
 
 /// Human-readable concrete header, same shape the CLI prints.
@@ -158,9 +162,12 @@ fn describe_witness(w: &Witness) -> String {
 
 /// The response line for an engine verdict. The `verdict` vocabulary is
 /// byte-identical to `rzen-cli batch --verdicts-json`, so a query set
-/// replayed through the server diffs clean against the batch path.
+/// replayed through the server diffs clean against the batch path. `req`
+/// is the server-minted request id (0 = omit) that the flight recorder
+/// and trace spans carry for this request.
 pub fn verdict_response(
     id: Option<u64>,
+    req: u64,
     op: &'static str,
     result: &QueryResult,
     coalesced: bool,
@@ -168,6 +175,9 @@ pub fn verdict_response(
     let mut out = String::from("{");
     if let Some(id) = id {
         out.push_str(&format!("\"id\":{id},"));
+    }
+    if req != 0 {
+        out.push_str(&format!("\"req\":{req},"));
     }
     out.push_str(&format!("\"op\":\"{op}\","));
     let verdict = match &result.verdict {
@@ -319,8 +329,12 @@ mod tests {
 
     #[test]
     fn responses_are_valid_json_lines() {
-        let e = error_response(Some(3), "overloaded");
+        let e = error_response(Some(3), 99, "overloaded");
         rzen_obs::json::validate(e.trim()).unwrap();
+        assert!(e.contains("\"req\":99"));
+        let bare = error_response(None, 0, "overloaded");
+        rzen_obs::json::validate(bare.trim()).unwrap();
+        assert!(!bare.contains("req"));
         let mut b = Body::with_id(None);
         b.str("status", "ok")
             .num("inflight", 0)

@@ -193,12 +193,34 @@ impl Drop for ConnGuard {
     }
 }
 
+/// How a finished job classified itself, for the flight record and the
+/// error counters kept by the connection thread's outer wrapper.
+#[derive(Clone, Copy)]
+struct RespMeta {
+    verdict: rzen_obs::VerdictClass,
+    backend: rzen_obs::BackendClass,
+    flags: u8,
+}
+
+impl Default for RespMeta {
+    fn default() -> Self {
+        RespMeta {
+            verdict: rzen_obs::VerdictClass::Ok,
+            backend: rzen_obs::BackendClass::None,
+            flags: 0,
+        }
+    }
+}
+
 /// One admitted unit of work, executed on a worker thread.
 struct Job {
     work: Work,
     budget: Budget,
-    /// The rendered response line goes back to the connection thread.
-    reply: mpsc::Sender<String>,
+    /// Request identity minted at admission; rides the worker's spans.
+    ctx: rzen_obs::RequestCtx,
+    /// The rendered response line (plus its classification) goes back to
+    /// the connection thread.
+    reply: mpsc::Sender<(String, RespMeta)>,
 }
 
 enum Work {
@@ -455,28 +477,43 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<Job>>>, w: usiz
 /// response and releases its queue slot instead of killing the worker
 /// (which would leak an `admitted` count and wedge the drain forever).
 fn run_job(shared: &Arc<Shared>, solver: &ServeWorker, job: Job) {
-    let _span = rzen_obs::span!("serve.job");
     let Job {
         work,
         budget,
+        ctx,
         reply,
     } = job;
+    let _span = rzen_obs::span!("serve.job", "req" => ctx.id);
     let id = work.id();
-    let resp = catch_unwind(AssertUnwindSafe(|| run_work(shared, solver, work, budget)))
-        .unwrap_or_else(|_| {
-            // The panic may have left the thread-local transformer arena
-            // half-built; reset it so the next job on this worker starts
-            // clean. A dropped LeadGuard already released any joiners.
-            rzen::reset_ctx();
-            rzen_obs::counter!("serve.job_panics", "jobs that panicked during execution").inc();
-            proto::error_response(id, "internal: analysis panicked")
-        });
+    let resp = catch_unwind(AssertUnwindSafe(|| {
+        run_work(shared, solver, work, budget, ctx)
+    }))
+    .unwrap_or_else(|_| {
+        // The panic may have left the thread-local transformer arena
+        // half-built; reset it so the next job on this worker starts
+        // clean. A dropped LeadGuard already released any joiners.
+        rzen::reset_ctx();
+        rzen_obs::counter!("serve.job_panics", "jobs that panicked during execution").inc();
+        (
+            proto::error_response(id, ctx.id, "internal: analysis panicked"),
+            RespMeta {
+                verdict: rzen_obs::VerdictClass::Error,
+                ..RespMeta::default()
+            },
+        )
+    });
     // A gone connection is not an error: the verdict was still published
     // to any coalesced joiners inside run_work.
     let _ = reply.send(resp);
 }
 
-fn run_work(shared: &Arc<Shared>, solver: &ServeWorker, work: Work, budget: Budget) -> String {
+fn run_work(
+    shared: &Arc<Shared>,
+    solver: &ServeWorker,
+    work: Work,
+    budget: Budget,
+    ctx: rzen_obs::RequestCtx,
+) -> (String, RespMeta) {
     let started = Instant::now();
     match work {
         Work::Query {
@@ -489,10 +526,22 @@ fn run_work(shared: &Arc<Shared>, solver: &ServeWorker, work: Work, budget: Budg
             // still runs: the solvers observe it at their first poll and
             // the request degrades to `timeout` — while a result-cache
             // hit can still answer it for free.
-            let result = shared.engine.run_one(&query, budget, solver);
-            let resp = proto::verdict_response(id, op, &result, false);
+            let result = shared.engine.run_one(&query, budget, solver, ctx);
+            let resp = proto::verdict_response(id, ctx.id, op, &result, false);
+            let mut flags = 0u8;
+            if result.cache_hit {
+                flags |= rzen_obs::flight::FLAG_CACHE_HIT;
+            }
+            if result.session.is_some() {
+                flags |= rzen_obs::flight::FLAG_SESSION;
+            }
+            let meta = RespMeta {
+                verdict: result.verdict.class(),
+                backend: result.backend_class(),
+                flags,
+            };
             guard.publish(&result);
-            resp
+            (resp, meta)
         }
         Work::Hsa {
             id,
@@ -513,6 +562,7 @@ fn run_work(shared: &Arc<Shared>, solver: &ServeWorker, work: Work, budget: Budg
                 dst.0,
             );
             let mut b = Body::with_id(id);
+            b.num("req", ctx.id);
             b.str("op", "hsa").bool("reachable", !set.is_empty());
             if !set.is_empty() {
                 b.float("log2_count", set.count().log2());
@@ -522,7 +572,7 @@ fn run_work(shared: &Arc<Shared>, solver: &ServeWorker, work: Work, budget: Budg
             }
             rzen::reset_ctx();
             b.num("latency_us", started.elapsed().as_micros() as u64);
-            b.line()
+            (b.line(), RespMeta::default())
         }
         Work::Paths {
             id,
@@ -532,17 +582,19 @@ fn run_work(shared: &Arc<Shared>, solver: &ServeWorker, work: Work, budget: Budg
         } => {
             let paths = model.spec.net.paths(src.0, src.1, dst.0, dst.1);
             let mut b = Body::with_id(id);
+            b.num("req", ctx.id);
             b.str("op", "paths")
                 .num("paths", paths.len() as u64)
                 .num("latency_us", started.elapsed().as_micros() as u64);
-            b.line()
+            (b.line(), RespMeta::default())
         }
         Work::Sleep { id, ms } => {
             thread::sleep(Duration::from_millis(ms));
             let mut b = Body::with_id(id);
+            b.num("req", ctx.id);
             b.str("op", "sleep")
                 .num("latency_us", started.elapsed().as_micros() as u64);
-            b.line()
+            (b.line(), RespMeta::default())
         }
     }
 }
@@ -587,25 +639,99 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
     }
 }
 
+/// Everything the outer wrapper knows about a request by the time it
+/// answers — the raw material of its flight record.
+#[derive(Default)]
+struct ReqMeta {
+    op: rzen_obs::flight::SmallStr,
+    src: rzen_obs::flight::SmallStr,
+    dst: rzen_obs::flight::SmallStr,
+    /// Leader's request id when this request coalesced (0 otherwise).
+    leader: u64,
+    resp: RespMeta,
+}
+
 /// Answer one NDJSON request line (blocking until the verdict).
+///
+/// This outer wrapper owns everything that must happen on *every* path,
+/// error responses included: minting the [`rzen_obs::RequestCtx`],
+/// stamping the request span, the latency histogram, the
+/// `serve.errors_total{kind=...}` counter, and the flight record. The
+/// inner function only computes the response and classifies it.
 fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
     let started = Instant::now();
-    let _span = rzen_obs::span!("serve.request");
+    let start_us = rzen_obs::flight::now_us();
     rzen_obs::counter!("serve.requests", "query requests received").inc();
+    // The model pointer is captured here, before admission: a hot swap
+    // between admission and execution must not change what this request
+    // computes against. The request id is minted in the same breath so
+    // the record carries exactly the model identity it ran under.
+    let model = shared.model.read().unwrap().clone();
+    let ctx =
+        rzen_obs::RequestCtx::mint(model.fingerprint, shared.generation.load(Ordering::SeqCst));
+    let _span = rzen_obs::span!("serve.request", "req" => ctx.id);
+    let mut meta = ReqMeta::default();
+    let resp = handle_request_inner(line, shared, model, ctx, started, &mut meta);
+    observe_latency(started);
+    if meta.resp.verdict.is_serve_error() {
+        rzen_obs::metrics::registry()
+            .counter_with(
+                "serve.errors_total",
+                "failed serve responses by failure kind",
+                &[("kind", meta.resp.verdict.as_str())],
+            )
+            .inc();
+    }
+    rzen_obs::flight::record(rzen_obs::RequestRecord {
+        id: ctx.id,
+        start_us,
+        latency_us: started.elapsed().as_micros() as u64,
+        model: ctx.model,
+        generation: ctx.generation,
+        leader: meta.leader,
+        op: meta.op,
+        src: meta.src,
+        dst: meta.dst,
+        verdict: meta.resp.verdict,
+        backend: meta.resp.backend,
+        flags: meta.resp.flags,
+    });
+    resp
+}
+
+fn handle_request_inner(
+    line: &str,
+    shared: &Arc<Shared>,
+    model: Arc<Model>,
+    ctx: rzen_obs::RequestCtx,
+    started: Instant,
+    meta: &mut ReqMeta,
+) -> String {
+    use rzen_obs::flight::SmallStr;
+    use rzen_obs::VerdictClass;
     let req = match proto::parse_request(line, shared.cfg.debug_ops) {
         Ok(r) => r,
         Err(e) => {
             rzen_obs::counter!("serve.bad_requests", "malformed request lines").inc();
-            return proto::error_response(None, &e);
+            meta.resp.verdict = VerdictClass::BadRequest;
+            return proto::error_response(None, ctx.id, &e);
         }
     };
-    if shared.draining.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
-        return proto::error_response(req.id, "shutting_down");
+    meta.op = SmallStr::new(req.op.name());
+    match &req.op {
+        Op::Reach { src, dst }
+        | Op::Drops { src, dst }
+        | Op::Hsa { src, dst }
+        | Op::Paths { src, dst } => {
+            meta.src = SmallStr::new(src);
+            meta.dst = SmallStr::new(dst);
+        }
+        Op::Sleep { .. } => {}
     }
-    // The model pointer is captured here, before admission: a hot swap
-    // between admission and execution must not change what this request
-    // computes against.
-    let model = shared.model.read().unwrap().clone();
+    if shared.draining.load(Ordering::SeqCst) || shared.shutdown.load(Ordering::SeqCst) {
+        meta.resp.verdict = VerdictClass::ShuttingDown;
+        return proto::error_response(req.id, ctx.id, "shutting_down");
+    }
     // The budget starts at admission so queue wait consumes the deadline.
     let budget = match req
         .timeout_ms
@@ -623,7 +749,10 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
         Op::Reach { src, dst } | Op::Drops { src, dst } => {
             let (src, dst) = match (resolve(src), resolve(dst)) {
                 (Ok(s), Ok(d)) => (s, d),
-                (Err(e), _) | (_, Err(e)) => return proto::error_response(id, &e),
+                (Err(e), _) | (_, Err(e)) => {
+                    meta.resp.verdict = VerdictClass::ResolveFailed;
+                    return proto::error_response(id, ctx.id, &e);
+                }
             };
             let query = if matches!(req.op, Op::Reach { .. }) {
                 Query::Reach {
@@ -640,28 +769,39 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
             };
             // Coalesce before consuming a queue slot: joiners ride the
             // leader's execution for free.
-            match shared.engine.admit(&query) {
+            match shared.engine.admit(&query, ctx.id) {
                 Admission::Join(join) => {
                     rzen_obs::counter!(
                         "serve.coalesced",
                         "requests answered by joining an identical in-flight query"
                     )
                     .inc();
+                    meta.resp.flags |= rzen_obs::flight::FLAG_COALESCED;
+                    meta.leader = join.leader_id();
                     // The wait is bounded by *this* request's deadline: a
                     // short-budget joiner riding a long-budget leader must
                     // degrade to its own `timeout`, not wait the leader out.
-                    let resp = match join.wait_deadline(budget.deadline()) {
+                    return match join.wait_deadline(budget.deadline()) {
                         Joined::Verdict(result) => {
-                            proto::verdict_response(id, op_name, &result, true)
+                            meta.resp.verdict = result.verdict.class();
+                            meta.resp.backend = result.backend_class();
+                            if result.cache_hit {
+                                meta.resp.flags |= rzen_obs::flight::FLAG_CACHE_HIT;
+                            }
+                            proto::verdict_response(id, ctx.id, op_name, &result, true)
                         }
                         // The leader was shed (or died) without a verdict.
-                        Joined::LeaderLost => proto::error_response(id, "overloaded"),
+                        Joined::LeaderLost => {
+                            meta.resp.verdict = VerdictClass::Overloaded;
+                            proto::error_response(id, ctx.id, "overloaded")
+                        }
                         Joined::Expired => {
                             rzen_obs::counter!(
                                 "serve.join_timeouts",
                                 "joiners whose own deadline passed before the leader published"
                             )
                             .inc();
+                            meta.resp.verdict = VerdictClass::Timeout;
                             let timed_out = QueryResult {
                                 index: 0,
                                 kind: op_name,
@@ -673,11 +813,9 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
                                 bdd_stats: None,
                                 session: None,
                             };
-                            proto::verdict_response(id, op_name, &timed_out, true)
+                            proto::verdict_response(id, ctx.id, op_name, &timed_out, true)
                         }
                     };
-                    observe_latency(started);
-                    return resp;
                 }
                 Admission::Lead(guard) => Work::Query {
                     id,
@@ -690,7 +828,10 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
         Op::Hsa { src, dst } => {
             let (src, dst) = match (resolve(src), resolve(dst)) {
                 (Ok(s), Ok(d)) => (s, d),
-                (Err(e), _) | (_, Err(e)) => return proto::error_response(id, &e),
+                (Err(e), _) | (_, Err(e)) => {
+                    meta.resp.verdict = VerdictClass::ResolveFailed;
+                    return proto::error_response(id, ctx.id, &e);
+                }
             };
             Work::Hsa {
                 id,
@@ -702,7 +843,10 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
         Op::Paths { src, dst } => {
             let (src, dst) = match (resolve(src), resolve(dst)) {
                 (Ok(s), Ok(d)) => (s, d),
-                (Err(e), _) | (_, Err(e)) => return proto::error_response(id, &e),
+                (Err(e), _) | (_, Err(e)) => {
+                    meta.resp.verdict = VerdictClass::ResolveFailed;
+                    return proto::error_response(id, ctx.id, &e);
+                }
             };
             Work::Paths {
                 id,
@@ -718,11 +862,13 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
     let job = Job {
         work,
         budget,
+        ctx,
         reply: reply_tx,
     };
     let tx = shared.jobs_tx.lock().unwrap().clone();
     let Some(tx) = tx else {
-        return proto::error_response(id, "shutting_down");
+        meta.resp.verdict = VerdictClass::ShuttingDown;
+        return proto::error_response(id, ctx.id, "shutting_down");
     };
     // Reserve the in-flight slot before the send so the drain never
     // observes zero while a job sits in the queue.
@@ -739,19 +885,25 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
             // Dropping the job drops any LeadGuard inside: joiners wake
             // with `None` and get their own `overloaded`.
             drop(job);
-            return proto::error_response(id, "overloaded");
+            meta.resp.verdict = VerdictClass::Overloaded;
+            return proto::error_response(id, ctx.id, "overloaded");
         }
         Err(mpsc::TrySendError::Disconnected(_)) => {
             shared.admitted.fetch_sub(1, Ordering::SeqCst);
-            return proto::error_response(id, "shutting_down");
+            meta.resp.verdict = VerdictClass::ShuttingDown;
+            return proto::error_response(id, ctx.id, "shutting_down");
         }
     }
-    let resp = match reply_rx.recv() {
-        Ok(resp) => resp,
-        Err(_) => proto::error_response(id, "internal: worker lost the reply"),
-    };
-    observe_latency(started);
-    resp
+    match reply_rx.recv() {
+        Ok((resp, rmeta)) => {
+            meta.resp = rmeta;
+            resp
+        }
+        Err(_) => {
+            meta.resp.verdict = VerdictClass::WorkerLost;
+            proto::error_response(id, ctx.id, "internal: worker lost the reply")
+        }
+    }
 }
 
 fn observe_latency(started: Instant) {
@@ -773,14 +925,35 @@ fn handle_http(
     let _span = rzen_obs::span!("serve.http");
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    // `/debug/trace?ms=250` style targets: route on the path, keep the
+    // query string for the handler.
+    let (path, query) = target.split_once('?').unwrap_or((target, ""));
 
+    // Headers are read under a fixed byte budget so a client streaming
+    // header lines forever cannot pin this thread or its memory; past
+    // the cap the request is answered with 431 and the connection
+    // closed, per RFC 6585.
+    const MAX_HEADER_BYTES: u64 = 8 << 10;
+    let mut remaining = MAX_HEADER_BYTES;
     let mut content_length = 0usize;
     loop {
+        if remaining == 0 {
+            header_cap_exceeded(writer);
+            return;
+        }
         let mut line = String::new();
-        match reader.read_line(&mut line) {
+        match reader.by_ref().take(remaining).read_line(&mut line) {
             Ok(0) | Err(_) => break,
-            Ok(_) => {}
+            Ok(n) => remaining -= n as u64,
+        }
+        if !line.ends_with('\n') {
+            if remaining == 0 {
+                // The budget ran out mid-line — cap, not EOF.
+                header_cap_exceeded(writer);
+                return;
+            }
+            break;
         }
         let line = line.trim();
         if line.is_empty() {
@@ -807,8 +980,32 @@ fn handle_http(
             http_respond(writer, 200, "application/json", &b.document(), head);
         }
         ("GET" | "HEAD", "/metrics") => {
-            let text = rzen_obs::metrics::registry().render_text();
-            http_respond(writer, 200, "text/plain; charset=utf-8", &text, head);
+            let text = rzen_obs::metrics::registry().render_prometheus();
+            http_respond(
+                writer,
+                200,
+                "text/plain; version=0.0.4; charset=utf-8",
+                &text,
+                head,
+            );
+        }
+        ("GET" | "HEAD", "/debug/requests") => {
+            let body = rzen_obs::flight::render_json(&rzen_obs::flight::snapshot());
+            http_respond(writer, 200, "application/json", &body, head);
+        }
+        ("GET" | "HEAD", "/debug/slow") => {
+            let body = rzen_obs::flight::render_json(&rzen_obs::flight::slow_snapshot());
+            http_respond(writer, 200, "application/json", &body, head);
+        }
+        ("GET" | "HEAD", "/debug/trace") => {
+            let ms = query
+                .split('&')
+                .find_map(|kv| kv.strip_prefix("ms="))
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(200)
+                .min(2_000);
+            let body = capture_trace(Duration::from_millis(ms));
+            http_respond(writer, 200, "application/json", &body, head);
         }
         ("POST", "/model") => {
             let Some(text) = read_post_body(reader, writer, content_length) else {
@@ -960,6 +1157,41 @@ fn read_post_body(
     }
 }
 
+/// Answer 431 and close: the client exceeded the header byte budget.
+fn header_cap_exceeded(writer: &mut TcpStream) {
+    rzen_obs::counter!(
+        "serve.header_cap_exceeded",
+        "HTTP requests rejected for oversized headers (431)"
+    )
+    .inc();
+    let mut b = Body::new();
+    b.str("error", "request header fields too large");
+    http_respond(writer, 431, "application/json", &b.document(), false);
+    let _ = writer.flush();
+    let _ = writer.shutdown(Shutdown::Both);
+}
+
+/// On-demand bounded trace capture: enable tracing for `window`, then
+/// return whatever spans landed as a Chrome trace JSON document.
+///
+/// Captures are serialized through a mutex — concurrent `/debug/trace`
+/// requests would otherwise steal each other's events out of the
+/// per-thread rings. If tracing was already on (`RZEN_TRACE=1`), it
+/// stays on afterwards; the capture merely harvests the buffers.
+fn capture_trace(window: Duration) -> String {
+    static CAPTURE: Mutex<()> = Mutex::new(());
+    let _one_at_a_time = CAPTURE.lock().unwrap();
+    let was_enabled = rzen_obs::trace::enabled();
+    // Discard whatever accumulated before the window so the capture
+    // holds only spans that overlap it.
+    rzen_obs::trace::clear();
+    rzen_obs::trace::set_enabled(true);
+    thread::sleep(window);
+    let events = rzen_obs::trace::take_events();
+    rzen_obs::trace::set_enabled(was_enabled);
+    rzen_obs::export::chrome_trace(&events)
+}
+
 /// Write one HTTP response. `head` sends the status line and headers
 /// (with the Content-Length the body *would* have) but no body.
 fn http_respond(writer: &mut TcpStream, status: u16, content_type: &str, body: &str, head: bool) {
@@ -967,6 +1199,7 @@ fn http_respond(writer: &mut TcpStream, status: u16, content_type: &str, body: &
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
+        431 => "Request Header Fields Too Large",
         _ => "",
     };
     let _ = write!(

@@ -236,7 +236,12 @@ fn warm_session_state_survives_a_delta() {
     let worker = eng.serve_worker();
     let mut first = None;
     for q in all_pairs(&base) {
-        let r = eng.run_one(&q, Budget::unlimited(), &worker);
+        let r = eng.run_one(
+            &q,
+            Budget::unlimited(),
+            &worker,
+            rzen_obs::RequestCtx::mint(0, 0),
+        );
         assert!(r.verdict.is_decisive());
         if matches!(&q, Query::Reach { src: s, dst: d, .. } if (*s, *d) == (src, dst)) {
             first = Some(r);
@@ -264,6 +269,7 @@ fn warm_session_state_survives_a_delta() {
         },
         Budget::unlimited(),
         &worker,
+        rzen_obs::RequestCtx::mint(0, 0),
     );
     assert!(after.verdict.is_decisive());
     let session = after.session.expect("session mode attaches stats");
@@ -421,15 +427,16 @@ fn post_delta_flips_verdicts_and_advances_the_generation() {
     );
 
     // Cache observability rides along: the delta-eviction counters and
-    // the entries gauge are live in /metrics.
+    // the entries gauge are live in /metrics (Prometheus names: dots
+    // become underscores, counters gain `_total`).
     let (_, metrics) = http_get(addr, "/metrics");
     for name in [
-        "engine.cache.entries",
-        "engine.cache.delta_evicted",
-        "engine.cache.delta_retained",
-        "engine.cache.hits",
-        "engine.cache.misses",
-        "engine.deltas",
+        "engine_cache_entries",
+        "engine_cache_delta_evicted_total",
+        "engine_cache_delta_retained_total",
+        "engine_cache_hits_total",
+        "engine_cache_misses_total",
+        "engine_deltas_total",
     ] {
         assert!(
             metrics.contains(name),

@@ -205,3 +205,172 @@ fn query_latency_histogram_records_decision_time() {
         .sum();
     assert_eq!(hist.sum() - before_sum, observed);
 }
+
+/// Assert one Prometheus text exposition is internally well formed:
+/// every sample belongs to a family announced by a `# TYPE` line,
+/// counter families end in `_total`, and every histogram series has
+/// ascending `le` bounds, nondecreasing cumulative bucket values, and a
+/// `+Inf` bucket equal to its `_count`.
+fn assert_exposition_well_formed(text: &str) {
+    use std::collections::HashMap;
+    let mut kinds: HashMap<&str, &str> = HashMap::new();
+    // Per histogram series (family + labels-without-le): the cumulative
+    // bucket values in emission order, the last finite le bound, the
+    // +Inf value, and the _count value.
+    let mut last_cum: HashMap<String, u64> = HashMap::new();
+    let mut last_le: HashMap<String, u64> = HashMap::new();
+    let mut infs: HashMap<String, u64> = HashMap::new();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split(' ');
+            kinds.insert(it.next().unwrap(), it.next().expect("TYPE carries a kind"));
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("malformed sample line {line:?}"));
+        let value: f64 = value
+            .parse()
+            .unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+        let name = series.split('{').next().unwrap();
+        // A histogram's samples carry _bucket/_sum/_count suffixes on
+        // the family name; everything else samples the family directly.
+        let family = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|s| {
+                name.strip_suffix(s)
+                    .filter(|f| kinds.get(f) == Some(&"histogram"))
+            })
+            .unwrap_or(name);
+        let kind = *kinds
+            .get(family)
+            .unwrap_or_else(|| panic!("sample before its # TYPE line: {line:?}"));
+        match kind {
+            "counter" => assert!(
+                family.ends_with("_total"),
+                "counter family {family} must end in _total"
+            ),
+            "gauge" => {}
+            "histogram" => {
+                let labels = &series[name.len()..];
+                if name.ends_with("_bucket") {
+                    let le_start = labels
+                        .rfind("le=\"")
+                        .unwrap_or_else(|| panic!("bucket sample without le: {line:?}"));
+                    let le = &labels[le_start + 4..labels.len() - 2];
+                    let key = format!(
+                        "{family}{}",
+                        labels[..le_start]
+                            .trim_end_matches(',')
+                            .trim_end_matches('{')
+                    );
+                    let cum = value as u64;
+                    if le == "+Inf" {
+                        infs.insert(key, cum);
+                    } else {
+                        let le: u64 = le
+                            .parse()
+                            .unwrap_or_else(|_| panic!("non-integer le in {line:?}"));
+                        if let Some(&prev) = last_le.get(&key) {
+                            assert!(le > prev, "le bounds must ascend: {line:?}");
+                        }
+                        if let Some(&prev) = last_cum.get(&key) {
+                            assert!(
+                                cum >= prev,
+                                "cumulative buckets must not decrease: {line:?}"
+                            );
+                        }
+                        last_le.insert(key.clone(), le);
+                        last_cum.insert(key, cum);
+                    }
+                } else if name.ends_with("_count") {
+                    counts.insert(
+                        format!("{family}{}", labels.trim_end_matches('}')),
+                        value as u64,
+                    );
+                }
+            }
+            other => panic!("unknown metric kind {other:?}"),
+        }
+    }
+    for (key, inf) in &infs {
+        if let Some(&last) = last_cum.get(key) {
+            assert!(
+                *inf >= last,
+                "+Inf bucket below the last finite bucket: {key}"
+            );
+        }
+        assert_eq!(
+            counts.get(key),
+            Some(inf),
+            "+Inf bucket must equal _count for {key}"
+        );
+    }
+    assert!(!infs.is_empty(), "exposition carries no histograms?");
+}
+
+#[test]
+fn prometheus_exposition_stays_well_formed_under_concurrent_updates() {
+    let _g = lock();
+    let reg = rzen_obs::metrics::registry();
+    // A label value needing every escape in the book.
+    reg.counter_with(
+        "obs_test.weird_labels",
+        "label escaping fixture",
+        &[("path", "a\\b\"c\nd")],
+    )
+    .inc();
+
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writers: Vec<_> = (0..4)
+        .map(|t: u64| {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let reg = rzen_obs::metrics::registry();
+                let h = reg.histogram("obs_test.expo_us", "exposition fixture histogram");
+                let parity = if t.is_multiple_of(2) { "even" } else { "odd" };
+                let c = reg.counter_with(
+                    "obs_test.expo_events",
+                    "exposition fixture counter",
+                    &[("src", parity)],
+                );
+                let mut v: u64 = t + 1;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    h.observe(v % 100_000);
+                    c.inc();
+                    v = v
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                }
+            })
+        })
+        .collect();
+
+    // Render repeatedly *while* the writers hammer the registry: each
+    // exposition must be internally consistent on its own — in
+    // particular +Inf == _count, which the renderer guarantees by
+    // deriving both from one read of the bucket array.
+    for _ in 0..25 {
+        assert_exposition_well_formed(&reg.render_prometheus());
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    for w in writers {
+        w.join().unwrap();
+    }
+
+    let text = reg.render_prometheus();
+    assert_exposition_well_formed(&text);
+    assert!(text.contains("# HELP obs_test_expo_events_total exposition fixture counter"));
+    assert!(text.contains("# TYPE obs_test_expo_events_total counter"));
+    assert!(text.contains("obs_test_expo_events_total{src=\"even\"}"));
+    assert!(text.contains("obs_test_expo_events_total{src=\"odd\"}"));
+    assert!(text.contains("# TYPE obs_test_expo_us histogram"));
+    assert!(
+        text.contains("path=\"a\\\\b\\\"c\\nd\""),
+        "label values must escape backslash, quote, and newline:\n{text}"
+    );
+}

@@ -394,3 +394,168 @@ fn requests_during_drain_are_answered_shutting_down() {
     }
     handle.join();
 }
+
+#[test]
+fn flight_recorder_follows_a_request_end_to_end() {
+    let handle = start(cfg(2, 16), Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    // A few fast queries, then one deliberately slow request: the sleep
+    // dominates every latency in this server's lifetime.
+    for _ in 0..3 {
+        parse(&request(addr, REACH)).unwrap();
+    }
+    let slow = parse(&request(addr, "{\"op\":\"sleep\",\"ms\":150}")).unwrap();
+    let slow_req = field(&slow, "req")
+        .as_u64()
+        .expect("responses carry the server-minted request id");
+    assert!(slow_req > 0, "request ids start at 1");
+
+    // The id from the response line finds the same request in the ring.
+    let (status, body) = http_get(addr, "/debug/requests");
+    assert!(status.contains("200"), "{status}");
+    let records = match parse(&body).expect("valid JSON") {
+        Value::Arr(records) => records,
+        other => panic!("/debug/requests must be a JSON array: {other:?}"),
+    };
+    let rec = records
+        .iter()
+        .find(|r| field(r, "req").as_u64() == Some(slow_req))
+        .expect("the slow request is in the flight ring");
+    assert_eq!(field(rec, "op").as_str(), Some("sleep"));
+    assert_eq!(field(rec, "verdict").as_str(), Some("ok"));
+    assert!(field(rec, "latency_us").as_u64().unwrap() >= 150_000);
+    let reach = records
+        .iter()
+        .find(|r| field(r, "op").as_str() == Some("reach"))
+        .expect("reach queries are recorded too");
+    assert_eq!(field(reach, "src").as_str(), Some("u1:1"));
+    assert_eq!(field(reach, "dst").as_str(), Some("u3:2"));
+    assert_eq!(field(reach, "verdict").as_str(), Some("sat"));
+
+    // The slow table ranks the sleep first: nothing else took 150ms.
+    let (status, body) = http_get(addr, "/debug/slow");
+    assert!(status.contains("200"), "{status}");
+    let Value::Arr(slow_records) = parse(&body).expect("valid JSON") else {
+        panic!("/debug/slow must be a JSON array");
+    };
+    assert_eq!(
+        field(&slow_records[0], "req").as_u64(),
+        Some(slow_req),
+        "the slowest request must lead the slow table: {body}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn debug_trace_capture_carries_request_ids_through_the_stack() {
+    let handle = start(cfg(2, 16), Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    // Keep queries flowing while the capture window is open. Alternating
+    // directions defeats the result cache often enough that backend
+    // spans land inside the window.
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let driver = {
+        let stop = stop.clone();
+        thread::spawn(move || {
+            let pairs = [("u1:1", "u3:2"), ("u3:2", "u1:1"), ("u2:1", "u1:1")];
+            let mut i = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let (src, dst) = pairs[i % pairs.len()];
+                let line = format!("{{\"op\":\"reach\",\"src\":\"{src}\",\"dst\":\"{dst}\"}}");
+                let _ = request(addr, &line);
+                i += 1;
+            }
+        })
+    };
+
+    let (status, body) = http_get(addr, "/debug/trace?ms=400");
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    driver.join().unwrap();
+    assert!(status.contains("200"), "{status}");
+    rzen_obs::json::validate(&body).expect("/debug/trace must return valid JSON");
+
+    // The capture shows the request id at every layer: the serve span,
+    // the engine worker span, and the backend solve span.
+    for span in ["serve.request", "engine.query", "engine.backend"] {
+        assert!(
+            body.contains(&format!("\"name\":\"{span}\"")),
+            "trace capture missing {span} spans:\n{body}"
+        );
+    }
+    assert!(
+        body.contains("\"req\":"),
+        "trace spans must carry the request id as an argument"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn oversized_http_headers_are_answered_with_431() {
+    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    // 16 KiB of header lines: double the server's budget.
+    let mut req = String::from("GET /healthz HTTP/1.1\r\nHost: test\r\n");
+    for i in 0..128 {
+        req.push_str(&format!("X-Padding-{i}: {}\r\n", "x".repeat(120)));
+    }
+    req.push_str("Connection: close\r\n\r\n");
+    let (status, body) = http(addr, &req);
+    assert!(
+        status.contains("431"),
+        "oversized headers must get 431, got {status:?}"
+    );
+    assert!(body.contains("header fields too large"), "{body}");
+
+    // A normal request on a fresh connection still works.
+    let (status, _) = http_get(addr, "/healthz");
+    assert!(status.contains("200"), "{status}");
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn serve_errors_are_counted_by_kind_in_prometheus_metrics() {
+    // One worker, zero backlog: easy to provoke `overloaded`.
+    let handle = start(cfg(1, 0), Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    let blocker = thread::spawn(move || request(addr, "{\"op\":\"sleep\",\"ms\":700}"));
+    thread::sleep(Duration::from_millis(150));
+    let shed = parse(&request(addr, REACH)).unwrap();
+    assert_eq!(field(&shed, "error").as_str(), Some("overloaded"));
+    // An endpoint that does not resolve, and a line that does not parse.
+    let unresolved = parse(&request(
+        addr,
+        "{\"op\":\"reach\",\"src\":\"nope:1\",\"dst\":\"u3:2\"}",
+    ))
+    .unwrap();
+    assert!(field(&unresolved, "error").as_str().is_some());
+    let bad = parse(&request(addr, "{\"op\":\"warp\"}")).unwrap();
+    assert!(field(&bad, "error").as_str().is_some());
+    blocker.join().unwrap();
+
+    let (_, metrics) = http_get(addr, "/metrics");
+    for series in [
+        "serve_errors_total{kind=\"overloaded\"}",
+        "serve_errors_total{kind=\"resolve_failed\"}",
+        "serve_errors_total{kind=\"bad_request\"}",
+    ] {
+        assert!(metrics.contains(series), "/metrics missing {series}");
+    }
+    // The exposition speaks Prometheus: typed families, histogram
+    // buckets cumulative up to +Inf.
+    assert!(metrics.contains("# TYPE serve_requests_total counter"));
+    assert!(metrics.contains("# TYPE serve_request_us histogram"));
+    assert!(metrics.contains("serve_request_us_bucket{le=\"+Inf\"}"));
+
+    handle.shutdown();
+    handle.join();
+}
