@@ -66,6 +66,7 @@ fn run_size(n_spines: usize, n_leaves: usize) -> String {
             backend: QueryBackend::Portfolio,
             handle_signals: false,
             debug_ops: false,
+            sample_hz: rzen_obs::profile::DEFAULT_SAMPLE_HZ,
         },
         Model::parse(&base_text).expect("model"),
     )

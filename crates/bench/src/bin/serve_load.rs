@@ -44,6 +44,7 @@ fn main() {
             backend: QueryBackend::Portfolio,
             handle_signals: false,
             debug_ops: false,
+            sample_hz: rzen_obs::profile::DEFAULT_SAMPLE_HZ,
         },
         model,
     )

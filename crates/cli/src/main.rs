@@ -25,6 +25,12 @@
 
 pub use rzen_net::spec;
 
+/// Heap attribution needs the counting allocator installed at the binary
+/// level; while profiling is disabled its cost is one relaxed atomic
+/// load per allocator call.
+#[global_allocator]
+static ALLOC: rzen_obs::CountingAlloc = rzen_obs::CountingAlloc;
+
 use rzen::{TransformerSpace, ZenFunction};
 use rzen_net::analyses::{anteater, hsa};
 use rzen_net::device::forward_along;
@@ -40,9 +46,10 @@ fn usage_text() -> String {
         "       rzen-cli batch SPEC [--jobs N] [--timeout-ms MS] [--backend bdd|smt|portfolio]",
         "                       [--sessions on|off] [--trace-out FILE]",
         "                       [--stats-json FILE] [--verdicts-json FILE] [--metrics]",
+        "                       [--profile-out FILE] [--sample-hz N]",
         "       rzen-cli serve SPEC [--addr HOST:PORT] [--jobs N] [--backlog N]",
         "                       [--timeout-ms MS] [--sessions on|off] [--backend ...]",
-        "                       [--flight-recorder-size N]",
+        "                       [--flight-recorder-size N] [--sample-hz N]",
         "       rzen-cli --version | --help",
         "  SRC/DST are device:port endpoints, e.g. u1:1",
         "  delta applies an NDJSON op sequence (set-acl, set-route, link-up/down,",
@@ -53,9 +60,13 @@ fn usage_text() -> String {
         "  --stats-json FILE  write the batch report + metrics snapshot as JSON",
         "  --verdicts-json FILE  write just the verdicts (stable across modes) as JSON",
         "  --metrics          print the metrics registry and slow table after the batch",
+        "  --profile-out FILE run the batch under the CPU profiler and write folded",
+        "                     stacks (or a flamegraph SVG when FILE ends in .svg)",
+        "  --sample-hz N      profiler sample rate (default 99; /debug/profile too)",
         "  --flight-recorder-size N  ring capacity of the serve flight recorder",
         "  serve answers NDJSON queries on a TCP socket, plus HTTP GET /healthz,",
         "  GET /metrics (Prometheus format), GET /debug/requests|slow|trace?ms=N,",
+        "  GET /debug/profile?ms=N&view=cpu|heap&format=folded|svg,",
         "  and POST /model (spec hot-swap); SIGTERM drains gracefully",
         "  RZEN_TRACE=1|FILE  enable tracing from the environment (FILE also exports)",
     ]
@@ -325,10 +336,31 @@ fn run_batch(spec: &spec::Spec, flags: &[String], env_trace: Option<String>) {
     let mut trace_out: Option<String> = None;
     let mut stats_json: Option<String> = None;
     let mut verdicts_json: Option<String> = None;
+    let mut profile_out: Option<String> = None;
+    let mut sample_hz: u32 = rzen_obs::profile::DEFAULT_SAMPLE_HZ;
     let mut show_metrics = false;
     let mut i = 0;
     while i < flags.len() {
         match flags[i].as_str() {
+            "--profile-out" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--profile-out needs FILE"));
+                profile_out = Some(v.clone());
+                i += 2;
+            }
+            "--sample-hz" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--sample-hz needs N"));
+                sample_hz = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --sample-hz {v:?}: {e}")));
+                if sample_hz == 0 {
+                    fail("--sample-hz must be at least 1");
+                }
+                i += 2;
+            }
             "--trace-out" => {
                 let v = flags
                     .get(i + 1)
@@ -448,8 +480,27 @@ fn run_batch(spec: &spec::Spec, flags: &[String], env_trace: Option<String>) {
         queries.len(),
         cfg.jobs
     );
+    if profile_out.is_some() {
+        rzen_obs::profile::reset();
+        rzen_obs::profile::start(sample_hz);
+    }
     let engine = Engine::new(cfg);
     let report = engine.run_batch(&queries);
+    if let Some(path) = &profile_out {
+        rzen_obs::profile::stop();
+        let folded = rzen_obs::profile::cpu_folded();
+        let samples: u64 = folded.iter().map(|(_, n)| n).sum();
+        let out = if path.ends_with(".svg") {
+            rzen_obs::flame::flamegraph_svg(&format!("CPU · {samples} samples"), "samples", &folded)
+        } else {
+            rzen_obs::profile::render_folded_cpu()
+        };
+        std::fs::write(path, out).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        println!(
+            "cpu profile -> {path} ({} stacks, {samples} samples at {sample_hz} Hz)",
+            folded.len()
+        );
+    }
     for (r, label) in report.results.iter().zip(&labels) {
         let verdict = match &r.verdict {
             Verdict::Sat(_) => "SAT",
@@ -599,6 +650,18 @@ fn run_serve(spec_text: &str, flags: &[String]) {
             "--debug-ops" => {
                 cfg.debug_ops = true;
                 i += 1;
+            }
+            "--sample-hz" => {
+                let v = flags
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--sample-hz needs N"));
+                cfg.sample_hz = v
+                    .parse()
+                    .unwrap_or_else(|e| fail(&format!("bad --sample-hz {v:?}: {e}")));
+                if cfg.sample_hz == 0 {
+                    fail("--sample-hz must be at least 1");
+                }
+                i += 2;
             }
             "--flight-recorder-size" => {
                 let v = flags

@@ -187,8 +187,9 @@ impl Engine {
                         }
                         let ctx = rzen_obs::RequestCtx::mint(queries[i].model_fingerprint(), 0);
                         let start_us = rzen_obs::flight::now_us();
+                        let alloc0 = rzen_obs::profile::thread_alloc_stats();
                         let result = self.solve_one(i, &queries[i], self.request_budget(), ctx.id);
-                        record_flight(&ctx, start_us, &queries[i], &result);
+                        record_flight(&ctx, start_us, alloc0, &queries[i], &result);
                         *slots[i].lock().unwrap() = Some(result);
                     }
                 });
@@ -236,6 +237,7 @@ impl Engine {
                     for &i in bucket {
                         let ctx = rzen_obs::RequestCtx::mint(queries[i].model_fingerprint(), 0);
                         let start_us = rzen_obs::flight::now_us();
+                        let alloc0 = rzen_obs::profile::thread_alloc_stats();
                         let result = self.solve_one_session(
                             i,
                             &queries[i],
@@ -243,7 +245,7 @@ impl Engine {
                             self.request_budget(),
                             ctx.id,
                         );
-                        record_flight(&ctx, start_us, &queries[i], &result);
+                        record_flight(&ctx, start_us, alloc0, &queries[i], &result);
                         *slots[i].lock().unwrap() = Some(result);
                     }
                     runners.shutdown();
@@ -557,8 +559,16 @@ fn collect_results(slots: Vec<Mutex<Option<QueryResult>>>, queries: &[Query]) ->
 /// Write one batch query's flight record. Batch queries have no client
 /// endpoints; the op is the query kind and the serve-only fields stay
 /// zero. (The serve layer writes its own records for served requests —
-/// see `Engine::run_one`.)
-fn record_flight(ctx: &rzen_obs::RequestCtx, start_us: u64, query: &Query, result: &QueryResult) {
+/// see `Engine::run_one`.) `alloc0` is the worker thread's allocation
+/// tally from before the query ran; the record carries the delta, which
+/// is zero unless profiling was enabled.
+fn record_flight(
+    ctx: &rzen_obs::RequestCtx,
+    start_us: u64,
+    alloc0: (u64, u64),
+    query: &Query,
+    result: &QueryResult,
+) {
     use rzen_obs::flight::{self, SmallStr, FLAG_CACHE_HIT, FLAG_SESSION};
     let mut flags = 0u8;
     if result.cache_hit {
@@ -567,6 +577,7 @@ fn record_flight(ctx: &rzen_obs::RequestCtx, start_us: u64, query: &Query, resul
     if result.session.is_some() {
         flags |= FLAG_SESSION;
     }
+    let alloc1 = rzen_obs::profile::thread_alloc_stats();
     flight::record(rzen_obs::RequestRecord {
         id: ctx.id,
         start_us,
@@ -580,6 +591,8 @@ fn record_flight(ctx: &rzen_obs::RequestCtx, start_us: u64, query: &Query, resul
         verdict: result.verdict.class(),
         backend: result.backend_class(),
         flags,
+        alloc_bytes: alloc1.0.saturating_sub(alloc0.0),
+        alloc_count: alloc1.1.saturating_sub(alloc0.1),
     });
 }
 

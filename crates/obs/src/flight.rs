@@ -196,6 +196,12 @@ pub struct RequestRecord {
     pub backend: BackendClass,
     /// `FLAG_*` bits.
     pub flags: u8,
+    /// Heap bytes the worker allocated serving this request, as tallied
+    /// by [`crate::profile::CountingAlloc`]. Zero unless profiling was
+    /// enabled while the request ran.
+    pub alloc_bytes: u64,
+    /// Allocation count behind `alloc_bytes` (same enablement rule).
+    pub alloc_count: u64,
 }
 
 impl RequestRecord {
@@ -204,7 +210,8 @@ impl RequestRecord {
         format!(
             "{{\"req\":{},\"start_us\":{},\"latency_us\":{},\"op\":\"{}\",\"src\":\"{}\",\
              \"dst\":\"{}\",\"verdict\":\"{}\",\"backend\":\"{}\",\"cache_hit\":{},\
-             \"coalesced\":{},\"session\":{},\"leader\":{},\"model\":\"{:016x}\",\"generation\":{}}}",
+             \"coalesced\":{},\"session\":{},\"leader\":{},\"model\":\"{:016x}\",\"generation\":{},\
+             \"alloc_bytes\":{},\"alloc_count\":{}}}",
             self.id,
             self.start_us,
             self.latency_us,
@@ -219,6 +226,8 @@ impl RequestRecord {
             self.leader,
             self.model,
             self.generation,
+            self.alloc_bytes,
+            self.alloc_count,
         )
     }
 }

@@ -22,6 +22,16 @@
 //!   thread on first use and timestamps events against a process-wide
 //!   monotonic epoch.
 //!
+//! * **Profiling** ([`profile`]) — a zero-dependency continuous
+//!   profiler: a span-stack CPU sampler (each instrumented thread
+//!   publishes its current span stack in a seqlock-guarded slot, a
+//!   sampler thread folds snapshots into `a;b;c count` stacks) and heap
+//!   attribution via the [`CountingAlloc`] global-allocator wrapper,
+//!   which charges bytes to the innermost open span. Both views export
+//!   as folded-stack text or a self-contained flamegraph SVG
+//!   ([`flame`]). Disabled cost: the same single relaxed atomic load as
+//!   tracing — both share one state word.
+//!
 //! * **Flight recorder** ([`flight`]) — an always-on, lock-free ring of
 //!   per-request [`RequestRecord`]s plus a top-K slow-query table, written
 //!   by the serving layer on every completed request and read back over
@@ -57,14 +67,24 @@
 #![warn(missing_docs)]
 
 pub mod export;
+pub mod flame;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod process;
+pub mod profile;
 pub mod trace;
 
 pub use flight::{BackendClass, RequestCtx, RequestRecord, VerdictClass};
 pub use metrics::{registry, Counter, Gauge, Histogram, MetricSnapshot, SnapshotValue};
+pub use profile::CountingAlloc;
 pub use trace::{Event, Phase, Span};
+
+// The unit-test binary exercises heap attribution, which needs the
+// counting allocator installed; downstream binaries install it themselves.
+#[cfg(test)]
+#[global_allocator]
+static TEST_ALLOC: CountingAlloc = CountingAlloc;
 
 /// Read the `RZEN_TRACE` environment variable and enable tracing if it is
 /// set to anything other than empty or `0`. Returns the trace output path

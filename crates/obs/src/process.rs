@@ -1,0 +1,149 @@
+//! Process-level telemetry from `/proc`, rendered straight into the
+//! Prometheus text exposition format.
+//!
+//! The metric registry in [`crate::metrics`] holds integer counters and
+//! gauges; process telemetry (CPU seconds as a float, a start timestamp)
+//! does not fit that model, so this module renders the conventional
+//! `process_*` family directly as exposition text that the server
+//! appends to `/metrics` after the registry output. Everything is read
+//! on scrape from `/proc/self/{statm,stat,fd}` — no background thread,
+//! no caching. On platforms without `/proc` the process series are
+//! simply absent (the `rzen_build_info` gauge is always emitted).
+
+use std::fmt::Write as _;
+
+/// Kernel clock ticks per second for `/proc/self/stat` time fields.
+/// `USER_HZ` is 100 on every Linux architecture rzen targets; reading it
+/// at runtime would need `sysconf(_SC_CLK_TCK)`, which is out of reach
+/// without libc bindings.
+const USER_HZ: f64 = 100.0;
+
+/// Bytes per page for `/proc/self/statm`. 4 KiB on x86-64 and the
+/// default aarch64 configuration; like `USER_HZ`, the authoritative
+/// value needs `sysconf`, so the conventional default is used.
+const PAGE_SIZE: u64 = 4096;
+
+/// Render the `process_*` series plus `rzen_build_info{version=...} 1`
+/// as Prometheus exposition text. Families whose `/proc` source cannot
+/// be read are omitted entirely (headers included), so the output is
+/// always well formed.
+pub fn exposition(version: &str) -> String {
+    let mut out = String::new();
+    out.push_str("# HELP rzen_build_info build information of the running server\n");
+    out.push_str("# TYPE rzen_build_info gauge\n");
+    let _ = writeln!(
+        out,
+        "rzen_build_info{{version=\"{}\"}} 1",
+        version.replace('\\', "\\\\").replace('"', "\\\"")
+    );
+    if let Some(rss) = resident_memory_bytes() {
+        out.push_str("# HELP process_resident_memory_bytes resident set size in bytes\n");
+        out.push_str("# TYPE process_resident_memory_bytes gauge\n");
+        let _ = writeln!(out, "process_resident_memory_bytes {rss}");
+    }
+    if let Some(cpu) = cpu_seconds_total() {
+        out.push_str("# HELP process_cpu_seconds_total user + system CPU time in seconds\n");
+        out.push_str("# TYPE process_cpu_seconds_total counter\n");
+        let _ = writeln!(out, "process_cpu_seconds_total {cpu:.2}");
+    }
+    if let Some(fds) = open_fds() {
+        out.push_str("# HELP process_open_fds open file descriptors\n");
+        out.push_str("# TYPE process_open_fds gauge\n");
+        let _ = writeln!(out, "process_open_fds {fds}");
+    }
+    if let Some(start) = start_time_seconds() {
+        out.push_str("# HELP process_start_time_seconds process start time, unix epoch\n");
+        out.push_str("# TYPE process_start_time_seconds gauge\n");
+        let _ = writeln!(out, "process_start_time_seconds {start:.2}");
+    }
+    out
+}
+
+/// Resident set size in bytes (`/proc/self/statm` field 2 × page size).
+pub fn resident_memory_bytes() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident_pages * PAGE_SIZE)
+}
+
+/// User + system CPU seconds consumed by the process so far.
+pub fn cpu_seconds_total() -> Option<f64> {
+    let fields = stat_after_comm()?;
+    // Fields after `comm`/`state`: utime is overall field 14, stime 15
+    // (1-based, `man 5 proc`), i.e. indexes 11 and 12 after the state.
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some((utime + stime) as f64 / USER_HZ)
+}
+
+/// Number of open file descriptors (entries in `/proc/self/fd`,
+/// including the descriptor the listing itself briefly holds).
+pub fn open_fds() -> Option<u64> {
+    Some(std::fs::read_dir("/proc/self/fd").ok()?.count() as u64)
+}
+
+/// Process start time in seconds since the unix epoch: boot time
+/// (`btime` in `/proc/stat`) plus the process start offset
+/// (`/proc/self/stat` field 22, in clock ticks since boot).
+pub fn start_time_seconds() -> Option<f64> {
+    let fields = stat_after_comm()?;
+    let starttime_ticks: u64 = fields.get(19)?.parse().ok()?;
+    let stat = std::fs::read_to_string("/proc/stat").ok()?;
+    let btime: u64 = stat
+        .lines()
+        .find_map(|line| line.strip_prefix("btime "))?
+        .trim()
+        .parse()
+        .ok()?;
+    Some(btime as f64 + starttime_ticks as f64 / USER_HZ)
+}
+
+/// `/proc/self/stat` fields after the parenthesized `comm`, which may
+/// itself contain spaces and parentheses — split after the *last* `)`.
+fn stat_after_comm() -> Option<Vec<String>> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    let after = stat.rsplit_once(')')?.1;
+    Some(after.split_whitespace().map(str::to_string).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_info_always_present() {
+        let text = exposition("1.2.3");
+        assert!(text.contains("# TYPE rzen_build_info gauge"));
+        assert!(text.contains("rzen_build_info{version=\"1.2.3\"} 1"));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn proc_series_present_on_linux() {
+        let text = exposition("0.0.0");
+        for family in [
+            "process_resident_memory_bytes",
+            "process_cpu_seconds_total",
+            "process_open_fds",
+            "process_start_time_seconds",
+        ] {
+            assert!(
+                text.contains(&format!("# TYPE {family}")),
+                "{family} missing:\n{text}"
+            );
+        }
+        assert!(resident_memory_bytes().unwrap() > 0);
+        assert!(open_fds().unwrap() > 0);
+        let start = start_time_seconds().unwrap();
+        assert!(start > 1_500_000_000.0, "epoch-ish start time: {start}");
+    }
+
+    #[test]
+    fn every_sample_line_parses() {
+        let text = exposition("v");
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_name, value) = line.rsplit_once(' ').expect("name value");
+            value.parse::<f64>().expect("numeric sample value");
+        }
+    }
+}

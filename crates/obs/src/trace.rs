@@ -3,8 +3,9 @@
 //! ## The overhead contract
 //!
 //! Every recording site — [`Span::enter`], [`instant`], and friends —
-//! starts with a single relaxed atomic load of the global enabled flag
-//! and returns immediately when it is clear. The *disabled* path therefore
+//! starts with a single relaxed atomic load of the combined trace/profile
+//! state word and returns immediately when it is zero. The *disabled*
+//! path therefore
 //! costs one load plus one well-predicted branch: no allocation, no lock,
 //! no `Instant::now()`. This is the contract that lets the BDD manager's
 //! `mk()` and the CDCL solver's `propagate()` carry trace hooks
@@ -20,22 +21,38 @@
 //! event count, and the `dropped` tally records how much history was lost.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 /// Default per-thread ring capacity, in events.
 pub const DEFAULT_RING_CAPACITY: usize = 1 << 14;
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit in [`STATE`]: span events are recorded into per-thread rings.
+pub(crate) const TRACE_BIT: u32 = 1;
+/// Bit in [`STATE`]: span stacks are published for the CPU sampler and
+/// heap attribution ([`crate::profile`]).
+pub(crate) const PROFILE_BIT: u32 = 2;
+
+/// Tracing *and* profiling enablement share one word so that every
+/// instrumentation site pays exactly one relaxed atomic load when both
+/// are off — adding the profiler did not add a second load to the
+/// disabled hot path.
+static STATE: AtomicU32 = AtomicU32::new(0);
 static RECORDED: AtomicU64 = AtomicU64::new(0);
 static NEXT_TID: AtomicU32 = AtomicU32::new(1);
 
-/// Is tracing globally enabled? One relaxed atomic load — this is the
-/// whole disabled-path cost of every instrumentation site.
+/// The combined trace/profile state word. One relaxed atomic load — this
+/// is the whole disabled-path cost of every instrumentation site.
+#[inline(always)]
+pub(crate) fn state() -> u32 {
+    STATE.load(Ordering::Relaxed)
+}
+
+/// Is tracing globally enabled? One relaxed atomic load.
 #[inline(always)]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    state() & TRACE_BIT != 0
 }
 
 /// Turn tracing on or off. Enabling pins the process-wide epoch (if not
@@ -45,8 +62,27 @@ pub fn enabled() -> bool {
 pub fn set_enabled(on: bool) {
     if on {
         epoch();
+        STATE.fetch_or(TRACE_BIT, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!TRACE_BIT, Ordering::Relaxed);
     }
-    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Turn span-stack publication (profiling) on or off. Used by
+/// [`crate::profile::start`]/[`stop`](crate::profile::stop); spans entered
+/// while the bit is set push their name onto the per-thread stack slot.
+pub(crate) fn set_profiling(on: bool) {
+    if on {
+        STATE.fetch_or(PROFILE_BIT, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!PROFILE_BIT, Ordering::Relaxed);
+    }
+}
+
+/// Is span-stack publication (profiling) enabled? One relaxed atomic load.
+#[inline(always)]
+pub(crate) fn profiling() -> bool {
+    state() & PROFILE_BIT != 0
 }
 
 /// Total events recorded process-wide since startup (including events
@@ -233,19 +269,40 @@ pub struct Span {
     start_ns: u64,
     args: [Arg; 2],
     active: bool,
+    pushed: bool,
 }
 
 impl Span {
-    /// Begin a span. When tracing is disabled this is one atomic load and
-    /// the returned guard does nothing on drop.
+    /// Begin a span. When both tracing and profiling are disabled this is
+    /// one relaxed atomic load and the returned guard does nothing on
+    /// drop. When profiling is enabled the span name is additionally
+    /// pushed onto this thread's published stack slot (and popped on
+    /// drop), making the span visible to the CPU sampler and chargeable
+    /// for heap attribution.
     #[inline]
     pub fn enter(name: &'static str) -> Span {
-        if !enabled() {
+        let st = state();
+        if st == 0 {
             return Span {
                 name,
                 start_ns: 0,
                 args: [Arg::default(); 2],
                 active: false,
+                pushed: false,
+            };
+        }
+        let pushed = if st & PROFILE_BIT != 0 {
+            crate::profile::push_frame(name)
+        } else {
+            false
+        };
+        if st & TRACE_BIT == 0 {
+            return Span {
+                name,
+                start_ns: 0,
+                args: [Arg::default(); 2],
+                active: false,
+                pushed,
             };
         }
         Span {
@@ -253,6 +310,7 @@ impl Span {
             start_ns: now_ns(),
             args: [Arg::default(); 2],
             active: true,
+            pushed,
         }
     }
 
@@ -273,6 +331,11 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
+        if self.pushed {
+            // Spans are strictly RAII-scoped locals, so pops are LIFO and
+            // always match the frame this guard pushed.
+            crate::profile::pop_frame();
+        }
         if self.active {
             let end = now_ns();
             record(

@@ -95,6 +95,8 @@ pub struct ServerConfig {
     pub handle_signals: bool,
     /// Expose the test-only `sleep` op.
     pub debug_ops: bool,
+    /// Sampler wake rate for `/debug/profile` captures, in Hz.
+    pub sample_hz: u32,
 }
 
 impl Default for ServerConfig {
@@ -108,6 +110,7 @@ impl Default for ServerConfig {
             backend: QueryBackend::Portfolio,
             handle_signals: false,
             debug_ops: false,
+            sample_hz: rzen_obs::profile::DEFAULT_SAMPLE_HZ,
         }
     }
 }
@@ -200,6 +203,11 @@ struct RespMeta {
     verdict: rzen_obs::VerdictClass,
     backend: rzen_obs::BackendClass,
     flags: u8,
+    /// Heap bytes/allocations the worker spent on this job, measured as
+    /// a delta of its thread tally around execution. Zero unless
+    /// profiling was enabled while the job ran.
+    alloc_bytes: u64,
+    alloc_count: u64,
 }
 
 impl Default for RespMeta {
@@ -208,6 +216,8 @@ impl Default for RespMeta {
             verdict: rzen_obs::VerdictClass::Ok,
             backend: rzen_obs::BackendClass::None,
             flags: 0,
+            alloc_bytes: 0,
+            alloc_count: 0,
         }
     }
 }
@@ -485,7 +495,8 @@ fn run_job(shared: &Arc<Shared>, solver: &ServeWorker, job: Job) {
     } = job;
     let _span = rzen_obs::span!("serve.job", "req" => ctx.id);
     let id = work.id();
-    let resp = catch_unwind(AssertUnwindSafe(|| {
+    let (alloc_bytes0, alloc_count0) = rzen_obs::profile::thread_alloc_stats();
+    let mut resp = catch_unwind(AssertUnwindSafe(|| {
         run_work(shared, solver, work, budget, ctx)
     }))
     .unwrap_or_else(|_| {
@@ -502,6 +513,9 @@ fn run_job(shared: &Arc<Shared>, solver: &ServeWorker, job: Job) {
             },
         )
     });
+    let (alloc_bytes1, alloc_count1) = rzen_obs::profile::thread_alloc_stats();
+    resp.1.alloc_bytes = alloc_bytes1.saturating_sub(alloc_bytes0);
+    resp.1.alloc_count = alloc_count1.saturating_sub(alloc_count0);
     // A gone connection is not an error: the verdict was still published
     // to any coalesced joiners inside run_work.
     let _ = reply.send(resp);
@@ -539,6 +553,7 @@ fn run_work(
                 verdict: result.verdict.class(),
                 backend: result.backend_class(),
                 flags,
+                ..RespMeta::default()
             };
             guard.publish(&result);
             (resp, meta)
@@ -695,6 +710,8 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
         verdict: meta.resp.verdict,
         backend: meta.resp.backend,
         flags: meta.resp.flags,
+        alloc_bytes: meta.resp.alloc_bytes,
+        alloc_count: meta.resp.alloc_count,
     });
     resp
 }
@@ -980,7 +997,12 @@ fn handle_http(
             http_respond(writer, 200, "application/json", &b.document(), head);
         }
         ("GET" | "HEAD", "/metrics") => {
-            let text = rzen_obs::metrics::registry().render_prometheus();
+            // Registry metrics first, then the process-level series
+            // (RSS, CPU seconds, fds, start time, build info) rendered
+            // straight from /proc — those carry float values the integer
+            // registry cannot hold.
+            let mut text = rzen_obs::metrics::registry().render_prometheus();
+            text.push_str(&rzen_obs::process::exposition(env!("CARGO_PKG_VERSION")));
             http_respond(
                 writer,
                 200,
@@ -998,14 +1020,58 @@ fn handle_http(
             http_respond(writer, 200, "application/json", &body, head);
         }
         ("GET" | "HEAD", "/debug/trace") => {
-            let ms = query
-                .split('&')
-                .find_map(|kv| kv.strip_prefix("ms="))
-                .and_then(|v| v.parse::<u64>().ok())
-                .unwrap_or(200)
-                .min(2_000);
+            // Captures hold a serialized lock for the whole window, so
+            // the window is client-chosen only up to MAX_CAPTURE_MS, and
+            // garbage (non-numeric, negative) is a 400 rather than a
+            // silently-defaulted capture.
+            let ms = match capture_window_ms(query) {
+                Ok(ms) => ms,
+                Err(e) => {
+                    let mut b = Body::new();
+                    b.str("error", e);
+                    http_respond(writer, 400, "application/json", &b.document(), head);
+                    return;
+                }
+            };
             let body = capture_trace(Duration::from_millis(ms));
             http_respond(writer, 200, "application/json", &body, head);
+        }
+        ("GET" | "HEAD", "/debug/profile") => {
+            let bad = |writer: &mut TcpStream, msg: &str| {
+                let mut b = Body::new();
+                b.str("error", msg);
+                http_respond(writer, 400, "application/json", &b.document(), head);
+            };
+            let ms = match capture_window_ms(query) {
+                Ok(ms) => ms,
+                Err(e) => {
+                    bad(writer, e);
+                    return;
+                }
+            };
+            let heap = match query_param(query, "view").unwrap_or("cpu") {
+                "cpu" => false,
+                "heap" => true,
+                _ => {
+                    bad(writer, "view must be cpu or heap");
+                    return;
+                }
+            };
+            let svg = match query_param(query, "format").unwrap_or("folded") {
+                "folded" => false,
+                "svg" => true,
+                _ => {
+                    bad(writer, "format must be folded or svg");
+                    return;
+                }
+            };
+            let body = capture_profile(Duration::from_millis(ms), shared.cfg.sample_hz, heap, svg);
+            let content_type = if svg {
+                "image/svg+xml"
+            } else {
+                "text/plain; charset=utf-8"
+            };
+            http_respond(writer, 200, content_type, &body, head);
         }
         ("POST", "/model") => {
             let Some(text) = read_post_body(reader, writer, content_length) else {
@@ -1171,6 +1237,70 @@ fn header_cap_exceeded(writer: &mut TcpStream) {
     let _ = writer.shutdown(Shutdown::Both);
 }
 
+/// Longest `/debug/trace` / `/debug/profile` capture window a client can
+/// request. Captures hold a serialized lock for the whole window; the
+/// cap keeps one curl from parking every later capture for minutes.
+const MAX_CAPTURE_MS: u64 = 10_000;
+
+/// The value of one `key=value` pair in a query string.
+fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query
+        .split('&')
+        .find_map(|kv| kv.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+}
+
+/// Parse the `ms` capture-window parameter: absent defaults to 200,
+/// valid values clamp to [`MAX_CAPTURE_MS`], anything non-numeric or
+/// negative is an error the caller answers with 400.
+fn capture_window_ms(query: &str) -> Result<u64, &'static str> {
+    match query_param(query, "ms") {
+        None => Ok(200),
+        Some(v) => v
+            .parse::<u64>()
+            .map(|ms| ms.min(MAX_CAPTURE_MS))
+            .map_err(|_| "ms must be a non-negative integer"),
+    }
+}
+
+/// On-demand bounded profile capture: reset the folded tables, run the
+/// sampler for `window` at `hz`, and render the requested view. Like
+/// [`capture_trace`], captures are serialized through a mutex so
+/// concurrent `/debug/profile` requests cannot reset each other's
+/// tables mid-window. If the profiler was already running (a
+/// `--sample-hz` CLI run), the window merely harvests what accumulates
+/// and leaves the sampler running.
+fn capture_profile(window: Duration, hz: u32, heap: bool, svg: bool) -> String {
+    static CAPTURE: Mutex<()> = Mutex::new(());
+    let _one_at_a_time = CAPTURE.lock().unwrap();
+    rzen_obs::profile::reset();
+    let started_here = rzen_obs::profile::start(hz);
+    thread::sleep(window);
+    if started_here {
+        rzen_obs::profile::stop();
+    }
+    match (heap, svg) {
+        (false, false) => rzen_obs::profile::render_folded_cpu(),
+        (true, false) => rzen_obs::profile::render_folded_heap(),
+        (false, true) => {
+            let folded = rzen_obs::profile::cpu_folded();
+            let total: u64 = folded.iter().map(|(_, n)| n).sum();
+            rzen_obs::flame::flamegraph_svg(&format!("CPU · {total} samples"), "samples", &folded)
+        }
+        (true, true) => {
+            let folded: Vec<(String, u64)> = rzen_obs::profile::heap_folded()
+                .into_iter()
+                .map(|(stack, bytes, _)| (stack, bytes))
+                .collect();
+            let total: u64 = folded.iter().map(|(_, bytes)| bytes).sum();
+            rzen_obs::flame::flamegraph_svg(
+                &format!("Heap · {total} bytes allocated"),
+                "bytes",
+                &folded,
+            )
+        }
+    }
+}
+
 /// On-demand bounded trace capture: enable tracing for `window`, then
 /// return whatever spans landed as a Chrome trace JSON document.
 ///
@@ -1208,4 +1338,31 @@ fn http_respond(writer: &mut TcpStream, status: u16, content_type: &str, body: &
         body.len(),
         if head { "" } else { body }
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_window_defaults_clamps_and_rejects() {
+        assert_eq!(capture_window_ms(""), Ok(200));
+        assert_eq!(capture_window_ms("view=cpu"), Ok(200));
+        assert_eq!(capture_window_ms("ms=0"), Ok(0));
+        assert_eq!(capture_window_ms("ms=500&view=cpu"), Ok(500));
+        assert_eq!(capture_window_ms("ms=10000"), Ok(MAX_CAPTURE_MS));
+        assert_eq!(capture_window_ms("ms=3600000"), Ok(MAX_CAPTURE_MS));
+        assert!(capture_window_ms("ms=abc").is_err());
+        assert!(capture_window_ms("ms=-5").is_err());
+        assert!(capture_window_ms("ms=1.5").is_err());
+        assert!(capture_window_ms("ms=").is_err());
+    }
+
+    #[test]
+    fn query_param_picks_exact_keys() {
+        assert_eq!(query_param("ms=5&view=cpu", "view"), Some("cpu"));
+        assert_eq!(query_param("ms=5&view=cpu", "ms"), Some("5"));
+        assert_eq!(query_param("msx=5", "ms"), None);
+        assert_eq!(query_param("", "ms"), None);
+    }
 }

@@ -302,6 +302,7 @@ fn cfg(sessions: bool) -> ServerConfig {
         backend: QueryBackend::Portfolio,
         handle_signals: false,
         debug_ops: false,
+        sample_hz: rzen_obs::profile::DEFAULT_SAMPLE_HZ,
     }
 }
 

@@ -1,0 +1,96 @@
+//! Flight-recorder edge sizes: the `--flight-recorder-size 1` case.
+//!
+//! Runs in its own test binary because the flight recorder materializes
+//! its ring lazily at the first record and the capacity is fixed from
+//! then on — the configuration below must land before any other test
+//! writes a record in this process.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use rzen_obs::flight::{self, SmallStr};
+use rzen_obs::{RequestRecord, VerdictClass};
+
+/// A request for capacity 1 floors to the documented minimum of 16 (the
+/// CLI accepts `--flight-recorder-size 1`; a ring smaller than the
+/// writer count would make every snapshot read torn), and the tiny ring
+/// stays consistent under heavy concurrent wrap-around: every record a
+/// reader keeps must be one a writer actually wrote, never a stitch of
+/// two.
+#[test]
+fn size_one_floors_to_sixteen_and_wraps_consistently_under_writers() {
+    flight::set_capacity(1);
+    assert_eq!(
+        flight::capacity(),
+        16,
+        "capacity 1 floors to the documented minimum"
+    );
+
+    // Writers stamp a redundant relation (latency = id * 7, generation =
+    // id ^ TAG) that any torn read would violate.
+    const TAG: u64 = 0xdead_beef;
+    const WRITERS: usize = 8;
+    const PER_WRITER: u64 = 4_000;
+    let stop = Arc::new(AtomicBool::new(false));
+    let writers: Vec<_> = (0..WRITERS as u64)
+        .map(|w| {
+            thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    let id = w * PER_WRITER + i + 1;
+                    flight::record(RequestRecord {
+                        id,
+                        start_us: flight::now_us(),
+                        latency_us: id * 7,
+                        model: 1,
+                        generation: id ^ TAG,
+                        leader: 0,
+                        op: SmallStr::new("wrap"),
+                        src: SmallStr::default(),
+                        dst: SmallStr::default(),
+                        verdict: VerdictClass::Ok,
+                        backend: Default::default(),
+                        flags: 0,
+                        alloc_bytes: id,
+                        alloc_count: id,
+                    });
+                }
+            })
+        })
+        .collect();
+    let reader = {
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut seen = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                for rec in flight::snapshot() {
+                    assert!(rec.id >= 1 && rec.id <= (WRITERS as u64) * PER_WRITER);
+                    assert_eq!(rec.latency_us, rec.id * 7, "torn record survived seqlock");
+                    assert_eq!(rec.generation, rec.id ^ TAG, "torn record survived seqlock");
+                    assert_eq!(rec.op.as_str(), "wrap");
+                    assert_eq!(rec.alloc_bytes, rec.id);
+                    seen += 1;
+                }
+            }
+            seen
+        })
+    };
+    for w in writers {
+        w.join().expect("writer");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let validated = reader.join().expect("reader");
+    assert!(validated > 0, "reader overlapped the writers");
+
+    let after = flight::snapshot();
+    assert!(
+        after.len() <= 16,
+        "a snapshot never exceeds the ring: {}",
+        after.len()
+    );
+    assert!(!after.is_empty(), "the last lap of records is readable");
+    assert!(
+        flight::records_written() >= (WRITERS as u64) * PER_WRITER,
+        "every write counted even though only 16 slots exist"
+    );
+}

@@ -25,6 +25,7 @@ fn cfg(jobs: usize, backlog: usize) -> ServerConfig {
         backend: QueryBackend::Portfolio,
         handle_signals: false,
         debug_ops: true,
+        sample_hz: rzen_obs::profile::DEFAULT_SAMPLE_HZ,
     }
 }
 
@@ -490,6 +491,33 @@ fn debug_trace_capture_carries_request_ids_through_the_stack() {
         body.contains("\"req\":"),
         "trace spans must carry the request id as an argument"
     );
+
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn debug_trace_window_is_validated_and_clamped() {
+    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    // Malformed windows are a client error, not a silent default.
+    for bad in ["/debug/trace?ms=abc", "/debug/trace?ms=-5"] {
+        let (status, body) = http_get(addr, bad);
+        assert!(status.contains("400"), "{bad} -> {status}");
+        assert!(
+            body.contains("non-negative integer"),
+            "the 400 names the problem: {body}"
+        );
+    }
+
+    // The degenerate zero-length window is valid: an immediate, likely
+    // empty capture, not an error. (The 10 s upper clamp is asserted at
+    // the unit level in the serve crate — holding a connection open for
+    // 10 s here would dominate the suite's runtime.)
+    let (status, body) = http_get(addr, "/debug/trace?ms=0");
+    assert!(status.contains("200"), "{status}");
+    rzen_obs::json::validate(&body).expect("ms=0 returns valid (likely empty) JSON");
 
     handle.shutdown();
     handle.join();
