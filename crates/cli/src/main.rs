@@ -491,7 +491,11 @@ fn run_batch(spec: &spec::Spec, flags: &[String], env_trace: Option<String>) {
         let folded = rzen_obs::profile::cpu_folded();
         let samples: u64 = folded.iter().map(|(_, n)| n).sum();
         let out = if path.ends_with(".svg") {
-            rzen_obs::flame::flamegraph_svg(&format!("CPU · {samples} samples"), "samples", &folded)
+            rzen_obs::flame::flamegraph_svg(
+                &format!("CPU view · {samples} wall-clock span samples"),
+                "samples",
+                &folded,
+            )
         } else {
             rzen_obs::profile::render_folded_cpu()
         };

@@ -176,7 +176,7 @@ fn color(name: &str) -> String {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for byte in name.bytes() {
         hash ^= u64::from(byte);
-        hash = hash.wrapping_mul(0x1_0000_01b3);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
     }
     let r = 205 + (hash % 50) as u8;
     let g = 80 + ((hash >> 8) % 110) as u8;

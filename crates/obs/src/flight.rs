@@ -5,7 +5,7 @@
 //! operation" (and must be switched on), the flight recorder answers
 //! "which requests went through this process recently, and which were
 //! slow" — continuously, at a cost low enough to leave on in production:
-//! one atomic ticket fetch plus a seqlock-protected 128-byte write per
+//! one atomic ticket fetch plus a seqlock-protected 15-word write per
 //! *request* (not per event), and no allocation anywhere on the record
 //! path.
 //!
@@ -22,18 +22,20 @@
 //!
 //! The ring is a fixed array of seqlock slots. A writer claims a slot
 //! with one `fetch_add` on the head ticket, marks the slot's sequence
-//! odd, writes the record, and publishes an even sequence. Readers
-//! ([`snapshot`]) sample each slot's sequence before and after copying
-//! and discard torn reads. Writers never wait on readers or on each
-//! other; a reader racing a writer simply skips that slot.
+//! odd, writes the record as relaxed word stores, and publishes an even
+//! sequence. Readers ([`snapshot`]) sample each slot's sequence before
+//! and after copying and discard torn reads. The record payload is held
+//! as relaxed `AtomicU64` words rather than a plain struct so that a
+//! read racing a write is *defined* (and then discarded by the sequence
+//! check) instead of a data race. Writers never wait on readers or on
+//! each other; a reader racing a writer simply skips that slot.
 //!
 //! The slow table keeps the K largest-latency records seen since
 //! startup. Requests faster than the table's current minimum skip the
 //! lock entirely (one relaxed atomic load); only candidate slow requests
 //! take the small mutex.
 
-use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -69,6 +71,32 @@ impl SmallStr {
     /// The stored text.
     pub fn as_str(&self) -> &str {
         std::str::from_utf8(&self.buf[..self.len as usize]).unwrap_or("")
+    }
+
+    /// Pack into two little-endian words for the ring's atomic slots.
+    fn pack(self) -> [u64; 2] {
+        let mut bytes = [0u8; 16];
+        bytes[0] = self.len;
+        bytes[1..].copy_from_slice(&self.buf);
+        [
+            u64::from_le_bytes(bytes[..8].try_into().unwrap()),
+            u64::from_le_bytes(bytes[8..].try_into().unwrap()),
+        ]
+    }
+
+    /// Inverse of [`SmallStr::pack`]. The length is clamped defensively;
+    /// `as_str` additionally validates UTF-8, so arbitrary words can
+    /// never produce an invalid string.
+    fn unpack(words: [u64; 2]) -> SmallStr {
+        let mut bytes = [0u8; 16];
+        bytes[..8].copy_from_slice(&words[0].to_le_bytes());
+        bytes[8..].copy_from_slice(&words[1].to_le_bytes());
+        let mut buf = [0u8; 15];
+        buf.copy_from_slice(&bytes[1..]);
+        SmallStr {
+            len: bytes[0].min(15),
+            buf,
+        }
     }
 }
 
@@ -120,6 +148,24 @@ impl VerdictClass {
         }
     }
 
+    /// Inverse of `self as u8` for ring decoding; unknown values (which
+    /// a validated seqlock read never produces) fall back to the default.
+    fn from_u8(v: u8) -> VerdictClass {
+        match v {
+            0 => VerdictClass::Sat,
+            1 => VerdictClass::Unsat,
+            2 => VerdictClass::Timeout,
+            3 => VerdictClass::Cancelled,
+            5 => VerdictClass::Ok,
+            6 => VerdictClass::Overloaded,
+            7 => VerdictClass::ShuttingDown,
+            8 => VerdictClass::BadRequest,
+            9 => VerdictClass::ResolveFailed,
+            10 => VerdictClass::WorkerLost,
+            _ => VerdictClass::Error,
+        }
+    }
+
     /// Did the request fail at the serve layer (as opposed to carrying an
     /// engine verdict or a normal non-verdict answer)?
     pub fn is_serve_error(self) -> bool {
@@ -158,6 +204,16 @@ impl BackendClass {
             BackendClass::Bdd => "bdd",
             BackendClass::Smt => "smt",
             BackendClass::Cache => "cache",
+        }
+    }
+
+    /// Inverse of `self as u8` for ring decoding.
+    fn from_u8(v: u8) -> BackendClass {
+        match v {
+            1 => BackendClass::Bdd,
+            2 => BackendClass::Smt,
+            3 => BackendClass::Cache,
+            _ => BackendClass::None,
         }
     }
 }
@@ -204,7 +260,59 @@ pub struct RequestRecord {
     pub alloc_count: u64,
 }
 
+/// Words per encoded [`RequestRecord`] in a ring slot.
+const RECORD_WORDS: usize = 15;
+
 impl RequestRecord {
+    /// Encode into the ring's fixed word layout: eight u64 fields, three
+    /// packed [`SmallStr`]s, and one word of verdict/backend/flags bytes.
+    /// Explicit (de)serialization — rather than transmuting the struct —
+    /// keeps the atomic slot words free of padding/uninit bytes.
+    fn encode(&self) -> [u64; RECORD_WORDS] {
+        let op = self.op.pack();
+        let src = self.src.pack();
+        let dst = self.dst.pack();
+        [
+            self.id,
+            self.start_us,
+            self.latency_us,
+            self.model,
+            self.generation,
+            self.leader,
+            self.alloc_bytes,
+            self.alloc_count,
+            op[0],
+            op[1],
+            src[0],
+            src[1],
+            dst[0],
+            dst[1],
+            u64::from(self.verdict as u8)
+                | u64::from(self.backend as u8) << 8
+                | u64::from(self.flags) << 16,
+        ]
+    }
+
+    /// Inverse of [`RequestRecord::encode`].
+    fn decode(words: &[u64; RECORD_WORDS]) -> RequestRecord {
+        RequestRecord {
+            id: words[0],
+            start_us: words[1],
+            latency_us: words[2],
+            model: words[3],
+            generation: words[4],
+            leader: words[5],
+            alloc_bytes: words[6],
+            alloc_count: words[7],
+            op: SmallStr::unpack([words[8], words[9]]),
+            src: SmallStr::unpack([words[10], words[11]]),
+            dst: SmallStr::unpack([words[12], words[13]]),
+            verdict: VerdictClass::from_u8(words[14] as u8),
+            backend: BackendClass::from_u8((words[14] >> 8) as u8),
+            flags: (words[14] >> 16) as u8,
+        }
+    }
+
     /// Render as one JSON object (no trailing newline).
     pub fn to_json(&self) -> String {
         format!(
@@ -260,16 +368,14 @@ impl RequestCtx {
 }
 
 /// One seqlock slot: an odd sequence marks a write in progress; a reader
-/// accepts a copy only when the sequence was even and unchanged around it.
+/// accepts a copy only when the sequence was even and unchanged around
+/// it. The payload is relaxed `AtomicU64` words (the encoded record) so
+/// a read racing a write yields defined — if torn — values that the
+/// sequence check then discards; no `unsafe` anywhere on this path.
 struct Slot {
     seq: AtomicU64,
-    data: UnsafeCell<RequestRecord>,
+    words: [AtomicU64; RECORD_WORDS],
 }
-
-// SAFETY: `data` is only read through the seqlock protocol — readers
-// validate `seq` around the copy and discard torn reads; `RequestRecord`
-// is `Copy` with no padding-sensitive invariants.
-unsafe impl Sync for Slot {}
 
 struct Ring {
     slots: Box<[Slot]>,
@@ -293,7 +399,7 @@ fn new_flight(capacity: usize) -> Flight {
     let slots = (0..capacity)
         .map(|_| Slot {
             seq: AtomicU64::new(0),
-            data: UnsafeCell::new(RequestRecord::default()),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
         })
         .collect();
     Flight {
@@ -331,20 +437,25 @@ pub fn now_us() -> u64 {
 }
 
 /// Append one finished request. Lock-free: one `fetch_add` plus a
-/// seqlock-guarded 128-byte store; never allocates, never blocks.
+/// seqlock-guarded 15-word store; never allocates, never blocks.
 pub fn record(rec: RequestRecord) {
     let f = flight();
     let ticket = f.ring.head.fetch_add(1, Ordering::Relaxed);
     let slot = &f.ring.slots[(ticket % f.ring.slots.len() as u64) as usize];
     // Claim: odd sequence tells readers a write is in progress. Two
     // writers can only collide on a slot a full ring-lap apart; the
-    // sequence still changes, so a reader spanning both discards.
+    // sequence still changes, so a reader spanning both discards. The
+    // release fence keeps the relaxed data stores below from becoming
+    // visible before the odd claim — a reader that observes any of them
+    // (relaxed loads + acquire fence) then re-reads `seq` and sees the
+    // odd value. A release *store* of the claim would not give that
+    // ordering; release only orders earlier operations.
     let claimed = ticket.wrapping_mul(2).wrapping_add(1);
-    slot.seq.store(claimed, Ordering::Release);
-    // SAFETY: readers validate `seq` around their copy (see `snapshot`);
-    // a concurrent lap-apart writer makes the record contents undefined
-    // for readers, but the sequence mismatch discards that read.
-    unsafe { *slot.data.get() = rec };
+    slot.seq.store(claimed, Ordering::Relaxed);
+    fence(Ordering::Release);
+    for (word, value) in slot.words.iter().zip(rec.encode()) {
+        word.store(value, Ordering::Relaxed);
+    }
     slot.seq.store(claimed.wrapping_add(1), Ordering::Release);
 
     // Slow-table admission. Fast path: one relaxed load against the
@@ -396,12 +507,18 @@ pub fn snapshot() -> Vec<RequestRecord> {
         if s1 % 2 == 1 {
             continue;
         }
-        // SAFETY: seqlock read — the copy is only kept when the sequence
-        // is even and unchanged across it.
-        let copy = unsafe { *slot.data.get() };
-        let s2 = slot.seq.load(Ordering::Acquire);
+        let mut words = [0u64; RECORD_WORDS];
+        for (copy, word) in words.iter_mut().zip(&slot.words) {
+            *copy = word.load(Ordering::Relaxed);
+        }
+        // The acquire fence keeps the relaxed data loads above from
+        // sinking below the `seq` re-read: a load that raced a writer's
+        // store makes that writer's odd claim visible to the re-read
+        // (release fence in `record`), so the copy is discarded.
+        fence(Ordering::Acquire);
+        let s2 = slot.seq.load(Ordering::Relaxed);
         if s1 == s2 && s1 != 0 {
-            out.push(copy);
+            out.push(RequestRecord::decode(&words));
         }
     }
     out
@@ -491,6 +608,44 @@ mod tests {
         // Multi-byte char straddling the cut is dropped whole.
         let uni = "aaaaaaaaaaaaaa\u{00e9}"; // 14 ASCII + 2-byte é = 16 bytes
         assert_eq!(SmallStr::new(uni).as_str(), "aaaaaaaaaaaaaa");
+    }
+
+    #[test]
+    fn record_encoding_round_trips() {
+        let mut r = rec(12_345, 678);
+        r.start_us = 11;
+        r.model = u64::MAX;
+        r.generation = 7;
+        r.leader = 9;
+        r.alloc_bytes = 1 << 40;
+        r.alloc_count = 3;
+        r.flags = FLAG_CACHE_HIT | FLAG_SESSION;
+        // to_json covers every field, so equal JSON means a faithful trip.
+        assert_eq!(RequestRecord::decode(&r.encode()).to_json(), r.to_json());
+
+        for verdict in [
+            VerdictClass::Sat,
+            VerdictClass::Unsat,
+            VerdictClass::Timeout,
+            VerdictClass::Cancelled,
+            VerdictClass::Error,
+            VerdictClass::Ok,
+            VerdictClass::Overloaded,
+            VerdictClass::ShuttingDown,
+            VerdictClass::BadRequest,
+            VerdictClass::ResolveFailed,
+            VerdictClass::WorkerLost,
+        ] {
+            assert_eq!(VerdictClass::from_u8(verdict as u8), verdict);
+        }
+        for backend in [
+            BackendClass::None,
+            BackendClass::Bdd,
+            BackendClass::Smt,
+            BackendClass::Cache,
+        ] {
+            assert_eq!(BackendClass::from_u8(backend as u8), backend);
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! does not fit that model, so this module renders the conventional
 //! `process_*` family directly as exposition text that the server
 //! appends to `/metrics` after the registry output. Everything is read
-//! on scrape from `/proc/self/{statm,stat,fd}` — no background thread,
+//! on scrape from `/proc/self/{status,stat,fd}` — no background thread,
 //! no caching. On platforms without `/proc` the process series are
 //! simply absent (the `rzen_build_info` gauge is always emitted).
 
@@ -17,11 +17,6 @@ use std::fmt::Write as _;
 /// at runtime would need `sysconf(_SC_CLK_TCK)`, which is out of reach
 /// without libc bindings.
 const USER_HZ: f64 = 100.0;
-
-/// Bytes per page for `/proc/self/statm`. 4 KiB on x86-64 and the
-/// default aarch64 configuration; like `USER_HZ`, the authoritative
-/// value needs `sysconf`, so the conventional default is used.
-const PAGE_SIZE: u64 = 4096;
 
 /// Render the `process_*` series plus `rzen_build_info{version=...} 1`
 /// as Prometheus exposition text. Families whose `/proc` source cannot
@@ -59,11 +54,21 @@ pub fn exposition(version: &str) -> String {
     out
 }
 
-/// Resident set size in bytes (`/proc/self/statm` field 2 × page size).
+/// Resident set size in bytes, from the `VmRSS` line of
+/// `/proc/self/status`. That line reports in kB, which sidesteps the
+/// page size entirely — `/proc/self/statm` counts pages, and hardcoding
+/// 4096 would be 4–16× off on 16K/64K-page aarch64 kernels.
 pub fn resident_memory_bytes() -> Option<u64> {
-    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
-    let resident_pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
-    Some(resident_pages * PAGE_SIZE)
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let kb: u64 = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmRSS:"))?
+        .trim()
+        .strip_suffix("kB")?
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024)
 }
 
 /// User + system CPU seconds consumed by the process so far.

@@ -2,15 +2,23 @@
 //!
 //! Two profile sources share one enablement bit (see [`crate::trace`]):
 //!
-//! * **CPU span-stack sampler.** Every instrumented thread publishes its
-//!   current span stack into a fixed-size per-thread [`StackSlot`]
-//!   guarded by a seqlock — the same write-side discipline as the flight
-//!   recorder in [`crate::flight`]. A dedicated sampler thread wakes at a
-//!   configurable rate (default [`DEFAULT_SAMPLE_HZ`]), snapshots every
-//!   live thread's stack without stopping it, and accumulates folded
-//!   stacks (`a;b;c count`) in a sharded hash table. No signals are
-//!   involved, so the sampler is portable and async-signal-safety is a
-//!   non-issue by construction.
+//! * **Span-stack sampler (the "cpu" view).** Every instrumented thread
+//!   publishes its current span stack into a fixed-size per-thread
+//!   [`StackSlot`] guarded by a seqlock — the same write-side discipline
+//!   as the flight recorder in [`crate::flight`]. A dedicated sampler
+//!   thread wakes at a configurable rate (default
+//!   [`DEFAULT_SAMPLE_HZ`]), snapshots every live thread's stack without
+//!   stopping it, and accumulates folded stacks (`a;b;c count`) in a
+//!   sharded hash table. No signals are involved, so the sampler is
+//!   portable and async-signal-safety is a non-issue by construction.
+//!
+//!   The samples are **wall-clock**, not on-CPU: a thread is charged for
+//!   every tick its span stack is open, including time spent blocked on
+//!   a lock, on I/O, or sleeping. For spans that never block the view
+//!   coincides with CPU time; for ones that do (lock waits, the debug
+//!   `sleep` op) it shows where *wall* time goes — which is usually the
+//!   more actionable number for latency work, and is what the "wall"
+//!   labels in the rendered output mean.
 //!
 //! * **Heap attribution.** [`CountingAlloc`] is a `#[global_allocator]`
 //!   wrapper over the system allocator. While profiling is enabled it
@@ -38,9 +46,9 @@
 //! holds the 99 Hz profiling arm within a few percent of baseline.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::{Cell, RefCell, UnsafeCell};
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -64,45 +72,60 @@ const SHARDS: usize = 16;
 // Per-thread published span stacks (seqlock, owner-writer / sampler-reader)
 // ---------------------------------------------------------------------------
 
+/// One published stack frame: the raw `(ptr, len)` parts of a
+/// `&'static str` span name, held as relaxed atomics so the sampler's
+/// concurrent reads are defined even when they race a write (the seqlock
+/// then discards the torn copy — tearing is detected, never UB).
+struct Frame {
+    ptr: AtomicPtr<u8>,
+    len: AtomicUsize,
+}
+
 /// One thread's published span stack. The owning thread is the only
 /// writer; the sampler reads under the seqlock protocol (odd sequence =
 /// write in progress; a copy is kept only when the sequence was even and
-/// unchanged around it). Frames are stored as raw `(ptr, len)` parts of
-/// `&'static str` names and only reconstructed after a validated read,
-/// so a torn read never materializes an invalid `&str`.
+/// unchanged around it). All data fields are relaxed atomics — the
+/// seqlock only provides *consistency* (via the fences in
+/// [`StackSlot::begin_write`]/[`read_stack`]); per-word atomicity is
+/// what makes the racing reads defined at all. Frames are reconstructed
+/// into `&str`s only after a validated read, so a torn read never
+/// materializes an invalid `&str`.
 struct StackSlot {
     seq: AtomicU64,
-    depth: UnsafeCell<usize>,
-    frames: UnsafeCell<[(*const u8, usize); MAX_STACK_DEPTH]>,
+    depth: AtomicUsize,
+    frames: [Frame; MAX_STACK_DEPTH],
     alive: AtomicBool,
 }
-
-// SAFETY: `depth`/`frames` are only written by the owning thread between
-// seqlock begin/end, and only read by the sampler under sequence
-// validation that discards torn copies. The raw pointers are the parts
-// of `&'static str` literals, valid for the program lifetime.
-unsafe impl Send for StackSlot {}
-unsafe impl Sync for StackSlot {}
 
 impl StackSlot {
     fn new() -> StackSlot {
         StackSlot {
             seq: AtomicU64::new(0),
-            depth: UnsafeCell::new(0),
-            frames: UnsafeCell::new([(std::ptr::null(), 0); MAX_STACK_DEPTH]),
+            depth: AtomicUsize::new(0),
+            frames: std::array::from_fn(|_| Frame {
+                ptr: AtomicPtr::new(std::ptr::null_mut()),
+                len: AtomicUsize::new(0),
+            }),
             alive: AtomicBool::new(true),
         }
     }
 
-    /// Owner-side: mark a write in progress (sequence becomes odd).
+    /// Owner-side: mark a write in progress (sequence becomes odd). The
+    /// release fence keeps the subsequent relaxed data stores from
+    /// becoming visible before the odd sequence: a reader that observes
+    /// any of them (relaxed loads + acquire fence) then re-reads `seq`
+    /// and sees the odd value, so the copy is discarded. A plain release
+    /// *store* would not do this — release only orders *earlier* ops.
     #[inline]
     fn begin_write(&self) -> u64 {
         let odd = self.seq.load(Ordering::Relaxed).wrapping_add(1);
-        self.seq.store(odd, Ordering::Release);
+        self.seq.store(odd, Ordering::Relaxed);
+        fence(Ordering::Release);
         odd
     }
 
-    /// Owner-side: publish the write (sequence becomes even again).
+    /// Owner-side: publish the write (sequence becomes even again). The
+    /// release store orders the preceding data stores before it.
     #[inline]
     fn end_write(&self, odd: u64) {
         self.seq.store(odd.wrapping_add(1), Ordering::Release);
@@ -118,12 +141,21 @@ fn read_stack(slot: &StackSlot) -> Option<Vec<&'static str>> {
             std::hint::spin_loop();
             continue;
         }
-        // SAFETY: seqlock read — the copy is only kept when the sequence
-        // is even and unchanged across it, so the (ptr, len) pairs below
-        // are never reconstructed from a torn write.
-        let (depth, raw) =
-            unsafe { ((*slot.depth.get()).min(MAX_STACK_DEPTH), *slot.frames.get()) };
-        let s2 = slot.seq.load(Ordering::Acquire);
+        let depth = slot.depth.load(Ordering::Relaxed).min(MAX_STACK_DEPTH);
+        let mut raw = [(std::ptr::null::<u8>(), 0usize); MAX_STACK_DEPTH];
+        for (copy, frame) in raw[..depth].iter_mut().zip(&slot.frames) {
+            *copy = (
+                frame.ptr.load(Ordering::Relaxed) as *const u8,
+                frame.len.load(Ordering::Relaxed),
+            );
+        }
+        // The acquire fence keeps the relaxed data loads above from
+        // sinking below the `seq` re-read: if any of them raced a
+        // writer's store, the writer's preceding odd sequence (release
+        // fence in `begin_write`) is visible to the load below and the
+        // copy is discarded.
+        fence(Ordering::Acquire);
+        let s2 = slot.seq.load(Ordering::Relaxed);
         if s1 != s2 {
             continue;
         }
@@ -154,8 +186,7 @@ struct SlotGuard(Arc<StackSlot>);
 impl Drop for SlotGuard {
     fn drop(&mut self) {
         let odd = self.0.begin_write();
-        // SAFETY: owner-side write under the seqlock.
-        unsafe { *self.0.depth.get() = 0 };
+        self.0.depth.store(0, Ordering::Relaxed);
         self.0.end_write(odd);
         self.0.alive.store(false, Ordering::Release);
     }
@@ -186,16 +217,17 @@ pub(crate) fn push_frame(name: &'static str) -> bool {
         });
         let slot = &guard.0;
         flush_pending(slot);
-        // SAFETY: owner-side reads/writes under the seqlock.
-        unsafe {
-            let depth = *slot.depth.get();
-            let odd = slot.begin_write();
-            if depth < MAX_STACK_DEPTH {
-                (*slot.frames.get())[depth] = (name.as_ptr(), name.len());
-            }
-            *slot.depth.get() = depth + 1;
-            slot.end_write(odd);
+        // Owner-side relaxed loads/stores: this thread is the only writer.
+        let depth = slot.depth.load(Ordering::Relaxed);
+        let odd = slot.begin_write();
+        if depth < MAX_STACK_DEPTH {
+            slot.frames[depth]
+                .ptr
+                .store(name.as_ptr() as *mut u8, Ordering::Relaxed);
+            slot.frames[depth].len.store(name.len(), Ordering::Relaxed);
         }
+        slot.depth.store(depth + 1, Ordering::Relaxed);
+        slot.end_write(odd);
         true
     })
     .unwrap_or(false)
@@ -210,33 +242,31 @@ pub(crate) fn pop_frame() {
         if let Some(guard) = slot.as_ref() {
             let slot = &guard.0;
             flush_pending(slot);
-            // SAFETY: owner-side reads/writes under the seqlock.
-            unsafe {
-                let depth = *slot.depth.get();
-                if depth == 0 {
-                    return;
-                }
-                let odd = slot.begin_write();
-                *slot.depth.get() = depth - 1;
-                slot.end_write(odd);
+            let depth = slot.depth.load(Ordering::Relaxed);
+            if depth == 0 {
+                return;
             }
+            let odd = slot.begin_write();
+            slot.depth.store(depth - 1, Ordering::Relaxed);
+            slot.end_write(odd);
         }
     });
 }
 
 /// Owner-side copy of this thread's current stack (no seqlock needed:
-/// the owner is the only writer).
+/// the owner is the only writer, so relaxed loads see its own stores).
 fn own_stack(slot: &StackSlot) -> Vec<&'static str> {
-    // SAFETY: owner-side read; the raw parts were written by this thread
-    // from `&'static str` names.
-    unsafe {
-        let depth = (*slot.depth.get()).min(MAX_STACK_DEPTH);
-        let frames = &(*slot.frames.get());
-        frames[..depth]
-            .iter()
-            .map(|&(ptr, len)| std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr, len)))
-            .collect()
-    }
+    let depth = slot.depth.load(Ordering::Relaxed).min(MAX_STACK_DEPTH);
+    slot.frames[..depth]
+        .iter()
+        .map(|frame| {
+            let ptr = frame.ptr.load(Ordering::Relaxed) as *const u8;
+            let len = frame.len.load(Ordering::Relaxed);
+            // SAFETY: owner-side read of the raw parts this thread wrote
+            // from `&'static str` names.
+            unsafe { std::str::from_utf8_unchecked(std::slice::from_raw_parts(ptr, len)) }
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -305,7 +335,7 @@ fn stack_hash(frames: &[&'static str]) -> u64 {
     for frame in frames {
         for &part in &[frame.as_ptr() as u64, frame.len() as u64] {
             hash ^= part;
-            hash = hash.wrapping_mul(0x1_0000_01b3);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
         }
     }
     hash
@@ -587,8 +617,9 @@ pub fn reset() {
     HEAP_BASE_BYTES.store(G_ALLOC_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
 }
 
-/// The accumulated CPU view as `(folded-stack, samples)` rows, sorted by
-/// descending sample count.
+/// The accumulated "cpu" view — wall-clock span-stack samples, see the
+/// module docs — as `(folded-stack, samples)` rows, sorted by descending
+/// sample count.
 pub fn cpu_folded() -> Vec<(String, u64)> {
     cpu_table()
         .rows()
@@ -677,12 +708,17 @@ mod tests {
         let deadline = std::time::Instant::now() + Duration::from_secs(10);
         let mut seen = false;
         while !seen && std::time::Instant::now() < deadline {
-            let _outer = crate::span!("test.profile.outer");
-            for _ in 0..200 {
+            {
+                let _outer = crate::span!("test.profile.outer");
                 let _inner = crate::span!("test.profile.inner");
-                std::hint::black_box(vec![0u8; 64]);
+                for _ in 0..200 {
+                    std::hint::black_box(vec![0u8; 64]);
+                }
+                // Samples are wall-clock: the nested stack stays published
+                // while this thread sleeps, so the sampler cannot miss it
+                // even when test parallelism delays its wakes.
+                std::thread::sleep(Duration::from_millis(2));
             }
-            std::thread::sleep(Duration::from_millis(2));
             seen = cpu_folded()
                 .iter()
                 .any(|(stack, _)| stack == "test.profile.outer;test.profile.inner");

@@ -1263,7 +1263,11 @@ fn capture_window_ms(query: &str) -> Result<u64, &'static str> {
 }
 
 /// On-demand bounded profile capture: reset the folded tables, run the
-/// sampler for `window` at `hz`, and render the requested view. Like
+/// sampler for `window` at `hz`, and render the requested view. The
+/// `cpu` view is a *wall-clock* span-stack profile — a thread is charged
+/// for every tick its span stack is open, blocked or not (see the
+/// `rzen_obs::profile` module docs) — so blocking spans like the debug
+/// `sleep` op show their full wall time, not their CPU time. Like
 /// [`capture_trace`], captures are serialized through a mutex so
 /// concurrent `/debug/profile` requests cannot reset each other's
 /// tables mid-window. If the profiler was already running (a
@@ -1284,7 +1288,11 @@ fn capture_profile(window: Duration, hz: u32, heap: bool, svg: bool) -> String {
         (false, true) => {
             let folded = rzen_obs::profile::cpu_folded();
             let total: u64 = folded.iter().map(|(_, n)| n).sum();
-            rzen_obs::flame::flamegraph_svg(&format!("CPU · {total} samples"), "samples", &folded)
+            rzen_obs::flame::flamegraph_svg(
+                &format!("CPU view · {total} wall-clock span samples"),
+                "samples",
+                &folded,
+            )
         }
         (true, true) => {
             let folded: Vec<(String, u64)> = rzen_obs::profile::heap_folded()
