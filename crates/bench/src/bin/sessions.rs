@@ -11,8 +11,17 @@
 //!
 //! Usage:
 //!   cargo run --release -p rzen-bench --bin sessions -- [jobs] [acl_rules] [lines_per_acl]
+//!       [--short] [--only BACKEND] [--families acl|fabric|all]
+//!       [--gate-smt RATIO] [--profile PATH]
 //!
-//! Emits CSV on stdout and into results/session_speedup.csv.
+//! `--short` shrinks the workload for CI smoke runs; `--only` restricts to
+//! one backend; `--families` restricts to one query-family kind;
+//! `--gate-smt R` exits non-zero unless the smt session speedup is ≥ R;
+//! `--profile P` writes a folded CPU profile (or a flamegraph if P ends
+//! in `.svg`) covering the measured runs.
+//!
+//! Emits CSV on stdout and into results/session_speedup.csv (skipped in
+//! `--short`/`--only` runs, which measure a partial workload).
 
 use std::time::Instant;
 
@@ -20,8 +29,11 @@ use rzen_bench::write_csv;
 use rzen_engine::{BatchReport, Engine, EngineConfig, Query, QueryBackend, Verdict};
 use rzen_net::gen::{random_acl, spine_leaf};
 
-fn build_queries(acl_rules: usize, lines_per_acl: usize) -> Vec<Query> {
+fn build_queries(acl_rules: usize, lines_per_acl: usize, families: &str) -> Vec<Query> {
     let mut queries = Vec::new();
+    if families == "fabric" {
+        return fabric_queries(queries);
+    }
     // Three ACL families: each family shares one model and probes many
     // lines, so each family's 2nd..nth query can reuse the session.
     for seed in 0..3u64 {
@@ -36,8 +48,15 @@ fn build_queries(acl_rules: usize, lines_per_acl: usize) -> Vec<Query> {
             });
         }
     }
-    // All-pairs reach + drops over one spine-leaf fabric: every query
-    // shares the forwarding model.
+    if families == "acl" {
+        return queries;
+    }
+    fabric_queries(queries)
+}
+
+/// All-pairs reach + drops over one spine-leaf fabric: every query
+/// shares the forwarding model.
+fn fabric_queries(mut queries: Vec<Query>) -> Vec<Query> {
     let n_spines = 2;
     let n_leaves = 4;
     let net = spine_leaf(n_spines, n_leaves);
@@ -97,14 +116,39 @@ fn kind(v: &Verdict) -> &'static str {
 fn main() {
     rzen_obs::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let jobs: usize = args.first().map(|s| s.parse().unwrap()).unwrap_or(2);
-    let acl_rules: usize = args.get(1).map(|s| s.parse().unwrap()).unwrap_or(300);
-    let lines_per_acl: usize = args.get(2).map(|s| s.parse().unwrap()).unwrap_or(12);
+    let mut positional: Vec<usize> = Vec::new();
+    let mut short = false;
+    let mut families = "all".to_string();
+    let mut only: Option<String> = None;
+    let mut gate_smt: Option<f64> = None;
+    let mut profile: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--short" => short = true,
+            "--families" => families = it.next().expect("--families needs acl|fabric|all").clone(),
+            "--only" => only = Some(it.next().expect("--only needs a backend").clone()),
+            "--gate-smt" => {
+                gate_smt = Some(
+                    it.next()
+                        .expect("--gate-smt needs a ratio")
+                        .parse()
+                        .expect("--gate-smt ratio must be a number"),
+                )
+            }
+            "--profile" => profile = Some(it.next().expect("--profile needs a path").clone()),
+            other => positional.push(other.parse().expect("positional args are numbers")),
+        }
+    }
+    let (def_rules, def_lines) = if short { (120, 6) } else { (300, 12) };
+    let jobs: usize = positional.first().copied().unwrap_or(2);
+    let acl_rules: usize = positional.get(1).copied().unwrap_or(def_rules);
+    let lines_per_acl: usize = positional.get(2).copied().unwrap_or(def_lines);
 
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let queries = build_queries(acl_rules, lines_per_acl);
+    let queries = build_queries(acl_rules, lines_per_acl, &families);
     println!(
         "# Session reuse: {} queries, {} workers, host parallelism {}",
         queries.len(),
@@ -117,14 +161,32 @@ fn main() {
     // Warm up code paths and the allocator.
     run(&queries, jobs, QueryBackend::Bdd, false);
 
-    let mut rows = Vec::new();
-    for backend in [
+    if profile.is_some() {
+        rzen_obs::profile::reset();
+        rzen_obs::profile::start(499);
+    }
+    let backends: Vec<QueryBackend> = [
         QueryBackend::Bdd,
         QueryBackend::Smt,
         QueryBackend::Portfolio,
-    ] {
+    ]
+    .into_iter()
+    .filter(|b| match only.as_deref() {
+        None => true,
+        Some("bdd") => *b == QueryBackend::Bdd,
+        Some("smt") => *b == QueryBackend::Smt,
+        Some("portfolio") => *b == QueryBackend::Portfolio,
+        Some(other) => panic!("unknown --only backend: {other}"),
+    })
+    .collect();
+    let mut smt_session_speedup: Option<f64> = None;
+    let mut rows = Vec::new();
+    for backend in backends {
         let (fresh_ms, fresh) = run(&queries, jobs, backend, false);
         let (sess_ms, sess) = run(&queries, jobs, backend, true);
+        if backend == QueryBackend::Smt {
+            smt_session_speedup = Some(fresh_ms / sess_ms);
+        }
         for (f, s) in fresh.results.iter().zip(&sess.results) {
             assert_eq!(
                 kind(&f.verdict),
@@ -161,7 +223,37 @@ fn main() {
         }
     }
 
-    if let Ok(path) = write_csv("session_speedup.csv", header, &rows) {
-        eprintln!("wrote {}", path.display());
+    if let Some(path) = &profile {
+        rzen_obs::profile::stop();
+        let folded = rzen_obs::profile::cpu_folded();
+        let samples: u64 = folded.iter().map(|(_, n)| n).sum();
+        let out = if path.ends_with(".svg") {
+            rzen_obs::flame::flamegraph_svg(
+                &format!("sessions bench · {samples} span samples"),
+                "samples",
+                &folded,
+            )
+        } else {
+            rzen_obs::profile::render_folded_cpu()
+        };
+        std::fs::write(path, out).expect("cannot write profile");
+        eprintln!("cpu profile -> {path} ({samples} samples)");
+    }
+
+    // Partial runs measure a partial workload; don't overwrite the
+    // committed full-workload CSV with them.
+    if !short && only.is_none() && families == "all" {
+        if let Ok(path) = write_csv("session_speedup.csv", header, &rows) {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    if let Some(gate) = gate_smt {
+        let got = smt_session_speedup.expect("--gate-smt requires the smt backend to run");
+        if got < gate {
+            eprintln!("FAIL: smt session speedup {got:.2}x < gate {gate:.2}x");
+            std::process::exit(1);
+        }
+        eprintln!("gate ok: smt session speedup {got:.2}x >= {gate:.2}x");
     }
 }

@@ -35,7 +35,7 @@ use rzen_bdd::{Bdd, BddManager, BddStats, FastHashMap};
 use rzen_sat::{Lit, SolveStatus, Stats};
 
 use crate::backend::bdd::{env_from_levels, BddAlg};
-use crate::backend::bitblast::{BitCompiler, SymVal};
+use crate::backend::bitblast::{children, BitCompiler, SymVal};
 use crate::backend::ordering::{extend_order, VarOrder};
 use crate::backend::smt::{extract_env, CLit, CnfAlg};
 use crate::backend::SolveOutcome;
@@ -169,14 +169,152 @@ impl SolverSession {
 struct SmtSession {
     alg: CnfAlg,
     cache: FastHashMap<u32, Rc<SymVal<CLit>>>,
+    /// Last query index (0-based, = `retired` at compile time) that looked
+    /// up or compiled each cache key. A cache hit does not descend into
+    /// the node's children, so interior nodes of a stable sub-DAG go stale
+    /// here even while their root stays hot — which is what lets
+    /// inprocessing eliminate their circuitry (see [`SmtSession::quiesce`]).
+    last_touch: FastHashMap<u32, u64>,
+    /// Retired queries since session start; stamps `last_touch`.
+    retired: u64,
+    /// `Stats::vars_created` right after the last inprocessing pass, for
+    /// the growth-based inprocessing trigger. The monotone creation
+    /// counter (not `num_vars`) is what must be metered: with index
+    /// recycling the variable count plateaus even while queries keep
+    /// compiling fresh circuitry.
+    inprocess_created: u64,
 }
+
+/// Inprocess when at least this many variables were created since the
+/// last pass (with the relative trigger below). Growth is the right
+/// trigger because a retired query's dead cone is roughly the variables
+/// it compiled: lots of growth means lots of junk slowing search down,
+/// while a quiet stretch of cache-hit queries needs no pass at all.
+const MIN_INPROCESS_GROWTH: u64 = 2048;
+
+/// At inprocessing points, evict cache entries no query touched within
+/// this many retires. Eviction unfreezes the entry's literal, making the
+/// circuitry reachable only through it eligible for variable elimination.
+const CACHE_EVICT_AGE: u64 = 1;
 
 impl SmtSession {
     fn new() -> SmtSession {
+        let mut alg = CnfAlg::new();
+        // Long-lived session: eliminated variables' indices are recycled
+        // so the per-variable arrays stay sized to the live formula, not
+        // to everything ever compiled. Sound here because the session
+        // only reads model values of frozen (varmap/cache) variables.
+        alg.solver.set_recycle_eliminated(true);
         SmtSession {
-            alg: CnfAlg::new(),
+            alg,
             cache: FastHashMap::default(),
+            last_touch: FastHashMap::default(),
+            retired: 0,
+            inprocess_created: 0,
         }
+    }
+
+    /// Session quiesce point, run after a query's activation literal is
+    /// retired. Always runs the cheap level-0 simplification (which
+    /// propagates the retirement unit and, once enough retirements
+    /// accumulated, sweeps out the satisfied guard/learnt clauses); once
+    /// enough new variables accumulated since the last pass
+    /// ([`MIN_INPROCESS_GROWTH`]), it also evicts stale bitblast-cache
+    /// entries and runs subsumption + bounded variable elimination with
+    /// the session interface frozen.
+    ///
+    /// Frozen set = every variable the outside world can still mention:
+    /// model-extraction literals (`varmap`) and every literal held by the
+    /// bitblast cache (future queries re-use those as compiled circuit
+    /// outputs). It is recomputed from scratch each time, so evicting a
+    /// cache entry *unfreezes* its literal. Unfrozen variables are exactly
+    /// the Tseitin gates of circuitry no future query can reference —
+    /// elimination then erases a retired query's dead cone entirely (every
+    /// resolvent of an unconstrained gate definition is a tautology),
+    /// which is what keeps per-query search cost flat over a long session
+    /// instead of growing with everything ever compiled.
+    fn quiesce(&mut self, ctx: &Context) {
+        let _span = rzen_obs::span!("session.smt.quiesce");
+        self.retired += 1;
+        let before = self.alg.solver.stats;
+        let mut alive = self.alg.solver.simplify();
+        // Growth-based trigger: inprocess once the variables created since
+        // the last pass rival the live formula (dead weight ≈ live work),
+        // with an absolute floor so tiny models don't churn.
+        let nv = self.alg.solver.num_vars() as u64;
+        let live = nv.saturating_sub(self.alg.solver.num_free_vars() as u64);
+        let grown = self
+            .alg
+            .solver
+            .stats
+            .vars_created
+            .saturating_sub(self.inprocess_created);
+        if alive && grown >= live.max(MIN_INPROCESS_GROWTH) {
+            // Evict cache entries not *reachable* (in the expression DAG)
+            // from an entry some query touched within CACHE_EVICT_AGE
+            // retires. Recency alone would be wrong-footed here: a cache
+            // hit never descends into the node's children, so the hot
+            // model's interior is never touched — but it is still live,
+            // and unfreezing it would make BVE re-dissolve the whole model
+            // every pass. Reachability keeps the hot closure frozen while
+            // retired queries' predicate cones (unreachable from any hot
+            // root) age out. An evicted entry is only a recompile on a
+            // future miss, never a soundness issue.
+            let horizon = self.retired.saturating_sub(CACHE_EVICT_AGE);
+            let mut live: FastHashMap<u32, ()> = FastHashMap::default();
+            let mut stack: Vec<ExprId> = self
+                .last_touch
+                .iter()
+                .filter(|&(_, &t)| t >= horizon)
+                .map(|(&k, _)| ExprId(k))
+                .collect();
+            while let Some(e) = stack.pop() {
+                if live.insert(e.0, ()).is_some() {
+                    continue;
+                }
+                stack.extend(children(ctx, e));
+            }
+            self.cache.retain(|k, _| live.contains_key(k));
+            let cache = &self.cache;
+            self.last_touch.retain(|k, _| cache.contains_key(k));
+
+            self.alg.solver.clear_frozen();
+            let interface: Vec<Lit> = self.alg.var_bits().map(|(_, _, l)| l).collect();
+            for l in interface {
+                self.alg.solver.set_frozen(l.var(), true);
+            }
+            for sym in self.cache.values() {
+                freeze_symval(&mut self.alg.solver, sym);
+            }
+            let dbg = std::env::var_os("RZEN_QUIESCE_DEBUG").is_some();
+            let t0 = std::time::Instant::now();
+            alive = self.alg.solver.inprocess();
+            self.inprocess_created = self.alg.solver.stats.vars_created;
+            if dbg {
+                let s = &self.alg.solver.stats;
+                eprintln!(
+                    "quiesce[{}]: {:.1}ms cache={} live_walk={} elim={} sub={} str={} vars={} arena={}K",
+                    self.retired,
+                    t0.elapsed().as_secs_f64() * 1e3,
+                    self.cache.len(),
+                    live.len(),
+                    s.eliminated_vars - before.eliminated_vars,
+                    s.subsumed - before.subsumed,
+                    s.strengthened - before.strengthened,
+                    self.alg.solver.num_vars(),
+                    self.alg.solver.arena_bytes() / 1024,
+                );
+            }
+        }
+        // A session formula is satisfiable with all activations off; the
+        // only way simplification can derive UNSAT is a corrupted session.
+        debug_assert!(alive, "session clause database became unsatisfiable");
+        rzen_sat::flush_obs_stats(&before, &self.alg.solver.stats);
+        rzen_obs::gauge!(
+            "sat.arena_bytes",
+            "bytes held by the SAT clause arena (live + uncollected waste)"
+        )
+        .set(self.alg.solver.arena_bytes() as i64);
     }
 
     fn solve(
@@ -207,6 +345,13 @@ impl SmtSession {
             "bitblast-cache lookups served across queries"
         )
         .add(compiler.seed_hits());
+        // Stamp every cache key this query used (hit or compiled) for the
+        // recency-based eviction in `quiesce`.
+        let touched = compiler.take_touched();
+        let inserted = compiler.take_inserted();
+        for k in touched.into_iter().chain(inserted) {
+            self.last_touch.insert(k, self.retired);
+        }
         self.cache = compiler.into_cache();
 
         let delta = |solver: &rzen_sat::Solver| stats_delta(&solver.stats, &stats_before);
@@ -245,10 +390,37 @@ impl SmtSession {
                 };
                 // Retire the guard: `¬a` makes this query's root clause
                 // vacuous for every later query, whatever the verdict was.
+                // The quiesce pass then deletes what the retirement made
+                // redundant instead of letting propagation scan it forever.
                 if let Some(a) = activation {
                     self.alg.solver.add_clause(&[!a]);
                 }
+                self.quiesce(ctx);
                 (outcome, stats)
+            }
+        }
+    }
+}
+
+/// Freeze every SAT variable referenced by a cached compiled circuit
+/// value: those literals are the session's reuse currency and must
+/// survive variable elimination.
+fn freeze_symval(solver: &mut rzen_sat::Solver, sym: &SymVal<CLit>) {
+    fn freeze(solver: &mut rzen_sat::Solver, b: &CLit) {
+        if let CLit::L(l) = b {
+            solver.set_frozen(l.var(), true);
+        }
+    }
+    match sym {
+        SymVal::Bool(b) => freeze(solver, b),
+        SymVal::Bv(bits) => {
+            for b in bits {
+                freeze(solver, b);
+            }
+        }
+        SymVal::Struct(fields) => {
+            for f in fields {
+                freeze_symval(solver, f);
             }
         }
     }
@@ -262,6 +434,13 @@ fn stats_delta(after: &Stats, before: &Stats) -> Stats {
         restarts: after.restarts - before.restarts,
         learned_clauses: after.learned_clauses - before.learned_clauses,
         deleted_clauses: after.deleted_clauses - before.deleted_clauses,
+        lbd_sum: after.lbd_sum - before.lbd_sum,
+        reduce_dbs: after.reduce_dbs - before.reduce_dbs,
+        gcs: after.gcs - before.gcs,
+        subsumed: after.subsumed - before.subsumed,
+        strengthened: after.strengthened - before.strengthened,
+        eliminated_vars: after.eliminated_vars - before.eliminated_vars,
+        vars_created: after.vars_created - before.vars_created,
     }
 }
 

@@ -99,6 +99,7 @@ impl BatchReport {
              \"cache_hits\":{},\"bdd_wins\":{},\"smt_wins\":{},\"wall_us\":{},\
              \"latency_p50_us\":{},\"latency_p95_us\":{},\"latency_max_us\":{},\
              \"sat_conflicts\":{},\"sat_propagations\":{},\"sat_learned\":{},\"sat_restarts\":{},\
+             \"sat_deleted\":{},\"sat_gcs\":{},\"sat_lbd_sum\":{},\
              \"bdd_nodes\":{},\"bdd_cache_lookups\":{},\"bdd_cache_hits\":{},\
              \"session_bitblast_hits\":{},\"session_sat_carried\":{},\"session_bdd_reused\":{}",
             s.total,
@@ -118,6 +119,9 @@ impl BatchReport {
             s.sat_propagations,
             s.sat_learned,
             s.sat_restarts,
+            s.sat_deleted,
+            s.sat_gcs,
+            s.sat_lbd_sum,
             s.bdd_nodes,
             s.bdd_cache_lookups,
             s.bdd_cache_hits,
@@ -169,6 +173,13 @@ pub struct EngineStats {
     pub sat_learned: u64,
     /// Summed restarts.
     pub sat_restarts: u64,
+    /// Summed learnt clauses deleted by reduction/simplification.
+    pub sat_deleted: u64,
+    /// Summed clause-arena garbage collections.
+    pub sat_gcs: u64,
+    /// Summed LBD (glue) of learnt clauses; `/ sat_learned` is the
+    /// average glue across the batch.
+    pub sat_lbd_sum: u64,
     /// Summed BDD nodes allocated across all BDD runs.
     pub bdd_nodes: u64,
     /// Summed computed-cache lookups.
@@ -213,6 +224,9 @@ impl EngineStats {
                 s.sat_propagations += st.propagations;
                 s.sat_learned += st.learned_clauses;
                 s.sat_restarts += st.restarts;
+                s.sat_deleted += st.deleted_clauses;
+                s.sat_gcs += st.gcs;
+                s.sat_lbd_sum += st.lbd_sum;
             }
             if let Some(st) = r.bdd_stats {
                 s.bdd_nodes += st.nodes as u64;
@@ -321,6 +335,17 @@ impl fmt::Display for EngineStats {
             f,
             "  sat substrate  conflicts {} / props {} / learned {} / restarts {}",
             self.sat_conflicts, self.sat_propagations, self.sat_learned, self.sat_restarts
+        )?;
+        writeln!(
+            f,
+            "  sat clause db  deleted {} / gcs {} / avg glue {:.1}",
+            self.sat_deleted,
+            self.sat_gcs,
+            if self.sat_learned == 0 {
+                0.0
+            } else {
+                self.sat_lbd_sum as f64 / self.sat_learned as f64
+            }
         )?;
         write!(
             f,

@@ -6,16 +6,23 @@
 //! the same eager pipeline, and this crate is the SAT engine at the bottom
 //! of it.
 //!
-//! The solver is a conventional conflict-driven clause-learning (CDCL)
-//! design:
+//! The solver is a conflict-driven clause-learning (CDCL) design of
+//! MiniSat lineage:
 //!
-//! * two watched literals per clause for unit propagation,
-//! * first-UIP conflict analysis with clause learning and non-chronological
-//!   backjumping,
+//! * clauses stored inline in a flat `u32` arena with a relocating
+//!   garbage collector (no per-clause allocation, no tombstone leak),
+//! * two watched literals per clause for unit propagation, with
+//!   **dedicated binary-clause watch lists** propagated first,
+//! * first-UIP conflict analysis with local clause minimization and
+//!   non-chronological backjumping,
 //! * exponential VSIDS variable activities with an indexed max-heap,
 //! * phase saving,
 //! * Luby-sequence restarts,
-//! * activity-based learnt-clause database reduction,
+//! * LBD-aware learnt-clause database reduction on MiniSat's geometric
+//!   schedule,
+//! * level-0 simplification and inprocessing (subsumption, self-subsuming
+//!   resolution, bounded variable elimination) for long-lived incremental
+//!   sessions,
 //! * solving under assumptions (incremental queries reuse learnt clauses).
 //!
 //! ## Example
@@ -33,10 +40,12 @@
 //! assert!(s.value(b));
 //! ```
 
+mod arena;
 pub mod dimacs;
 mod heap;
+mod simplify;
 mod solver;
 mod types;
 
-pub use solver::{SolveStatus, Solver, Stats};
+pub use solver::{flush_obs_stats, SolveStatus, Solver, Stats};
 pub use types::{Lit, Var};

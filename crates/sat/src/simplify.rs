@@ -1,0 +1,732 @@
+//! Level-0 inprocessing: subsumption, self-subsuming resolution, and
+//! bounded variable elimination (BVE), MiniSat `SimpSolver`-lineage.
+//!
+//! [`Solver::inprocess`] runs at quiesce points (between incremental
+//! queries, or once before a one-shot solve). Soundness under sessions:
+//!
+//! * **Frozen variables are never eliminated.** A session freezes every
+//!   variable the outside world can still mention — bitblast-cache
+//!   outputs, environment variables, pending activation literals — so
+//!   future `add_clause`/assumption calls never reference an eliminated
+//!   variable. Tseitin intermediates of retired queries are exactly the
+//!   unfrozen ones, and they are the junk worth eliminating.
+//! * **Retired activation literals are level-0 facts** (`¬a` asserted),
+//!   so their variables are assigned and BVE skips them; the guard
+//!   clauses they satisfied are removed by [`Solver::simplify`] first.
+//! * **Learnt clauses over an eliminated variable are deleted.** A learnt
+//!   clause is implied by the original formula, but after eliminating `v`
+//!   nothing re-derives its `v`-literals, and keeping it would prune
+//!   models that the elimination is entitled to (unsound). Deleting is
+//!   always safe.
+//! * **Models are repaired, not re-solved:** each elimination records the
+//!   smaller occurrence side plus a default unit in `elim_clauses`;
+//!   [`extend_model`] walks the buffer backwards and flips the eliminated
+//!   variable wherever a recorded clause would otherwise be false —
+//!   MiniSat's `extendModel`, resolution-complete by construction.
+
+use crate::arena::CRef;
+use crate::solver::Solver;
+use crate::types::{lbool, lit_val, Lit, Var};
+
+/// Stop subsumption after this many literal comparisons (keeps a
+/// pathological quiesce pass bounded; the next pass resumes the work).
+const SUBSUMPTION_BUDGET: i64 = 4_000_000;
+/// Skip BVE on variables whose positive×negative occurrence product
+/// exceeds this (the resolvent check itself would be quadratic).
+const OCC_PRODUCT_MAX: usize = 400;
+/// Never create resolvents longer than this.
+const RESOLVENT_MAX: usize = 20;
+
+/// Signature abstraction of a clause: one bit per variable (mod 32).
+/// `C ⊆ D` requires `abst(C) & !abst(D) == 0`, a one-word pre-filter
+/// that rejects most candidate pairs before any literal scan.
+#[inline]
+fn abstraction(lits: &[Lit]) -> u32 {
+    let mut a = 0u32;
+    for &l in lits {
+        a |= 1 << (l.var().0 & 31);
+    }
+    a
+}
+
+enum Subsume {
+    No,
+    /// Every literal of C occurs in D: D is redundant.
+    Exact,
+    /// C subsumes D except one literal occurs flipped: D can drop it
+    /// (self-subsuming resolution). The payload is D's literal to remove.
+    Strengthen(Lit),
+}
+
+/// Does clause `c` subsume (or almost-subsume) clause `d`?
+fn subsumes(solver: &Solver, c: CRef, c_abst: u32, d: CRef, d_abst: u32) -> Subsume {
+    if solver.arena.size(c) > solver.arena.size(d) || (c_abst & !d_abst) != 0 {
+        return Subsume::No;
+    }
+    let mut strengthen: Option<Lit> = None;
+    'outer: for &lc in solver.arena.lits(c) {
+        for &ld in solver.arena.lits(d) {
+            if lc == ld {
+                continue 'outer;
+            }
+            if strengthen.is_none() && lc == !ld {
+                strengthen = Some(ld);
+                continue 'outer;
+            }
+        }
+        return Subsume::No;
+    }
+    match strengthen {
+        None => Subsume::Exact,
+        Some(l) => Subsume::Strengthen(l),
+    }
+}
+
+/// Resolve `pc` (contains `v`) with `nc` (contains `¬v`) on `v` into
+/// `out`. Returns `false` for tautological resolvents (leaving `out` in
+/// an unspecified state). `stamp`/`gen` form a literal-indexed generation
+/// array so the duplicate/tautology checks are O(|pc| + |nc|) with no
+/// allocation — the hot case in session inprocessing is erasing dead
+/// Tseitin cones, where *every* resolvent is a tautology, so this path
+/// must not touch the heap at all.
+fn resolve_into(
+    solver: &Solver,
+    pc: CRef,
+    nc: CRef,
+    v: Var,
+    stamp: &mut [u32],
+    gen: u32,
+    out: &mut Vec<Lit>,
+) -> bool {
+    out.clear();
+    for &l in solver.arena.lits(pc) {
+        if l.var() != v {
+            stamp[l.0 as usize] = gen;
+            out.push(l);
+        }
+    }
+    for &l in solver.arena.lits(nc) {
+        if l.var() == v {
+            continue;
+        }
+        if stamp[(!l).0 as usize] == gen {
+            return false;
+        }
+        if stamp[l.0 as usize] != gen {
+            stamp[l.0 as usize] = gen;
+            out.push(l);
+        }
+    }
+    true
+}
+
+/// Append one elimination record: the eliminated variable's literal
+/// first, the clause's other literals, then the group length (so the
+/// buffer can be walked back-to-front).
+fn push_elim_clause(buf: &mut Vec<u32>, v_lit: Lit, others: &[Lit]) {
+    buf.push(v_lit.0);
+    let mut n = 1u32;
+    for &l in others {
+        if l.var() != v_lit.var() {
+            buf.push(l.0);
+            n += 1;
+        }
+    }
+    buf.push(n);
+}
+
+/// Repair a model after variable elimination: walk the elimination
+/// buffer backwards (most recently eliminated variable first) and, for
+/// every recorded clause not satisfied by the current model, flip its
+/// leading literal (always of the eliminated variable) to true.
+pub(crate) fn extend_model(elim_clauses: &[u32], model: &mut [bool]) {
+    let mut i = elim_clauses.len();
+    while i > 0 {
+        let len = elim_clauses[i - 1] as usize;
+        let group = &elim_clauses[i - 1 - len..i - 1];
+        let satisfied = group.iter().any(|&code| {
+            let l = Lit(code);
+            model[l.var().index()] == l.is_pos()
+        });
+        if !satisfied {
+            let l = Lit(group[0]);
+            model[l.var().index()] = l.is_pos();
+        }
+        i -= len + 1;
+    }
+}
+
+/// Per-clause bookkeeping during one inprocessing pass.
+struct ClauseInfo {
+    cref: CRef,
+    abst: u32,
+}
+
+/// Scratch state for one inprocessing pass. The solver keeps the
+/// instance across passes ([`Solver::ip_scratch`]): rebuilding the
+/// occurrence lists every pass is the single hottest part of quiescent
+/// inprocessing, and reusing the per-variable `Vec` capacities turns it
+/// from malloc-bound into pure appends.
+#[derive(Default)]
+pub(crate) struct Inprocessor {
+    infos: Vec<ClauseInfo>,
+    /// Occurrence lists by *variable* (either polarity), holding indices
+    /// into `infos`. Entries go stale when a clause is deleted or
+    /// strengthened; consumers re-check membership.
+    occ: Vec<Vec<usize>>,
+    queue: Vec<usize>,
+    in_queue: Vec<bool>,
+    /// Literal-stamp generation array for allocation-free resolution,
+    /// indexed by literal code.
+    stamp: Vec<u32>,
+    stamp_gen: u32,
+}
+
+impl Inprocessor {
+    fn build(&mut self, solver: &Solver) {
+        self.infos.clear();
+        self.queue.clear();
+        self.in_queue.clear();
+        for o in &mut self.occ {
+            o.clear();
+        }
+        self.occ.resize_with(solver.num_vars(), Vec::new);
+        // Incremental subsumption: clauses allocated before the last
+        // pass's arena watermark were already checked as subsumers
+        // against the whole database — only newer allocations enter the
+        // queue. (Old clauses can still be *subsumed*: candidates are
+        // scanned through the occurrence lists, which hold everything.)
+        let mark = solver.subsume_checked_mark;
+        for &cref in &solver.clauses {
+            if solver.arena.is_deleted(cref) {
+                continue;
+            }
+            let id = self.add_clause(solver, cref);
+            if cref.0 >= mark {
+                self.queue.push(id);
+                self.in_queue[id] = true;
+            }
+        }
+    }
+
+    fn add_clause(&mut self, solver: &Solver, cref: CRef) -> usize {
+        let id = self.infos.len();
+        let lits = solver.arena.lits(cref);
+        self.infos.push(ClauseInfo {
+            cref,
+            abst: abstraction(lits),
+        });
+        for &l in lits {
+            self.occ[l.var().index()].push(id);
+        }
+        if self.in_queue.len() < self.infos.len() {
+            self.in_queue.push(false);
+        }
+        id
+    }
+
+    fn enqueue(&mut self, id: usize) {
+        if !self.in_queue[id] {
+            self.in_queue[id] = true;
+            self.queue.push(id);
+        }
+    }
+}
+
+impl Solver {
+    /// Level-0 inprocessing: subsumption, self-subsuming resolution, and
+    /// bounded variable elimination over the problem clauses. Frozen
+    /// variables ([`Solver::set_frozen`]) are never eliminated. Returns
+    /// `false` if the formula is now unsatisfiable.
+    pub fn inprocess(&mut self) -> bool {
+        let _span = rzen_obs::span!("sat.inprocess");
+        assert_eq!(self.decision_level(), 0, "inprocess above level 0");
+        if !self.ok {
+            return false;
+        }
+        // Settle level-0 state first: propagate, drop satisfied clauses,
+        // strip false literals. Everything below assumes live clauses
+        // have no assigned literals worth worrying about. The sweep
+        // invalidates the watches, but so do subsumption (in-place
+        // strengthening) and BVE (resolvents): a single rebuild at the
+        // end covers all of it.
+        if self.propagate() != CRef::UNDEF {
+            self.ok = false;
+            return false;
+        }
+        {
+            let _s = rzen_obs::span!("sat.ip.sweep");
+            self.sweep_for_inprocess();
+        }
+
+        let mut ip = self.ip_scratch.take().unwrap_or_default();
+        {
+            let _s = rzen_obs::span!("sat.ip.occ");
+            ip.build(self);
+        }
+        {
+            let _span = rzen_obs::span!("sat.subsume");
+            if !self.backward_subsume(&mut ip) {
+                return false;
+            }
+        }
+        {
+            let _span = rzen_obs::span!("sat.bve");
+            if !self.eliminate_vars(&mut ip) {
+                return false;
+            }
+        }
+
+        let _s_purge = rzen_obs::span!("sat.ip.purge");
+        // Learnt clauses mentioning an eliminated variable are no longer
+        // re-derivable and would unsoundly prune models: delete them.
+        let mut dropped = 0u64;
+        for i in 0..self.learnts.len() {
+            let cref = self.learnts[i];
+            if self.arena.is_deleted(cref) {
+                continue;
+            }
+            let dead = self
+                .arena
+                .lits(cref)
+                .iter()
+                .any(|l| self.eliminated[l.var().index()]);
+            if dead {
+                self.arena.delete(cref);
+                dropped += 1;
+            }
+        }
+        self.stats.deleted_clauses += dropped;
+
+        {
+            let arena = &self.arena;
+            self.clauses.retain(|&c| !arena.is_deleted(c));
+            self.learnts.retain(|&c| !arena.is_deleted(c));
+        }
+        // Watches reference deleted clauses and miss the new resolvents:
+        // rebuild (the GC does it as a side effect) before propagating
+        // the units subsumption/BVE enqueued. Clauses those units satisfy
+        // are left for the next gated `simplify` — one more sweep here
+        // costs more than carrying a handful of satisfied clauses.
+        drop(_s_purge);
+        let _s_rb = rzen_obs::span!("sat.ip.rebuild");
+        if !self.maybe_gc() {
+            self.rebuild_watches();
+        }
+        if self.propagate() != CRef::UNDEF {
+            self.ok = false;
+            return false;
+        }
+        self.subsume_checked_mark = self.arena.len_words() as u32;
+        // Park the scratch (occurrence-list capacities, stamp array) for
+        // the next pass. Skipped on the UNSAT early-returns above: a dead
+        // solver never inprocesses again.
+        self.ip_scratch = Some(ip);
+        true
+    }
+
+    /// Backward subsumption + self-subsuming resolution over the
+    /// problem clauses, worklist style with a comparison budget.
+    fn backward_subsume(&mut self, ip: &mut Inprocessor) -> bool {
+        let mut budget = SUBSUMPTION_BUDGET;
+        while let Some(id) = ip.queue.pop() {
+            ip.in_queue[id] = false;
+            let cref = ip.infos[id].cref;
+            // `CRef::UNDEF` in an info marks in-pass deletion — cheaper
+            // than chasing the arena header for its DELETED bit.
+            if cref == CRef::UNDEF {
+                continue;
+            }
+            if budget < 0 {
+                break;
+            }
+            // Scan candidates through the least-occurring variable of C.
+            let best_var = {
+                let mut best = usize::MAX;
+                let mut best_len = usize::MAX;
+                for &l in self.arena.lits(cref) {
+                    let vi = l.var().index();
+                    let len = ip.occ[vi].len();
+                    if len < best_len {
+                        best_len = len;
+                        best = vi;
+                    }
+                }
+                best
+            };
+            let c_abst = ip.infos[id].abst;
+            let csize = self.arena.size(cref);
+            for ci in 0..ip.occ[best_var].len() {
+                let did = ip.occ[best_var][ci];
+                if did == id {
+                    continue;
+                }
+                let dref = ip.infos[did].cref;
+                if dref == CRef::UNDEF || ip.infos[id].cref == CRef::UNDEF {
+                    continue;
+                }
+                budget -= (csize + self.arena.size(dref)) as i64;
+                match subsumes(self, cref, c_abst, dref, ip.infos[did].abst) {
+                    Subsume::No => {}
+                    Subsume::Exact => {
+                        self.arena.delete(dref);
+                        ip.infos[did].cref = CRef::UNDEF;
+                        self.stats.subsumed += 1;
+                    }
+                    Subsume::Strengthen(l) => {
+                        if !self.strengthen_clause(ip, did, l) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Remove `l` from clause `ip.infos[id]` (self-subsuming resolution
+    /// or strengthening). Handles the clause collapsing to a unit.
+    fn strengthen_clause(&mut self, ip: &mut Inprocessor, id: usize, l: Lit) -> bool {
+        let cref = ip.infos[id].cref;
+        let size = self.arena.size(cref);
+        debug_assert!(size >= 2);
+        {
+            let lits = self.arena.lits_mut(cref);
+            let pos = lits
+                .iter()
+                .position(|&x| x == l)
+                .expect("strengthen literal not in clause");
+            lits.swap(pos, size - 1);
+        }
+        self.stats.strengthened += 1;
+        if size == 2 {
+            // Collapsed to a unit fact.
+            let unit = self.arena.lit(cref, 0);
+            self.arena.delete(cref);
+            ip.infos[id].cref = CRef::UNDEF;
+            match lit_val(&self.assigns, unit) {
+                lbool::TRUE => {}
+                lbool::FALSE => {
+                    self.ok = false;
+                    return false;
+                }
+                _ => self.unchecked_enqueue(unit, CRef::UNDEF),
+            }
+        } else {
+            self.arena.shrink(cref, size - 1);
+            ip.infos[id].abst = abstraction(self.arena.lits(cref));
+            ip.enqueue(id); // a shorter clause may now subsume others
+        }
+        true
+    }
+
+    /// Bounded variable elimination. Eliminates unfrozen, unassigned
+    /// variables whose resolvent set is no larger than the clauses it
+    /// replaces (grow = 0), recording the removed clauses for model
+    /// extension.
+    fn eliminate_vars(&mut self, ip: &mut Inprocessor) -> bool {
+        let nv = self.num_vars();
+        let mut pos: Vec<usize> = Vec::new();
+        let mut neg: Vec<usize> = Vec::new();
+        // The literal-stamp array for allocation-free resolution lives on
+        // the scratch; its generation counter persists, so old stamps
+        // never alias a fresh generation.
+        if ip.stamp.len() < 2 * nv {
+            ip.stamp.resize(2 * nv, 0);
+        }
+        let mut scratch: Vec<Lit> = Vec::new();
+        // Descending variable order: Tseitin gate outputs have higher
+        // indices than their inputs, so a dead circuit is dismantled
+        // root-first — eliminating a gate (whose resolvents are all
+        // tautologies once nothing constrains its output) frees its
+        // inputs' last occurrences, and the whole cone cascades away in
+        // this single pass instead of needing one pass per circuit layer.
+        for vi in (0..nv).rev() {
+            if self.frozen[vi] || self.eliminated[vi] || lbool::is_defined(self.assigns[vi]) {
+                continue;
+            }
+            let v = Var(vi as u32);
+            pos.clear();
+            neg.clear();
+            let plit = Lit::pos(v);
+            let nlit = Lit::neg(v);
+            let mut skip = false;
+            for &id in &ip.occ[vi] {
+                let cref = ip.infos[id].cref;
+                if cref == CRef::UNDEF {
+                    continue; // deleted earlier in this pass
+                }
+                // One walk classifies the occurrence: positive, negative,
+                // or stale (the literal was strengthened away).
+                let mut which = 0u8;
+                for &l in self.arena.lits(cref) {
+                    if l.var() == v {
+                        which = if l == plit { 1 } else { 2 };
+                        break;
+                    }
+                }
+                match which {
+                    1 => pos.push(id),
+                    2 => neg.push(id),
+                    _ => continue,
+                }
+                if pos.len() * neg.len() > OCC_PRODUCT_MAX {
+                    skip = true;
+                    break;
+                }
+            }
+            if skip {
+                continue;
+            }
+            // A variable with no live occurrences (its clauses were all
+            // satisfied-swept or strengthened away) is trivially
+            // eliminable — zero resolvents. Under recycling it falls
+            // through so the index returns to the free list; standalone
+            // solvers keep the historical behavior of leaving it be,
+            // since their callers may still add clauses over it.
+            if pos.is_empty() && neg.is_empty() && !self.recycle_eliminated {
+                continue;
+            }
+
+            // Count resolvents under the grow=0 / size-cap policy.
+            let limit = pos.len() + neg.len();
+            let mut resolvents: Vec<Vec<Lit>> = Vec::new();
+            let mut ok_elim = true;
+            'count: for &pid in &pos {
+                for &nid in &neg {
+                    ip.stamp_gen += 1;
+                    let gen = ip.stamp_gen;
+                    let real = resolve_into(
+                        self,
+                        ip.infos[pid].cref,
+                        ip.infos[nid].cref,
+                        v,
+                        &mut ip.stamp,
+                        gen,
+                        &mut scratch,
+                    );
+                    if real {
+                        if scratch.len() > RESOLVENT_MAX || resolvents.len() >= limit {
+                            ok_elim = false;
+                            break 'count;
+                        }
+                        resolvents.push(scratch.clone());
+                    }
+                }
+            }
+            if !ok_elim {
+                continue;
+            }
+
+            // Commit. Record the smaller side + the opposite unit for
+            // model extension, then replace the clauses by the resolvents.
+            // Under index recycling no record is kept (the caller promised
+            // never to read this variable's model value) and the index
+            // goes back on the free list instead.
+            if self.recycle_eliminated {
+                self.free_vars.push(v);
+            } else {
+                let (store, store_lit, unit_lit) = if pos.len() <= neg.len() {
+                    (&pos, plit, nlit)
+                } else {
+                    (&neg, nlit, plit)
+                };
+                for &id in store {
+                    // The eliminated variable's literal leads the group.
+                    let cref = ip.infos[id].cref;
+                    push_elim_clause(&mut self.elim_clauses, store_lit, self.arena.lits(cref));
+                }
+                self.elim_clauses.push(unit_lit.0);
+                self.elim_clauses.push(1);
+            }
+
+            for &id in pos.iter().chain(neg.iter()) {
+                self.arena.delete(ip.infos[id].cref);
+                ip.infos[id].cref = CRef::UNDEF;
+            }
+            for r in &resolvents {
+                // Level-0 filter: units enqueued earlier in this pass may
+                // already satisfy or falsify resolvent literals.
+                let mut lits: Vec<Lit> = Vec::with_capacity(r.len());
+                let mut satisfied = false;
+                for &l in r {
+                    match lit_val(&self.assigns, l) {
+                        lbool::TRUE => {
+                            satisfied = true;
+                            break;
+                        }
+                        lbool::FALSE => {}
+                        _ => lits.push(l),
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match lits.len() {
+                    0 => {
+                        self.ok = false;
+                        return false;
+                    }
+                    1 => self.unchecked_enqueue(lits[0], CRef::UNDEF),
+                    _ => {
+                        let cref = self.arena.alloc(&lits, false);
+                        self.clauses.push(cref);
+                        ip.add_clause(self, cref);
+                    }
+                }
+            }
+            self.eliminated[vi] = true;
+            self.stats.eliminated_vars += 1;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars(s: &mut Solver, n: usize) -> Vec<Var> {
+        (0..n).map(|_| s.new_var()).collect()
+    }
+
+    #[test]
+    fn exact_subsumption_removes_clause() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        for &x in &v {
+            s.set_frozen(x, true);
+        }
+        assert!(s.inprocess());
+        assert_eq!(s.num_clauses(), 1, "the superset clause must be subsumed");
+        assert_eq!(s.stats.subsumed, 1);
+        assert!(s.solve());
+    }
+
+    #[test]
+    fn self_subsumption_strengthens() {
+        // (a ∨ b) and (¬a ∨ b ∨ c): the first strengthens the second
+        // to (b ∨ c).
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+        for &x in &v {
+            s.set_frozen(x, true);
+        }
+        assert!(s.inprocess());
+        assert!(s.stats.strengthened >= 1);
+        // Both clauses still present (strengthened, not deleted).
+        assert_eq!(s.num_clauses(), 2);
+        assert!(s.solve_with_assumptions(&[Lit::neg(v[1])]));
+        assert!(s.value(v[2]) || s.value(v[0]));
+    }
+
+    #[test]
+    fn bve_eliminates_tseitin_intermediate() {
+        // t ↔ a ∧ b as Tseitin clauses; t unfrozen, a/b frozen.
+        // BVE must eliminate t and keep the formula equivalent on {a,b}.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        let (a, b, t) = (v[0], v[1], v[2]);
+        s.add_clause(&[Lit::neg(t), Lit::pos(a)]);
+        s.add_clause(&[Lit::neg(t), Lit::pos(b)]);
+        s.add_clause(&[Lit::pos(t), Lit::neg(a), Lit::neg(b)]);
+        s.set_frozen(a, true);
+        s.set_frozen(b, true);
+        assert!(s.inprocess());
+        assert!(
+            s.is_eliminated(t),
+            "unfrozen gate output must be eliminated"
+        );
+        assert_eq!(s.stats.eliminated_vars, 1);
+        // Still satisfiable, and the model extension reconstructs t
+        // consistently with t ↔ a ∧ b.
+        assert!(s.solve_with_assumptions(&[Lit::pos(a), Lit::pos(b)]));
+        assert!(s.value(t), "extended model must satisfy t ↔ a∧b");
+        assert!(s.solve_with_assumptions(&[Lit::neg(a)]));
+        assert!(!s.value(t));
+    }
+
+    #[test]
+    fn frozen_vars_survive() {
+        let mut s = Solver::new();
+        let v = vars(&mut s, 3);
+        s.add_clause(&[Lit::neg(v[2]), Lit::pos(v[0])]);
+        s.add_clause(&[Lit::neg(v[2]), Lit::pos(v[1])]);
+        s.add_clause(&[Lit::pos(v[2]), Lit::neg(v[0]), Lit::neg(v[1])]);
+        for &x in &v {
+            s.set_frozen(x, true);
+        }
+        assert!(s.inprocess());
+        assert_eq!(s.stats.eliminated_vars, 0);
+        // Frozen interface still usable in later clauses.
+        assert!(s.add_clause(&[Lit::pos(v[2])]));
+        assert!(s.solve());
+        assert!(s.value(v[0]) && s.value(v[1]));
+    }
+
+    #[test]
+    fn inprocess_preserves_unsat() {
+        // Unsat core over intermediates: (t∨u)(¬t∨u)(t∨¬u)(¬t∨¬u),
+        // nothing frozen — whatever inprocessing does, the answer stays
+        // UNSAT.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 2);
+        let (t, u) = (v[0], v[1]);
+        s.add_clause(&[Lit::pos(t), Lit::pos(u)]);
+        s.add_clause(&[Lit::neg(t), Lit::pos(u)]);
+        s.add_clause(&[Lit::pos(t), Lit::neg(u)]);
+        s.add_clause(&[Lit::neg(t), Lit::neg(u)]);
+        assert!(!s.inprocess() || !s.solve());
+    }
+
+    #[test]
+    fn extend_model_walks_groups_backwards() {
+        // Eliminate v (var 1): stored side = {(v ∨ x)}, unit ¬v.
+        // Model x=false must force v=true; model x=true leaves v at the
+        // unit default (false).
+        let x = Lit::pos(Var(0));
+        let v_pos = Lit::pos(Var(1));
+        let v_neg = Lit::neg(Var(1));
+        let mut buf = Vec::new();
+        push_elim_clause(&mut buf, v_pos, &[v_pos, x]);
+        buf.push(v_neg.0);
+        buf.push(1);
+        let mut model = vec![false, false]; // x=false, v=garbage
+        extend_model(&buf, &mut model);
+        assert!(model[1], "clause (v ∨ x) with x=false must set v");
+        let mut model = vec![true, true]; // x=true, v=garbage(true)
+        extend_model(&buf, &mut model);
+        assert!(
+            !model[1],
+            "unit ¬v is the default when clauses are satisfied"
+        );
+    }
+
+    #[test]
+    fn incremental_add_after_inprocess() {
+        // Session pattern: inprocess between queries, then new clauses
+        // over frozen vars + assumptions.
+        let mut s = Solver::new();
+        let v = vars(&mut s, 4);
+        let (a, b, t, act) = (v[0], v[1], v[2], v[3]);
+        s.add_clause(&[Lit::neg(t), Lit::pos(a)]);
+        s.add_clause(&[Lit::neg(t), Lit::pos(b)]);
+        s.add_clause(&[Lit::pos(t), Lit::neg(a), Lit::neg(b)]);
+        s.set_frozen(a, true);
+        s.set_frozen(b, true);
+        s.set_frozen(act, true);
+        assert!(s.inprocess());
+        // New query: act → a, assume act.
+        assert!(s.add_clause(&[Lit::neg(act), Lit::pos(a)]));
+        assert!(s.solve_with_assumptions(&[Lit::pos(act)]));
+        assert!(s.value(a));
+        // Retire and re-inprocess; solver still consistent.
+        assert!(s.add_clause(&[Lit::neg(act)]));
+        assert!(s.inprocess());
+        assert!(s.solve());
+    }
+}

@@ -21,8 +21,10 @@ impl fmt::Debug for Var {
 }
 
 /// A literal: a variable or its negation. Encoded as `var << 1 | sign`
-/// where sign 1 means negated.
+/// where sign 1 means negated. `repr(transparent)` so the clause arena
+/// can expose its `u32` words directly as literal slices.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(transparent)]
 pub struct Lit(pub(crate) u32);
 
 impl Lit {
@@ -84,23 +86,34 @@ impl fmt::Debug for Lit {
     }
 }
 
-/// Three-valued assignment state.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub(crate) enum LBool {
-    True,
-    False,
-    Undef,
+/// Three-valued assignment state, MiniSat-encoded for branch-free literal
+/// evaluation: `TRUE = 0`, `FALSE = 1`, and any value with bit 1 set is
+/// undefined. The value of a literal is then `assigns[var] ^ sign`, one
+/// load and one xor on the propagation hot path.
+pub(crate) mod lbool {
+    pub(crate) const TRUE: u8 = 0;
+    pub(crate) const FALSE: u8 = 1;
+    pub(crate) const UNDEF: u8 = 2;
+
+    /// Encode a concrete boolean.
+    #[inline]
+    pub(crate) fn from_bool(b: bool) -> u8 {
+        !b as u8
+    }
+
+    /// Is this value assigned (true or false)?
+    #[inline]
+    pub(crate) fn is_defined(v: u8) -> bool {
+        v & 2 == 0
+    }
 }
 
-impl LBool {
-    #[inline]
-    pub(crate) fn from_bool(b: bool) -> LBool {
-        if b {
-            LBool::True
-        } else {
-            LBool::False
-        }
-    }
+/// The value of literal `l` under `assigns` (indexed by variable):
+/// `TRUE`/`FALSE` when the variable is assigned, an undefined (`& 2 != 0`)
+/// value otherwise.
+#[inline]
+pub(crate) fn lit_val(assigns: &[u8], l: Lit) -> u8 {
+    assigns[(l.0 >> 1) as usize] ^ (l.0 as u8 & 1)
 }
 
 #[cfg(test)]

@@ -95,3 +95,110 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Wider differential suite: 20 variables, binary-heavy clauses, and an
+// inprocessing pass in the middle of loading. This is the configuration the
+// session substrate actually runs — short clauses ride the binary watch
+// fast path, and inprocessing (subsumption + bounded variable elimination)
+// must not change any verdict or corrupt any returned model.
+// ---------------------------------------------------------------------------
+
+const NVARS_WIDE: u32 = 20;
+
+fn wide_clause_strategy() -> impl Strategy<Value = TestClause> {
+    // 1..4 literals: units and binaries dominate, exercising the binary
+    // watch lists and the unit-collapse path in strengthening.
+    prop::collection::vec(((0..NVARS_WIDE), any::<bool>()), 1..4)
+}
+
+fn wide_cnf_strategy() -> impl Strategy<Value = Vec<TestClause>> {
+    prop::collection::vec(wide_clause_strategy(), 0..24)
+}
+
+fn brute_force_sat_wide(cnf: &[TestClause]) -> bool {
+    (0..(1u32 << NVARS_WIDE)).any(|a| eval_cnf(cnf, a))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn inprocessing_preserves_verdict_and_model(cnf in wide_cnf_strategy()) {
+        let half = cnf.len() / 2;
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..NVARS_WIDE).map(|_| s.new_var()).collect();
+        // Variables the second half still mentions must survive
+        // elimination; everything else is fair game for BVE (their model
+        // values come back through elim-clause model extension).
+        for clause in &cnf[half..] {
+            for &(v, _) in clause {
+                s.set_frozen(vars[v as usize], true);
+            }
+        }
+        let mut alive = true;
+        for clause in &cnf[..half] {
+            let lits: Vec<Lit> = clause.iter()
+                .map(|&(v, pos)| Lit::new(vars[v as usize], pos)).collect();
+            alive &= s.add_clause(&lits);
+        }
+        if alive {
+            alive = s.inprocess();
+        }
+        for clause in &cnf[half..] {
+            let lits: Vec<Lit> = clause.iter()
+                .map(|&(v, pos)| Lit::new(vars[v as usize], pos)).collect();
+            alive &= s.add_clause(&lits);
+        }
+        let sat = alive && s.solve();
+        prop_assert_eq!(sat, brute_force_sat_wide(&cnf));
+        if sat {
+            let mut a = 0u32;
+            for (i, &v) in vars.iter().enumerate() {
+                if s.value(v) {
+                    a |= 1 << i;
+                }
+            }
+            prop_assert!(eval_cnf(&cnf, a), "model wrong after inprocessing");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_fresh(groups in prop::collection::vec(wide_cnf_strategy(), 1..4)) {
+        // Session usage pattern: each clause group is guarded by an
+        // activation literal, solved under assumptions, and the solver is
+        // inprocessed between rounds. Every round must agree with a fresh
+        // solver given the accumulated groups as hard clauses.
+        let mut s = Solver::new();
+        let vars: Vec<Var> = (0..NVARS_WIDE).map(|_| s.new_var()).collect();
+        for &v in &vars {
+            s.set_frozen(v, true); // future groups may mention any of them
+        }
+        let acts: Vec<Var> = groups.iter().map(|_| {
+            let a = s.new_var();
+            s.set_frozen(a, true);
+            a
+        }).collect();
+        let mut alive = true;
+        let mut accumulated: Vec<TestClause> = Vec::new();
+        for (gi, group) in groups.iter().enumerate() {
+            for clause in group {
+                let mut lits: Vec<Lit> = clause.iter()
+                    .map(|&(v, pos)| Lit::new(vars[v as usize], pos)).collect();
+                lits.push(Lit::neg(acts[gi])); // active only under the assumption
+                alive &= s.add_clause(&lits);
+            }
+            accumulated.extend(group.iter().cloned());
+            let assumptions: Vec<Lit> =
+                acts[..=gi].iter().map(|&a| Lit::pos(a)).collect();
+            let got = alive && s.solve_with_assumptions(&assumptions);
+            prop_assert_eq!(got, brute_force_sat_wide(&accumulated),
+                "incremental verdict diverged from fresh at round {}", gi);
+            // Quiesce between rounds, as a session would.
+            if alive {
+                alive = s.inprocess();
+                prop_assert!(alive, "activation-guarded groups are always satisfiable");
+            }
+        }
+    }
+}
