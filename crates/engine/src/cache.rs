@@ -61,13 +61,17 @@ impl ResultCache {
     }
 
     /// Record a verdict for `query`.
-    pub(crate) fn insert(&mut self, fingerprint: u64, query: &Query, verdict: Verdict) {
+    pub(crate) fn insert(&mut self, fingerprint: u64, query: &Query, verdict: Verdict) -> bool {
         let bucket = self.map.entry(fingerprint).or_default();
         match bucket.iter_mut().find(|(q, _)| q == query) {
-            Some(slot) => slot.1 = verdict,
+            Some(slot) => {
+                slot.1 = verdict;
+                false
+            }
             None => {
                 bucket.push((query.clone(), verdict));
                 self.count += 1;
+                true
             }
         }
     }

@@ -4,8 +4,8 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -52,6 +52,72 @@ pub struct Engine {
     cfg: EngineConfig,
     cache: Mutex<ResultCache>,
     inflight: Arc<InflightTable>,
+    /// Total entries across shard-owned caches (sharded serve mode only;
+    /// the shared `cache` keeps its own count). Signed so transient
+    /// decrement-before-increment interleavings can dip below zero
+    /// without wrapping.
+    shard_entries: AtomicI64,
+    cache_log: CacheLog,
+}
+
+/// A shared-nothing engine shard: its own result cache, owned by exactly
+/// one serving thread, plus the sequence number of the last cache-wide
+/// operation (clear / delta sweep) it has applied. No lock is taken on
+/// the query hot path; shards learn about model mutations by replaying
+/// the engine's [`CacheLog`].
+pub struct EngineShard {
+    id: usize,
+    cache: ResultCache,
+    applied: u64,
+}
+
+impl EngineShard {
+    /// This shard's index (stable for the life of the server).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Entries currently held by this shard's cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// A cache-wide operation waiting to be applied by every shard. Returned
+/// by [`Engine::push_cache_delta`]; holding it keeps the aggregated
+/// counters alive even after the log prunes the fully-acked entry.
+pub struct CachePending(Arc<CacheLogEntry>);
+
+enum CacheOp {
+    Clear,
+    Delta {
+        old_net: rzen_net::topology::Network,
+        new_net: rzen_net::topology::Network,
+        steps: Vec<rzen_net::topology::DeltaStep>,
+    },
+}
+
+struct CacheLogEntry {
+    seq: u64,
+    op: CacheOp,
+    /// Shards that have applied this entry.
+    acks: AtomicUsize,
+    /// Aggregated sweep results across shards (delta ops only).
+    evicted: AtomicUsize,
+    retained: AtomicUsize,
+    unaffected: AtomicUsize,
+}
+
+/// An ordered log of cache-wide operations, replayed lazily by each
+/// shard: the writer (the reactor's control plane) appends under the
+/// mutex and bumps `pushed`; shards compare `pushed` against their own
+/// `applied` watermark with one atomic load per request and only take
+/// the mutex when behind. Fully-acked entries are pruned in order.
+struct CacheLog {
+    entries: Mutex<Vec<Arc<CacheLogEntry>>>,
+    cv: Condvar,
+    pushed: AtomicU64,
+    shards: AtomicUsize,
 }
 
 /// What one query's solve produced, before verdict mapping.
@@ -74,6 +140,13 @@ impl Engine {
             cfg,
             cache: Mutex::new(ResultCache::new()),
             inflight: Arc::new(InflightTable::default()),
+            shard_entries: AtomicI64::new(0),
+            cache_log: CacheLog {
+                entries: Mutex::new(Vec::new()),
+                cv: Condvar::new(),
+                pushed: AtomicU64::new(0),
+                shards: AtomicUsize::new(0),
+            },
         }
     }
 
@@ -188,7 +261,8 @@ impl Engine {
                         let ctx = rzen_obs::RequestCtx::mint(queries[i].model_fingerprint(), 0);
                         let start_us = rzen_obs::flight::now_us();
                         let alloc0 = rzen_obs::profile::thread_alloc_stats();
-                        let result = self.solve_one(i, &queries[i], self.request_budget(), ctx.id);
+                        let result =
+                            self.solve_one(i, &queries[i], self.request_budget(), ctx.id, None);
                         record_flight(&ctx, start_us, alloc0, &queries[i], &result);
                         *slots[i].lock().unwrap() = Some(result);
                     }
@@ -244,6 +318,7 @@ impl Engine {
                             &runners.txs,
                             self.request_budget(),
                             ctx.id,
+                            None,
                         );
                         record_flight(&ctx, start_us, alloc0, &queries[i], &result);
                         *slots[i].lock().unwrap() = Some(result);
@@ -266,11 +341,15 @@ impl Engine {
         query: &Query,
         fingerprint: u64,
         started: Instant,
+        shard: Option<&EngineShard>,
     ) -> Option<QueryResult> {
         if !self.cfg.cache {
             return None;
         }
-        let hit = self.cache.lock().unwrap().get(fingerprint, query).cloned();
+        let hit = match shard {
+            Some(s) => s.cache.get(fingerprint, query).cloned(),
+            None => self.cache.lock().unwrap().get(fingerprint, query).cloned(),
+        };
         let Some(v) = hit else {
             rzen_obs::counter!("engine.cache.misses", "cache lookups that found no entry").inc();
             return None;
@@ -298,12 +377,19 @@ impl Engine {
         }
     }
 
-    fn solve_one(&self, index: usize, query: &Query, budget: Budget, req: u64) -> QueryResult {
+    fn solve_one(
+        &self,
+        index: usize,
+        query: &Query,
+        budget: Budget,
+        req: u64,
+        shard: Option<&mut EngineShard>,
+    ) -> QueryResult {
         let started = Instant::now();
         let _span = rzen_obs::span!("engine.query", "req" => req, "index" => index as u64);
         rzen_obs::counter!("engine.queries", "queries dispatched to workers").inc();
         let fingerprint = query.fingerprint();
-        if let Some(hit) = self.cache_lookup(index, query, fingerprint, started) {
+        if let Some(hit) = self.cache_lookup(index, query, fingerprint, started, shard.as_deref()) {
             return hit;
         }
 
@@ -312,7 +398,7 @@ impl Engine {
             QueryBackend::Smt => run_fresh(query, Backend::Smt, &budget, started, req),
             QueryBackend::Portfolio => run_portfolio(query, &budget, started, req),
         };
-        self.finish(index, query, fingerprint, solved, &budget, started)
+        self.finish(index, query, fingerprint, solved, &budget, started, shard)
     }
 
     /// Session-mode solve: hand the query to every runner of this worker
@@ -326,12 +412,13 @@ impl Engine {
         runners: &[mpsc::Sender<SessionJob>],
         budget: Budget,
         req: u64,
+        shard: Option<&mut EngineShard>,
     ) -> QueryResult {
         let started = Instant::now();
         let _span = rzen_obs::span!("engine.query", "req" => req, "index" => index as u64);
         rzen_obs::counter!("engine.queries", "queries dispatched to workers").inc();
         let fingerprint = query.fingerprint();
-        if let Some(hit) = self.cache_lookup(index, query, fingerprint, started) {
+        if let Some(hit) = self.cache_lookup(index, query, fingerprint, started, shard.as_deref()) {
             return hit;
         }
 
@@ -406,13 +493,14 @@ impl Engine {
                 session: Some(session_total),
             },
         };
-        self.finish(index, query, fingerprint, solved, &budget, started)
+        self.finish(index, query, fingerprint, solved, &budget, started, shard)
     }
 
     /// Map the raw outcome to a [`Verdict`], feed the cache and metrics,
     /// and assemble the result. Latency is the decision-time stamp when
     /// one exists (portfolio losers drain after it), total elapsed
     /// otherwise.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         &self,
         index: usize,
@@ -421,6 +509,7 @@ impl Engine {
         solved: Solved,
         budget: &Budget,
         started: Instant,
+        shard: Option<&mut EngineShard>,
     ) -> QueryResult {
         let verdict = match solved.outcome {
             Ok(FindOutcome::Found(w)) => Verdict::Sat(w),
@@ -441,10 +530,21 @@ impl Engine {
         // Only decisive verdicts are cached, so an `Error` (or a budget
         // artifact) can never be replayed to a later identical query.
         if self.cfg.cache && verdict.is_decisive() {
-            let mut cache = self.cache.lock().unwrap();
-            cache.insert(fingerprint, query, verdict.clone());
-            rzen_obs::gauge!("engine.cache.entries", "entries in the result cache")
-                .set(cache.len() as i64);
+            match shard {
+                Some(s) => {
+                    if s.cache.insert(fingerprint, query, verdict.clone()) {
+                        let total = self.shard_entries.fetch_add(1, Ordering::Relaxed) + 1;
+                        rzen_obs::gauge!("engine.cache.entries", "entries in the result cache")
+                            .set(total.max(0));
+                    }
+                }
+                None => {
+                    let mut cache = self.cache.lock().unwrap();
+                    cache.insert(fingerprint, query, verdict.clone());
+                    rzen_obs::gauge!("engine.cache.entries", "entries in the result cache")
+                        .set(cache.len() as i64);
+                }
+            }
         }
 
         match solved.winner {
@@ -513,8 +613,192 @@ impl Engine {
         ctx: rzen_obs::RequestCtx,
     ) -> QueryResult {
         match &worker.runners {
-            Some(runners) => self.solve_one_session(0, query, &runners.txs, budget, ctx.id),
-            None => self.solve_one(0, query, budget, ctx.id),
+            Some(runners) => self.solve_one_session(0, query, &runners.txs, budget, ctx.id, None),
+            None => self.solve_one(0, query, budget, ctx.id, None),
+        }
+    }
+
+    /// Declare how many shards will replay the cache log. Must be called
+    /// before the first [`Engine::shard`] and before any cache-wide op is
+    /// pushed; the count gates both op pruning and
+    /// [`Engine::await_cache_delta`].
+    pub fn set_shard_count(&self, shards: usize) {
+        self.cache_log.shards.store(shards, Ordering::Release);
+    }
+
+    /// Create the shard-owned cache state for shard `id`. The shard
+    /// starts current with the log (nothing to replay).
+    pub fn shard(&self, id: usize) -> EngineShard {
+        EngineShard {
+            id,
+            cache: ResultCache::new(),
+            applied: self.cache_log.pushed.load(Ordering::Acquire),
+        }
+    }
+
+    /// Solve one query against a shard-owned cache: the sharded-serve
+    /// counterpart of [`Engine::run_one`]. Replays any pending cache-wide
+    /// ops first, then solves with no cross-shard locks on the hot path.
+    pub fn run_one_sharded(
+        &self,
+        shard: &mut EngineShard,
+        query: &Query,
+        budget: Budget,
+        worker: &ServeWorker,
+        ctx: rzen_obs::RequestCtx,
+    ) -> QueryResult {
+        self.shard_catch_up(shard);
+        match &worker.runners {
+            Some(runners) => {
+                self.solve_one_session(0, query, &runners.txs, budget, ctx.id, Some(shard))
+            }
+            None => self.solve_one(0, query, budget, ctx.id, Some(shard)),
+        }
+    }
+
+    /// Bring `shard` up to date with the cache log. One relaxed/acquire
+    /// atomic compare when already current; otherwise replays clears and
+    /// delta sweeps in order, acks each, and prunes fully-acked entries.
+    /// Idle shard threads call this on a short park cadence so a pushed
+    /// delta is acknowledged promptly even with no traffic.
+    pub fn shard_catch_up(&self, shard: &mut EngineShard) {
+        if self.cache_log.pushed.load(Ordering::Acquire) == shard.applied {
+            return;
+        }
+        let entries = self.cache_log.entries.lock().unwrap();
+        let shards = self.cache_log.shards.load(Ordering::Acquire);
+        let mut acked = false;
+        for entry in entries.iter() {
+            if entry.seq <= shard.applied {
+                continue;
+            }
+            match &entry.op {
+                CacheOp::Clear => {
+                    let removed = shard.cache.len() as i64;
+                    shard.cache.clear();
+                    self.shard_entries.fetch_sub(removed, Ordering::Relaxed);
+                }
+                CacheOp::Delta {
+                    old_net,
+                    new_net,
+                    steps,
+                } => {
+                    let stats = shard.cache.sweep_delta(old_net, new_net, steps);
+                    entry.evicted.fetch_add(stats.evicted, Ordering::Relaxed);
+                    entry.retained.fetch_add(stats.retained, Ordering::Relaxed);
+                    entry
+                        .unaffected
+                        .fetch_add(stats.unaffected, Ordering::Relaxed);
+                    rzen_obs::counter!(
+                        "engine.cache.delta_evicted",
+                        "cache entries evicted by delta cone-of-influence sweeps"
+                    )
+                    .add(stats.evicted as u64);
+                    rzen_obs::counter!(
+                        "engine.cache.delta_retained",
+                        "cache entries kept warm (re-keyed) across delta sweeps"
+                    )
+                    .add(stats.retained as u64);
+                    self.shard_entries
+                        .fetch_sub(stats.evicted as i64, Ordering::Relaxed);
+                }
+            }
+            shard.applied = entry.seq;
+            entry.acks.fetch_add(1, Ordering::AcqRel);
+            acked = true;
+        }
+        let mut entries = entries;
+        while entries
+            .first()
+            .is_some_and(|e| e.acks.load(Ordering::Acquire) >= shards)
+        {
+            entries.remove(0);
+        }
+        drop(entries);
+        if acked {
+            self.cache_log.cv.notify_all();
+            rzen_obs::gauge!("engine.cache.entries", "entries in the result cache")
+                .set(self.shard_entries.load(Ordering::Relaxed).max(0));
+        }
+    }
+
+    /// Queue a cache-wide clear for every shard (the sharded counterpart
+    /// of [`Engine::clear_cache`], used on model hot-swap). No wait is
+    /// needed: entries key on the full query including the model, so a
+    /// stale entry can never answer a post-swap query wrongly — the clear
+    /// only releases memory.
+    pub fn push_cache_clear(&self) {
+        let mut entries = self.cache_log.entries.lock().unwrap();
+        let seq = self.cache_log.pushed.load(Ordering::Relaxed) + 1;
+        entries.push(Arc::new(CacheLogEntry {
+            seq,
+            op: CacheOp::Clear,
+            acks: AtomicUsize::new(0),
+            evicted: AtomicUsize::new(0),
+            retained: AtomicUsize::new(0),
+            unaffected: AtomicUsize::new(0),
+        }));
+        self.cache_log.pushed.store(seq, Ordering::Release);
+    }
+
+    /// Queue a delta sweep for every shard (the sharded counterpart of
+    /// [`Engine::apply_delta`]). Returns a handle to await aggregated
+    /// sweep stats with [`Engine::await_cache_delta`].
+    pub fn push_cache_delta(
+        &self,
+        old_net: &rzen_net::topology::Network,
+        new_net: &rzen_net::topology::Network,
+        steps: &[rzen_net::topology::DeltaStep],
+    ) -> CachePending {
+        let entry = {
+            let mut entries = self.cache_log.entries.lock().unwrap();
+            let seq = self.cache_log.pushed.load(Ordering::Relaxed) + 1;
+            let entry = Arc::new(CacheLogEntry {
+                seq,
+                op: CacheOp::Delta {
+                    old_net: old_net.clone(),
+                    new_net: new_net.clone(),
+                    steps: steps.to_vec(),
+                },
+                acks: AtomicUsize::new(0),
+                evicted: AtomicUsize::new(0),
+                retained: AtomicUsize::new(0),
+                unaffected: AtomicUsize::new(0),
+            });
+            entries.push(Arc::clone(&entry));
+            self.cache_log.pushed.store(seq, Ordering::Release);
+            entry
+        };
+        rzen_obs::counter!("engine.deltas", "model deltas applied to the result cache").inc();
+        CachePending(entry)
+    }
+
+    /// Wait (bounded) until every shard has applied the pushed delta,
+    /// then return the aggregated sweep stats. On timeout the stats cover
+    /// whichever shards have swept so far — still safe, since unswept
+    /// shards hold entries keyed by the old network, which post-delta
+    /// queries can never hit.
+    pub fn await_cache_delta(&self, pending: &CachePending, timeout: Duration) -> DeltaCacheStats {
+        let shards = self.cache_log.shards.load(Ordering::Acquire).max(1);
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.cache_log.entries.lock().unwrap();
+        while pending.0.acks.load(Ordering::Acquire) < shards {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (g, _) = self
+                .cache_log
+                .cv
+                .wait_timeout(guard, deadline - now)
+                .unwrap();
+            guard = g;
+        }
+        drop(guard);
+        DeltaCacheStats {
+            evicted: pending.0.evicted.load(Ordering::Relaxed),
+            retained: pending.0.retained.load(Ordering::Relaxed),
+            unaffected: pending.0.unaffected.load(Ordering::Relaxed),
         }
     }
 }
@@ -593,6 +877,7 @@ fn record_flight(
         flags,
         alloc_bytes: alloc1.0.saturating_sub(alloc0.0),
         alloc_count: alloc1.1.saturating_sub(alloc0.1),
+        shard: ctx.shard,
     });
 }
 

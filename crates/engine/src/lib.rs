@@ -63,7 +63,7 @@ mod query;
 mod stats;
 
 pub use cache::DeltaCacheStats;
-pub use engine::{Engine, EngineConfig, ServeWorker};
+pub use engine::{CachePending, Engine, EngineConfig, EngineShard, ServeWorker};
 pub use inflight::{Admission, JoinHandle, Joined, LeadGuard};
 pub use query::{Query, QueryBackend, Verdict, Witness};
 pub use stats::{BatchReport, EngineStats, QueryResult};

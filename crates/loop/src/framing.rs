@@ -1,0 +1,436 @@
+//! Incremental wire framing for the reactor's two planes.
+//!
+//! Connections feed raw bytes in as they arrive; the decoders hold partial
+//! state across reads so a request split into single-byte TCP segments parses
+//! identically to one delivered whole. Both decoders enforce hard caps so a
+//! hostile client cannot grow a buffer without bound.
+
+/// Accumulates bytes and yields complete newline-terminated lines (the NDJSON
+/// query plane). Lines longer than the cap poison the decoder.
+pub struct LineDecoder {
+    buf: Vec<u8>,
+    /// Bytes before `scan_from` are known newline-free.
+    scan_from: usize,
+    cap: usize,
+    poisoned: bool,
+}
+
+/// Default cap on a single NDJSON line (1 MiB).
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+impl LineDecoder {
+    /// New decoder with the default line cap.
+    pub fn new() -> LineDecoder {
+        LineDecoder::with_cap(MAX_LINE_BYTES)
+    }
+
+    /// New decoder with an explicit line cap.
+    pub fn with_cap(cap: usize) -> LineDecoder {
+        LineDecoder {
+            buf: Vec::new(),
+            scan_from: 0,
+            cap,
+            poisoned: false,
+        }
+    }
+
+    /// Append newly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if !self.poisoned {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Pop the next complete line (without the terminator), or report that the
+    /// line cap was exceeded. `Ok(None)` means "need more bytes".
+    pub fn next_line(&mut self) -> Result<Option<String>, LineTooLong> {
+        if self.poisoned {
+            return Err(LineTooLong);
+        }
+        match self.buf[self.scan_from..].iter().position(|&b| b == b'\n') {
+            Some(rel) => {
+                let end = self.scan_from + rel;
+                let mut line: Vec<u8> = self.buf.drain(..=end).collect();
+                line.pop(); // the \n
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                self.scan_from = 0;
+                Ok(Some(String::from_utf8_lossy(&line).into_owned()))
+            }
+            None => {
+                self.scan_from = self.buf.len();
+                if self.buf.len() > self.cap {
+                    self.poisoned = true;
+                    self.buf = Vec::new();
+                    return Err(LineTooLong);
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Whether any partial data is buffered.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+}
+
+impl Default for LineDecoder {
+    fn default() -> Self {
+        LineDecoder::new()
+    }
+}
+
+/// A single NDJSON line exceeded the cap; the connection should be dropped.
+#[derive(Debug, PartialEq, Eq)]
+pub struct LineTooLong;
+
+/// Cap on accumulated HTTP header bytes, matching the threads-mode shim.
+pub const MAX_HEADER_BYTES: usize = 8 << 10;
+/// Cap on an HTTP request body, matching the threads-mode shim.
+pub const MAX_BODY_BYTES: usize = 16 << 20;
+
+/// A fully parsed HTTP/1.1 request.
+pub struct HttpRequest {
+    /// The request line, e.g. `POST /delta HTTP/1.1`.
+    pub request_line: String,
+    /// Value of Content-Length, if present and parseable.
+    pub content_length: Option<usize>,
+    /// The request body (empty when no Content-Length).
+    pub body: Vec<u8>,
+}
+
+/// Decode failures that map to distinct HTTP error responses.
+#[derive(Debug, PartialEq, Eq)]
+pub enum HttpError {
+    /// Headers grew past [`MAX_HEADER_BYTES`] → 431.
+    HeadersTooLarge,
+    /// Declared body is over [`MAX_BODY_BYTES`] → 400.
+    BodyTooLarge,
+}
+
+enum HttpPhase {
+    Headers,
+    Body {
+        request_line: String,
+        content_length: Option<usize>,
+    },
+    Done,
+}
+
+/// Incremental HTTP/1.1 request parser: headers first (bounded), then a
+/// Content-Length body (bounded). One request per decoder.
+pub struct HttpDecoder {
+    buf: Vec<u8>,
+    phase: HttpPhase,
+}
+
+impl HttpDecoder {
+    /// New decoder, optionally seeded with bytes already read while sniffing
+    /// the protocol.
+    pub fn new(seed: &[u8]) -> HttpDecoder {
+        HttpDecoder {
+            buf: seed.to_vec(),
+            phase: HttpPhase::Headers,
+        }
+    }
+
+    /// Append newly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Try to complete the request. `Ok(None)` means "need more bytes".
+    pub fn poll(&mut self) -> Result<Option<HttpRequest>, HttpError> {
+        loop {
+            match &mut self.phase {
+                HttpPhase::Headers => match find_header_end(&self.buf) {
+                    Some(end) => {
+                        // The budget applies even when the whole block
+                        // arrived in one read: a complete-but-oversized
+                        // header block is refused, not served.
+                        if end > MAX_HEADER_BYTES {
+                            self.phase = HttpPhase::Done;
+                            return Err(HttpError::HeadersTooLarge);
+                        }
+                        let head = String::from_utf8_lossy(&self.buf[..end]).into_owned();
+                        let request_line = head.lines().next().unwrap_or("").trim_end().to_string();
+                        let content_length = head.lines().skip(1).find_map(|l| {
+                            let (name, value) = l.split_once(':')?;
+                            if name.trim().eq_ignore_ascii_case("content-length") {
+                                value.trim().parse::<usize>().ok()
+                            } else {
+                                None
+                            }
+                        });
+                        let body_start = end + body_sep_len(&self.buf, end);
+                        self.buf.drain(..body_start);
+                        if content_length.unwrap_or(0) > MAX_BODY_BYTES {
+                            self.phase = HttpPhase::Done;
+                            return Err(HttpError::BodyTooLarge);
+                        }
+                        self.phase = HttpPhase::Body {
+                            request_line,
+                            content_length,
+                        };
+                    }
+                    None => {
+                        if self.buf.len() > MAX_HEADER_BYTES {
+                            self.phase = HttpPhase::Done;
+                            return Err(HttpError::HeadersTooLarge);
+                        }
+                        return Ok(None);
+                    }
+                },
+                HttpPhase::Body {
+                    request_line,
+                    content_length,
+                } => {
+                    let need = content_length.unwrap_or(0);
+                    if self.buf.len() < need {
+                        return Ok(None);
+                    }
+                    let body: Vec<u8> = self.buf.drain(..need).collect();
+                    let req = HttpRequest {
+                        request_line: std::mem::take(request_line),
+                        content_length: *content_length,
+                        body,
+                    };
+                    self.phase = HttpPhase::Done;
+                    return Ok(Some(req));
+                }
+                HttpPhase::Done => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Index just past the header block's final line, i.e. the offset of the
+/// blank-line separator, searching for `\r\n\r\n` or `\n\n`.
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            // Look at what follows this newline.
+            if buf.get(i + 1) == Some(&b'\n') {
+                return Some(i + 1);
+            }
+            if buf.get(i + 1) == Some(&b'\r') && buf.get(i + 2) == Some(&b'\n') {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn body_sep_len(buf: &[u8], end: usize) -> usize {
+    if buf.get(end) == Some(&b'\r') {
+        2
+    } else {
+        1
+    }
+}
+
+/// Outbound byte buffer with a moving read cursor. Bytes are queued with
+/// [`WriteBuf::queue`] and pushed to the socket with [`WriteBuf::flush`];
+/// consumed prefixes are compacted lazily to avoid O(n²) drains.
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuf {
+    /// New empty buffer.
+    pub fn new() -> WriteBuf {
+        WriteBuf {
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Queue bytes for sending.
+    pub fn queue(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unsent byte count.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether everything queued has been sent.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Write as much as the sink will take. Returns `Ok(true)` when the
+    /// buffer drained completely, `Ok(false)` when bytes remain (EAGAIN).
+    pub fn flush(&mut self, w: &mut impl std::io::Write) -> std::io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+            return Ok(true);
+        }
+        // Compact once the dead prefix dominates, so long-lived connections
+        // do not retain every byte ever sent.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        Ok(false)
+    }
+}
+
+impl Default for WriteBuf {
+    fn default() -> Self {
+        WriteBuf::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lines_reassemble_across_single_byte_feeds() {
+        let mut d = LineDecoder::new();
+        for b in b"{\"op\":\"reach\"}\r\nnext" {
+            d.feed(&[*b]);
+        }
+        assert_eq!(
+            d.next_line().unwrap().as_deref(),
+            Some("{\"op\":\"reach\"}")
+        );
+        assert_eq!(d.next_line().unwrap(), None);
+        assert!(d.has_partial());
+        d.feed(b"\n");
+        assert_eq!(d.next_line().unwrap().as_deref(), Some("next"));
+        assert!(!d.has_partial());
+    }
+
+    #[test]
+    fn oversized_line_poisons_the_decoder() {
+        let mut d = LineDecoder::with_cap(8);
+        d.feed(b"0123456789abcdef");
+        assert_eq!(d.next_line(), Err(LineTooLong));
+        d.feed(b"\n");
+        assert_eq!(d.next_line(), Err(LineTooLong));
+    }
+
+    #[test]
+    fn http_request_with_body_parses_across_fragments() {
+        let raw = b"POST /delta HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        let mut d = HttpDecoder::new(b"");
+        for chunk in raw.chunks(3) {
+            d.feed(chunk);
+        }
+        let req = d.poll().unwrap().unwrap();
+        assert_eq!(req.request_line, "POST /delta HTTP/1.1");
+        assert_eq!(req.content_length, Some(5));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn http_get_without_body_completes_at_blank_line() {
+        let mut d = HttpDecoder::new(b"GET /healthz HTTP/1.1\r\n");
+        assert!(d.poll().unwrap().is_none());
+        d.feed(b"Host: x\r\n\r\n");
+        let req = d.poll().unwrap().unwrap();
+        assert_eq!(req.request_line, "GET /healthz HTTP/1.1");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn bare_lf_header_separator_is_accepted() {
+        let mut d = HttpDecoder::new(b"GET /metrics HTTP/1.1\nHost: x\n\n");
+        let req = d.poll().unwrap().unwrap();
+        assert_eq!(req.request_line, "GET /metrics HTTP/1.1");
+    }
+
+    #[test]
+    fn header_cap_and_body_cap_are_distinct_errors() {
+        let mut d = HttpDecoder::new(b"GET / HTTP/1.1\r\n");
+        d.feed(&vec![b'a'; MAX_HEADER_BYTES + 16]);
+        match d.poll() {
+            Err(HttpError::HeadersTooLarge) => {}
+            other => panic!(
+                "expected HeadersTooLarge, got {:?}",
+                other.map(|o| o.is_some())
+            ),
+        }
+
+        // The cap also fires when the oversized block arrives *complete*
+        // in one feed — terminator present must not bypass the budget.
+        let mut oversized = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        oversized.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES));
+        oversized.extend_from_slice(b"\r\n\r\n");
+        let mut d = HttpDecoder::new(&oversized);
+        match d.poll() {
+            Err(HttpError::HeadersTooLarge) => {}
+            other => panic!(
+                "expected HeadersTooLarge on a complete block, got {:?}",
+                other.map(|o| o.is_some())
+            ),
+        }
+
+        let huge = format!(
+            "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let mut d = HttpDecoder::new(huge.as_bytes());
+        match d.poll() {
+            Err(HttpError::BodyTooLarge) => {}
+            other => panic!(
+                "expected BodyTooLarge, got {:?}",
+                other.map(|o| o.is_some())
+            ),
+        }
+    }
+
+    #[test]
+    fn write_buf_survives_partial_sinks() {
+        struct Trickle(Vec<u8>, usize);
+        impl std::io::Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.1 == 0 {
+                    self.1 = 1;
+                    return Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "full"));
+                }
+                let n = buf.len().min(1);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut wb = WriteBuf::new();
+        wb.queue(b"abcdef");
+        let mut sink = Trickle(Vec::new(), 0);
+        // First flush hits EAGAIN immediately.
+        assert!(!wb.flush(&mut sink).unwrap());
+        assert_eq!(wb.len(), 6);
+        // Subsequent flushes trickle one byte per call.
+        while !wb.flush(&mut sink).unwrap() {
+            sink.1 = 1;
+        }
+        assert_eq!(sink.0, b"abcdef");
+        assert!(wb.is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Bounded lock-free single-producer single-consumer ring.
+//!
+//! The reactor pushes jobs into one ring per shard and each shard pushes
+//! completions back through a second ring, so the hot path never takes a
+//! lock: one acquire load + one release store per side (the classic Lamport
+//! queue). Capacity is rounded up to a power of two so index wrap is a mask.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+struct Ring<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot to write; owned by the producer, read by the consumer.
+    head: AtomicUsize,
+    /// Next slot to read; owned by the consumer, read by the producer.
+    tail: AtomicUsize,
+}
+
+// The slots are only touched by whichever side owns them per the head/tail
+// protocol; the atomics publish ownership transfer.
+unsafe impl<T: Send> Send for Ring<T> {}
+unsafe impl<T: Send> Sync for Ring<T> {}
+
+/// Producer half of an SPSC ring. Not `Clone`: exactly one producer.
+pub struct Producer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Consumer half of an SPSC ring. Not `Clone`: exactly one consumer.
+pub struct Consumer<T> {
+    ring: Arc<Ring<T>>,
+}
+
+/// Create a ring with room for at least `capacity` items.
+pub fn spsc<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    let cap = capacity.max(2).next_power_of_two();
+    let slots = (0..cap)
+        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .collect::<Vec<_>>()
+        .into_boxed_slice();
+    let ring = Arc::new(Ring {
+        slots,
+        mask: cap - 1,
+        head: AtomicUsize::new(0),
+        tail: AtomicUsize::new(0),
+    });
+    (
+        Producer {
+            ring: Arc::clone(&ring),
+        },
+        Consumer { ring },
+    )
+}
+
+impl<T> Producer<T> {
+    /// Push an item; returns it back if the ring is full.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let ring = &*self.ring;
+        let head = ring.head.load(Ordering::Relaxed);
+        let tail = ring.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) > ring.mask {
+            return Err(item);
+        }
+        unsafe {
+            (*ring.slots[head & ring.mask].get()).write(item);
+        }
+        ring.head.store(head.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Number of items currently queued (approximate from the producer side).
+    pub fn len(&self) -> usize {
+        let head = self.ring.head.load(Ordering::Relaxed);
+        let tail = self.ring.tail.load(Ordering::Acquire);
+        head.wrapping_sub(tail)
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Pop the oldest item, if any.
+    pub fn pop(&self) -> Option<T> {
+        let ring = &*self.ring;
+        let tail = ring.tail.load(Ordering::Relaxed);
+        let head = ring.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let item = unsafe { (*ring.slots[tail & ring.mask].get()).assume_init_read() };
+        ring.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// Number of items currently queued (approximate from the consumer side).
+    pub fn len(&self) -> usize {
+        let tail = self.ring.tail.load(Ordering::Relaxed);
+        let head = self.ring.head.load(Ordering::Acquire);
+        head.wrapping_sub(tail)
+    }
+
+    /// Whether the ring is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Drop for Ring<T> {
+    fn drop(&mut self) {
+        // Both halves are gone; drain whatever is still queued.
+        let head = *self.head.get_mut();
+        let mut tail = *self.tail.get_mut();
+        while tail != head {
+            unsafe {
+                (*self.slots[tail & self.mask].get()).assume_init_drop();
+            }
+            tail = tail.wrapping_add(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_and_full_detection() {
+        let (tx, rx) = spsc::<u32>(4);
+        for i in 0..4 {
+            tx.push(i).unwrap();
+        }
+        assert_eq!(tx.push(99), Err(99));
+        assert_eq!(tx.len(), 4);
+        for i in 0..4 {
+            assert_eq!(rx.pop(), Some(i));
+        }
+        assert_eq!(rx.pop(), None);
+        assert!(rx.is_empty());
+    }
+
+    #[test]
+    fn cross_thread_stream_arrives_intact() {
+        let (tx, rx) = spsc::<u64>(64);
+        let n = 100_000u64;
+        let producer = std::thread::spawn(move || {
+            for i in 0..n {
+                let mut v = i;
+                loop {
+                    match tx.push(v) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            v = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }
+        });
+        let mut expect = 0u64;
+        while expect < n {
+            if let Some(v) = rx.pop() {
+                assert_eq!(v, expect);
+                expect += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn unconsumed_items_are_dropped_with_the_ring() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D;
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (tx, rx) = spsc::<D>(8);
+        assert!(tx.push(D).is_ok());
+        assert!(tx.push(D).is_ok());
+        assert!(tx.push(D).is_ok());
+        drop(rx.pop());
+        let before = DROPS.load(Ordering::Relaxed);
+        assert_eq!(before, 1);
+        drop(tx);
+        drop(rx);
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,405 @@
+//! Raw Linux syscall bindings for epoll and pipes — no libc.
+//!
+//! The repo is zero-external-crates, so the reactor talks to the kernel
+//! directly: a per-architecture `syscall` shim wraps the `syscall`/`svc 0`
+//! instruction and the handful of syscall numbers we need. Everything is
+//! gated on [`SUPPORTED`]; on other targets the stubs return
+//! `ErrorKind::Unsupported` and callers fall back to the thread-per-connection
+//! path.
+
+use std::io;
+
+/// Whether the raw epoll backend is available on this target.
+pub const SUPPORTED: bool = cfg!(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+));
+
+/// Readable event (data available / accept ready).
+pub const EPOLLIN: u32 = 0x1;
+/// Writable event (send buffer has room).
+pub const EPOLLOUT: u32 = 0x4;
+/// Error condition on the fd.
+pub const EPOLLERR: u32 = 0x8;
+/// Hangup (peer closed both directions).
+pub const EPOLLHUP: u32 = 0x10;
+/// Peer closed its write half (half-close detection without a read).
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+const EPOLL_CLOEXEC: u64 = 0x80000;
+const O_NONBLOCK: u64 = 0x800;
+const O_CLOEXEC: u64 = 0x80000;
+
+/// One epoll event as the kernel lays it out. x86_64 uses the packed layout
+/// (no padding between `events` and `data`); other architectures use natural
+/// alignment, which matches the kernel's non-x86 definition.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy, Default)]
+pub struct EpollEvent {
+    /// Bitmask of EPOLL* flags.
+    pub events: u32,
+    /// Caller token, returned verbatim on readiness.
+    pub data: u64,
+}
+
+impl EpollEvent {
+    /// The ready-event bitmask, read by value (the struct may be packed).
+    pub fn mask(&self) -> u32 {
+        self.events
+    }
+
+    /// The registration token, read by value (the struct may be packed).
+    pub fn token(&self) -> u64 {
+        self.data
+    }
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod nr {
+    pub const READ: u64 = 0;
+    pub const WRITE: u64 = 1;
+    pub const CLOSE: u64 = 3;
+    pub const EPOLL_WAIT: u64 = 232;
+    pub const EPOLL_CTL: u64 = 233;
+    pub const EPOLL_CREATE1: u64 = 291;
+    pub const PIPE2: u64 = 293;
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+mod nr {
+    pub const EPOLL_CREATE1: u64 = 20;
+    pub const EPOLL_CTL: u64 = 21;
+    pub const EPOLL_PWAIT: u64 = 22;
+    pub const CLOSE: u64 = 57;
+    pub const PIPE2: u64 = 59;
+    pub const READ: u64 = 63;
+    pub const WRITE: u64 = 64;
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+#[inline]
+unsafe fn syscall6(n: u64, a: u64, b: u64, c: u64, d: u64, e: u64, f: u64) -> i64 {
+    let ret: i64;
+    std::arch::asm!(
+        "syscall",
+        inlateout("rax") n as i64 => ret,
+        in("rdi") a,
+        in("rsi") b,
+        in("rdx") c,
+        in("r10") d,
+        in("r8") e,
+        in("r9") f,
+        lateout("rcx") _,
+        lateout("r11") _,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(all(target_os = "linux", target_arch = "aarch64"))]
+#[inline]
+unsafe fn syscall6(n: u64, a: u64, b: u64, c: u64, d: u64, e: u64, f: u64) -> i64 {
+    let ret: i64;
+    std::arch::asm!(
+        "svc 0",
+        in("x8") n,
+        inlateout("x0") a as i64 => ret,
+        in("x1") b,
+        in("x2") c,
+        in("x3") d,
+        in("x4") e,
+        in("x5") f,
+        options(nostack),
+    );
+    ret
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+fn check(ret: i64) -> io::Result<i64> {
+    if ret < 0 {
+        Err(io::Error::from_raw_os_error(-ret as i32))
+    } else {
+        Ok(ret)
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::*;
+    use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+
+    pub fn epoll_create1() -> io::Result<OwnedFd> {
+        let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+        Ok(unsafe { OwnedFd::from_raw_fd(fd as RawFd) })
+    }
+
+    pub fn epoll_ctl(
+        epfd: RawFd,
+        op: i32,
+        fd: RawFd,
+        event: Option<&mut EpollEvent>,
+    ) -> io::Result<()> {
+        let ptr = event.map_or(0u64, |e| e as *mut EpollEvent as u64);
+        check(unsafe { syscall6(nr::EPOLL_CTL, epfd as u64, op as u64, fd as u64, ptr, 0, 0) })?;
+        Ok(())
+    }
+
+    pub fn epoll_wait(
+        epfd: RawFd,
+        events: &mut [EpollEvent],
+        timeout_ms: i32,
+    ) -> io::Result<usize> {
+        let ret = unsafe {
+            #[cfg(target_arch = "x86_64")]
+            {
+                syscall6(
+                    nr::EPOLL_WAIT,
+                    epfd as u64,
+                    events.as_mut_ptr() as u64,
+                    events.len() as u64,
+                    timeout_ms as i64 as u64,
+                    0,
+                    0,
+                )
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                // aarch64 has no plain epoll_wait; epoll_pwait with a NULL
+                // sigmask is the same call.
+                syscall6(
+                    nr::EPOLL_PWAIT,
+                    epfd as u64,
+                    events.as_mut_ptr() as u64,
+                    events.len() as u64,
+                    timeout_ms as i64 as u64,
+                    0,
+                    8, // sigsetsize, ignored when the mask pointer is NULL
+                )
+            }
+        };
+        if ret < 0 {
+            let err = io::Error::from_raw_os_error(-ret as i32);
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        Ok(ret as usize)
+    }
+
+    /// Create a nonblocking CLOEXEC pipe pair (read end, write end).
+    pub fn pipe2_nonblocking() -> io::Result<(OwnedFd, OwnedFd)> {
+        let mut fds = [0i32; 2];
+        check(unsafe {
+            syscall6(
+                nr::PIPE2,
+                fds.as_mut_ptr() as u64,
+                O_NONBLOCK | O_CLOEXEC,
+                0,
+                0,
+                0,
+                0,
+            )
+        })?;
+        Ok(unsafe { (OwnedFd::from_raw_fd(fds[0]), OwnedFd::from_raw_fd(fds[1])) })
+    }
+
+    /// Raw `read(2)`; EAGAIN surfaces as `ErrorKind::WouldBlock`.
+    pub fn read(fd: RawFd, buf: &mut [u8]) -> io::Result<usize> {
+        let ret = check(unsafe {
+            syscall6(
+                nr::READ,
+                fd as u64,
+                buf.as_mut_ptr() as u64,
+                buf.len() as u64,
+                0,
+                0,
+                0,
+            )
+        })?;
+        Ok(ret as usize)
+    }
+
+    /// Raw `write(2)`; EAGAIN surfaces as `ErrorKind::WouldBlock`.
+    pub fn write(fd: RawFd, buf: &[u8]) -> io::Result<usize> {
+        let ret = check(unsafe {
+            syscall6(
+                nr::WRITE,
+                fd as u64,
+                buf.as_ptr() as u64,
+                buf.len() as u64,
+                0,
+                0,
+                0,
+            )
+        })?;
+        Ok(ret as usize)
+    }
+
+    #[allow(dead_code)]
+    pub fn close(fd: RawFd) -> io::Result<()> {
+        check(unsafe { syscall6(nr::CLOSE, fd as u64, 0, 0, 0, 0, 0) })?;
+        Ok(())
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::*;
+    use std::os::fd::{OwnedFd, RawFd};
+
+    fn unsupported<T>() -> io::Result<T> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "raw epoll backend requires linux x86_64/aarch64",
+        ))
+    }
+
+    pub fn epoll_create1() -> io::Result<OwnedFd> {
+        unsupported()
+    }
+    pub fn epoll_ctl(_: RawFd, _: i32, _: RawFd, _: Option<&mut EpollEvent>) -> io::Result<()> {
+        unsupported()
+    }
+    pub fn epoll_wait(_: RawFd, _: &mut [EpollEvent], _: i32) -> io::Result<usize> {
+        unsupported()
+    }
+    /// Unsupported on this target.
+    pub fn pipe2_nonblocking() -> io::Result<(OwnedFd, OwnedFd)> {
+        unsupported()
+    }
+    /// Unsupported on this target.
+    pub fn read(_: RawFd, _: &mut [u8]) -> io::Result<usize> {
+        unsupported()
+    }
+    /// Unsupported on this target.
+    pub fn write(_: RawFd, _: &[u8]) -> io::Result<usize> {
+        unsupported()
+    }
+    #[allow(dead_code)]
+    pub fn close(_: RawFd) -> io::Result<()> {
+        unsupported()
+    }
+}
+
+pub use imp::{pipe2_nonblocking, read, write};
+
+use std::os::fd::{AsRawFd, OwnedFd, RawFd};
+
+/// An epoll instance. Registration is level-triggered; interest is expressed
+/// per-fd with an opaque `u64` token that comes back in ready events.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Create a new epoll instance (CLOEXEC).
+    pub fn new() -> io::Result<Epoll> {
+        Ok(Epoll {
+            fd: imp::epoll_create1()?,
+        })
+    }
+
+    /// Register `fd` with the given interest mask and token.
+    pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        imp::epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_ADD, fd, Some(&mut ev))
+    }
+
+    /// Change the interest mask for an already-registered `fd`.
+    pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events: interest,
+            data: token,
+        };
+        imp::epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_MOD, fd, Some(&mut ev))
+    }
+
+    /// Remove `fd` from the interest set.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        imp::epoll_ctl(self.fd.as_raw_fd(), EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Wait up to `timeout_ms` (-1 = forever) for ready events. EINTR is
+    /// reported as zero events so callers just loop.
+    pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+        imp::epoll_wait(self.fd.as_raw_fd(), events, timeout_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn epoll_reports_readability_on_a_socket_pair() {
+        if !SUPPORTED {
+            return;
+        }
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+
+        let ep = Epoll::new().unwrap();
+        ep.add(server.as_raw_fd(), EPOLLIN, 7).unwrap();
+
+        let mut events = [EpollEvent::default(); 4];
+        // Nothing to read yet.
+        assert_eq!(ep.wait(&mut events, 0).unwrap(), 0);
+
+        client.write_all(b"ping").unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 7);
+        assert_ne!(events[0].mask() & EPOLLIN, 0);
+
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+
+        ep.modify(server.as_raw_fd(), EPOLLIN | EPOLLOUT, 9)
+            .unwrap();
+        let n = ep.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token(), 9);
+        assert_ne!(events[0].mask() & EPOLLOUT, 0);
+
+        ep.delete(server.as_raw_fd()).unwrap();
+        client.write_all(b"more").unwrap();
+        assert_eq!(ep.wait(&mut events, 50).unwrap(), 0);
+    }
+
+    #[test]
+    fn pipe_read_write_round_trips_and_drains_to_eagain() {
+        if !SUPPORTED {
+            return;
+        }
+        let (r, w) = pipe2_nonblocking().unwrap();
+        assert_eq!(write(w.as_raw_fd(), b"x").unwrap(), 1);
+        let mut buf = [0u8; 16];
+        assert_eq!(read(r.as_raw_fd(), &mut buf).unwrap(), 1);
+        assert_eq!(buf[0], b'x');
+        let err = read(r.as_raw_fd(), &mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::WouldBlock);
+    }
+}

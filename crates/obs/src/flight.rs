@@ -258,6 +258,9 @@ pub struct RequestRecord {
     pub alloc_bytes: u64,
     /// Allocation count behind `alloc_bytes` (same enablement rule).
     pub alloc_count: u64,
+    /// Engine shard that served the request, stored as `shard_id + 1`;
+    /// 0 means "not sharded" (threads mode / batch) and renders as -1.
+    pub shard: u16,
 }
 
 /// Words per encoded [`RequestRecord`] in a ring slot.
@@ -289,7 +292,8 @@ impl RequestRecord {
             dst[1],
             u64::from(self.verdict as u8)
                 | u64::from(self.backend as u8) << 8
-                | u64::from(self.flags) << 16,
+                | u64::from(self.flags) << 16
+                | u64::from(self.shard) << 24,
         ]
     }
 
@@ -310,6 +314,7 @@ impl RequestRecord {
             verdict: VerdictClass::from_u8(words[14] as u8),
             backend: BackendClass::from_u8((words[14] >> 8) as u8),
             flags: (words[14] >> 16) as u8,
+            shard: (words[14] >> 24) as u16,
         }
     }
 
@@ -319,7 +324,7 @@ impl RequestRecord {
             "{{\"req\":{},\"start_us\":{},\"latency_us\":{},\"op\":\"{}\",\"src\":\"{}\",\
              \"dst\":\"{}\",\"verdict\":\"{}\",\"backend\":\"{}\",\"cache_hit\":{},\
              \"coalesced\":{},\"session\":{},\"leader\":{},\"model\":\"{:016x}\",\"generation\":{},\
-             \"alloc_bytes\":{},\"alloc_count\":{}}}",
+             \"alloc_bytes\":{},\"alloc_count\":{},\"shard\":{}}}",
             self.id,
             self.start_us,
             self.latency_us,
@@ -336,6 +341,7 @@ impl RequestRecord {
             self.generation,
             self.alloc_bytes,
             self.alloc_count,
+            i64::from(self.shard) - 1,
         )
     }
 }
@@ -351,6 +357,9 @@ pub struct RequestCtx {
     pub model: u64,
     /// Model mutation generation at admission.
     pub generation: u64,
+    /// Serving shard as `shard_id + 1`; 0 until (unless) the reactor
+    /// routes the request to a shard.
+    pub shard: u16,
 }
 
 static NEXT_REQUEST_ID: AtomicU64 = AtomicU64::new(1);
@@ -363,6 +372,7 @@ impl RequestCtx {
             id: NEXT_REQUEST_ID.fetch_add(1, Ordering::Relaxed),
             model,
             generation,
+            shard: 0,
         }
     }
 }
@@ -620,6 +630,7 @@ mod tests {
         r.alloc_bytes = 1 << 40;
         r.alloc_count = 3;
         r.flags = FLAG_CACHE_HIT | FLAG_SESSION;
+        r.shard = 513;
         // to_json covers every field, so equal JSON means a faithful trip.
         assert_eq!(RequestRecord::decode(&r.encode()).to_json(), r.to_json());
 

@@ -8,15 +8,16 @@
 //! (atomic spec hot-swap).
 //!
 //! Like [`rzen_obs`], the crate is std-only — no async runtime, no HTTP
-//! framework. Threads are cheap at this concurrency (tens of
-//! connections, a handful of workers), and a thread-per-connection server
-//! whose blocking points are all obvious is far easier to reason about
-//! under drain than an executor.
+//! framework. Two connection layers share one protocol surface
+//! ([`LoopMode`]): the original thread-per-connection layer over
+//! blocking sockets, and an epoll reactor (`rzen-loop`) that multiplexes
+//! every connection on one thread and routes admitted work to
+//! shared-nothing engine shards over SPSC rings.
 //!
 //! The serving disciplines — bounded admission with explicit shedding,
 //! in-flight coalescing, deadlines that include queue wait, atomic model
 //! swap, graceful drain — are documented on [`server`]'s module docs and
-//! in `DESIGN.md` §9.
+//! in `DESIGN.md` §9; the reactor and shard ownership model in §14.
 //!
 //! ```no_run
 //! use rzen_serve::{start, Model, ServerConfig};
@@ -31,8 +32,9 @@
 
 #![warn(missing_docs)]
 
+mod eloop;
 pub mod proto;
 mod server;
 pub mod signal;
 
-pub use server::{start, Model, ServerConfig, ServerHandle};
+pub use server::{start, LoopMode, Model, ServerConfig, ServerHandle};

@@ -74,6 +74,18 @@ use rzen_net::spec::{self, Spec};
 use crate::proto::{self, Body, Op};
 use crate::signal;
 
+/// Which connection layer drives the server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoopMode {
+    /// Thread-per-connection over blocking sockets (the original layer).
+    Threads,
+    /// One epoll reactor thread multiplexing every connection, with
+    /// shared-nothing engine shards behind SPSC rings (`rzen-loop`).
+    /// Falls back to [`LoopMode::Threads`] on targets without the raw
+    /// epoll backend.
+    Epoll,
+}
+
 /// Server configuration.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -97,6 +109,14 @@ pub struct ServerConfig {
     pub debug_ops: bool,
     /// Sampler wake rate for `/debug/profile` captures, in Hz.
     pub sample_hz: u32,
+    /// Connection layer: thread-per-connection or the epoll reactor.
+    pub loop_mode: LoopMode,
+    /// Engine shards behind the epoll reactor; 0 means "same as `jobs`".
+    /// Ignored in [`LoopMode::Threads`].
+    pub shards: usize,
+    /// Close connections with no traffic for this long; `None` disables
+    /// reaping. Connections with work in flight are never reaped.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -111,6 +131,9 @@ impl Default for ServerConfig {
             handle_signals: false,
             debug_ops: false,
             sample_hz: rzen_obs::profile::DEFAULT_SAMPLE_HZ,
+            loop_mode: LoopMode::Threads,
+            shards: 0,
+            idle_timeout: None,
         }
     }
 }
@@ -142,32 +165,33 @@ impl Model {
     }
 }
 
-struct Shared {
-    cfg: ServerConfig,
-    engine: Engine,
-    model: RwLock<Arc<Model>>,
+pub(crate) struct Shared {
+    pub(crate) cfg: ServerConfig,
+    pub(crate) engine: Engine,
+    pub(crate) model: RwLock<Arc<Model>>,
     /// Serializes model mutations (`POST /model`, `POST /delta`): each is
     /// a read-modify-write of the model pointer plus a cache
     /// transition, and interleaving two would lose one of them. Query
     /// admission never takes this lock — it only reads the pointer.
-    swap: Mutex<()>,
+    pub(crate) swap: Mutex<()>,
     /// Counts accepted model mutations (swaps and deltas); reported by
     /// `/healthz` and in mutation responses so a client can tell which
     /// model lineage answered.
-    generation: AtomicU64,
+    pub(crate) generation: AtomicU64,
     /// Bumped when worker sessions must be rebuilt (full model swap).
     /// Deltas leave it alone: session caches key on hash-consed
     /// expression ids, so unchanged sub-circuits stay warm and changed
     /// ones get new ids — nothing stale can be served.
-    session_epoch: AtomicU64,
-    /// The admission queue sender; `None` once the drain retired it.
+    pub(crate) session_epoch: AtomicU64,
+    /// The admission queue sender; `None` once the drain retired it
+    /// (always `None` in epoll mode — the reactor routes to shard rings).
     jobs_tx: Mutex<Option<mpsc::SyncSender<Job>>>,
     /// Stop accepting connections.
-    shutdown: AtomicBool,
+    pub(crate) shutdown: AtomicBool,
     /// Stop admitting requests (drain phase).
-    draining: AtomicBool,
+    pub(crate) draining: AtomicBool,
     /// Jobs admitted (queued or running) and not yet answered.
-    admitted: AtomicUsize,
+    pub(crate) admitted: AtomicUsize,
     /// Connection threads currently processing a request (from read to
     /// response-write completion). The drain waits for this to hit zero
     /// before closing sockets, so an in-flight verdict is never lost to
@@ -177,10 +201,40 @@ struct Shared {
     /// connection id. An entry lives exactly as long as its connection
     /// thread: [`handle_conn`]'s scope guard removes it when the client
     /// goes away, so connection churn (every `/healthz` scrape opens a
-    /// fresh socket) does not accumulate dead file descriptors.
+    /// fresh socket) does not accumulate dead file descriptors. Unused
+    /// in epoll mode (the reactor owns its connections outright).
     conns: Mutex<HashMap<u64, TcpStream>>,
     /// Connection id allocator for [`Shared::conns`] keys.
     conn_seq: AtomicU64,
+}
+
+impl Shared {
+    /// Assemble the shared state for either connection layer.
+    pub(crate) fn new(cfg: ServerConfig, model: Model, engine: Engine) -> Shared {
+        Shared {
+            cfg,
+            engine,
+            model: RwLock::new(Arc::new(model)),
+            swap: Mutex::new(()),
+            generation: AtomicU64::new(0),
+            session_epoch: AtomicU64::new(0),
+            jobs_tx: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            admitted: AtomicUsize::new(0),
+            busy_conns: AtomicUsize::new(0),
+            conns: Mutex::new(HashMap::new()),
+            conn_seq: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The `serve.open_connections` gauge, shared by both connection layers.
+pub(crate) fn open_conns_gauge() -> &'static rzen_obs::Gauge {
+    rzen_obs::gauge!(
+        "serve.open_connections",
+        "client connections currently open"
+    )
 }
 
 /// Removes this connection's socket clone from [`Shared::conns`] when the
@@ -193,21 +247,39 @@ struct ConnGuard {
 impl Drop for ConnGuard {
     fn drop(&mut self) {
         self.shared.conns.lock().unwrap().remove(&self.id);
+        open_conns_gauge().add(-1);
+    }
+}
+
+/// Handles for nudging epoll-mode shard threads: a cache transition
+/// queued on the engine's cache log is only applied when a shard passes
+/// its catch-up point, and a shard with an empty job ring parks — the
+/// unpark gets it there promptly instead of at its next park timeout.
+#[derive(Clone)]
+pub(crate) struct ShardWake {
+    pub(crate) threads: Vec<thread::Thread>,
+}
+
+impl ShardWake {
+    pub(crate) fn wake_all(&self) {
+        for t in &self.threads {
+            t.unpark();
+        }
     }
 }
 
 /// How a finished job classified itself, for the flight record and the
 /// error counters kept by the connection thread's outer wrapper.
 #[derive(Clone, Copy)]
-struct RespMeta {
-    verdict: rzen_obs::VerdictClass,
-    backend: rzen_obs::BackendClass,
-    flags: u8,
+pub(crate) struct RespMeta {
+    pub(crate) verdict: rzen_obs::VerdictClass,
+    pub(crate) backend: rzen_obs::BackendClass,
+    pub(crate) flags: u8,
     /// Heap bytes/allocations the worker spent on this job, measured as
     /// a delta of its thread tally around execution. Zero unless
     /// profiling was enabled while the job ran.
-    alloc_bytes: u64,
-    alloc_count: u64,
+    pub(crate) alloc_bytes: u64,
+    pub(crate) alloc_count: u64,
 }
 
 impl Default for RespMeta {
@@ -275,8 +347,18 @@ impl Work {
 /// call [`ServerHandle::shutdown`] then [`ServerHandle::join`].
 pub struct ServerHandle {
     addr: SocketAddr,
-    shared: Arc<Shared>,
-    accept: thread::JoinHandle<()>,
+    inner: HandleInner,
+}
+
+enum HandleInner {
+    Threads {
+        shared: Arc<Shared>,
+        accept: thread::JoinHandle<()>,
+    },
+    Epoll {
+        ctl: Arc<crate::eloop::EpollCtl>,
+        reactor: thread::JoinHandle<()>,
+    },
 }
 
 impl ServerHandle {
@@ -287,25 +369,47 @@ impl ServerHandle {
 
     /// Jobs admitted and not yet answered (queued + running).
     pub fn inflight(&self) -> usize {
-        self.shared.admitted.load(Ordering::SeqCst)
+        self.shared().admitted.load(Ordering::SeqCst)
     }
 
-    /// Live connections currently tracked for the drain. Closed
-    /// connections are removed as they go, so this must not grow with
-    /// connection churn — tests assert on it to catch fd leaks.
+    /// Live connections currently tracked. Closed connections are
+    /// removed as they go, so this must not grow with connection churn —
+    /// tests assert on it to catch fd leaks.
     pub fn open_conns(&self) -> usize {
-        self.shared.conns.lock().unwrap().len()
+        match &self.inner {
+            HandleInner::Threads { shared, .. } => shared.conns.lock().unwrap().len(),
+            HandleInner::Epoll { ctl, .. } => ctl.open_conns(),
+        }
     }
 
     /// Begin graceful shutdown: stop accepting, drain in-flight work,
     /// answer stragglers `shutting_down`. Returns immediately.
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared().shutdown.store(true, Ordering::SeqCst);
+        if let HandleInner::Epoll { ctl, .. } = &self.inner {
+            // The reactor may be parked in epoll_wait; the doorbell gets
+            // it to the shutdown check immediately.
+            ctl.doorbell.ring();
+        }
     }
 
     /// Wait for the drain to complete and every thread to retire.
     pub fn join(self) {
-        let _ = self.accept.join();
+        match self.inner {
+            HandleInner::Threads { accept, .. } => {
+                let _ = accept.join();
+            }
+            HandleInner::Epoll { reactor, .. } => {
+                let _ = reactor.join();
+            }
+        }
+    }
+
+    fn shared(&self) -> &Shared {
+        match &self.inner {
+            HandleInner::Threads { shared, .. } => shared,
+            HandleInner::Epoll { ctl, .. } => &ctl.shared,
+        }
     }
 }
 
@@ -314,6 +418,13 @@ impl ServerHandle {
 pub fn start(cfg: ServerConfig, model: Model) -> io::Result<ServerHandle> {
     if cfg.handle_signals {
         signal::install();
+    }
+    if cfg.loop_mode == LoopMode::Epoll && rzen_loop::SUPPORTED {
+        let (addr, ctl, reactor) = crate::eloop::start(cfg, model)?;
+        return Ok(ServerHandle {
+            addr,
+            inner: HandleInner::Epoll { ctl, reactor },
+        });
     }
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
@@ -328,21 +439,8 @@ pub fn start(cfg: ServerConfig, model: Model) -> io::Result<ServerHandle> {
     });
     let (tx, rx) = mpsc::sync_channel::<Job>(cfg.backlog);
     let jobs = cfg.jobs.max(1);
-    let shared = Arc::new(Shared {
-        cfg,
-        engine,
-        model: RwLock::new(Arc::new(model)),
-        swap: Mutex::new(()),
-        generation: AtomicU64::new(0),
-        session_epoch: AtomicU64::new(0),
-        jobs_tx: Mutex::new(Some(tx)),
-        shutdown: AtomicBool::new(false),
-        draining: AtomicBool::new(false),
-        admitted: AtomicUsize::new(0),
-        busy_conns: AtomicUsize::new(0),
-        conns: Mutex::new(HashMap::new()),
-        conn_seq: AtomicU64::new(0),
-    });
+    let shared = Arc::new(Shared::new(cfg, model, engine));
+    *shared.jobs_tx.lock().unwrap() = Some(tx);
 
     let rx = Arc::new(Mutex::new(rx));
     let mut workers = Vec::with_capacity(jobs);
@@ -358,8 +456,7 @@ pub fn start(cfg: ServerConfig, model: Model) -> io::Result<ServerHandle> {
     };
     Ok(ServerHandle {
         addr,
-        shared,
-        accept,
+        inner: HandleInner::Threads { shared, accept },
     })
 }
 
@@ -385,6 +482,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>, workers: Vec<thread::
         match listener.accept() {
             Ok((stream, _peer)) => {
                 rzen_obs::counter!("serve.connections", "TCP connections accepted").inc();
+                open_conns_gauge().add(1);
                 // Request/response lines are tiny; Nagle + delayed ACK
                 // would add ~40ms to every exchange.
                 let _ = stream.set_nodelay(true);
@@ -563,55 +661,94 @@ fn run_work(
             src,
             dst,
             model,
-        } => {
-            // HSA builds transformer sets in the thread-local context;
-            // reset on both sides so engine queries on this worker never
-            // see a foreign arena.
-            rzen::reset_ctx();
-            let space = rzen::TransformerSpace::new();
-            let set = rzen_net::analyses::hsa::reachable_set(
-                &model.spec.net,
-                &space,
-                src.0,
-                src.1,
-                dst.0,
-            );
-            let mut b = Body::with_id(id);
-            b.num("req", ctx.id);
-            b.str("op", "hsa").bool("reachable", !set.is_empty());
-            if !set.is_empty() {
-                b.float("log2_count", set.count().log2());
-                if let Some(sample) = set.element() {
-                    b.str("sample", &proto::describe_header(&sample.overlay_header));
-                }
-            }
-            rzen::reset_ctx();
-            b.num("latency_us", started.elapsed().as_micros() as u64);
-            (b.line(), RespMeta::default())
-        }
+        } => do_hsa(id, ctx.id, src, dst, &model, started),
         Work::Paths {
             id,
             src,
             dst,
             model,
-        } => {
-            let paths = model.spec.net.paths(src.0, src.1, dst.0, dst.1);
-            let mut b = Body::with_id(id);
-            b.num("req", ctx.id);
-            b.str("op", "paths")
-                .num("paths", paths.len() as u64)
-                .num("latency_us", started.elapsed().as_micros() as u64);
-            (b.line(), RespMeta::default())
-        }
-        Work::Sleep { id, ms } => {
-            thread::sleep(Duration::from_millis(ms));
-            let mut b = Body::with_id(id);
-            b.num("req", ctx.id);
-            b.str("op", "sleep")
-                .num("latency_us", started.elapsed().as_micros() as u64);
-            (b.line(), RespMeta::default())
+        } => do_paths(id, ctx.id, src, dst, &model, started),
+        Work::Sleep { id, ms } => do_sleep(id, ctx.id, ms, started),
+    }
+}
+
+/// Exact reachable-set size (header-space transformers), shared by the
+/// worker pool and the epoll shard loop. HSA builds transformer sets in
+/// the thread-local context; reset on both sides so engine queries on
+/// this thread never see a foreign arena.
+pub(crate) fn do_hsa(
+    id: Option<u64>,
+    req_id: u64,
+    src: (usize, u8),
+    dst: (usize, u8),
+    model: &Model,
+    started: Instant,
+) -> (String, RespMeta) {
+    rzen::reset_ctx();
+    let space = rzen::TransformerSpace::new();
+    let set = rzen_net::analyses::hsa::reachable_set(&model.spec.net, &space, src.0, src.1, dst.0);
+    let mut b = Body::with_id(id);
+    b.num("req", req_id);
+    b.str("op", "hsa").bool("reachable", !set.is_empty());
+    if !set.is_empty() {
+        b.float("log2_count", set.count().log2());
+        if let Some(sample) = set.element() {
+            b.str("sample", &proto::describe_header(&sample.overlay_header));
         }
     }
+    rzen::reset_ctx();
+    b.num("latency_us", started.elapsed().as_micros() as u64);
+    (b.line(), RespMeta::default())
+}
+
+/// Simple-path count, shared by the worker pool and the shard loop.
+pub(crate) fn do_paths(
+    id: Option<u64>,
+    req_id: u64,
+    src: (usize, u8),
+    dst: (usize, u8),
+    model: &Model,
+    started: Instant,
+) -> (String, RespMeta) {
+    let paths = model.spec.net.paths(src.0, src.1, dst.0, dst.1);
+    let mut b = Body::with_id(id);
+    b.num("req", req_id);
+    b.str("op", "paths")
+        .num("paths", paths.len() as u64)
+        .num("latency_us", started.elapsed().as_micros() as u64);
+    (b.line(), RespMeta::default())
+}
+
+/// Debug: hold the executing thread for `ms`.
+pub(crate) fn do_sleep(
+    id: Option<u64>,
+    req_id: u64,
+    ms: u64,
+    started: Instant,
+) -> (String, RespMeta) {
+    thread::sleep(Duration::from_millis(ms));
+    let mut b = Body::with_id(id);
+    b.num("req", req_id);
+    b.str("op", "sleep")
+        .num("latency_us", started.elapsed().as_micros() as u64);
+    (b.line(), RespMeta::default())
+}
+
+/// Was this read error the per-read idle timer firing (vs. a real error)?
+/// The kind differs by platform: `WouldBlock` on Unix, `TimedOut` on
+/// Windows.
+fn is_read_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+pub(crate) fn idle_reaped_counter() -> &'static rzen_obs::Counter {
+    rzen_obs::counter!(
+        "serve.idle_reaped",
+        "idle connections closed by --idle-timeout-ms"
+    )
 }
 
 fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
@@ -619,12 +756,25 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
+    // Idle reaping in threads mode rides the socket's own read timer:
+    // the thread only ever blocks in read_line *between* requests (work
+    // in flight keeps it out of the read), so a timed-out read is
+    // precisely an idle connection.
+    if let Some(idle) = shared.cfg.idle_timeout {
+        let _ = read_half.set_read_timeout(Some(idle));
+    }
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
 
     let mut line = String::new();
     match reader.read_line(&mut line) {
-        Ok(0) | Err(_) => return,
+        Ok(0) => return,
+        Err(e) => {
+            if is_read_timeout(&e) && shared.cfg.idle_timeout.is_some() {
+                idle_reaped_counter().inc();
+            }
+            return;
+        }
         Ok(_) => {}
     }
     // One listener, two protocols: an HTTP request line is unmistakable,
@@ -648,7 +798,14 @@ fn handle_conn(stream: TcpStream, shared: Arc<Shared>) {
         }
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
+            Ok(0) => break,
+            Err(e) => {
+                if is_read_timeout(&e) && shared.cfg.idle_timeout.is_some() {
+                    idle_reaped_counter().inc();
+                    let _ = writer.shutdown(Shutdown::Both);
+                }
+                break;
+            }
             Ok(_) => {}
         }
     }
@@ -712,6 +869,7 @@ fn handle_request(line: &str, shared: &Arc<Shared>) -> String {
         flags: meta.resp.flags,
         alloc_bytes: meta.resp.alloc_bytes,
         alloc_count: meta.resp.alloc_count,
+        shard: ctx.shard,
     });
     resp
 }
@@ -923,7 +1081,7 @@ fn handle_request_inner(
     }
 }
 
-fn observe_latency(started: Instant) {
+pub(crate) fn observe_latency(started: Instant) {
     rzen_obs::histogram!(
         "serve.request_us",
         "request wall latency (admission to response) in microseconds"
@@ -984,8 +1142,73 @@ fn handle_http(
     // HEAD gets the same status line and headers as GET — Content-Length
     // included — but no body, as HTTP requires.
     let head = method == "HEAD";
-    match (method, path) {
-        ("GET" | "HEAD", "/healthz") => {
+    let answer = match (method, path) {
+        ("POST", "/model") => {
+            let Some(text) = read_post_body(reader, writer, content_length) else {
+                return;
+            };
+            answer_model_post(shared, &text, None)
+        }
+        ("POST", "/delta") => {
+            let Some(text) = read_post_body(reader, writer, content_length) else {
+                return;
+            };
+            answer_delta_post(shared, &text, None)
+        }
+        _ => answer_http_get(method, path, query, shared),
+    };
+    http_respond(
+        writer,
+        answer.status,
+        answer.content_type,
+        &answer.body,
+        head,
+    );
+    let _ = writer.flush();
+    let _ = writer.shutdown(Shutdown::Both);
+}
+
+/// One rendered HTTP response, transport-agnostic: the blocking shim and
+/// the epoll reactor both turn this into bytes on the wire.
+pub(crate) struct HttpAnswer {
+    pub(crate) status: u16,
+    pub(crate) content_type: &'static str,
+    pub(crate) body: String,
+}
+
+impl HttpAnswer {
+    pub(crate) fn json(status: u16, body: String) -> HttpAnswer {
+        HttpAnswer {
+            status,
+            content_type: "application/json",
+            body,
+        }
+    }
+
+    pub(crate) fn error(status: u16, msg: &str) -> HttpAnswer {
+        let mut b = Body::new();
+        b.str("error", msg);
+        HttpAnswer::json(status, b.document())
+    }
+}
+
+/// Route a bodyless (GET/HEAD) request. POSTs carry bodies and are
+/// dispatched by the callers, which own body transport.
+///
+/// Beware: `/debug/trace` and `/debug/profile` *block for their capture
+/// window* — the reactor must call this from an offload thread, never
+/// inline.
+pub(crate) fn answer_http_get(
+    method: &str,
+    path: &str,
+    query: &str,
+    shared: &Shared,
+) -> HttpAnswer {
+    if method != "GET" && method != "HEAD" {
+        return HttpAnswer::error(404, "not found");
+    }
+    match path {
+        "/healthz" => {
             let model = shared.model.read().unwrap().clone();
             let mut b = Body::new();
             b.str("status", "ok")
@@ -994,202 +1217,194 @@ fn handle_http(
                 .num("devices", model.spec.net.devices.len() as u64)
                 .num("inflight", shared.admitted.load(Ordering::SeqCst) as u64)
                 .bool("draining", shared.draining.load(Ordering::SeqCst));
-            http_respond(writer, 200, "application/json", &b.document(), head);
+            HttpAnswer::json(200, b.document())
         }
-        ("GET" | "HEAD", "/metrics") => {
+        "/metrics" => {
             // Registry metrics first, then the process-level series
             // (RSS, CPU seconds, fds, start time, build info) rendered
             // straight from /proc — those carry float values the integer
             // registry cannot hold.
             let mut text = rzen_obs::metrics::registry().render_prometheus();
             text.push_str(&rzen_obs::process::exposition(env!("CARGO_PKG_VERSION")));
-            http_respond(
-                writer,
-                200,
-                "text/plain; version=0.0.4; charset=utf-8",
-                &text,
-                head,
-            );
+            HttpAnswer {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: text,
+            }
         }
-        ("GET" | "HEAD", "/debug/requests") => {
-            let body = rzen_obs::flight::render_json(&rzen_obs::flight::snapshot());
-            http_respond(writer, 200, "application/json", &body, head);
-        }
-        ("GET" | "HEAD", "/debug/slow") => {
-            let body = rzen_obs::flight::render_json(&rzen_obs::flight::slow_snapshot());
-            http_respond(writer, 200, "application/json", &body, head);
-        }
-        ("GET" | "HEAD", "/debug/trace") => {
+        "/debug/requests" => HttpAnswer::json(
+            200,
+            rzen_obs::flight::render_json(&rzen_obs::flight::snapshot()),
+        ),
+        "/debug/slow" => HttpAnswer::json(
+            200,
+            rzen_obs::flight::render_json(&rzen_obs::flight::slow_snapshot()),
+        ),
+        "/debug/trace" => {
             // Captures hold a serialized lock for the whole window, so
             // the window is client-chosen only up to MAX_CAPTURE_MS, and
             // garbage (non-numeric, negative) is a 400 rather than a
             // silently-defaulted capture.
             let ms = match capture_window_ms(query) {
                 Ok(ms) => ms,
-                Err(e) => {
-                    let mut b = Body::new();
-                    b.str("error", e);
-                    http_respond(writer, 400, "application/json", &b.document(), head);
-                    return;
-                }
+                Err(e) => return HttpAnswer::error(400, e),
             };
-            let body = capture_trace(Duration::from_millis(ms));
-            http_respond(writer, 200, "application/json", &body, head);
+            HttpAnswer::json(200, capture_trace(Duration::from_millis(ms)))
         }
-        ("GET" | "HEAD", "/debug/profile") => {
-            let bad = |writer: &mut TcpStream, msg: &str| {
-                let mut b = Body::new();
-                b.str("error", msg);
-                http_respond(writer, 400, "application/json", &b.document(), head);
-            };
+        "/debug/profile" => {
             let ms = match capture_window_ms(query) {
                 Ok(ms) => ms,
-                Err(e) => {
-                    bad(writer, e);
-                    return;
-                }
+                Err(e) => return HttpAnswer::error(400, e),
             };
             let heap = match query_param(query, "view").unwrap_or("cpu") {
                 "cpu" => false,
                 "heap" => true,
-                _ => {
-                    bad(writer, "view must be cpu or heap");
-                    return;
-                }
+                _ => return HttpAnswer::error(400, "view must be cpu or heap"),
             };
             let svg = match query_param(query, "format").unwrap_or("folded") {
                 "folded" => false,
                 "svg" => true,
-                _ => {
-                    bad(writer, "format must be folded or svg");
-                    return;
-                }
+                _ => return HttpAnswer::error(400, "format must be folded or svg"),
             };
             let body = capture_profile(Duration::from_millis(ms), shared.cfg.sample_hz, heap, svg);
-            let content_type = if svg {
-                "image/svg+xml"
-            } else {
-                "text/plain; charset=utf-8"
-            };
-            http_respond(writer, 200, content_type, &body, head);
-        }
-        ("POST", "/model") => {
-            let Some(text) = read_post_body(reader, writer, content_length) else {
-                return;
-            };
-            match Model::parse(&text) {
-                Ok(model) => {
-                    // Parse happened above, outside the lock; the swap
-                    // itself is a pointer store. In-flight requests hold
-                    // their own Arc and finish against the old model.
-                    let _swap = shared.swap.lock().unwrap();
-                    let current = shared.model.read().unwrap().clone();
-                    if current.fingerprint == model.fingerprint {
-                        // Same structural identity: re-posting the
-                        // running model (reformatted or not) keeps the
-                        // cache and every warm session.
-                        rzen_obs::counter!(
-                            "serve.model_noop_swaps",
-                            "POST /model requests whose fingerprint matched the running model"
-                        )
-                        .inc();
-                        let mut b = Body::new();
-                        b.str("status", "ok")
-                            .bool("swapped", false)
-                            .str("model", &format!("{:016x}", current.fingerprint))
-                            .num("generation", shared.generation.load(Ordering::SeqCst))
-                            .num("devices", current.spec.net.devices.len() as u64);
-                        http_respond(writer, 200, "application/json", &b.document(), false);
-                        return;
-                    }
-                    let model = Arc::new(model);
-                    *shared.model.write().unwrap() = model.clone();
-                    shared.engine.clear_cache();
-                    // Sessions rebuilt: the whole model may have changed.
-                    shared.session_epoch.fetch_add(1, Ordering::SeqCst);
-                    let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
-                    rzen_obs::counter!("serve.model_swaps", "successful POST /model swaps").inc();
-                    let mut b = Body::new();
-                    b.str("status", "ok")
-                        .bool("swapped", true)
-                        .str("model", &format!("{:016x}", model.fingerprint))
-                        .num("generation", generation)
-                        .num("devices", model.spec.net.devices.len() as u64);
-                    http_respond(writer, 200, "application/json", &b.document(), false);
-                }
-                Err(e) => {
-                    let mut b = Body::new();
-                    b.str("error", &e);
-                    http_respond(writer, 400, "application/json", &b.document(), false);
-                }
+            HttpAnswer {
+                status: 200,
+                content_type: if svg {
+                    "image/svg+xml"
+                } else {
+                    "text/plain; charset=utf-8"
+                },
+                body,
             }
         }
-        ("POST", "/delta") => {
-            let Some(text) = read_post_body(reader, writer, content_length) else {
-                return;
-            };
-            let ops = match rzen_delta::parse_ops(&text) {
-                Ok(ops) if ops.is_empty() => {
-                    let mut b = Body::new();
-                    b.str("error", "empty delta");
-                    http_respond(writer, 400, "application/json", &b.document(), false);
-                    return;
-                }
-                Ok(ops) => ops,
-                Err(e) => {
-                    let mut b = Body::new();
-                    b.str("error", &e);
-                    http_respond(writer, 400, "application/json", &b.document(), false);
-                    return;
-                }
-            };
-            // Same discipline as hot-swap: patch a clone off to the
-            // side, then publish with one pointer store. A failing op
-            // discards the clone — the running model is never half
-            // patched. In-flight requests keep their admitted Arc.
-            let _swap = shared.swap.lock().unwrap();
-            let current = shared.model.read().unwrap().clone();
-            let mut patched = current.spec.clone();
-            let applied = match rzen_delta::apply_all(&mut patched, &ops) {
-                Ok(applied) => applied,
-                Err(e) => {
-                    let mut b = Body::new();
-                    b.str("error", &e);
-                    http_respond(writer, 400, "application/json", &b.document(), false);
-                    return;
-                }
-            };
-            let model = Arc::new(Model::from_spec(patched));
-            *shared.model.write().unwrap() = model.clone();
-            // The dependency-aware sweep replaces clear_cache(): only
-            // entries whose cone of influence an op touched are
-            // evicted, the rest are re-keyed and stay warm. Sessions
-            // are not quiesced at all (see `Shared::session_epoch`).
-            let stats =
-                shared
-                    .engine
-                    .apply_delta(&current.spec.net, &model.spec.net, &applied.steps);
-            let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
-            rzen_obs::counter!("serve.deltas", "successful POST /delta applications").inc();
-            let mut b = Body::new();
-            b.str("status", "ok")
-                .str("model", &format!("{:016x}", model.fingerprint))
-                .num("generation", generation)
-                .num("ops", applied.steps.len() as u64)
-                .str("touched", &applied.touched.join(","))
-                .num("devices", model.spec.net.devices.len() as u64)
-                .num("evicted", stats.evicted as u64)
-                .num("retained", stats.retained as u64);
-            http_respond(writer, 200, "application/json", &b.document(), false);
-        }
-        _ => {
-            let mut b = Body::new();
-            b.str("error", "not found");
-            http_respond(writer, 404, "application/json", &b.document(), head);
+        _ => HttpAnswer::error(404, "not found"),
+    }
+}
+
+/// `POST /model`: hot-swap the running model. With `wake` (epoll mode)
+/// the cache transition is queued on the engine's cache log for the
+/// shards to replay; without it (threads mode) the shared cache is
+/// cleared inline. Either way the pointer swap itself is atomic and
+/// in-flight requests finish against the `Arc` they captured.
+pub(crate) fn answer_model_post(
+    shared: &Shared,
+    text: &str,
+    wake: Option<&ShardWake>,
+) -> HttpAnswer {
+    let model = match Model::parse(text) {
+        Ok(m) => m,
+        Err(e) => return HttpAnswer::error(400, &e),
+    };
+    // Parse happened above, outside the lock; the swap itself is a
+    // pointer store. In-flight requests hold their own Arc and finish
+    // against the old model.
+    let _swap = shared.swap.lock().unwrap();
+    let current = shared.model.read().unwrap().clone();
+    if current.fingerprint == model.fingerprint {
+        // Same structural identity: re-posting the running model
+        // (reformatted or not) keeps the cache and every warm session.
+        rzen_obs::counter!(
+            "serve.model_noop_swaps",
+            "POST /model requests whose fingerprint matched the running model"
+        )
+        .inc();
+        let mut b = Body::new();
+        b.str("status", "ok")
+            .bool("swapped", false)
+            .str("model", &format!("{:016x}", current.fingerprint))
+            .num("generation", shared.generation.load(Ordering::SeqCst))
+            .num("devices", current.spec.net.devices.len() as u64);
+        return HttpAnswer::json(200, b.document());
+    }
+    let model = Arc::new(model);
+    *shared.model.write().unwrap() = model.clone();
+    match wake {
+        None => shared.engine.clear_cache(),
+        Some(w) => {
+            // Shards own their caches; queue the clear on the cache log
+            // and nudge them. No need to wait for the replay: cache
+            // entries key on the full query (model included), so a shard
+            // that has not swept yet can never serve a stale verdict —
+            // the sweep reclaims memory, it does not gate correctness.
+            shared.engine.push_cache_clear();
+            w.wake_all();
         }
     }
-    let _ = writer.flush();
-    let _ = writer.shutdown(Shutdown::Both);
+    // Sessions rebuilt: the whole model may have changed.
+    shared.session_epoch.fetch_add(1, Ordering::SeqCst);
+    let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    rzen_obs::counter!("serve.model_swaps", "successful POST /model swaps").inc();
+    let mut b = Body::new();
+    b.str("status", "ok")
+        .bool("swapped", true)
+        .str("model", &format!("{:016x}", model.fingerprint))
+        .num("generation", generation)
+        .num("devices", model.spec.net.devices.len() as u64);
+    HttpAnswer::json(200, b.document())
+}
+
+/// `POST /delta`: patch the running model and run the dependency-aware
+/// cache sweep. With `wake` (epoll mode) the sweep is queued for every
+/// shard and awaited (bounded) so the response still reports real
+/// evicted/retained counts; without it the shared cache is swept inline.
+pub(crate) fn answer_delta_post(
+    shared: &Shared,
+    text: &str,
+    wake: Option<&ShardWake>,
+) -> HttpAnswer {
+    let ops = match rzen_delta::parse_ops(text) {
+        Ok(ops) if ops.is_empty() => return HttpAnswer::error(400, "empty delta"),
+        Ok(ops) => ops,
+        Err(e) => return HttpAnswer::error(400, &e),
+    };
+    // Same discipline as hot-swap: patch a clone off to the side, then
+    // publish with one pointer store. A failing op discards the clone —
+    // the running model is never half patched. In-flight requests keep
+    // their admitted Arc.
+    let _swap = shared.swap.lock().unwrap();
+    let current = shared.model.read().unwrap().clone();
+    let mut patched = current.spec.clone();
+    let applied = match rzen_delta::apply_all(&mut patched, &ops) {
+        Ok(applied) => applied,
+        Err(e) => return HttpAnswer::error(400, &e),
+    };
+    let model = Arc::new(Model::from_spec(patched));
+    *shared.model.write().unwrap() = model.clone();
+    // The dependency-aware sweep replaces clear_cache(): only entries
+    // whose cone of influence an op touched are evicted, the rest are
+    // re-keyed and stay warm. Sessions are not quiesced at all (see
+    // `Shared::session_epoch`).
+    let stats = match wake {
+        None => shared
+            .engine
+            .apply_delta(&current.spec.net, &model.spec.net, &applied.steps),
+        Some(w) => {
+            let pending =
+                shared
+                    .engine
+                    .push_cache_delta(&current.spec.net, &model.spec.net, &applied.steps);
+            w.wake_all();
+            // Bounded wait: a shard wedged in a pathological solve
+            // should delay the delta *response*, not wedge it forever.
+            // The sweep itself still completes at that shard's next
+            // catch-up point.
+            shared
+                .engine
+                .await_cache_delta(&pending, Duration::from_secs(5))
+        }
+    };
+    let generation = shared.generation.fetch_add(1, Ordering::SeqCst) + 1;
+    rzen_obs::counter!("serve.deltas", "successful POST /delta applications").inc();
+    let mut b = Body::new();
+    b.str("status", "ok")
+        .str("model", &format!("{:016x}", model.fingerprint))
+        .num("generation", generation)
+        .num("ops", applied.steps.len() as u64)
+        .str("touched", &applied.touched.join(","))
+        .num("devices", model.spec.net.devices.len() as u64)
+        .num("evicted", stats.evicted as u64)
+        .num("retained", stats.retained as u64);
+    HttpAnswer::json(200, b.document())
 }
 
 /// Read and validate a POST body (spec text or NDJSON delta), answering
@@ -1330,22 +1545,27 @@ fn capture_trace(window: Duration) -> String {
     rzen_obs::export::chrome_trace(&events)
 }
 
-/// Write one HTTP response. `head` sends the status line and headers
-/// (with the Content-Length the body *would* have) but no body.
-fn http_respond(writer: &mut TcpStream, status: u16, content_type: &str, body: &str, head: bool) {
+/// Render one full HTTP response. `head` sends the status line and
+/// headers (with the Content-Length the body *would* have) but no body.
+pub(crate) fn render_http(status: u16, content_type: &str, body: &str, head: bool) -> String {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
         _ => "",
     };
-    let _ = write!(
-        writer,
+    format!(
         "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
         body.len(),
         if head { "" } else { body }
-    );
+    )
+}
+
+/// Write one HTTP response to a blocking socket (threads mode).
+fn http_respond(writer: &mut TcpStream, status: u16, content_type: &str, body: &str, head: bool) {
+    let _ = writer.write_all(render_http(status, content_type, body, head).as_bytes());
 }
 
 #[cfg(test)]

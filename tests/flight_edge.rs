@@ -53,6 +53,7 @@ fn size_one_floors_to_sixteen_and_wraps_consistently_under_writers() {
                         flags: 0,
                         alloc_bytes: id,
                         alloc_count: id,
+                        shard: 0,
                     });
                 }
             })

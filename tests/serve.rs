@@ -2,6 +2,11 @@
 //! model hot-swap, and drain-under-load. The server runs in-process on a
 //! kernel-assigned port; the tests speak the real wire protocols (NDJSON
 //! and the HTTP shim) over real sockets.
+//!
+//! Every behavioral test runs twice — once against the original
+//! thread-per-connection layer and once against the epoll reactor
+//! (`LoopMode::Epoll`) — because the two layers promise the *same*
+//! serving semantics behind the same handle.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -10,12 +15,12 @@ use std::time::{Duration, Instant};
 
 use rzen_engine::QueryBackend;
 use rzen_obs::json::{parse, Value};
-use rzen_serve::{start, Model, ServerConfig};
+use rzen_serve::{start, LoopMode, Model, ServerConfig};
 
 const FIG3: &str = include_str!("../specs/fig3.net");
 const REACH: &str = "{\"op\":\"reach\",\"src\":\"u1:1\",\"dst\":\"u3:2\"}";
 
-fn cfg(jobs: usize, backlog: usize) -> ServerConfig {
+fn cfg(mode: LoopMode, jobs: usize, backlog: usize) -> ServerConfig {
     ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         jobs,
@@ -26,7 +31,25 @@ fn cfg(jobs: usize, backlog: usize) -> ServerConfig {
         handle_signals: false,
         debug_ops: true,
         sample_hz: rzen_obs::profile::DEFAULT_SAMPLE_HZ,
+        loop_mode: mode,
+        shards: 0,
+        idle_timeout: None,
     }
+}
+
+/// Generate a `_threads` and an `_epoll` test from one `fn(LoopMode)`
+/// body: the contract under test is identical across connection layers.
+macro_rules! both_modes {
+    ($threads:ident, $epoll:ident, $body:ident) => {
+        #[test]
+        fn $threads() {
+            $body(LoopMode::Threads);
+        }
+        #[test]
+        fn $epoll() {
+            $body(LoopMode::Epoll);
+        }
+    };
 }
 
 /// One-shot NDJSON request: connect, send one line, read one line.
@@ -82,9 +105,8 @@ fn field<'v>(v: &'v Value, key: &str) -> &'v Value {
         .unwrap_or_else(|| panic!("response missing {key:?}: {v:?}"))
 }
 
-#[test]
-fn identical_concurrent_queries_coalesce_onto_one_execution() {
-    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+fn identical_concurrent_queries_coalesce(mode: LoopMode) {
+    let handle = start(cfg(mode, 1, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     // Occupy the single worker so the N identical queries below are all
@@ -124,9 +146,14 @@ fn identical_concurrent_queries_coalesce_onto_one_execution() {
     handle.join();
 }
 
-#[test]
-fn connection_churn_does_not_accumulate_tracked_sockets() {
-    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+both_modes!(
+    identical_concurrent_queries_coalesce_onto_one_execution,
+    identical_concurrent_queries_coalesce_onto_one_execution_epoll,
+    identical_concurrent_queries_coalesce
+);
+
+fn connection_churn_does_not_accumulate(mode: LoopMode) {
+    let handle = start(cfg(mode, 1, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     // Every request and health scrape below opens and closes its own
@@ -140,8 +167,8 @@ fn connection_churn_does_not_accumulate_tracked_sockets() {
         assert!(status.contains("200"));
     }
 
-    // Removal happens when the connection thread notices EOF, which can
-    // trail the client's close slightly; poll briefly.
+    // Removal happens when the server notices EOF, which can trail the
+    // client's close slightly; poll briefly.
     let deadline = Instant::now() + Duration::from_secs(5);
     while handle.open_conns() > 0 && Instant::now() < deadline {
         thread::sleep(Duration::from_millis(10));
@@ -156,9 +183,14 @@ fn connection_churn_does_not_accumulate_tracked_sockets() {
     handle.join();
 }
 
-#[test]
-fn joiner_respects_its_own_deadline_not_the_leaders() {
-    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+both_modes!(
+    connection_churn_does_not_accumulate_tracked_sockets,
+    connection_churn_does_not_accumulate_tracked_sockets_epoll,
+    connection_churn_does_not_accumulate
+);
+
+fn joiner_respects_its_own_deadline(mode: LoopMode) {
+    let handle = start(cfg(mode, 1, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     // Occupy the single worker, then queue a leader with the default
@@ -195,9 +227,14 @@ fn joiner_respects_its_own_deadline_not_the_leaders() {
     handle.join();
 }
 
-#[test]
-fn head_requests_get_headers_without_a_body() {
-    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+both_modes!(
+    joiner_respects_its_own_deadline_not_the_leaders,
+    joiner_respects_its_own_deadline_not_the_leaders_epoll,
+    joiner_respects_its_own_deadline
+);
+
+fn head_requests_get_headers_only(mode: LoopMode) {
+    let handle = start(cfg(mode, 1, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     for path in ["/healthz", "/metrics"] {
@@ -239,11 +276,16 @@ fn head_requests_get_headers_without_a_body() {
     handle.join();
 }
 
-#[test]
-fn full_backlog_sheds_with_explicit_overloaded() {
+both_modes!(
+    head_requests_get_headers_without_a_body,
+    head_requests_get_headers_without_a_body_epoll,
+    head_requests_get_headers_only
+);
+
+fn full_backlog_sheds(mode: LoopMode) {
     // One worker, zero backlog: anything arriving while the worker is
     // busy must be shed immediately, never queued or hung.
-    let handle = start(cfg(1, 0), Model::parse(FIG3).unwrap()).unwrap();
+    let handle = start(cfg(mode, 1, 0), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     let blocker = thread::spawn(move || request(addr, "{\"id\":1,\"op\":\"sleep\",\"ms\":900}"));
@@ -269,9 +311,14 @@ fn full_backlog_sheds_with_explicit_overloaded() {
     handle.join();
 }
 
-#[test]
-fn model_hot_swap_is_atomic_and_correct() {
-    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+both_modes!(
+    full_backlog_sheds_with_explicit_overloaded,
+    full_backlog_sheds_with_explicit_overloaded_epoll,
+    full_backlog_sheds
+);
+
+fn model_hot_swap_is_atomic(mode: LoopMode) {
+    let handle = start(cfg(mode, 1, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     let before = parse(&request(addr, REACH)).unwrap();
@@ -330,9 +377,14 @@ fn model_hot_swap_is_atomic_and_correct() {
     handle.join();
 }
 
-#[test]
-fn shutdown_drains_inflight_work_before_exiting() {
-    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+both_modes!(
+    model_hot_swap_is_atomic_and_correct,
+    model_hot_swap_is_atomic_and_correct_epoll,
+    model_hot_swap_is_atomic
+);
+
+fn shutdown_drains_inflight_work(mode: LoopMode) {
+    let handle = start(cfg(mode, 1, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     let started = Instant::now();
@@ -359,25 +411,30 @@ fn shutdown_drains_inflight_work_before_exiting() {
     );
 }
 
-#[test]
-fn requests_during_drain_are_answered_shutting_down() {
-    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+both_modes!(
+    shutdown_drains_inflight_work_before_exiting,
+    shutdown_drains_inflight_work_before_exiting_epoll,
+    shutdown_drains_inflight_work
+);
+
+fn requests_during_drain_are_refused(mode: LoopMode) {
+    let handle = start(cfg(mode, 1, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
-    // Pipeline two requests on one connection: the first holds the
-    // worker, the shutdown lands mid-flight, and the second must be
-    // answered with an explicit refusal rather than silence.
+    // Hold the worker with the first request, land the shutdown
+    // mid-flight, then send a second request on the same connection: it
+    // must be answered with an explicit refusal rather than silence.
     let mut stream = TcpStream::connect(addr).unwrap();
     stream
         .set_read_timeout(Some(Duration::from_secs(20)))
         .unwrap();
     stream
-        .write_all(
-            b"{\"id\":1,\"op\":\"sleep\",\"ms\":600}\n{\"id\":2,\"op\":\"sleep\",\"ms\":1}\n",
-        )
+        .write_all(b"{\"id\":1,\"op\":\"sleep\",\"ms\":600}\n")
         .unwrap();
     thread::sleep(Duration::from_millis(150));
     handle.shutdown();
+    thread::sleep(Duration::from_millis(100));
+    let _ = stream.write_all(b"{\"id\":2,\"op\":\"sleep\",\"ms\":1}\n");
 
     let mut reader = BufReader::new(stream);
     let mut first = String::new();
@@ -396,17 +453,34 @@ fn requests_during_drain_are_answered_shutting_down() {
     handle.join();
 }
 
-#[test]
-fn flight_recorder_follows_a_request_end_to_end() {
-    let handle = start(cfg(2, 16), Model::parse(FIG3).unwrap()).unwrap();
+both_modes!(
+    requests_during_drain_are_answered_shutting_down,
+    requests_during_drain_are_answered_shutting_down_epoll,
+    requests_during_drain_are_refused
+);
+
+fn flight_recorder_follows_requests(mode: LoopMode) {
+    let handle = start(cfg(mode, 2, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     // A few fast queries, then one deliberately slow request: the sleep
-    // dominates every latency in this server's lifetime.
+    // dominates every latency seen so far. The duration differs per
+    // loop mode because the slow table is process-global — the later
+    // (epoll) run must out-sleep the earlier (threads) run to lead it.
+    let slow_ms: u64 = match mode {
+        LoopMode::Threads => 150,
+        LoopMode::Epoll => 170,
+    };
+    let mut reach_req = 0;
     for _ in 0..3 {
-        parse(&request(addr, REACH)).unwrap();
+        let r = parse(&request(addr, REACH)).unwrap();
+        reach_req = field(&r, "req").as_u64().unwrap();
     }
-    let slow = parse(&request(addr, "{\"op\":\"sleep\",\"ms\":150}")).unwrap();
+    let slow = parse(&request(
+        addr,
+        &format!("{{\"op\":\"sleep\",\"ms\":{slow_ms}}}"),
+    ))
+    .unwrap();
     let slow_req = field(&slow, "req")
         .as_u64()
         .expect("responses carry the server-minted request id");
@@ -425,16 +499,18 @@ fn flight_recorder_follows_a_request_end_to_end() {
         .expect("the slow request is in the flight ring");
     assert_eq!(field(rec, "op").as_str(), Some("sleep"));
     assert_eq!(field(rec, "verdict").as_str(), Some("ok"));
-    assert!(field(rec, "latency_us").as_u64().unwrap() >= 150_000);
+    assert!(field(rec, "latency_us").as_u64().unwrap() >= slow_ms * 1000);
+    // Look the reach query up by its own request id: the flight ring is
+    // process-global, so "any reach record" could belong to another test.
     let reach = records
         .iter()
-        .find(|r| field(r, "op").as_str() == Some("reach"))
+        .find(|r| field(r, "req").as_u64() == Some(reach_req))
         .expect("reach queries are recorded too");
     assert_eq!(field(reach, "src").as_str(), Some("u1:1"));
     assert_eq!(field(reach, "dst").as_str(), Some("u3:2"));
     assert_eq!(field(reach, "verdict").as_str(), Some("sat"));
 
-    // The slow table ranks the sleep first: nothing else took 150ms.
+    // The slow table ranks the sleep first: nothing else slept as long.
     let (status, body) = http_get(addr, "/debug/slow");
     assert!(status.contains("200"), "{status}");
     let Value::Arr(slow_records) = parse(&body).expect("valid JSON") else {
@@ -450,9 +526,14 @@ fn flight_recorder_follows_a_request_end_to_end() {
     handle.join();
 }
 
-#[test]
-fn debug_trace_capture_carries_request_ids_through_the_stack() {
-    let handle = start(cfg(2, 16), Model::parse(FIG3).unwrap()).unwrap();
+both_modes!(
+    flight_recorder_follows_a_request_end_to_end,
+    flight_recorder_follows_a_request_end_to_end_epoll,
+    flight_recorder_follows_requests
+);
+
+fn debug_trace_capture_carries_request_ids(mode: LoopMode) {
+    let handle = start(cfg(mode, 2, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     // Keep queries flowing while the capture window is open. Alternating
@@ -496,9 +577,14 @@ fn debug_trace_capture_carries_request_ids_through_the_stack() {
     handle.join();
 }
 
-#[test]
-fn debug_trace_window_is_validated_and_clamped() {
-    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+both_modes!(
+    debug_trace_capture_carries_request_ids_through_the_stack,
+    debug_trace_capture_carries_request_ids_through_the_stack_epoll,
+    debug_trace_capture_carries_request_ids
+);
+
+fn debug_trace_window_is_validated(mode: LoopMode) {
+    let handle = start(cfg(mode, 1, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     // Malformed windows are a client error, not a silent default.
@@ -523,9 +609,14 @@ fn debug_trace_window_is_validated_and_clamped() {
     handle.join();
 }
 
-#[test]
-fn oversized_http_headers_are_answered_with_431() {
-    let handle = start(cfg(1, 16), Model::parse(FIG3).unwrap()).unwrap();
+both_modes!(
+    debug_trace_window_is_validated_and_clamped,
+    debug_trace_window_is_validated_and_clamped_epoll,
+    debug_trace_window_is_validated
+);
+
+fn oversized_http_headers_get_431(mode: LoopMode) {
+    let handle = start(cfg(mode, 1, 16), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     // 16 KiB of header lines: double the server's budget.
@@ -549,10 +640,15 @@ fn oversized_http_headers_are_answered_with_431() {
     handle.join();
 }
 
-#[test]
-fn serve_errors_are_counted_by_kind_in_prometheus_metrics() {
+both_modes!(
+    oversized_http_headers_are_answered_with_431,
+    oversized_http_headers_are_answered_with_431_epoll,
+    oversized_http_headers_get_431
+);
+
+fn serve_errors_are_counted_by_kind(mode: LoopMode) {
     // One worker, zero backlog: easy to provoke `overloaded`.
-    let handle = start(cfg(1, 0), Model::parse(FIG3).unwrap()).unwrap();
+    let handle = start(cfg(mode, 1, 0), Model::parse(FIG3).unwrap()).unwrap();
     let addr = handle.addr();
 
     let blocker = thread::spawn(move || request(addr, "{\"op\":\"sleep\",\"ms\":700}"));
@@ -583,6 +679,248 @@ fn serve_errors_are_counted_by_kind_in_prometheus_metrics() {
     assert!(metrics.contains("# TYPE serve_requests_total counter"));
     assert!(metrics.contains("# TYPE serve_request_us histogram"));
     assert!(metrics.contains("serve_request_us_bucket{le=\"+Inf\"}"));
+
+    handle.shutdown();
+    handle.join();
+}
+
+both_modes!(
+    serve_errors_are_counted_by_kind_in_prometheus_metrics,
+    serve_errors_are_counted_by_kind_in_prometheus_metrics_epoll,
+    serve_errors_are_counted_by_kind
+);
+
+// ------------------------------------------------- slow-client torture --
+
+fn slow_clients_cannot_wedge_or_corrupt(mode: LoopMode) {
+    let handle = start(cfg(mode, 2, 16), Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    // NDJSON plane, dripped: the request arrives one byte at a time with
+    // a long stall mid-frame. The server must hold the partial frame
+    // without wedging anything.
+    let mut slow = TcpStream::connect(addr).unwrap();
+    slow.set_nodelay(true).unwrap();
+    slow.set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let line = format!("{REACH}\n");
+    let bytes = line.as_bytes();
+    let half = bytes.len() / 2;
+    for &b in &bytes[..half] {
+        slow.write_all(&[b]).unwrap();
+    }
+    thread::sleep(Duration::from_millis(300));
+
+    // While the slow client is mid-stall, other clients are served: a
+    // half-written frame must never hold a worker hostage.
+    let quick = parse(&request(addr, REACH)).unwrap();
+    assert_eq!(field(&quick, "verdict").as_str(), Some("sat"));
+
+    for &b in &bytes[half..] {
+        slow.write_all(&[b]).unwrap();
+        thread::sleep(Duration::from_millis(1));
+    }
+    // Read the response back one byte at a time.
+    let mut raw = Vec::new();
+    let mut one = [0u8; 1];
+    loop {
+        match slow.read(&mut one) {
+            Ok(0) => break,
+            Ok(_) => {
+                raw.push(one[0]);
+                if one[0] == b'\n' {
+                    break;
+                }
+            }
+            Err(e) => panic!("slow read failed: {e}"),
+        }
+    }
+    let resp = parse(String::from_utf8(raw).unwrap().trim()).unwrap();
+    assert_eq!(
+        field(&resp, "verdict").as_str(),
+        Some("sat"),
+        "a dribbled request must parse to exactly the same verdict"
+    );
+    drop(slow);
+
+    // HTTP plane, dripped: single-byte writes with a mid-header stall.
+    let req = "GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    let mut h = TcpStream::connect(addr).unwrap();
+    h.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    for (i, &b) in req.as_bytes().iter().enumerate() {
+        h.write_all(&[b]).unwrap();
+        if i == 25 {
+            thread::sleep(Duration::from_millis(250));
+        }
+    }
+    let mut raw = String::new();
+    h.read_to_string(&mut raw).unwrap();
+    assert!(
+        raw.starts_with("HTTP/1.1 200"),
+        "dribbled HTTP request must still be answered: {raw:?}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+both_modes!(
+    slow_clients_cannot_wedge_a_worker_or_corrupt_framing,
+    slow_clients_cannot_wedge_a_worker_or_corrupt_framing_epoll,
+    slow_clients_cannot_wedge_or_corrupt
+);
+
+fn pipelined_framing_survives_single_byte_reads(mode: LoopMode) {
+    let handle = start(cfg(mode, 2, 32), Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    // Eight pipelined requests whose execution times *decrease*: in the
+    // reactor, later requests finish first, and the per-connection
+    // sequencing must still deliver responses in request order.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .unwrap();
+    let n = 8u64;
+    let mut batch = String::new();
+    for i in 1..=n {
+        batch.push_str(&format!(
+            "{{\"id\":{i},\"op\":\"sleep\",\"ms\":{}}}\n",
+            (n - i + 1) * 10
+        ));
+    }
+    stream.write_all(batch.as_bytes()).unwrap();
+
+    // Read every response one byte at a time: framing must survive the
+    // worst consumer.
+    let mut raw = Vec::new();
+    let mut newlines = 0;
+    let mut one = [0u8; 1];
+    while newlines < n {
+        match stream.read(&mut one) {
+            Ok(0) => break,
+            Ok(_) => {
+                raw.push(one[0]);
+                if one[0] == b'\n' {
+                    newlines += 1;
+                }
+            }
+            Err(e) => panic!("read failed after {newlines} responses: {e}"),
+        }
+    }
+    let raw = String::from_utf8(raw).unwrap();
+    let ids: Vec<u64> = raw
+        .lines()
+        .map(|l| {
+            field(&parse(l.trim()).expect("each line is intact JSON"), "id")
+                .as_u64()
+                .expect("each response echoes its id")
+        })
+        .collect();
+    assert_eq!(
+        ids,
+        (1..=n).collect::<Vec<_>>(),
+        "responses must come back in request order, uncorrupted"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+both_modes!(
+    pipelined_responses_keep_request_order_under_single_byte_reads,
+    pipelined_responses_keep_request_order_under_single_byte_reads_epoll,
+    pipelined_framing_survives_single_byte_reads
+);
+
+// ---------------------------------------------------------- idle reaping --
+
+fn idle_connections_are_reaped(mode: LoopMode) {
+    let mut c = cfg(mode, 1, 16);
+    c.idle_timeout = Some(Duration::from_millis(200));
+    let handle = start(c, Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    // A connection that sends nothing is closed by the server once the
+    // idle window passes.
+    let mut silent = TcpStream::connect(addr).unwrap();
+    silent
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let started = Instant::now();
+    let mut one = [0u8; 1];
+    match silent.read(&mut one) {
+        Ok(0) => {}
+        other => panic!("expected server-side close of an idle connection, got {other:?}"),
+    }
+    assert!(
+        started.elapsed() >= Duration::from_millis(100),
+        "the connection must live through (most of) the idle window"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "reaping must happen near the timeout, not at shutdown"
+    );
+
+    // An active connection is not reaped mid-request.
+    let resp = parse(&request(addr, REACH)).unwrap();
+    assert_eq!(field(&resp, "verdict").as_str(), Some("sat"));
+
+    let (_, metrics) = http_get(addr, "/metrics");
+    assert!(
+        metrics.contains("serve_idle_reaped_total"),
+        "/metrics must count reaped connections:\n{metrics}"
+    );
+
+    handle.shutdown();
+    handle.join();
+}
+
+both_modes!(
+    idle_connections_are_reaped_after_the_timeout,
+    idle_connections_are_reaped_after_the_timeout_epoll,
+    idle_connections_are_reaped
+);
+
+// ------------------------------------------------- loop observability --
+
+#[test]
+fn epoll_metrics_expose_loop_and_shard_series() {
+    let mut c = cfg(LoopMode::Epoll, 2, 16);
+    c.shards = 2;
+    let handle = start(c, Model::parse(FIG3).unwrap()).unwrap();
+    let addr = handle.addr();
+
+    let mut reach_req = 0;
+    for _ in 0..3 {
+        let r = parse(&request(addr, REACH)).unwrap();
+        reach_req = field(&r, "req").as_u64().unwrap();
+    }
+    let (_, metrics) = http_get(addr, "/metrics");
+    for series in [
+        "loop_wakeups_total",
+        "serve_open_connections",
+        "serve_shard_queue_depth{shard=\"0\"}",
+        "serve_shard_queue_depth{shard=\"1\"}",
+    ] {
+        assert!(
+            metrics.contains(series),
+            "/metrics missing {series}:\n{metrics}"
+        );
+    }
+
+    // Flight records carry the shard that served each query.
+    let (_, body) = http_get(addr, "/debug/requests");
+    let Value::Arr(records) = parse(&body).unwrap() else {
+        panic!("/debug/requests must be a JSON array");
+    };
+    let reach = records
+        .iter()
+        .find(|r| field(r, "req").as_u64() == Some(reach_req))
+        .expect("reach queries are recorded");
+    let shard = field(reach, "shard").as_u64().expect("sharded record");
+    assert!(shard < 2, "shard id must be one of the two shards: {shard}");
 
     handle.shutdown();
     handle.join();
